@@ -1,0 +1,327 @@
+// Benchmark harness: one benchmark per paper table/figure (DESIGN.md §4).
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its artifact at QuickScale and reports the
+// headline number the paper plots (median or mean MSE%, asymmetry, …) via
+// b.ReportMetric, so trend comparisons against the paper need only the
+// bench output. Use cmd/dse -scale paper for the full protocol.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/thermal"
+	"repro/internal/wavelet"
+	"repro/internal/workload"
+)
+
+var (
+	campaignOnce sync.Once
+	campaign     *experiments.Campaign
+	campaignErr  error
+)
+
+// benchCampaign lazily builds one shared campaign so dataset simulation
+// costs are paid once across the whole bench run.
+func benchCampaign(b *testing.B) *experiments.Campaign {
+	b.Helper()
+	campaignOnce.Do(func() {
+		campaign, campaignErr = experiments.NewCampaign(experiments.QuickScale())
+	})
+	if campaignErr != nil {
+		b.Fatal(campaignErr)
+	}
+	return campaign
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1DynamicsVariation(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the CPI dynamic range of gap on the baseline config.
+		s := r.Rows[0].Series[1]
+		b.ReportMetric(mathx.Max(s)/mathx.Min(s), "gap-CPI-range")
+	}
+}
+
+func BenchmarkFig2HaarExample(b *testing.B) {
+	data := []float64{3, 4, 20, 25, 15, 5, 20, 3}
+	for i := 0; i < b.N; i++ {
+		coeffs, err := wavelet.Haar{}.Decompose(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if coeffs[0] != 11.875 {
+			b.Fatal("wrong decomposition")
+		}
+	}
+}
+
+func BenchmarkFig4Reconstruction(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MSEs[4], "MSE-at-k16")
+	}
+}
+
+func BenchmarkFig7RankStability(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(c, "gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanSpearman, "spearman")
+		b.ReportMetric(100*r.TopKOverlap, "topk-overlap-%")
+	}
+}
+
+func BenchmarkFig8AccuracyBoxplots(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverallMedian(0), "CPI-med-MSE%")
+		b.ReportMetric(r.OverallMedian(1), "Power-med-MSE%")
+		b.ReportMetric(r.OverallMedian(2), "AVF-med-MSE%")
+	}
+}
+
+func BenchmarkFig9CoefficientTrend(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(c, []int{4, 8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0][0], "CPI-MSE%-k4")
+		b.ReportMetric(r.Mean[0][2], "CPI-MSE%-k16")
+	}
+}
+
+func BenchmarkFig10SamplingTrend(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(c, []int{16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0][0], "CPI-MSE%-n16")
+		b.ReportMetric(r.Mean[0][2], "CPI-MSE%-n64")
+	}
+}
+
+func BenchmarkFig11StarPlots(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.ByOrder) != 3 {
+			b.Fatal("missing star plots")
+		}
+	}
+}
+
+func BenchmarkFig13ScenarioClassification(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Mean asymmetry across benchmarks, CPI domain, Q2 level.
+		var sum float64
+		for bi := range r.Benchmarks {
+			sum += r.Asymmetry[0][bi][1]
+		}
+		b.ReportMetric(sum/float64(len(r.Benchmarks)), "CPI-Q2-asym%")
+	}
+}
+
+func BenchmarkFig14TraceOverlay(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(c, "bzip2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MSEs[0], "bzip2-CPI-MSE%")
+	}
+}
+
+func BenchmarkFig17DVMScenarios(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig17(c, "gcc", 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agree := 0.0
+		for _, sc := range r.Scenarios {
+			if sc.ActualAchieved == sc.PredictAchieved {
+				agree++
+			}
+		}
+		b.ReportMetric(agree/float64(len(r.Scenarios)), "forecast-agreement")
+	}
+}
+
+func BenchmarkFig18DVMHeatPlot(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig18(c, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var all []float64
+		for _, row := range r.IQAVF {
+			all = append(all, row...)
+		}
+		b.ReportMetric(mathx.Median(all), "IQAVF-med-MSE%")
+	}
+}
+
+func BenchmarkFig19DVMThresholds(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig19(c, []float64{0.2, 0.3, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, row := range r.MSE {
+			for _, v := range row {
+				sum += v
+				n++
+			}
+		}
+		b.ReportMetric(sum/float64(n), "IQAVF-mean-MSE%")
+	}
+}
+
+func BenchmarkAblationSelection(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSelection(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0], "magnitude-MSE%")
+		b.ReportMetric(r.Mean[1], "order-MSE%")
+	}
+}
+
+func BenchmarkAblationModels(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationModels(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0], "waveletRBF-MSE%")
+		b.ReportMetric(r.Mean[1], "linear-MSE%")
+		b.ReportMetric(r.Mean[2], "globalANN-MSE%")
+	}
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSampling(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0], "LHS-MSE%")
+		b.ReportMetric(r.Mean[1], "random-MSE%")
+	}
+}
+
+// Component micro-benchmarks: substrate throughput numbers.
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := sim.Run(space.Baseline(), "gcc", sim.Options{Instructions: 65536, Samples: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(space.Baseline(), "gcc", sim.Options{Instructions: 65536, Samples: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(65536*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkWaveletDecompose128(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	data := make([]float64, 128)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (wavelet.Haar{}).Decompose(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	p, _ := workload.ProfileByName("gcc")
+	gen := workload.MustNewGenerator(p)
+	var inst workload.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next(&inst)
+	}
+}
+
+func BenchmarkExtThermal(b *testing.B) {
+	c := benchCampaign(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtThermal(c, thermal.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var all []float64
+		for _, row := range r.MSE {
+			all = append(all, row...)
+		}
+		b.ReportMetric(mathx.Median(all), "temp-med-MSE%")
+	}
+}

@@ -1,0 +1,92 @@
+// Command simtrace runs the cycle-level simulator once and prints the
+// sampled workload-dynamics trace — useful for inspecting what the
+// predictive models consume.
+//
+// Usage:
+//
+//	simtrace -bench gcc
+//	simtrace -bench mcf -fetch 2 -l2 256 -dvm -dvm-threshold 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark: "+fmt.Sprint(workload.Names()))
+		instrs  = flag.Uint64("instrs", 262144, "committed instructions")
+		samples = flag.Int("samples", 128, "trace samples")
+
+		fetch  = flag.Int("fetch", 0, "fetch/issue/commit width")
+		rob    = flag.Int("rob", 0, "ROB entries")
+		iq     = flag.Int("iq", 0, "issue queue entries")
+		lsq    = flag.Int("lsq", 0, "load/store queue entries")
+		l2     = flag.Int("l2", 0, "L2 size (KB)")
+		l2lat  = flag.Int("l2lat", 0, "L2 latency (cycles)")
+		il1    = flag.Int("il1", 0, "L1I size (KB)")
+		dl1    = flag.Int("dl1", 0, "L1D size (KB)")
+		dl1lat = flag.Int("dl1lat", 0, "L1D latency (cycles)")
+
+		dvm    = flag.Bool("dvm", false, "enable IQ dynamic vulnerability management")
+		dvmThr = flag.Float64("dvm-threshold", 0.3, "DVM IQ AVF trigger level")
+	)
+	flag.Parse()
+
+	cfg := space.Baseline()
+	apply := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	apply(&cfg.FetchWidth, *fetch)
+	apply(&cfg.ROBSize, *rob)
+	apply(&cfg.IQSize, *iq)
+	apply(&cfg.LSQSize, *lsq)
+	apply(&cfg.L2SizeKB, *l2)
+	apply(&cfg.L2Lat, *l2lat)
+	apply(&cfg.IL1SizeKB, *il1)
+	apply(&cfg.DL1SizeKB, *dl1)
+	apply(&cfg.DL1Lat, *dl1lat)
+	cfg.DVM = *dvm
+	cfg.DVMThreshold = *dvmThr
+
+	tr, err := sim.Run(cfg, *bench, sim.Options{Instructions: *instrs, Samples: *samples})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark %s on %v\n", *bench, cfg)
+	fmt.Printf("instructions %d, samples %d, aggregate CPI %.4f\n\n", *instrs, *samples, tr.MeanCPI())
+	for m := sim.Metric(0); m < sim.NumMetrics; m++ {
+		s := tr.Series(m)
+		fmt.Printf("%-7s %s\n", m, stats.Sparkline(s))
+		fmt.Printf("        mean=%.4f min=%.4f max=%.4f sd=%.4f\n",
+			mathx.Mean(s), mathx.Min(s), mathx.Max(s), mathx.StdDev(s))
+	}
+
+	var stalls uint64
+	var l2Misses, dl1Misses, mispredicts, branches uint64
+	for _, iv := range tr.Intervals {
+		stalls += iv.DVMStallCycles
+		l2Misses += iv.L2Misses
+		dl1Misses += iv.DL1Misses
+		mispredicts += iv.Mispredicts
+		branches += iv.Branches
+	}
+	fmt.Printf("\nDL1 misses %d, L2 misses %d, branch mispredicts %d/%d",
+		dl1Misses, l2Misses, mispredicts, branches)
+	if cfg.DVM {
+		fmt.Printf(", DVM throttle cycles %d", stalls)
+	}
+	fmt.Println()
+}

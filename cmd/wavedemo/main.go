@@ -1,0 +1,64 @@
+// Command wavedemo walks through the paper's wavelet background material:
+// the Figure 2 worked Haar example and the Figure 3/4 progressive
+// reconstruction of a simulated gcc trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark for the reconstruction demo")
+	samples := flag.Int("samples", 64, "trace samples (power of two)")
+	flag.Parse()
+
+	// Figure 2: the worked example.
+	data := []float64{3, 4, 20, 25, 15, 5, 20, 3}
+	coeffs, err := wavelet.Haar{}.Decompose(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Haar wavelet transform (paper Figure 2)")
+	fmt.Printf("  original data: %v\n", data)
+	fmt.Printf("  coefficients:  %v\n", coeffs)
+	fmt.Println("  layout: [average | detail L1 | detail L2 | detail L3]")
+	back, _ := wavelet.Haar{}.Reconstruct(coeffs)
+	fmt.Printf("  inverse:       %v\n\n", back)
+
+	// Figures 3–4: progressive reconstruction of a real simulated trace.
+	instrs := uint64(2048 * *samples)
+	tr, err := sim.Run(space.Baseline(), *bench, sim.Options{Instructions: instrs, Samples: *samples})
+	if err != nil {
+		fatal(err)
+	}
+	trace := tr.CPI
+	c, err := wavelet.Haar{}.Decompose(trace)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Progressive reconstruction of %s CPI dynamics (paper Figures 3-4)\n", *bench)
+	fmt.Printf("  original  %s\n", stats.Sparkline(trace))
+	for _, k := range []int{1, 2, 4, 8, 16, *samples} {
+		idx := wavelet.TopKByMagnitude(c, k)
+		approx, err := wavelet.Haar{}.Reconstruct(wavelet.Keep(c, idx))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  k=%-4d    %s  MSE=%.6f energy=%.1f%%\n",
+			k, stats.Sparkline(approx), mathx.MSE(trace, approx),
+			100*wavelet.EnergyFraction(c, idx))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavedemo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces Cho, Zhang & Li, "Informed Microarchitecture
+// Design Space Exploration using Workload Dynamics" (MICRO 2007): wavelet
+// neural networks that forecast the time-varying CPI, power and AVF
+// behaviour of workloads across a nine-parameter superscalar design space,
+// together with the full simulation substrate the paper's evaluation needs
+// (cycle-level out-of-order core, Wattch-style power model, ACE-based AVF
+// accounting, synthetic SPEC-2000-like workloads, and the Section 5 dynamic
+// vulnerability management case study).
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The top-level benchmark harness (bench_test.go) regenerates every table
+// and figure: go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,65 @@
+// coeffsweep studies the model complexity / accuracy tradeoff at the heart
+// of Figure 9: how many wavelet coefficients (and therefore RBF networks)
+// are worth modelling, and how much magnitude-based selection buys over
+// order-based selection.
+//
+// Run: go run ./examples/coeffsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+func main() {
+	const benchmark = "mcf" // memory-bound: strong dynamics
+	rng := mathx.NewRNG(9)
+	opts := sim.Options{Instructions: 65536, Samples: 64}
+
+	train := space.SampleDesign(36, space.TrainLevels(), space.Baseline(), 8, rng)
+	test := space.Random(8, space.TestLevels(), space.Baseline(), rng)
+
+	var jobs []sim.Job
+	for _, cfg := range append(append([]space.Config{}, train...), test...) {
+		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
+	}
+	fmt.Printf("simulating %d runs of %s...\n\n", len(jobs), benchmark)
+	traces, err := sim.Sweep(jobs, opts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainTraces := make([][]float64, len(train))
+	for i := range train {
+		trainTraces[i] = traces[i].CPI
+	}
+
+	evaluate := func(k int, sel core.Selection) float64 {
+		model, err := core.Train(train, trainTraces, core.Options{
+			NumCoefficients: k,
+			Selection:       sel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		for i, cfg := range test {
+			actual := traces[len(train)+i].CPI
+			sum += mathx.RelativeMSEPercent(actual, model.Predict(cfg))
+		}
+		return sum / float64(len(test))
+	}
+
+	fmt.Printf("%-6s %18s %18s %10s\n", "k", "magnitude MSE%", "order MSE%", "networks")
+	for _, k := range []int{2, 4, 8, 16, 32, 64} {
+		mag := evaluate(k, core.SelectMagnitude)
+		ord := evaluate(k, core.SelectOrder)
+		fmt.Printf("%-6d %17.2f%% %17.2f%% %10d\n", k, mag, ord, k)
+	}
+	fmt.Println("\nexpected shape (paper Figure 9 and §3): error falls steeply to k≈16,")
+	fmt.Println("then flattens; magnitude-based selection is never worse than order-based.")
+}

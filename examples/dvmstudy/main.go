@@ -1,0 +1,113 @@
+// dvmstudy reproduces the Section 5 workflow: use workload-dynamics
+// prediction to evaluate a Dynamic Vulnerability Management (DVM) policy
+// across candidate machine configurations *without* simulating each one.
+//
+// The study:
+//  1. trains a DVM-aware IQ-AVF predictor (DVM on/off is an input feature),
+//  2. sweeps a set of candidate configurations entirely through the model,
+//  3. forecasts for each whether the DVM policy holds IQ AVF below target,
+//  4. validates the forecasts against detailed simulation.
+//
+// Run: go run ./examples/dvmstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+const (
+	benchmark = "gcc"
+	target    = 0.3 // the DVM reliability target for IQ AVF
+)
+
+func main() {
+	rng := mathx.NewRNG(5)
+	opts := sim.Options{Instructions: 65536, Samples: 64}
+
+	// Training set: every sampled design with DVM off AND on, so the
+	// model learns the policy's effect as a design parameter.
+	base := space.SampleDesign(30, space.TrainLevels(), space.Baseline(), 10, rng)
+	var train []space.Config
+	for _, cfg := range base {
+		off := cfg
+		off.DVM, off.DVMThreshold = false, target
+		on := cfg
+		on.DVM, on.DVMThreshold = true, target
+		train = append(train, off, on)
+	}
+	jobs := make([]sim.Job, len(train))
+	for i, cfg := range train {
+		jobs[i] = sim.Job{Config: cfg, Benchmark: benchmark}
+	}
+	fmt.Printf("simulating %d training runs (%s, DVM on/off pairs)...\n", len(jobs), benchmark)
+	traces, err := sim.Sweep(jobs, opts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := make([][]float64, len(traces))
+	for i, tr := range traces {
+		series[i] = tr.IQAVF
+	}
+	model, err := core.Train(train, series, core.Options{NumCoefficients: 16, UseDVMFeatures: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate machines the architect is considering.
+	candidates := []space.Config{
+		space.Baseline(),
+		space.Baseline().WithSweptValues([space.NumParams]int{8, 128, 96, 32, 1024, 12, 32, 32, 2}),
+		space.Baseline().WithSweptValues([space.NumParams]int{2, 160, 32, 16, 256, 20, 8, 8, 4}),
+		space.Baseline().WithSweptValues([space.NumParams]int{16, 160, 128, 64, 4096, 8, 64, 64, 1}),
+	}
+
+	fmt.Printf("\nforecasting DVM(target %.2f) outcomes for %d candidates:\n\n", target, len(candidates))
+	agree := 0
+	for i, cfg := range candidates {
+		managed := cfg
+		managed.DVM, managed.DVMThreshold = true, target
+
+		pred := model.Predict(managed)
+		predOK := exceedFrac(pred, target) <= 0.25
+
+		// Validate against detailed simulation.
+		tr, err := sim.Run(managed, benchmark, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actualOK := exceedFrac(tr.IQAVF, target) <= 0.25
+
+		verdict := func(ok bool) string {
+			if ok {
+				return "meets target"
+			}
+			return "VIOLATES target"
+		}
+		match := "✓ forecast correct"
+		if predOK == actualOK {
+			agree++
+		} else {
+			match = "✗ forecast wrong"
+		}
+		fmt.Printf("candidate %d: %v\n", i+1, cfg)
+		fmt.Printf("  forecast:   %s (peak %.3f)\n", verdict(predOK), mathx.Max(pred))
+		fmt.Printf("  simulation: %s (peak %.3f)   %s\n", verdict(actualOK), mathx.Max(tr.IQAVF), match)
+		fmt.Printf("  sim trace   %s\n\n", stats.Sparkline(tr.IQAVF))
+	}
+	fmt.Printf("forecast agreement: %d/%d candidates\n", agree, len(candidates))
+}
+
+// exceedFrac returns the fraction of samples at or above the threshold.
+// A policy "meets target" when at most a quarter of execution periods
+// exceed it (transient overshoot is inherent to the windowed trigger; see
+// internal/experiments.Fig17).
+func exceedFrac(trace []float64, thr float64) float64 {
+	return float64(stats.ScenarioExceedances(trace, thr)) / float64(len(trace))
+}

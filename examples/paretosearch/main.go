@@ -1,0 +1,96 @@
+// paretosearch demonstrates the paper's end goal — *informed* design space
+// exploration. After training on a few dozen simulated design points, the
+// model sweeps thousands of candidate designs in milliseconds, extracts
+// the CPI/power Pareto frontier, answers a constrained design question
+// ("fastest machine whose worst-case power stays under budget"), and
+// validates the chosen design against detailed simulation.
+//
+// Run: go run ./examples/paretosearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+const benchmark = "twolf"
+
+func main() {
+	rng := mathx.NewRNG(11)
+	opts := sim.Options{Instructions: 65536, Samples: 64}
+
+	// Train CPI and power models from 40 simulated designs.
+	train := space.SampleDesign(40, space.TrainLevels(), space.Baseline(), 10, rng)
+	jobs := make([]sim.Job, len(train))
+	for i, cfg := range train {
+		jobs[i] = sim.Job{Config: cfg, Benchmark: benchmark}
+	}
+	fmt.Printf("simulating %d training designs of %s...\n", len(train), benchmark)
+	traces, err := sim.Sweep(jobs, opts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpiTraces := make([][]float64, len(train))
+	powTraces := make([][]float64, len(train))
+	for i, tr := range traces {
+		cpiTraces[i] = tr.CPI
+		powTraces[i] = tr.Power
+	}
+	mOpts := core.Options{NumCoefficients: 16}
+	cpiModel, err := core.Train(train, cpiTraces, mOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	powModel, err := core.Train(train, powTraces, mOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep the ENTIRE factorial training space through the models.
+	designs := space.TrainLevels().FullFactorial(space.Baseline())
+	start := time.Now()
+	res, err := explore.Sweep(designs,
+		[]core.DynamicsModel{cpiModel, powModel},
+		[]explore.Objective{
+			explore.MeanObjective("cpi"),
+			explore.WorstCaseObjective("peak-power"),
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("swept %d designs through the models in %v (%.0f designs/sec)\n\n",
+		len(designs), elapsed.Round(time.Millisecond),
+		float64(len(designs))/elapsed.Seconds())
+
+	// Show a slice of the frontier.
+	fmt.Println(res.Report())
+
+	// A constrained design question.
+	const powerBudget = 60.0
+	best, ok := res.Best(0, []explore.Constraint{{Objective: 1, Max: powerBudget}})
+	if !ok {
+		log.Fatalf("no design meets the %.0fW worst-case budget", powerBudget)
+	}
+	fmt.Printf("fastest design with predicted worst-case power ≤ %.0fW:\n  %v\n", powerBudget, best.Config)
+	fmt.Printf("  predicted: mean CPI %.3f, peak power %.1fW\n", best.Scores[0], best.Scores[1])
+
+	// Validate the model's pick with detailed simulation.
+	tr, err := sim.Run(best.Config, benchmark, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated: mean CPI %.3f, peak power %.1fW\n", mathx.Mean(tr.CPI), mathx.Max(tr.Power))
+	if mathx.Max(tr.Power) <= powerBudget*1.05 {
+		fmt.Println("  ✓ the model-guided choice holds up under detailed simulation")
+	} else {
+		fmt.Println("  ✗ simulation exceeds the budget — model error at this point")
+	}
+}

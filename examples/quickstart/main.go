@@ -1,0 +1,67 @@
+// Quickstart: train a wavelet neural network on one benchmark and predict
+// its workload dynamics at unseen design points.
+//
+// This walks the full Figure 6 pipeline in ~40 lines of API use:
+//
+//  1. sample training designs with Latin Hypercube Sampling,
+//  2. run the cycle-level simulator to collect CPI dynamics traces,
+//  3. train the per-coefficient RBF networks,
+//  4. predict the trace at test designs and measure MSE%.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+func main() {
+	const benchmark = "gcc"
+	rng := mathx.NewRNG(1)
+
+	// 1. Designs: 40 training points via best-of-10 LHS, 6 test points
+	//    drawn from the disjoint Table 2 test levels.
+	train := space.SampleDesign(40, space.TrainLevels(), space.Baseline(), 10, rng)
+	test := space.Random(6, space.TestLevels(), space.Baseline(), rng)
+
+	// 2. Simulate: 64-sample CPI traces for every design.
+	opts := sim.Options{Instructions: 131072, Samples: 64}
+	var jobs []sim.Job
+	for _, cfg := range append(append([]space.Config{}, train...), test...) {
+		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
+	}
+	fmt.Printf("simulating %d design points of %s...\n", len(jobs), benchmark)
+	traces, err := sim.Sweep(jobs, opts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train the wavelet neural network on the training traces.
+	trainTraces := make([][]float64, len(train))
+	for i := range train {
+		trainTraces[i] = traces[i].CPI
+	}
+	model, err := core.Train(train, trainTraces, core.Options{NumCoefficients: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d RBF networks on coefficients %v\n\n",
+		model.NumNetworks(), model.SelectedCoefficients())
+
+	// 4. Predict at unseen designs and compare against simulation.
+	for i, cfg := range test {
+		actual := traces[len(train)+i].CPI
+		predicted := model.Predict(cfg)
+		fmt.Printf("test design %d: %v\n", i+1, cfg)
+		fmt.Printf("  actual    %s\n", stats.Sparkline(actual))
+		fmt.Printf("  predicted %s   MSE %.2f%%\n",
+			stats.Sparkline(predicted), mathx.RelativeMSEPercent(actual, predicted))
+	}
+}

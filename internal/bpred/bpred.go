@@ -1,0 +1,182 @@
+// Package bpred implements the baseline machine's front-end predictors
+// (Table 1): a gshare direction predictor with 2-bit saturating counters, a
+// set-associative branch target buffer, and a return address stack.
+package bpred
+
+// Gshare is a global-history direction predictor: the prediction table is
+// indexed by PC XOR global history, each entry a 2-bit saturating counter.
+type Gshare struct {
+	table    []uint8
+	histMask uint64
+	history  uint64
+	idxMask  uint64
+}
+
+// NewGshare builds a predictor with the given table entries (power of two)
+// and global history bits.
+func NewGshare(entries, historyBits int) *Gshare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: gshare entries must be a positive power of two")
+	}
+	if historyBits < 0 || historyBits > 63 {
+		panic("bpred: invalid history bits")
+	}
+	table := make([]uint8, entries)
+	for i := range table {
+		table[i] = 1 // weakly not-taken
+	}
+	return &Gshare{
+		table:    table,
+		histMask: (1 << uint(historyBits)) - 1,
+		idxMask:  uint64(entries - 1),
+	}
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.idxMask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// changing predictor state.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and shifts the
+// global history. It must be called exactly once per dynamic branch, after
+// Predict.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	idx := g.index(pc)
+	c := g.table[idx]
+	if taken {
+		if c < 3 {
+			g.table[idx] = c + 1
+		}
+	} else {
+		if c > 0 {
+			g.table[idx] = c - 1
+		}
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.histMask
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets    int
+	assoc   int
+	tags    []uint64 // sets*assoc; 0 = invalid (tag stores pc|1)
+	targets []uint64
+	setMask uint64
+}
+
+// NewBTB builds a BTB with the given total entries (power of two) and
+// associativity.
+func NewBTB(entries, assoc int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: BTB entries must be a positive power of two")
+	}
+	if assoc <= 0 || entries%assoc != 0 {
+		panic("bpred: BTB associativity must divide entries")
+	}
+	sets := entries / assoc
+	return &BTB{
+		sets:    sets,
+		assoc:   assoc,
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Lookup returns the predicted target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	set := int((pc >> 2) & b.setMask)
+	base := set * b.assoc
+	key := pc | 1
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == key {
+			// Move to front (LRU position 0 is MRU).
+			tgt := b.targets[base+w]
+			for i := w; i > 0; i-- {
+				b.tags[base+i] = b.tags[base+i-1]
+				b.targets[base+i] = b.targets[base+i-1]
+			}
+			b.tags[base] = key
+			b.targets[base] = tgt
+			return tgt, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the taken target of the branch at pc, evicting the LRU way.
+func (b *BTB) Insert(pc, target uint64) {
+	set := int((pc >> 2) & b.setMask)
+	base := set * b.assoc
+	key := pc | 1
+	// Hit: refresh target and recency.
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == key {
+			for i := w; i > 0; i-- {
+				b.tags[base+i] = b.tags[base+i-1]
+				b.targets[base+i] = b.targets[base+i-1]
+			}
+			b.tags[base] = key
+			b.targets[base] = target
+			return
+		}
+	}
+	// Miss: shift everything down, install at MRU.
+	for i := b.assoc - 1; i > 0; i-- {
+		b.tags[base+i] = b.tags[base+i-1]
+		b.targets[base+i] = b.targets[base+i-1]
+	}
+	b.tags[base] = key
+	b.targets[base] = target
+}
+
+// RAS is a circular return address stack. Pushing beyond capacity silently
+// overwrites the oldest entry (matching hardware behaviour), which corrupts
+// deep call chains — exactly the effect a finite RAS has on recursion.
+type RAS struct {
+	stack []uint64
+	top   int // index of next free slot
+	depth int // current valid depth, capped at capacity
+}
+
+// NewRAS builds a return address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		panic("bpred: RAS capacity must be positive")
+	}
+	return &RAS{stack: make([]uint64, capacity)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. ok is false when the stack is empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Depth returns the number of valid entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,201 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(1024, 8)
+	pc := uint64(0x400100)
+	// Train always-taken.
+	for i := 0; i < 50; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("gshare should predict taken after training")
+	}
+}
+
+func TestGshareLearnsAlternatingViaHistory(t *testing.T) {
+	g := NewGshare(4096, 10)
+	pc := uint64(0x400200)
+	// Alternating pattern is perfectly predictable with global history.
+	taken := false
+	// Warm up.
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 195 {
+		t.Errorf("gshare predicted %d/200 of an alternating pattern; want ≥195", correct)
+	}
+}
+
+func TestGshareRandomBranchNearChance(t *testing.T) {
+	g := NewGshare(2048, 10)
+	rng := mathx.NewRNG(5)
+	pc := uint64(0x400300)
+	correct, total := 0, 4000
+	for i := 0; i < total; i++ {
+		taken := rng.Float64() < 0.5
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+	}
+	acc := float64(correct) / float64(total)
+	if acc > 0.60 {
+		t.Errorf("gshare accuracy on random outcomes = %v; want ≈0.5", acc)
+	}
+}
+
+func TestGsharePanicsOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGshare(1000, 8) },
+		func() { NewGshare(0, 8) },
+		func() { NewGshare(128, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Insert(0x1000, 0x2000)
+	if tgt, ok := b.Lookup(0x1000); !ok || tgt != 0x2000 {
+		t.Errorf("Lookup = %#x,%v; want 0x2000,true", tgt, ok)
+	}
+	if _, ok := b.Lookup(0x1234); ok {
+		t.Error("lookup of absent pc should miss")
+	}
+}
+
+func TestBTBUpdateTarget(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Insert(0x1000, 0x2000)
+	b.Insert(0x1000, 0x3000)
+	if tgt, _ := b.Lookup(0x1000); tgt != 0x3000 {
+		t.Errorf("target not updated: %#x", tgt)
+	}
+}
+
+func TestBTBLRUEviction(t *testing.T) {
+	b := NewBTB(8, 2) // 4 sets × 2 ways
+	// Three PCs mapping to the same set (stride = sets × 4 bytes).
+	p1, p2, p3 := uint64(0x1000), uint64(0x1000+4*4), uint64(0x1000+8*4)
+	b.Insert(p1, 1)
+	b.Insert(p2, 2)
+	b.Lookup(p1) // p1 becomes MRU, p2 is LRU
+	b.Insert(p3, 3)
+	if _, ok := b.Lookup(p2); ok {
+		t.Error("LRU entry p2 should have been evicted")
+	}
+	if _, ok := b.Lookup(p1); !ok {
+		t.Error("MRU entry p1 should survive")
+	}
+	if tgt, ok := b.Lookup(p3); !ok || tgt != 3 {
+		t.Error("newly inserted p3 missing")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(10)
+	r.Push(20)
+	if a, ok := r.Pop(); !ok || a != 20 {
+		t.Errorf("Pop = %v,%v; want 20,true", a, ok)
+	}
+	if a, ok := r.Pop(); !ok || a != 10 {
+		t.Errorf("Pop = %v,%v; want 10,true", a, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("Pop of empty RAS should fail")
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if d := r.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if a, _ := r.Pop(); a != 3 {
+		t.Errorf("first pop = %v, want 3", a)
+	}
+	if a, _ := r.Pop(); a != 2 {
+		t.Errorf("second pop = %v, want 2", a)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("overwritten entry must not be poppable")
+	}
+}
+
+// Property: balanced call/return sequences within capacity predict
+// perfectly (LIFO behaviour).
+func TestRASBalancedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		r := NewRAS(32)
+		var model []uint64
+		for step := 0; step < 200; step++ {
+			if len(model) == 0 || (len(model) < 32 && rng.Float64() < 0.5) {
+				addr := rng.Uint64()
+				r.Push(addr)
+				model = append(model, addr)
+			} else {
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				got, ok := r.Pop()
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BTB lookup after insert always hits with the inserted target,
+// regardless of prior contents.
+func TestBTBInsertThenLookupProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		b := NewBTB(128, 4)
+		for i := 0; i < 300; i++ {
+			pc := uint64(rng.Intn(1<<16)) << 2
+			tgt := rng.Uint64()
+			b.Insert(pc, tgt)
+			got, ok := b.Lookup(pc)
+			if !ok || got != tgt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

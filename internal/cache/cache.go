@@ -1,0 +1,174 @@
+// Package cache implements the set-associative, LRU-replaced caches and
+// TLBs of the simulated memory hierarchy (Table 1): L1 instruction and data
+// caches, a unified L2, and instruction/data TLBs.
+//
+// These are functional models: they track tag state to classify each access
+// as a hit or miss. Timing (latency accumulation, overlap) is the CPU
+// model's concern.
+package cache
+
+import "fmt"
+
+// Cache is a single level of set-associative cache with true-LRU
+// replacement. Ways within a set are kept in recency order (way 0 = MRU),
+// which is cheap for the small associativities modelled here.
+type Cache struct {
+	name      string
+	sets      int
+	assoc     int
+	lineShift uint
+	setMask   uint64
+	// tags[set*assoc+way]; 0 means invalid (tags store line|1).
+	tags []uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache of sizeKB kilobytes with the given associativity and
+// line size in bytes. Size, line and derived set count must be powers of
+// two.
+func New(name string, sizeKB, assoc, lineBytes int) (*Cache, error) {
+	if sizeKB <= 0 || assoc <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry (%d KB, %d-way, %dB lines)", name, sizeKB, assoc, lineBytes)
+	}
+	bytes := sizeKB * 1024
+	if bytes%(assoc*lineBytes) != 0 {
+		return nil, fmt.Errorf("cache %s: size %dKB not divisible by assoc %d × line %dB", name, sizeKB, assoc, lineBytes)
+	}
+	sets := bytes / (assoc * lineBytes)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: derived set count %d not a power of two", name, sets)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		assoc:     assoc,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*assoc),
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors; used where geometry
+// is validated upstream.
+func MustNew(name string, sizeKB, assoc, lineBytes int) *Cache {
+	c, err := New(name, sizeKB, assoc, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access simulates a reference to addr and returns whether it hit. The
+// line is installed (on miss) or promoted to MRU (on hit).
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	key := line | (1 << 63) // validity marker independent of line bits
+	ways := c.tags[base : base+c.assoc]
+	for w, tag := range ways {
+		if tag == key {
+			// Promote to MRU.
+			copy(ways[1:w+1], ways[:w])
+			ways[0] = key
+			return true
+		}
+	}
+	c.misses++
+	// Install at MRU, evicting the LRU way.
+	copy(ways[1:], ways[:c.assoc-1])
+	ways[0] = key
+	return false
+}
+
+// Probe reports whether addr is resident without changing state or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	key := line | (1 << 63)
+	for _, tag := range c.tags[base : base+c.assoc] {
+		if tag == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// Stats returns cumulative access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// TLB models a translation lookaside buffer as a set-associative cache of
+// page numbers.
+type TLB struct {
+	inner *Cache
+}
+
+// PageBytes is the simulated page size.
+const PageBytes = 4096
+
+// NewTLB builds a TLB with the given entry count and associativity.
+func NewTLB(name string, entries, assoc int) (*TLB, error) {
+	// Reuse Cache with "line" = page: entries×page bytes total capacity.
+	c, err := New(name, entries*PageBytes/1024, assoc, PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{inner: c}, nil
+}
+
+// MustNewTLB is NewTLB that panics on error.
+func MustNewTLB(name string, entries, assoc int) *TLB {
+	t, err := NewTLB(name, entries, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Access simulates a translation of addr and returns whether it hit.
+func (t *TLB) Access(addr uint64) bool { return t.inner.Access(addr) }
+
+// Stats returns cumulative access and miss counts.
+func (t *TLB) Stats() (accesses, misses uint64) { return t.inner.Stats() }
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() { t.inner.Reset() }

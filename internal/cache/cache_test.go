@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New("x", 0, 1, 32); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := New("x", 3, 4, 64); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+	if _, err := New("x", 32, 4, 48); err == nil {
+		t.Error("non-power-of-two line should fail")
+	}
+	c, err := New("l1", 32, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets() != 128 || c.Assoc() != 4 || c.LineBytes() != 64 {
+		t.Errorf("geometry = %d sets %d-way %dB, want 128/4/64", c.Sets(), c.Assoc(), c.LineBytes())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := MustNew("l1", 32, 4, 64)
+	if c.Access(0x1000) {
+		t.Error("first access must miss (cold)")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x1038) {
+		t.Error("same-line access must hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next-line access must miss")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Errorf("stats = %d/%d, want 4 accesses 2 misses", acc, miss)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct construction of conflict: 1KB, 2-way, 64B lines → 8 sets.
+	c := MustNew("tiny", 1, 2, 64)
+	stride := uint64(8 * 64) // same-set stride
+	a, b, d := uint64(0), stride, 2*stride
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a MRU, b LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should be resident")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := MustNew("l1", 8, 2, 64)
+	c.Access(0x0)
+	accBefore, missBefore := c.Stats()
+	c.Probe(0x0)
+	c.Probe(0x12345)
+	acc, miss := c.Stats()
+	if acc != accBefore || miss != missBefore {
+		t.Error("Probe must not change statistics")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	c := MustNew("l1", 8, 2, 64)
+	c.Access(0x40)
+	c.Reset()
+	if c.Probe(0x40) {
+		t.Error("line survived Reset")
+	}
+	if acc, miss := c.Stats(); acc != 0 || miss != 0 {
+		t.Error("stats survived Reset")
+	}
+}
+
+func TestWorkingSetBiggerCacheFewerMisses(t *testing.T) {
+	// A working set of 16KB: an 8KB cache thrashes, a 64KB cache holds it.
+	run := func(sizeKB int) float64 {
+		c := MustNew("c", sizeKB, 4, 64)
+		rng := mathx.NewRNG(1)
+		const ws = 16 * 1024
+		for i := 0; i < 200000; i++ {
+			c.Access(uint64(rng.Intn(ws)))
+		}
+		return c.MissRate()
+	}
+	small, large := run(8), run(64)
+	if large >= small {
+		t.Errorf("64KB miss rate %v should beat 8KB %v", large, small)
+	}
+	if large > 0.01 {
+		t.Errorf("64KB cache on 16KB working set miss rate = %v, want ≈0", large)
+	}
+	if small < 0.2 {
+		t.Errorf("8KB cache on 16KB working set miss rate = %v, want substantial", small)
+	}
+}
+
+func TestSequentialStreamMissRate(t *testing.T) {
+	// A pure streaming access pattern misses once per line.
+	c := MustNew("c", 32, 4, 64)
+	for addr := uint64(0); addr < 1<<20; addr += 8 {
+		c.Access(addr)
+	}
+	// 8 accesses per 64B line → miss rate 1/8.
+	if mr := c.MissRate(); mr < 0.12 || mr > 0.13 {
+		t.Errorf("stream miss rate = %v, want 0.125", mr)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := MustNewTLB("dtlb", 256, 4)
+	if tlb.Access(0x1000) {
+		t.Error("cold TLB access must miss")
+	}
+	if !tlb.Access(0x1FFF) {
+		t.Error("same-page access must hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Error("next page must miss")
+	}
+	acc, miss := tlb.Stats()
+	if acc != 3 || miss != 2 {
+		t.Errorf("TLB stats = %d/%d, want 3/2", acc, miss)
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tlb := MustNewTLB("itlb", 128, 4)
+	// Touch 128 distinct pages; all fit.
+	for p := 0; p < 128; p++ {
+		tlb.Access(uint64(p) * PageBytes)
+	}
+	hits := 0
+	for p := 0; p < 128; p++ {
+		if tlb.Access(uint64(p) * PageBytes) {
+			hits++
+		}
+	}
+	if hits != 128 {
+		t.Errorf("second pass hits = %d/128; 128 pages must fit a 128-entry TLB", hits)
+	}
+}
+
+// Property: hit/miss classification matches a reference model (map-based
+// fully-keyed set model with explicit recency lists).
+func TestCacheMatchesReferenceModelProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		c := MustNew("c", 1, 2, 64) // 8 sets, 2-way: easy to conflict
+		type refSet struct{ lines []uint64 }
+		ref := make([]refSet, 8)
+		for step := 0; step < 3000; step++ {
+			addr := uint64(rng.Intn(1 << 14))
+			line := addr >> 6
+			set := int(line & 7)
+			// Reference model access.
+			rs := &ref[set]
+			refHit := false
+			for i, l := range rs.lines {
+				if l == line {
+					refHit = true
+					rs.lines = append(rs.lines[:i], rs.lines[i+1:]...)
+					rs.lines = append([]uint64{line}, rs.lines...)
+					break
+				}
+			}
+			if !refHit {
+				rs.lines = append([]uint64{line}, rs.lines...)
+				if len(rs.lines) > 2 {
+					rs.lines = rs.lines[:2]
+				}
+			}
+			if c.Access(addr) != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a larger cache never has more misses than a smaller one on the
+// same trace when both share associativity and line size (inclusion-like
+// behaviour holds for LRU with nested capacities and same set-indexing...
+// verified empirically over random traces here).
+func TestMonotoneCapacityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		small := MustNew("s", 4, 4, 64)
+		large := MustNew("l", 32, 4, 64)
+		for i := 0; i < 5000; i++ {
+			addr := uint64(rng.Intn(64 * 1024))
+			small.Access(addr)
+			large.Access(addr)
+		}
+		_, ms := small.Stats()
+		_, ml := large.Stats()
+		return ml <= ms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// TestEndToEndSimulateTrainPredict exercises the complete Figure 6
+// pipeline on real simulator output at reduced scale: LHS-sampled training
+// designs, detailed simulation, wavelet decomposition, per-coefficient RBF
+// training, and reconstruction at unseen test designs.
+func TestEndToEndSimulateTrainPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped with -short")
+	}
+	const (
+		nTrain  = 28
+		nTest   = 6
+		samples = 32
+	)
+	opts := sim.Options{Instructions: 32768, Samples: samples}
+	rng := mathx.NewRNG(42)
+	trainCfgs := space.SampleDesign(nTrain, space.TrainLevels(), space.Baseline(), 5, rng)
+	testCfgs := space.Random(nTest, space.TestLevels(), space.Baseline(), rng)
+
+	jobs := make([]sim.Job, 0, nTrain+nTest)
+	for _, c := range trainCfgs {
+		jobs = append(jobs, sim.Job{Config: c, Benchmark: "gcc"})
+	}
+	for _, c := range testCfgs {
+		jobs = append(jobs, sim.Job{Config: c, Benchmark: "gcc"})
+	}
+	traces, err := sim.Sweep(jobs, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainTraces := make([][]float64, nTrain)
+	for i := 0; i < nTrain; i++ {
+		trainTraces[i] = traces[i].CPI
+	}
+	p, err := Train(trainCfgs, trainTraces, Options{NumCoefficients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TrainGlobalANN(trainCfgs, trainTraces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mseWavelet, mseGlobal float64
+	for i, cfg := range testCfgs {
+		actual := traces[nTrain+i].CPI
+		mseWavelet += mathx.RelativeMSEPercent(actual, p.Predict(cfg))
+		mseGlobal += mathx.RelativeMSEPercent(actual, g.Predict(cfg))
+	}
+	mseWavelet /= nTest
+	mseGlobal /= nTest
+
+	t.Logf("end-to-end gcc CPI: wavelet-NN MSE%%=%.2f global-ANN MSE%%=%.2f", mseWavelet, mseGlobal)
+	// At this tiny training budget the bar is modest; the paper-scale
+	// protocol (200 train points) is exercised by the benchmark harness.
+	if mseWavelet > 30 {
+		t.Errorf("wavelet-NN end-to-end MSE%% = %v, want < 30", mseWavelet)
+	}
+	// The headline claim: dynamics-aware prediction beats the aggregate
+	// (flat) model on dynamics error.
+	if mseWavelet >= mseGlobal {
+		t.Errorf("wavelet-NN (%v) should beat global ANN (%v) on trace MSE", mseWavelet, mseGlobal)
+	}
+
+	// Predicted traces must be broadly physical: positive CPI.
+	for _, cfg := range testCfgs {
+		for _, v := range p.Predict(cfg) {
+			if v < 0 {
+				t.Fatalf("predicted negative CPI %v", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/wavelet"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	train, test := sampleConfigs(80, 10, 21)
+	traces := tracesFor(train, 32)
+	p, err := Train(train, traces, Options{NumCoefficients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range test {
+		a, b := p.Predict(cfg), p2.Predict(cfg)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("loaded predictor disagrees at sample %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+	if p2.TraceLen() != p.TraceLen() || p2.NumNetworks() != p.NumNetworks() {
+		t.Error("shape metadata not preserved")
+	}
+}
+
+func TestPredictorSaveLoadDVMFeatures(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 22)
+	for i := range train {
+		train[i].DVM = i%2 == 0
+		train[i].DVMThreshold = 0.3
+	}
+	traces := tracesFor(train, 16)
+	p, err := Train(train, traces, Options{NumCoefficients: 4, UseDVMFeatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := train[0]
+	probe.DVM = true
+	if p.Predict(probe)[0] != p2.Predict(probe)[0] {
+		t.Error("DVM feature encoding lost in round trip")
+	}
+}
+
+func TestPredictorSaveLoadDaub4(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 23)
+	traces := tracesFor(train, 32)
+	p, err := Train(train, traces, Options{Wavelet: wavelet.Daubechies4{}, NumCoefficients: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predict(train[0])[3] != p2.Predict(train[0])[3] {
+		t.Error("daub4 round trip mismatch")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Error("corrupt JSON should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":7,"wavelet":"haar"}`)); err == nil {
+		t.Error("non-power-of-two trace length should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"nope"}`)); err == nil {
+		t.Error("unknown wavelet should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"haar","selected":[9],"nets":[{}]}`)); err == nil {
+		t.Error("out-of-range coefficient should fail")
+	}
+}
+
+func TestLoadedPredictorImportanceUnavailable(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 24)
+	traces := tracesFor(train, 16)
+	p, err := Train(train, traces, Options{NumCoefficients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := p2.ImportanceByOrder(); imp != nil {
+		t.Errorf("loaded predictor importance should be nil, got %v", imp)
+	}
+}

@@ -1,0 +1,259 @@
+// Package core implements the paper's primary contribution: wavelet neural
+// networks for workload-dynamics prediction across the microarchitecture
+// design space (Section 2.3, Figure 6).
+//
+// The hybrid scheme has three stages:
+//
+//  1. Each training trace (a fixed-length sampled time series of CPI, power
+//     or AVF) is decomposed by a discrete wavelet transform.
+//  2. A small set of important wavelet coefficient positions is selected
+//     (magnitude-based by default: the paper shows the magnitude ranking is
+//     stable across configurations, Figure 7). One RBF neural network is
+//     trained per selected position, mapping the normalised configuration
+//     vector to that coefficient's value.
+//  3. To predict the dynamics at an unseen configuration, the per-position
+//     networks are evaluated, unselected positions are zero-filled, and the
+//     inverse wavelet transform reconstructs the time-domain trace.
+//
+// Baseline models from the related work the paper compares against
+// (monolithic "global" networks predicting aggregate behaviour, and linear
+// models) live in baseline.go.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rbf"
+	"repro/internal/space"
+	"repro/internal/wavelet"
+)
+
+// Selection chooses which wavelet coefficients are modelled.
+type Selection int
+
+const (
+	// SelectMagnitude keeps the k positions with the largest mean
+	// magnitude across the training set (the paper's preferred scheme).
+	SelectMagnitude Selection = iota
+	// SelectOrder keeps the first k positions (coarsest scales first).
+	SelectOrder
+)
+
+// String names the selection scheme.
+func (s Selection) String() string {
+	if s == SelectMagnitude {
+		return "magnitude"
+	}
+	return "order"
+}
+
+// Options configures predictor training.
+type Options struct {
+	// Wavelet is the analysing transform. Default wavelet.Haar{}.
+	Wavelet wavelet.Transform
+	// NumCoefficients is k, the number of modelled wavelet coefficients.
+	// Default 16 (the paper's accuracy/complexity sweet spot, Figure 9).
+	NumCoefficients int
+	// Selection is the coefficient selection scheme. Default magnitude.
+	Selection Selection
+	// RBF configures the per-coefficient networks.
+	RBF rbf.Options
+	// UseDVMFeatures switches the input encoding to the 11-feature
+	// vector that includes the DVM design parameter (Section 5).
+	UseDVMFeatures bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Wavelet == nil {
+		o.Wavelet = wavelet.Haar{}
+	}
+	if o.NumCoefficients <= 0 {
+		o.NumCoefficients = 16
+	}
+	return o
+}
+
+// Predictor forecasts one benchmark's dynamics in one metric domain across
+// the design space.
+type Predictor struct {
+	opts     Options
+	traceLen int
+	selected []int
+	nets     []*rbf.Network
+}
+
+// featureVector applies the configured input encoding.
+func (o Options) featureVector(cfg space.Config) []float64 {
+	if o.UseDVMFeatures {
+		return cfg.VectorDVM()
+	}
+	return cfg.Vector()
+}
+
+// Train fits a wavelet neural network on the observed traces of the
+// training configurations. All traces must share one power-of-two length.
+func Train(configs []space.Config, traces [][]float64, opts Options) (*Predictor, error) {
+	opts = opts.withDefaults()
+	if len(configs) == 0 || len(configs) != len(traces) {
+		return nil, fmt.Errorf("core: need matching configs (%d) and traces (%d)", len(configs), len(traces))
+	}
+	n := len(traces[0])
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("core: trace length %d not a power of two", n)
+	}
+	for i, tr := range traces {
+		if len(tr) != n {
+			return nil, fmt.Errorf("core: trace %d has length %d, want %d", i, len(tr), n)
+		}
+	}
+
+	// Stage 1: decompose every training trace.
+	coeffs := make([][]float64, len(traces))
+	for i, tr := range traces {
+		c, err := opts.Wavelet.Decompose(tr)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+
+	// Stage 2a: select coefficient positions.
+	k := opts.NumCoefficients
+	if k > n {
+		k = n
+	}
+	var selected []int
+	switch opts.Selection {
+	case SelectMagnitude:
+		selected = selectByMeanMagnitude(coeffs, k)
+	case SelectOrder:
+		selected = wavelet.FirstK(n, k)
+	default:
+		return nil, fmt.Errorf("core: unknown selection scheme %d", opts.Selection)
+	}
+
+	// Stage 2b: one RBF network per selected position.
+	xs := make([][]float64, len(configs))
+	for i, cfg := range configs {
+		xs[i] = opts.featureVector(cfg)
+	}
+	p := &Predictor{opts: opts, traceLen: n, selected: selected}
+	ys := make([]float64, len(configs))
+	for _, pos := range selected {
+		for i := range coeffs {
+			ys[i] = coeffs[i][pos]
+		}
+		net, err := rbf.Train(xs, ys, opts.RBF)
+		if err != nil {
+			return nil, fmt.Errorf("core: coefficient %d: %w", pos, err)
+		}
+		p.nets = append(p.nets, net)
+	}
+	return p, nil
+}
+
+// selectByMeanMagnitude ranks positions by their mean |coefficient| across
+// the training set and returns the top k (Figure 7 justifies pooling: the
+// ranking is largely configuration-invariant).
+func selectByMeanMagnitude(coeffs [][]float64, k int) []int {
+	n := len(coeffs[0])
+	mean := make([]float64, n)
+	for _, c := range coeffs {
+		for j, v := range c {
+			mean[j] += math.Abs(v)
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if mean[idx[a]] != mean[idx[b]] {
+			return mean[idx[a]] > mean[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
+	return out
+}
+
+// Predict reconstructs the forecast dynamics trace for a configuration
+// (stage 3: inverse transform over predicted coefficients, zeros
+// elsewhere).
+func (p *Predictor) Predict(cfg space.Config) []float64 {
+	x := p.opts.featureVector(cfg)
+	coeffs := make([]float64, p.traceLen)
+	for i, pos := range p.selected {
+		coeffs[pos] = p.nets[i].Predict(x)
+	}
+	out, err := p.opts.Wavelet.Reconstruct(coeffs)
+	if err != nil {
+		// Reconstruct only fails on bad lengths, which Train validated.
+		panic(fmt.Sprintf("core: reconstruction failed: %v", err))
+	}
+	return out
+}
+
+// SelectedCoefficients returns the modelled coefficient positions in
+// ascending order.
+func (p *Predictor) SelectedCoefficients() []int {
+	return append([]int(nil), p.selected...)
+}
+
+// TraceLen returns the length of predicted traces.
+func (p *Predictor) TraceLen() int { return p.traceLen }
+
+// NumNetworks returns the number of per-coefficient RBF networks.
+func (p *Predictor) NumNetworks() int { return len(p.nets) }
+
+// ImportanceByOrder aggregates the regression-tree first-split depths of
+// all coefficient networks into one per-parameter significance score
+// (Figure 11a). Scores are normalised to max 1.
+func (p *Predictor) ImportanceByOrder() []float64 {
+	return p.aggregateImportance(func(net *rbf.Network) []float64 {
+		return net.Tree().ImportanceByOrder()
+	})
+}
+
+// ImportanceByFrequency aggregates regression-tree split counts
+// (Figure 11b). Scores are normalised to max 1.
+func (p *Predictor) ImportanceByFrequency() []float64 {
+	return p.aggregateImportance(func(net *rbf.Network) []float64 {
+		return net.Tree().ImportanceByFrequency()
+	})
+}
+
+func (p *Predictor) aggregateImportance(f func(*rbf.Network) []float64) []float64 {
+	if len(p.nets) == 0 {
+		return nil
+	}
+	// Predictors restored with Load have no regression trees (persist.go);
+	// importance analysis needs a freshly trained model.
+	for _, net := range p.nets {
+		if net.Tree() == nil {
+			return nil
+		}
+	}
+	agg := make([]float64, len(f(p.nets[0])))
+	for _, net := range p.nets {
+		for j, v := range f(net) {
+			agg[j] += v
+		}
+	}
+	max := 0.0
+	for _, v := range agg {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for j := range agg {
+			agg[j] /= max
+		}
+	}
+	return agg
+}

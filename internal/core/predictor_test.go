@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/space"
+	"repro/internal/wavelet"
+)
+
+// syntheticTrace builds a trace whose shape is a smooth function of the
+// configuration vector: a baseline level set by one feature and a bump
+// whose height follows another. This gives Train a learnable ground truth
+// without running the simulator.
+func syntheticTrace(cfg space.Config, n int) []float64 {
+	x := cfg.Vector()
+	level := 1 + 2*x[0] // driven by fetch width
+	bump := 3 * x[4]    // driven by L2 size
+	out := make([]float64, n)
+	for t := range out {
+		out[t] = level
+		if t >= n/4 && t < n/2 {
+			out[t] += bump
+		}
+	}
+	return out
+}
+
+// sampleConfigs draws training and test designs from the Table 2 spaces.
+func sampleConfigs(nTrain, nTest int, seed uint64) (train, test []space.Config) {
+	rng := mathx.NewRNG(seed)
+	train = space.LHS(nTrain, space.TrainLevels(), space.Baseline(), rng)
+	test = space.Random(nTest, space.TestLevels(), space.Baseline(), rng)
+	return train, test
+}
+
+func tracesFor(configs []space.Config, n int) [][]float64 {
+	out := make([][]float64, len(configs))
+	for i, c := range configs {
+		out[i] = syntheticTrace(c, n)
+	}
+	return out
+}
+
+func TestTrainPredictSynthetic(t *testing.T) {
+	train, test := sampleConfigs(120, 30, 1)
+	traces := tracesFor(train, 64)
+	p, err := Train(train, traces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, cfg := range test {
+		want := syntheticTrace(cfg, 64)
+		got := p.Predict(cfg)
+		if len(got) != 64 {
+			t.Fatalf("prediction length %d", len(got))
+		}
+		if e := mathx.RelativeMSEPercent(want, got); e > worst {
+			worst = e
+		}
+	}
+	if worst > 5 {
+		t.Errorf("worst synthetic test MSE%% = %v, want < 5", worst)
+	}
+}
+
+func TestPredictorBeatsGlobalOnDynamics(t *testing.T) {
+	train, test := sampleConfigs(120, 25, 2)
+	traces := tracesFor(train, 64)
+	p, err := Train(train, traces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TrainGlobalANN(train, traces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mseP, mseG float64
+	for _, cfg := range test {
+		want := syntheticTrace(cfg, 64)
+		mseP += mathx.RelativeMSEPercent(want, p.Predict(cfg))
+		mseG += mathx.RelativeMSEPercent(want, g.Predict(cfg))
+	}
+	if mseP >= mseG {
+		t.Errorf("wavelet-NN MSE (%v) must beat flat global model (%v) on dynamic traces", mseP, mseG)
+	}
+}
+
+func TestGlobalANNPredictsAggregates(t *testing.T) {
+	train, test := sampleConfigs(120, 20, 3)
+	traces := tracesFor(train, 64)
+	g, err := TrainGlobalANN(train, traces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range test {
+		want := mathx.Mean(syntheticTrace(cfg, 64))
+		got := g.PredictAggregate(cfg)
+		if math.Abs(got-want) > 0.25*(1+math.Abs(want)) {
+			t.Errorf("aggregate prediction %v, want ≈%v", got, want)
+		}
+	}
+}
+
+func TestLinearWaveletHandlesLinearTarget(t *testing.T) {
+	// When coefficients truly are linear in the features, the linear
+	// baseline must be near-exact.
+	train, test := sampleConfigs(100, 20, 4)
+	mk := func(cfg space.Config) []float64 {
+		x := cfg.Vector()
+		out := make([]float64, 32)
+		for t := range out {
+			out[t] = 2 + x[0] + 0.5*x[3]
+		}
+		return out
+	}
+	traces := make([][]float64, len(train))
+	for i, c := range train {
+		traces[i] = mk(c)
+	}
+	lw, err := TrainLinearWavelet(train, traces, Options{NumCoefficients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range test {
+		want := mk(cfg)
+		got := lw.Predict(cfg)
+		if e := mathx.RelativeMSEPercent(want, got); e > 0.5 {
+			t.Errorf("linear model on linear target MSE%% = %v, want ≈0", e)
+		}
+	}
+}
+
+func TestMagnitudeSelectionBeatsOrderOnLateEnergy(t *testing.T) {
+	// A trace whose structure lives at fine scales (late coefficient
+	// positions): order-based selection of few coefficients misses it,
+	// magnitude-based finds it.
+	train, test := sampleConfigs(120, 20, 5)
+	mk := func(cfg space.Config, n int) []float64 {
+		x := cfg.Vector()
+		out := make([]float64, n)
+		for t := range out {
+			out[t] = 2
+			if t%2 == 0 {
+				out[t] += 1.5 * x[0] // fine-scale alternation
+			}
+		}
+		return out
+	}
+	traces := make([][]float64, len(train))
+	for i, c := range train {
+		traces[i] = mk(c, 64)
+	}
+	var mseMag, mseOrd float64
+	for _, sel := range []Selection{SelectMagnitude, SelectOrder} {
+		p, err := Train(train, traces, Options{NumCoefficients: 8, Selection: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mse float64
+		for _, cfg := range test {
+			mse += mathx.RelativeMSEPercent(mk(cfg, 64), p.Predict(cfg))
+		}
+		if sel == SelectMagnitude {
+			mseMag = mse
+		} else {
+			mseOrd = mse
+		}
+	}
+	if mseMag >= mseOrd {
+		t.Errorf("magnitude selection (%v) should beat order selection (%v) on fine-scale structure", mseMag, mseOrd)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	cfgs := []space.Config{space.Baseline()}
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train(cfgs, [][]float64{{1, 2, 3}}, Options{}); err == nil {
+		t.Error("non-power-of-two trace should fail")
+	}
+	if _, err := Train(cfgs, [][]float64{{1, 2}, {3, 4}}, Options{}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestSelectedCoefficientsRespectK(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 6)
+	traces := tracesFor(train, 32)
+	p, err := Train(train, traces, Options{NumCoefficients: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := p.SelectedCoefficients()
+	if len(sel) != 5 || p.NumNetworks() != 5 {
+		t.Fatalf("selected %d coefficients, %d networks; want 5", len(sel), p.NumNetworks())
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i] <= sel[i-1] {
+			t.Error("selected coefficients must be ascending and unique")
+		}
+	}
+	if p.TraceLen() != 32 {
+		t.Errorf("TraceLen = %d, want 32", p.TraceLen())
+	}
+}
+
+func TestKClampedToTraceLength(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 7)
+	traces := tracesFor(train, 16)
+	p, err := Train(train, traces, Options{NumCoefficients: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNetworks() != 16 {
+		t.Errorf("networks = %d, want clamped 16", p.NumNetworks())
+	}
+}
+
+func TestImportanceIdentifiesDrivingParameters(t *testing.T) {
+	train, _ := sampleConfigs(150, 0, 8)
+	traces := tracesFor(train, 64) // driven by features 0 (Fetch) and 4 (L2)
+	p, err := Train(train, traces, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range [][]float64{p.ImportanceByOrder(), p.ImportanceByFrequency()} {
+		if len(imp) != space.NumParams {
+			t.Fatalf("importance length %d", len(imp))
+		}
+		// The two driving parameters must outrank the strongest
+		// non-driving one.
+		maxOther := 0.0
+		for j, v := range imp {
+			if j != 0 && j != 4 && v > maxOther {
+				maxOther = v
+			}
+		}
+		if imp[0] <= maxOther || imp[4] <= maxOther {
+			t.Errorf("importance %v does not favour the driving parameters (0, 4)", imp)
+		}
+	}
+}
+
+func TestDaub4WaveletOption(t *testing.T) {
+	// D4 smears a sharp step across many fine-scale coefficients, so it
+	// needs a larger k than Haar for the same step-shaped target.
+	train, test := sampleConfigs(100, 10, 9)
+	traces := tracesFor(train, 64)
+	p, err := Train(train, traces, Options{Wavelet: wavelet.Daubechies4{}, NumCoefficients: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, cfg := range test {
+		want := syntheticTrace(cfg, 64)
+		total += mathx.RelativeMSEPercent(want, p.Predict(cfg))
+	}
+	if mean := total / float64(len(test)); mean > 10 {
+		t.Errorf("daub4 predictor mean MSE%% = %v, want < 10", mean)
+	}
+}
+
+func TestDVMFeatureEncoding(t *testing.T) {
+	// Traces depend on the DVM flag; the DVM-aware encoding must learn it,
+	// and predictions must differ between DVM on and off.
+	rng := mathx.NewRNG(10)
+	var cfgs []space.Config
+	var traces [][]float64
+	for _, c := range space.LHS(120, space.TrainLevels(), space.Baseline(), rng) {
+		c.DVM = rng.Float64() < 0.5
+		c.DVMThreshold = 0.3
+		tr := syntheticTrace(c, 32)
+		if c.DVM {
+			for t := range tr {
+				tr[t] *= 0.5
+			}
+		}
+		cfgs = append(cfgs, c)
+		traces = append(traces, tr)
+	}
+	p, err := Train(cfgs, traces, Options{UseDVMFeatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := space.Baseline()
+	probe.DVMThreshold = 0.3
+	probe.DVM = false
+	off := mathx.Mean(p.Predict(probe))
+	probe.DVM = true
+	on := mathx.Mean(p.Predict(probe))
+	if on >= off {
+		t.Errorf("DVM-on prediction (%v) should be below DVM-off (%v)", on, off)
+	}
+}

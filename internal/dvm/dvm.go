@@ -1,0 +1,148 @@
+// Package dvm implements the paper's Dynamic Vulnerability Management
+// policy for the instruction queue (Section 5, Figure 16):
+//
+//	DVM_IQ {
+//	    ACE bits counter updating();
+//	    if current context has L2 cache misses
+//	    then stall dispatching instructions for current context;
+//	    every (sample_interval/5) cycles {
+//	        if online IQ_AVF > trigger threshold
+//	        then wq_ratio = wq_ratio/2;
+//	        else wq_ratio = wq_ratio+1;
+//	    }
+//	    if (ratio of waiting instruction # to ready instruction # > wq_ratio)
+//	    then stall dispatching instructions;
+//	}
+//
+// wq_ratio adapts with slow increases and rapid (halving) decreases so the
+// policy responds quickly to vulnerability emergencies while recovering
+// performance gradually.
+package dvm
+
+// Controller is the IQ DVM policy state for one core.
+//
+// Responses follow the Figure 15 trigger semantics: they engage when the
+// online IQ AVF estimate exceeds the threshold and disengage once it drops
+// back below (with a small hysteresis band to avoid chatter), so a machine
+// whose vulnerability sits below target runs unthrottled.
+type Controller struct {
+	// Threshold is the IQ AVF trigger level (the DVM target).
+	threshold float64
+	// windowCycles is the AVF sampling window (sample_interval/5).
+	windowCycles uint64
+
+	wqRatio float64
+	engaged bool
+
+	// Online AVF estimation over the current window.
+	cyclesInWindow uint64
+	aceCycleSum    uint64
+	iqSize         int
+
+	// Statistics.
+	throttleCycles uint64
+	windows        uint64
+	triggers       uint64
+}
+
+// disengageFraction is the hysteresis band: responses turn off once the
+// online AVF falls below this fraction of the threshold.
+const disengageFraction = 0.9
+
+// initialWQRatio is the reset value of the waiting/ready ratio bound. It is
+// permissive: throttling only begins after the online AVF first exceeds the
+// threshold.
+const initialWQRatio = 8
+
+// NewController builds a DVM controller. threshold is the IQ AVF target,
+// iqSize the instruction queue capacity, and sampleIntervalCycles the
+// coarse sampling interval whose fifth is the online estimation window.
+func NewController(threshold float64, iqSize int, sampleIntervalCycles uint64) *Controller {
+	if threshold <= 0 || threshold >= 1 {
+		panic("dvm: threshold must be in (0,1)")
+	}
+	if iqSize <= 0 {
+		panic("dvm: IQ size must be positive")
+	}
+	w := sampleIntervalCycles / 5
+	if w == 0 {
+		w = 1
+	}
+	return &Controller{
+		threshold:    threshold,
+		windowCycles: w,
+		wqRatio:      initialWQRatio,
+		iqSize:       iqSize,
+	}
+}
+
+// Tick advances the controller by one cycle, fed with the current number of
+// ACE entries resident in the IQ. At window boundaries the wq_ratio adapts.
+func (c *Controller) Tick(curIQACE int) {
+	c.cyclesInWindow++
+	c.aceCycleSum += uint64(curIQACE)
+	if c.cyclesInWindow < c.windowCycles {
+		return
+	}
+	onlineAVF := float64(c.aceCycleSum) / (float64(c.iqSize) * float64(c.cyclesInWindow))
+	c.windows++
+	if onlineAVF > c.threshold {
+		c.wqRatio /= 2
+		c.triggers++
+		c.engaged = true
+	} else {
+		c.wqRatio++
+		if onlineAVF < disengageFraction*c.threshold {
+			c.engaged = false
+		}
+	}
+	if c.wqRatio > initialWQRatio {
+		c.wqRatio = initialWQRatio
+	}
+	if c.wqRatio < 0.125 {
+		c.wqRatio = 0.125
+	}
+	c.cyclesInWindow = 0
+	c.aceCycleSum = 0
+}
+
+// ShouldStallDispatch applies the two gating rules of Figure 16 — stall on
+// outstanding L2 misses, and stall when the waiting/ready ratio in the IQ
+// exceeds the adaptive wq_ratio — but only while the vulnerability trigger
+// is engaged (Figure 15).
+func (c *Controller) ShouldStallDispatch(outstandingL2Misses int, waiting, ready int) bool {
+	if !c.engaged {
+		return false
+	}
+	stall := false
+	if outstandingL2Misses > 0 {
+		stall = true
+	} else if waiting > 0 {
+		r := ready
+		if r == 0 {
+			r = 1
+		}
+		if float64(waiting)/float64(r) > c.wqRatio {
+			stall = true
+		}
+	}
+	if stall {
+		c.throttleCycles++
+	}
+	return stall
+}
+
+// WQRatio returns the current adaptive waiting/ready bound.
+func (c *Controller) WQRatio() float64 { return c.wqRatio }
+
+// Engaged reports whether the vulnerability trigger is currently on.
+func (c *Controller) Engaged() bool { return c.engaged }
+
+// Threshold returns the configured IQ AVF trigger level.
+func (c *Controller) Threshold() float64 { return c.threshold }
+
+// Stats reports throttled cycles, adaptation windows, and threshold
+// violations observed online.
+func (c *Controller) Stats() (throttleCycles, windows, triggers uint64) {
+	return c.throttleCycles, c.windows, c.triggers
+}

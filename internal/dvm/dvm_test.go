@@ -1,0 +1,169 @@
+package dvm
+
+import "testing"
+
+func TestControllerValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewController(0, 96, 1000) },
+		func() { NewController(1, 96, 1000) },
+		func() { NewController(0.3, 0, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWQRatioHalvesAboveThreshold(t *testing.T) {
+	c := NewController(0.3, 10, 50) // window = 10 cycles
+	before := c.WQRatio()
+	// Keep 6/10 entries ACE → online AVF 0.6 > 0.3.
+	for i := 0; i < 10; i++ {
+		c.Tick(6)
+	}
+	if got := c.WQRatio(); got != before/2 {
+		t.Errorf("wq_ratio = %v, want halved %v", got, before/2)
+	}
+	_, windows, triggers := c.Stats()
+	if windows != 1 || triggers != 1 {
+		t.Errorf("windows/triggers = %d/%d, want 1/1", windows, triggers)
+	}
+}
+
+func TestWQRatioRecoversSlowly(t *testing.T) {
+	c := NewController(0.3, 10, 50)
+	// One hot window halves.
+	for i := 0; i < 10; i++ {
+		c.Tick(8)
+	}
+	halved := c.WQRatio()
+	// One cool window adds just 1 (slow increase).
+	for i := 0; i < 10; i++ {
+		c.Tick(0)
+	}
+	if got := c.WQRatio(); got != halved+1 {
+		t.Errorf("wq_ratio = %v, want %v (slow +1 recovery)", got, halved+1)
+	}
+}
+
+func TestWQRatioBounded(t *testing.T) {
+	c := NewController(0.1, 10, 10) // window = 2 cycles
+	// Persistent emergencies must not drive the ratio to zero.
+	for i := 0; i < 1000; i++ {
+		c.Tick(10)
+	}
+	if got := c.WQRatio(); got < 0.125 {
+		t.Errorf("wq_ratio = %v, underflowed", got)
+	}
+	// Long cool period must not exceed the initial value.
+	for i := 0; i < 1000; i++ {
+		c.Tick(0)
+	}
+	if got := c.WQRatio(); got > initialWQRatio {
+		t.Errorf("wq_ratio = %v, exceeded initial %v", got, initialWQRatio)
+	}
+}
+
+func engage(c *Controller) {
+	for i := uint64(0); i < c.windowCycles; i++ {
+		c.Tick(c.iqSize) // saturated IQ → online AVF 1.0 > any threshold
+	}
+}
+
+func TestNotEngagedMeansNoStall(t *testing.T) {
+	c := NewController(0.3, 96, 1000)
+	if c.Engaged() {
+		t.Fatal("controller must start disengaged")
+	}
+	if c.ShouldStallDispatch(5, 50, 1) {
+		t.Error("disengaged controller must never stall (Figure 15 trigger semantics)")
+	}
+}
+
+func TestStallOnL2Miss(t *testing.T) {
+	c := NewController(0.3, 96, 1000)
+	engage(c)
+	if !c.Engaged() {
+		t.Fatal("hot window must engage the trigger")
+	}
+	if !c.ShouldStallDispatch(1, 0, 5) {
+		t.Error("outstanding L2 miss must stall dispatch while engaged")
+	}
+	if c.ShouldStallDispatch(0, 0, 5) {
+		t.Error("no L2 miss and no waiting backlog should not stall")
+	}
+}
+
+func TestDisengageWithHysteresis(t *testing.T) {
+	c := NewController(0.3, 10, 50) // window = 10 cycles
+	engage(c)
+	// One window just below the threshold but above the hysteresis band:
+	// stays engaged.
+	for i := 0; i < 10; i++ {
+		c.Tick(3) // online AVF 0.3, not > threshold, ≥ 0.27 band
+	}
+	if !c.Engaged() {
+		t.Error("AVF inside hysteresis band should stay engaged")
+	}
+	// A clearly cool window disengages.
+	for i := 0; i < 10; i++ {
+		c.Tick(0)
+	}
+	if c.Engaged() {
+		t.Error("cool window should disengage the trigger")
+	}
+}
+
+func TestStallOnWaitingRatio(t *testing.T) {
+	c := NewController(0.3, 96, 1000)
+	engage(c)
+	wq := c.WQRatio() // 4 after one halving
+	waiting := int(wq*2) + 2
+	if !c.ShouldStallDispatch(0, waiting, 1) {
+		t.Errorf("waiting/ready %d/1 above wq_ratio %v must stall", waiting, wq)
+	}
+	if c.ShouldStallDispatch(0, 1, 8) {
+		t.Error("low waiting/ready ratio should not stall")
+	}
+}
+
+func TestZeroReadyTreatedAsOne(t *testing.T) {
+	c := NewController(0.3, 96, 1000)
+	engage(c)
+	// waiting=20, ready=0 → ratio 20 > current wq_ratio → stall.
+	if !c.ShouldStallDispatch(0, 20, 0) {
+		t.Error("large waiting backlog with zero ready should stall")
+	}
+}
+
+func TestThrottleCyclesCounted(t *testing.T) {
+	c := NewController(0.3, 96, 1000)
+	engage(c)
+	c.ShouldStallDispatch(1, 0, 0)
+	c.ShouldStallDispatch(1, 0, 0)
+	c.ShouldStallDispatch(0, 0, 4)
+	throttle, _, _ := c.Stats()
+	if throttle != 2 {
+		t.Errorf("throttle cycles = %d, want 2", throttle)
+	}
+}
+
+func TestThresholdAccessor(t *testing.T) {
+	c := NewController(0.42, 96, 1000)
+	if c.Threshold() != 0.42 {
+		t.Errorf("Threshold = %v, want 0.42", c.Threshold())
+	}
+}
+
+func TestTinyWindowClamped(t *testing.T) {
+	c := NewController(0.3, 96, 2) // window would be 0 → clamp to 1
+	c.Tick(96)                     // must adapt immediately, not divide by zero
+	if c.WQRatio() >= initialWQRatio {
+		t.Error("single-cycle window did not adapt")
+	}
+}

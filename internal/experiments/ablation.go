@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// AblationResult compares model or protocol variants by mean MSE%.
+type AblationResult struct {
+	Name     string
+	Variants []string
+	// Mean[variant] is the mean MSE% over benchmarks and test points.
+	Mean []float64
+	// PerBenchmark[variant][benchmark] supports finer reporting.
+	PerBenchmark [][]float64
+	Benchmarks   []string
+}
+
+// Report renders the comparison.
+func (r *AblationResult) Report() string {
+	var sb strings.Builder
+	sb.WriteString(r.Name + "\n")
+	for vi, v := range r.Variants {
+		fmt.Fprintf(&sb, "  %-24s mean MSE %6.2f%%  (", v, r.Mean[vi])
+		parts := make([]string, len(r.Benchmarks))
+		for bi, b := range r.Benchmarks {
+			parts[bi] = fmt.Sprintf("%s %.2f%%", b, r.PerBenchmark[vi][bi])
+		}
+		sb.WriteString(strings.Join(parts, ", ") + ")\n")
+	}
+	return sb.String()
+}
+
+// AblationSelection compares the paper's magnitude-based coefficient
+// selection against order-based selection (Section 3 claims magnitude
+// "always outperforms" order).
+func AblationSelection(c *Campaign) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:       "Ablation: wavelet coefficient selection scheme (CPI domain)",
+		Variants:   []string{"magnitude-based", "order-based"},
+		Benchmarks: c.Scale.Benchmarks,
+	}
+	for _, sel := range []core.Selection{core.SelectMagnitude, core.SelectOrder} {
+		perBench := make([]float64, len(res.Benchmarks))
+		var all []float64
+		for bi, b := range res.Benchmarks {
+			d, err := c.Dataset(b)
+			if err != nil {
+				return nil, err
+			}
+			opts := c.modelOptions(false)
+			opts.Selection = sel
+			mses, _, err := evaluate(d, sim.MetricCPI, opts)
+			if err != nil {
+				return nil, err
+			}
+			perBench[bi] = mathx.Mean(mses)
+			all = append(all, mses...)
+		}
+		res.PerBenchmark = append(res.PerBenchmark, perBench)
+		res.Mean = append(res.Mean, mathx.Mean(all))
+	}
+	return res, nil
+}
+
+// AblationModels compares the wavelet neural network against the global
+// (aggregate-only) ANN and the linear per-coefficient model — the two
+// families of prior work the paper positions itself against.
+func AblationModels(c *Campaign) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:       "Ablation: dynamics model family (CPI domain)",
+		Variants:   []string{"wavelet-RBF (paper)", "linear-wavelet", "global-ANN"},
+		Benchmarks: c.Scale.Benchmarks,
+	}
+	type trainer func(d *Dataset) (core.DynamicsModel, error)
+	trainers := []trainer{
+		func(d *Dataset) (core.DynamicsModel, error) {
+			return core.Train(d.TrainConfigs, d.Series(sim.MetricCPI, true), c.modelOptions(false))
+		},
+		func(d *Dataset) (core.DynamicsModel, error) {
+			return core.TrainLinearWavelet(d.TrainConfigs, d.Series(sim.MetricCPI, true), c.modelOptions(false))
+		},
+		func(d *Dataset) (core.DynamicsModel, error) {
+			return core.TrainGlobalANN(d.TrainConfigs, d.Series(sim.MetricCPI, true), c.modelOptions(false))
+		},
+	}
+	for _, tr := range trainers {
+		perBench := make([]float64, len(res.Benchmarks))
+		var all []float64
+		for bi, b := range res.Benchmarks {
+			d, err := c.Dataset(b)
+			if err != nil {
+				return nil, err
+			}
+			model, err := tr(d)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for i, cfg := range d.TestConfigs {
+				mse := mathx.RelativeMSEPercent(d.Test[i].CPI, model.Predict(cfg))
+				sum += mse
+				all = append(all, mse)
+			}
+			perBench[bi] = sum / float64(len(d.TestConfigs))
+		}
+		res.PerBenchmark = append(res.PerBenchmark, perBench)
+		res.Mean = append(res.Mean, mathx.Mean(all))
+	}
+	return res, nil
+}
+
+// AblationSampling compares training designs drawn by the paper's
+// best-of-N LHS against naive random sampling, measured by downstream
+// prediction accuracy.
+func AblationSampling(c *Campaign) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:       "Ablation: training design sampling strategy (CPI domain)",
+		Variants:   []string{"LHS + L2-star discrepancy", "naive random"},
+		Benchmarks: c.Scale.Benchmarks,
+	}
+	base := space.Baseline()
+	rng := newRNG(c.Scale.Seed + 1)
+	randomTrain := space.Random(c.Scale.Train, space.TrainLevels(), base, rng)
+
+	// Variant 0: the campaign's own (LHS) datasets.
+	perBench := make([]float64, len(res.Benchmarks))
+	var all []float64
+	for bi, b := range res.Benchmarks {
+		mses, _, err := c.EvaluateMetric(b, sim.MetricCPI)
+		if err != nil {
+			return nil, err
+		}
+		perBench[bi] = mathx.Mean(mses)
+		all = append(all, mses...)
+	}
+	res.PerBenchmark = append(res.PerBenchmark, perBench)
+	res.Mean = append(res.Mean, mathx.Mean(all))
+
+	// Variant 1: retrain on randomly sampled designs, same test set.
+	perBench = make([]float64, len(res.Benchmarks))
+	all = nil
+	for bi, b := range res.Benchmarks {
+		orig, err := c.Dataset(b)
+		if err != nil {
+			return nil, err
+		}
+		jobs := make([]sim.Job, len(randomTrain))
+		for i, cfg := range randomTrain {
+			jobs[i] = sim.Job{Config: cfg, Benchmark: b}
+		}
+		traces, err := sim.Sweep(jobs, c.simOptions(), c.Scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		series := make([][]float64, len(traces))
+		for i, tr := range traces {
+			series[i] = tr.CPI
+		}
+		p, err := core.Train(randomTrain, series, c.modelOptions(false))
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for i, cfg := range orig.TestConfigs {
+			mse := mathx.RelativeMSEPercent(orig.Test[i].CPI, p.Predict(cfg))
+			sum += mse
+			all = append(all, mse)
+		}
+		perBench[bi] = sum / float64(len(orig.TestConfigs))
+	}
+	res.PerBenchmark = append(res.PerBenchmark, perBench)
+	res.Mean = append(res.Mean, mathx.Mean(all))
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+func newRNG(seed uint64) *mathx.RNG { return mathx.NewRNG(seed) }
+
+// Dataset holds the simulated traces of one benchmark over the campaign's
+// train and test designs.
+type Dataset struct {
+	Benchmark    string
+	TrainConfigs []space.Config
+	TestConfigs  []space.Config
+	Train        []*sim.Trace
+	Test         []*sim.Trace
+}
+
+// Series extracts one metric's training traces.
+func (d *Dataset) Series(m sim.Metric, train bool) [][]float64 {
+	src := d.Train
+	if !train {
+		src = d.Test
+	}
+	out := make([][]float64, len(src))
+	for i, tr := range src {
+		out[i] = tr.Series(m)
+	}
+	return out
+}
+
+// Campaign lazily simulates and caches datasets for a scale, so multiple
+// experiments can share the expensive sweep results. It is safe for
+// sequential use only (experiments run one at a time; the underlying sweep
+// already parallelises across simulations).
+type Campaign struct {
+	Scale Scale
+
+	mu       sync.Mutex
+	plain    map[string]*Dataset // benchmark → dataset (DVM off)
+	dvm      map[string]*Dataset // benchmark → dataset (train mixes DVM on/off)
+	trainCfg []space.Config
+	testCfg  []space.Config
+}
+
+// NewCampaign validates the scale and prepares an empty cache.
+func NewCampaign(sc Scale) (*Campaign, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	train, test := sc.designs()
+	return &Campaign{
+		Scale:    sc,
+		plain:    map[string]*Dataset{},
+		dvm:      map[string]*Dataset{},
+		trainCfg: train,
+		testCfg:  test,
+	}, nil
+}
+
+// simOptions derives the per-run simulation options.
+func (c *Campaign) simOptions() sim.Options {
+	return sim.Options{Instructions: c.Scale.Instructions, Samples: c.Scale.Samples}
+}
+
+// Dataset simulates (or returns cached) traces for one benchmark with DVM
+// disabled everywhere.
+func (c *Campaign) Dataset(benchmark string) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.plain[benchmark]; ok {
+		return d, nil
+	}
+	d, err := c.buildDataset(benchmark, c.trainCfg, c.testCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.plain[benchmark] = d
+	return d, nil
+}
+
+// DVMDataset simulates traces where DVM participates as a design
+// parameter (Section 5): every design appears with DVM off and with DVM on
+// at the campaign threshold; test designs run with DVM enabled.
+func (c *Campaign) DVMDataset(benchmark string, threshold float64) (*Dataset, error) {
+	key := fmt.Sprintf("%s@%.2f", benchmark, threshold)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.dvm[key]; ok {
+		return d, nil
+	}
+	var train []space.Config
+	for _, cfg := range c.trainCfg {
+		off := cfg
+		off.DVM = false
+		off.DVMThreshold = threshold
+		on := cfg
+		on.DVM = true
+		on.DVMThreshold = threshold
+		train = append(train, off, on)
+	}
+	var test []space.Config
+	for _, cfg := range c.testCfg {
+		on := cfg
+		on.DVM = true
+		on.DVMThreshold = threshold
+		test = append(test, on)
+	}
+	d, err := c.buildDataset(benchmark, train, test)
+	if err != nil {
+		return nil, err
+	}
+	c.dvm[key] = d
+	return d, nil
+}
+
+func (c *Campaign) buildDataset(benchmark string, train, test []space.Config) (*Dataset, error) {
+	jobs := make([]sim.Job, 0, len(train)+len(test))
+	for _, cfg := range train {
+		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
+	}
+	for _, cfg := range test {
+		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
+	}
+	traces, err := sim.Sweep(jobs, c.simOptions(), c.Scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Benchmark:    benchmark,
+		TrainConfigs: train,
+		TestConfigs:  test,
+		Train:        traces[:len(train)],
+		Test:         traces[len(train):],
+	}, nil
+}
+
+// modelOptions builds the predictor options for this campaign.
+func (c *Campaign) modelOptions(dvmFeatures bool) core.Options {
+	return core.Options{
+		NumCoefficients: c.Scale.Coefficients,
+		UseDVMFeatures:  dvmFeatures,
+	}
+}
+
+// EvaluateMetric trains the wavelet neural network on one benchmark/metric
+// and returns the per-test-point MSE% values plus the predictor.
+func (c *Campaign) EvaluateMetric(benchmark string, m sim.Metric) ([]float64, *core.Predictor, error) {
+	d, err := c.Dataset(benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	return evaluate(d, m, c.modelOptions(false))
+}
+
+// evaluate trains on a dataset's metric and scores every test point.
+func evaluate(d *Dataset, m sim.Metric, opts core.Options) ([]float64, *core.Predictor, error) {
+	p, err := core.Train(d.TrainConfigs, d.Series(m, true), opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", d.Benchmark, m, err)
+	}
+	mses := make([]float64, len(d.TestConfigs))
+	for i, cfg := range d.TestConfigs {
+		actual := d.Test[i].Series(m)
+		mses[i] = mathx.RelativeMSEPercent(actual, p.Predict(cfg))
+	}
+	return mses, p, nil
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Fig17Scenario is one DVM forecast panel: a configuration with DVM off
+// and on, simulated and predicted IQ AVF traces, and whether the policy
+// meets its target.
+type Fig17Scenario struct {
+	Config          space.Config
+	ActualOff       []float64
+	PredictedOff    []float64
+	ActualOn        []float64
+	PredictedOn     []float64
+	Target          float64
+	ActualAchieved  bool // simulated: DVM keeps IQ AVF below target
+	PredictAchieved bool // forecast agrees
+}
+
+// Fig17Result carries the Section 5 scenario study.
+type Fig17Result struct {
+	Benchmark string
+	Scenarios []Fig17Scenario
+}
+
+// Fig17 reproduces Figure 17: predictive models that include DVM as a
+// design parameter forecast whether the IQ DVM policy achieves its target
+// on a given configuration. The paper contrasts a configuration where DVM
+// succeeds with one where it fails.
+func Fig17(c *Campaign, benchmark string, target float64) (*Fig17Result, error) {
+	d, err := c.DVMDataset(benchmark, target)
+	if err != nil {
+		return nil, err
+	}
+	// Train the DVM-aware predictor on IQ AVF.
+	p, err := core.Train(d.TrainConfigs, d.Series(sim.MetricIQAVF, true), c.modelOptions(true))
+	if err != nil {
+		return nil, err
+	}
+
+	// Scenario 1: a balanced machine where DVM succeeds. Scenario 2: a
+	// small-IQ, small-cache machine whose residual IQ pressure the policy
+	// cannot fully drain, so the target is violated in some execution
+	// periods (the paper's failure case).
+	cfgA := space.Baseline().WithSweptValues([space.NumParams]int{8, 128, 96, 32, 1024, 12, 32, 32, 2})
+	cfgB := space.Baseline().WithSweptValues([space.NumParams]int{16, 160, 32, 64, 256, 20, 8, 8, 4})
+
+	res := &Fig17Result{Benchmark: benchmark}
+	opts := c.simOptions()
+	for _, base := range []space.Config{cfgA, cfgB} {
+		var sc Fig17Scenario
+		sc.Target = target
+
+		off := base
+		off.DVM = false
+		off.DVMThreshold = target
+		on := base
+		on.DVM = true
+		on.DVMThreshold = target
+
+		trOff, err := sim.Run(off, benchmark, opts)
+		if err != nil {
+			return nil, err
+		}
+		trOn, err := sim.Run(on, benchmark, opts)
+		if err != nil {
+			return nil, err
+		}
+		sc.Config = base
+		sc.ActualOff = trOff.IQAVF
+		sc.ActualOn = trOn.IQAVF
+		sc.PredictedOff = p.Predict(off)
+		sc.PredictedOn = p.Predict(on)
+		sc.ActualAchieved = dvmAchieved(sc.ActualOn, target)
+		sc.PredictAchieved = dvmAchieved(sc.PredictedOn, target)
+		res.Scenarios = append(res.Scenarios, sc)
+	}
+	return res, nil
+}
+
+// dvmAchieved reports whether the policy substantially meets its goal: at
+// least three quarters of execution periods below the target. The trigger
+// semantics of Figure 15 make transient overshoots inherent (the online
+// estimator reacts one window late), and the paper's own success panel
+// grazes the threshold; what separates success from failure is whether the
+// trace *hovers* below or above the target.
+func dvmAchieved(trace []float64, target float64) bool {
+	return float64(stats.ScenarioExceedances(trace, target)) <= 0.25*float64(len(trace))
+}
+
+// Report renders the scenario overlays and verdicts.
+func (r *Fig17Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 17. DVM scenario exploration on %s (IQ AVF target shown per panel)\n", r.Benchmark)
+	for i, sc := range r.Scenarios {
+		verdict := "DVM fails to achieve its goal"
+		if sc.ActualAchieved {
+			verdict = "DVM successfully achieves its goal"
+		}
+		agree := "prediction agrees"
+		if sc.PredictAchieved != sc.ActualAchieved {
+			agree = "prediction DISAGREES"
+		}
+		fmt.Fprintf(&sb, "Scenario %d: %v\n  target=%.2f — %s (%s)\n", i+1, sc.Config, sc.Target, verdict, agree)
+		sb.WriteString(stats.RenderSeries("  DVM disabled", sc.ActualOff, sc.PredictedOff, 6))
+		sb.WriteString(stats.RenderSeries("  DVM enabled", sc.ActualOn, sc.PredictedOn, 6))
+	}
+	return sb.String()
+}
+
+// Fig18Result is the per-test-configuration MSE heat plot with benchmark
+// clustering, for IQ AVF and power under DVM.
+type Fig18Result struct {
+	Benchmarks []string
+	// IQAVF[cfg][bench] and Power[cfg][bench] are MSE% values.
+	IQAVF [][]float64
+	Power [][]float64
+	// Cluster orders for the dendrograms above each heat plot.
+	IQAVFOrder []int
+	PowerOrder []int
+	iqDendro   *stats.Dendrogram
+	powDendro  *stats.Dendrogram
+}
+
+// Fig18 reproduces Figure 18: MSE of IQ AVF and power prediction across
+// every test configuration and benchmark with the DVM policy enabled,
+// presented as heat plots with benchmark dendrograms.
+func Fig18(c *Campaign, threshold float64) (*Fig18Result, error) {
+	res := &Fig18Result{Benchmarks: c.Scale.Benchmarks}
+	nTest := c.Scale.Test
+
+	res.IQAVF = make([][]float64, nTest)
+	res.Power = make([][]float64, nTest)
+	for i := range res.IQAVF {
+		res.IQAVF[i] = make([]float64, len(res.Benchmarks))
+		res.Power[i] = make([]float64, len(res.Benchmarks))
+	}
+
+	for bi, b := range res.Benchmarks {
+		d, err := c.DVMDataset(b, threshold)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range []sim.Metric{sim.MetricIQAVF, sim.MetricPower} {
+			p, err := core.Train(d.TrainConfigs, d.Series(m, true), c.modelOptions(true))
+			if err != nil {
+				return nil, err
+			}
+			for i, cfg := range d.TestConfigs {
+				mse := mathx.RelativeMSEPercent(d.Test[i].Series(m), p.Predict(cfg))
+				if mi == 0 {
+					res.IQAVF[i][bi] = mse
+				} else {
+					res.Power[i][bi] = mse
+				}
+			}
+		}
+	}
+
+	// Cluster benchmarks by their MSE profile across test configurations.
+	res.iqDendro = stats.Cluster(res.Benchmarks, transpose(res.IQAVF))
+	res.powDendro = stats.Cluster(res.Benchmarks, transpose(res.Power))
+	res.IQAVFOrder = res.iqDendro.LeafOrder()
+	res.PowerOrder = res.powDendro.LeafOrder()
+	return res, nil
+}
+
+func transpose(m [][]float64) [][]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(m[0]))
+	for j := range out {
+		out[j] = make([]float64, len(m))
+		for i := range m {
+			out[j][i] = m[i][j]
+		}
+	}
+	return out
+}
+
+// Report renders both heat plots with their dendrogram orders.
+func (r *Fig18Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 18. MSE heat plots across all test configurations with DVM enabled\n")
+	sb.WriteString("(a) IQ AVF — benchmark dendrogram order: " + strings.Join(r.iqDendro.OrderedLabels(), " ") + "\n")
+	sb.WriteString(stats.RenderHeatMap(r.Benchmarks, r.IQAVF, r.IQAVFOrder))
+	sb.WriteString(r.iqDendro.String())
+	sb.WriteString("(b) Power — benchmark dendrogram order: " + strings.Join(r.powDendro.OrderedLabels(), " ") + "\n")
+	sb.WriteString(stats.RenderHeatMap(r.Benchmarks, r.Power, r.PowerOrder))
+	sb.WriteString(r.powDendro.String())
+	return sb.String()
+}
+
+// Fig19Result reports IQ AVF prediction accuracy per DVM threshold.
+type Fig19Result struct {
+	Benchmarks []string
+	Thresholds []float64
+	// MSE[bench][threshold] is the mean IQ AVF MSE% over test points.
+	MSE [][]float64
+}
+
+// Fig19 reproduces Figure 19: the models remain accurate when different
+// DVM trigger thresholds are considered (the paper uses 0.2, 0.3, 0.5).
+func Fig19(c *Campaign, thresholds []float64) (*Fig19Result, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.2, 0.3, 0.5}
+	}
+	res := &Fig19Result{Benchmarks: c.Scale.Benchmarks, Thresholds: thresholds}
+	for _, b := range res.Benchmarks {
+		row := make([]float64, len(thresholds))
+		for ti, thr := range thresholds {
+			d, err := c.DVMDataset(b, thr)
+			if err != nil {
+				return nil, err
+			}
+			mses, _, err := evaluate(d, sim.MetricIQAVF, c.modelOptions(true))
+			if err != nil {
+				return nil, err
+			}
+			row[ti] = mathx.Mean(mses)
+		}
+		res.MSE = append(res.MSE, row)
+	}
+	return res, nil
+}
+
+// Report renders the per-threshold accuracy rows.
+func (r *Fig19Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 19. IQ AVF dynamics prediction accuracy across DVM thresholds\n")
+	fmt.Fprintf(&sb, "  %-10s", "bench")
+	for _, thr := range r.Thresholds {
+		fmt.Fprintf(&sb, " thr=%.2f", thr)
+	}
+	sb.WriteByte('\n')
+	for bi, b := range r.Benchmarks {
+		fmt.Fprintf(&sb, "  %-10s", b)
+		for ti := range r.Thresholds {
+			fmt.Fprintf(&sb, " %6.2f%%", r.MSE[bi][ti])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// tinyScale keeps experiment smoke tests fast: two benchmarks, small
+// designs, short runs.
+func tinyScale() Scale {
+	return Scale{
+		Train:         16,
+		Test:          4,
+		LHSCandidates: 3,
+		Samples:       16,
+		Instructions:  16384,
+		Benchmarks:    []string{"gcc", "swim"},
+		Coefficients:  6,
+		Seed:          7,
+	}
+}
+
+func tinyCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := NewCampaign(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScaleValidation(t *testing.T) {
+	if err := PaperScale().Validate(); err != nil {
+		t.Errorf("paper scale invalid: %v", err)
+	}
+	if err := QuickScale().Validate(); err != nil {
+		t.Errorf("quick scale invalid: %v", err)
+	}
+	bad := QuickScale()
+	bad.Samples = 33
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two samples should fail")
+	}
+	bad = QuickScale()
+	bad.Benchmarks = []string{"quake"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	bad = QuickScale()
+	bad.Coefficients = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero coefficients should fail")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"8-wide", "Issue Queue", "2MB", "Gshare"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"Fetch", "dl1_lat", "256, 1024, 2048, 4096", "#Levels"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestDatasetCachingAndShapes(t *testing.T) {
+	c := tinyCampaign(t)
+	d1, err := c.Dataset("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Train) != 16 || len(d1.Test) != 4 {
+		t.Fatalf("dataset sizes %d/%d, want 16/4", len(d1.Train), len(d1.Test))
+	}
+	d2, err := c.Dataset("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+	if len(d1.Series(sim.MetricCPI, true)) != 16 {
+		t.Error("Series(train) wrong length")
+	}
+	if len(d1.Series(sim.MetricAVF, false)) != 4 {
+		t.Error("Series(test) wrong length")
+	}
+}
+
+func TestEvaluateMetricProducesFiniteMSEs(t *testing.T) {
+	c := tinyCampaign(t)
+	mses, p, err := c.EvaluateMetric("gcc", sim.MetricCPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mses) != 4 {
+		t.Fatalf("got %d MSEs", len(mses))
+	}
+	for _, m := range mses {
+		if m < 0 || m != m {
+			t.Errorf("bad MSE %v", m)
+		}
+	}
+	if p.NumNetworks() != 6 {
+		t.Errorf("networks = %d, want 6", p.NumNetworks())
+	}
+}
+
+func TestFig1(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	rep := r.Report()
+	for _, want := range []string{"gap", "crafty", "vpr", "Figure 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Dynamics must differ across configurations (the figure's point).
+	row := r.Rows[0]
+	same := true
+	for i := range row.Series[0] {
+		if row.Series[0][i] != row.Series[2][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("min and max configurations produced identical dynamics")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rep := Fig2()
+	if !strings.Contains(rep, "11.875") || !strings.Contains(rep, "-9.5") {
+		t.Errorf("Fig2 must show the paper's coefficients:\n%s", rep)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MSEs) != 6 {
+		t.Fatalf("MSE count %d", len(r.MSEs))
+	}
+	// Monotone non-increasing error; perfect at k=64.
+	for i := 1; i < len(r.MSEs); i++ {
+		if r.MSEs[i] > r.MSEs[i-1]+1e-12 {
+			t.Errorf("MSE not monotone at k=%d: %v", r.Ks[i], r.MSEs)
+		}
+	}
+	if r.MSEs[len(r.MSEs)-1] > 1e-15 {
+		t.Errorf("full reconstruction MSE %v", r.MSEs[len(r.MSEs)-1])
+	}
+	if !strings.Contains(r.Report(), "k=64") {
+		t.Error("report missing k=64 row")
+	}
+}
+
+func TestFig7RankStability(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig7(c, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: top-ranked coefficients largely consistent
+	// across configurations.
+	if r.MeanSpearman < 0.5 {
+		t.Errorf("mean Spearman %v too low — ranking unstable", r.MeanSpearman)
+	}
+	if r.TopKOverlap < 0.5 {
+		t.Errorf("top-k overlap %v too low", r.TopKOverlap)
+	}
+	if !strings.Contains(r.Report(), "Spearman") {
+		t.Error("report missing stability stats")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MSEs) != 3 || len(r.MSEs[0]) != 2 || len(r.MSEs[0][0]) != 4 {
+		t.Fatalf("result shape wrong")
+	}
+	for mi := range r.Metrics {
+		med := r.OverallMedian(mi)
+		if med < 0 || med > 100 {
+			t.Errorf("%s overall median %v implausible", r.Metrics[mi], med)
+		}
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "overall median") || !strings.Contains(rep, "gcc") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestFig9TrendDecreases(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig9(c, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More coefficients must not make things worse on average (CPI row).
+	if r.Mean[0][1] > r.Mean[0][0]*1.2 {
+		t.Errorf("CPI MSE rose sharply with more coefficients: %v", r.Mean[0])
+	}
+	if !strings.Contains(r.Report(), "Figure 9") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig10(c, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Mean[0]) != 2 {
+		t.Fatalf("trend length wrong")
+	}
+	for _, row := range r.Mean {
+		for _, v := range row {
+			if v < 0 {
+				t.Errorf("negative MSE %v", v)
+			}
+		}
+	}
+}
+
+func TestFig11StarPlots(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig11(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Report()
+	for _, want := range []string{"split order", "split frequency", "Fetch", "dl1_lat", "gcc"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("star plot report missing %q", want)
+		}
+	}
+}
+
+func TestFig13AsymmetryBounded(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig13(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range r.Metrics {
+		for bi := range r.Benchmarks {
+			for li := range r.Levels {
+				v := r.Asymmetry[mi][bi][li]
+				if v < 0 || v > 100 {
+					t.Errorf("asymmetry out of range: %v", v)
+				}
+			}
+		}
+	}
+	if !strings.Contains(r.Report(), "CPI_Q1") {
+		t.Error("report missing level columns")
+	}
+}
+
+func TestFig14Overlay(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig14(c, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Actual) != 3 || len(r.Predicted) != 3 {
+		t.Fatal("overlay shape wrong")
+	}
+	if !strings.Contains(r.Report(), "predicted") {
+		t.Error("report missing legend")
+	}
+}
+
+func TestFig17DVMScenarios(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig17(c, "gcc", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(r.Scenarios))
+	}
+	for i, sc := range r.Scenarios {
+		if len(sc.ActualOn) != c.Scale.Samples {
+			t.Errorf("scenario %d trace length wrong", i)
+		}
+	}
+	if !strings.Contains(r.Report(), "DVM enabled") {
+		t.Error("report missing panels")
+	}
+}
+
+func TestFig18HeatPlot(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig18(c, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IQAVF) != c.Scale.Test || len(r.IQAVF[0]) != len(c.Scale.Benchmarks) {
+		t.Fatal("heat plot shape wrong")
+	}
+	if len(r.IQAVFOrder) != len(c.Scale.Benchmarks) {
+		t.Fatal("dendrogram order wrong")
+	}
+	if !strings.Contains(r.Report(), "dendrogram order") {
+		t.Error("report missing dendrogram")
+	}
+}
+
+func TestFig19Thresholds(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig19(c, []float64{0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MSE) != 2 || len(r.MSE[0]) != 2 {
+		t.Fatal("result shape wrong")
+	}
+	if !strings.Contains(r.Report(), "thr=0.20") {
+		t.Error("report missing threshold columns")
+	}
+}
+
+func TestAblationSelectionMagnitudeWins(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := AblationSelection(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim (§3): magnitude-based "always outperforms" order-
+	// based. At tiny scale we require it not to be worse.
+	if r.Mean[0] > r.Mean[1]*1.05 {
+		t.Errorf("magnitude (%v) worse than order (%v)", r.Mean[0], r.Mean[1])
+	}
+}
+
+func TestAblationModelsWaveletWins(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := AblationModels(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wavelet, global := r.Mean[0], r.Mean[2]
+	if wavelet >= global {
+		t.Errorf("wavelet-RBF (%v) must beat global-ANN (%v) on dynamics", wavelet, global)
+	}
+}
+
+func TestAblationSamplingRuns(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := AblationSampling(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Mean) != 2 {
+		t.Fatal("expected two variants")
+	}
+	if !strings.Contains(r.Report(), "LHS") {
+		t.Error("report missing variant names")
+	}
+}
+
+func TestWorkloadTable(t *testing.T) {
+	c := tinyCampaign(t)
+	rows, err := WorkloadTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(c.Scale.Benchmarks) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(c.Scale.Benchmarks))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 || r.IPC > 8 {
+			t.Errorf("%s IPC = %v, implausible", r.Benchmark, r.IPC)
+		}
+		if r.MispredRate < 0 || r.MispredRate > 0.5 {
+			t.Errorf("%s mispredict rate = %v, implausible", r.Benchmark, r.MispredRate)
+		}
+		if r.CPIDynRange < 1 {
+			t.Errorf("%s CPI dynamic range = %v, below 1", r.Benchmark, r.CPIDynRange)
+		}
+	}
+	rep := WorkloadReport(rows)
+	if !strings.Contains(rep, "gcc") || !strings.Contains(rep, "IPC") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+}
+
+func TestExtThermal(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := ExtThermal(c, thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MSE) != len(c.Scale.Benchmarks) {
+		t.Fatalf("MSE rows = %d", len(r.MSE))
+	}
+	for bi := range r.Benchmarks {
+		for _, v := range r.MSE[bi] {
+			if v < 0 {
+				t.Errorf("negative thermal MSE %v", v)
+			}
+		}
+		if r.PeakErrC[bi] < 0 || r.PeakErrC[bi] > 50 {
+			t.Errorf("peak temperature error %v°C implausible", r.PeakErrC[bi])
+		}
+	}
+	if !strings.Contains(r.Report(), "thermal dynamics") {
+		t.Error("report missing title")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mse_percent") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestScorecard(t *testing.T) {
+	c := tinyCampaign(t)
+	checks, err := Scorecard(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 7 {
+		t.Fatalf("got %d checks, want >= 7", len(checks))
+	}
+	ids := map[string]bool{}
+	for _, ck := range checks {
+		if ck.ID == "" || ck.Claim == "" || ck.Measured == "" {
+			t.Errorf("incomplete check: %+v", ck)
+		}
+		if ids[ck.ID] {
+			t.Errorf("duplicate check id %s", ck.ID)
+		}
+		ids[ck.ID] = true
+	}
+	rep := ScorecardReport(checks)
+	if !strings.Contains(rep, "shape claims reproduced") {
+		t.Error("report missing tally")
+	}
+	// The core claims must hold even at tiny scale.
+	for _, ck := range checks {
+		if (ck.ID == "A2" || ck.ID == "F9") && !ck.Pass {
+			t.Errorf("core claim %s failed at tiny scale: %s", ck.ID, ck.Measured)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// ioWriter and newCSVWriter give sibling files CSV plumbing without
+// repeating imports.
+type ioWriter = io.Writer
+
+func newCSVWriter(out io.Writer) *csv.Writer { return csv.NewWriter(out) }
+
+// CSV exporters: every figure result can be written as tidy CSV for
+// external plotting, mirroring the series the paper's figures draw.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteCSV emits one row per (benchmark, config, sample) of the panels.
+func (r *Fig1Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"benchmark", "metric", "config", "sample", "value"}}
+	for _, row := range r.Rows {
+		for ci, s := range row.Series {
+			for t, v := range s {
+				rows = append(rows, []string{
+					row.Benchmark, row.Metric.String(),
+					fmt.Sprintf("cfg%d", ci), strconv.Itoa(t), f2s(v),
+				})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (k, sample) with original and approximation.
+func (r *Fig4Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"k", "sample", "original", "approximation"}}
+	for ki, k := range r.Ks {
+		for t := range r.Original {
+			rows = append(rows, []string{
+				strconv.Itoa(k), strconv.Itoa(t),
+				f2s(r.Original[t]), f2s(r.Series[ki][t]),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (metric, benchmark, test point).
+func (r *Fig8Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "benchmark", "testpoint", "mse_percent"}}
+	for mi, m := range r.Metrics {
+		for bi, b := range r.Benchmarks {
+			for ti, v := range r.MSEs[mi][bi] {
+				rows = append(rows, []string{m.String(), b, strconv.Itoa(ti), f2s(v)})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (metric, x).
+func (r *TrendResult) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "x", "mean_mse_percent"}}
+	for mi, m := range r.Metric {
+		for xi, x := range r.Xs {
+			rows = append(rows, []string{m.String(), strconv.Itoa(x), f2s(r.Mean[mi][xi])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (metric, benchmark, level).
+func (r *Fig13Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "benchmark", "level", "asymmetry_percent"}}
+	for mi, m := range r.Metrics {
+		for bi, b := range r.Benchmarks {
+			for li, l := range r.Levels {
+				rows = append(rows, []string{m.String(), b, l.String(), f2s(r.Asymmetry[mi][bi][li])})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (metric, sample) with actual and predicted.
+func (r *Fig14Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "sample", "actual", "predicted"}}
+	for mi, m := range r.Metrics {
+		for t := range r.Actual[mi] {
+			rows = append(rows, []string{
+				m.String(), strconv.Itoa(t),
+				f2s(r.Actual[mi][t]), f2s(r.Predicted[mi][t]),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (structure, benchmark, testpoint) MSE entry.
+func (r *Fig18Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "benchmark", "testpoint", "mse_percent"}}
+	emit := func(name string, vals [][]float64) {
+		for ti, row := range vals {
+			for bi, v := range row {
+				rows = append(rows, []string{name, r.Benchmarks[bi], strconv.Itoa(ti), f2s(v)})
+			}
+		}
+	}
+	emit(sim.MetricIQAVF.String(), r.IQAVF)
+	emit(sim.MetricPower.String(), r.Power)
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (benchmark, threshold).
+func (r *Fig19Result) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"benchmark", "threshold", "mean_mse_percent"}}
+	for bi, b := range r.Benchmarks {
+		for ti, thr := range r.Thresholds {
+			rows = append(rows, []string{b, f2s(thr), f2s(r.MSE[bi][ti])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per (variant, benchmark).
+func (r *AblationResult) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"variant", "benchmark", "mean_mse_percent"}}
+	for vi, v := range r.Variants {
+		for bi, b := range r.Benchmarks {
+			rows = append(rows, []string{v, b, f2s(r.PerBenchmark[vi][bi])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteTraceCSV emits a simulation trace as (metric, sample, value) rows.
+func WriteTraceCSV(out io.Writer, tr *sim.Trace) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"metric", "sample", "value"}}
+	for m := sim.Metric(0); m < sim.NumMetrics; m++ {
+		for t, v := range tr.Series(m) {
+			rows = append(rows, []string{m.String(), strconv.Itoa(t), f2s(v)})
+		}
+	}
+	return writeAll(w, rows)
+}

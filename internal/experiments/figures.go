@@ -1,0 +1,568 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+)
+
+// Fig1Result holds the workload-dynamics variation demonstration: one
+// benchmark per domain, traced on several machine configurations.
+type Fig1Result struct {
+	// Traces[i][j] is the series of benchmark i on configuration j.
+	Rows []Fig1Row
+}
+
+// Fig1Row is one (benchmark, metric) panel.
+type Fig1Row struct {
+	Benchmark string
+	Metric    sim.Metric
+	Configs   []space.Config
+	Series    [][]float64
+}
+
+// Fig1 reproduces Figure 1: the same program exhibits visibly different
+// dynamics across machine configurations (gap→CPI, crafty→power, vpr→AVF).
+func Fig1(c *Campaign) (*Fig1Result, error) {
+	panels := []struct {
+		bench  string
+		metric sim.Metric
+	}{
+		{"gap", sim.MetricCPI},
+		{"crafty", sim.MetricPower},
+		{"vpr", sim.MetricAVF},
+	}
+	// Three contrasting configurations: minimal, baseline, maximal.
+	cfgs := []space.Config{
+		space.Baseline().WithSweptValues([space.NumParams]int{2, 96, 32, 16, 256, 20, 8, 8, 4}),
+		space.Baseline(),
+		space.Baseline().WithSweptValues([space.NumParams]int{16, 160, 128, 64, 4096, 8, 64, 64, 1}),
+	}
+	res := &Fig1Result{}
+	opts := c.simOptions()
+	for _, p := range panels {
+		row := Fig1Row{Benchmark: p.bench, Metric: p.metric, Configs: cfgs}
+		for _, cfg := range cfgs {
+			tr, err := sim.Run(cfg, p.bench, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Series = append(row.Series, tr.Series(p.metric))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the panels as sparklines with per-config statistics.
+func (r *Fig1Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1. Variation of workload dynamics across configurations\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s (%s):\n", row.Benchmark, row.Metric)
+		for j, s := range row.Series {
+			fmt.Fprintf(&sb, "  cfg%d %s mean=%.3f min=%.3f max=%.3f\n",
+				j, stats.Sparkline(s), mathx.Mean(s), mathx.Min(s), mathx.Max(s))
+		}
+	}
+	return sb.String()
+}
+
+// Fig2 renders the Haar worked example of Figure 2 on the paper's data.
+func Fig2() string {
+	data := []float64{3, 4, 20, 25, 15, 5, 20, 3}
+	coeffs, err := wavelet.Haar{}.Decompose(data)
+	if err != nil {
+		panic(err) // fixed, valid input
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2. Haar wavelet transform of {3, 4, 20, 25, 15, 5, 20, 3}\n")
+	fmt.Fprintf(&sb, "  coefficients: %v\n", coeffs)
+	back, _ := wavelet.Haar{}.Reconstruct(coeffs)
+	fmt.Fprintf(&sb, "  reconstructed: %v\n", back)
+	return sb.String()
+}
+
+// Fig4Result reports reconstruction fidelity versus retained coefficients.
+type Fig4Result struct {
+	Ks   []int
+	MSEs []float64 // time-domain MSE of the k-coefficient approximation
+	// Series[k-index] is the reconstructed trace for rendering.
+	Original []float64
+	Series   [][]float64
+}
+
+// Fig4 reproduces Figures 3–4: a sampled gcc trace approximated from
+// progressively more wavelet coefficients (1, 2, 4, 8, 16, all).
+func Fig4(c *Campaign) (*Fig4Result, error) {
+	opts := c.simOptions()
+	// The paper's Figure 3 uses a 64-point gcc trace.
+	opts.Samples = 64
+	opts.Instructions = roundTo(opts.Instructions, 64)
+	tr, err := sim.Run(space.Baseline(), "gcc", opts)
+	if err != nil {
+		return nil, err
+	}
+	trace := tr.CPI
+	coeffs, err := wavelet.Haar{}.Decompose(trace)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Original: trace, Ks: []int{1, 2, 4, 8, 16, 64}}
+	for _, k := range res.Ks {
+		approx, err := wavelet.Haar{}.Reconstruct(wavelet.Keep(coeffs, wavelet.TopKByMagnitude(coeffs, k)))
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, approx)
+		res.MSEs = append(res.MSEs, mathx.MSE(trace, approx))
+	}
+	return res, nil
+}
+
+func roundTo(v uint64, multiple uint64) uint64 {
+	if v%multiple == 0 {
+		return v
+	}
+	return (v/multiple + 1) * multiple
+}
+
+// Report renders the progression.
+func (r *Fig4Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3/4. Synthesizing gcc dynamics from subsets of wavelet coefficients\n")
+	fmt.Fprintf(&sb, "  original: %s\n", stats.Sparkline(r.Original))
+	for i, k := range r.Ks {
+		fmt.Fprintf(&sb, "  k=%-3d    %s  MSE=%.5f\n", k, stats.Sparkline(r.Series[i]), r.MSEs[i])
+	}
+	return sb.String()
+}
+
+// Fig7Result reports magnitude-rank stability across configurations.
+type Fig7Result struct {
+	Benchmark string
+	// Ranks[cfg][pos] is the magnitude rank of coefficient pos on that
+	// configuration (1 = largest).
+	Ranks [][]int
+	// MeanSpearman is the average rank correlation between each
+	// configuration's ranking and the pooled ranking.
+	MeanSpearman float64
+	// TopKOverlap is the mean fraction of the pooled top-k positions that
+	// appear in each configuration's top-k.
+	TopKOverlap float64
+	K           int
+}
+
+// Fig7 reproduces Figure 7: the magnitude-based ranking of wavelet
+// coefficients is largely consistent across machine configurations, which
+// is what makes pooled magnitude selection sound.
+func Fig7(c *Campaign, benchmark string) (*Fig7Result, error) {
+	d, err := c.Dataset(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Benchmark: benchmark, K: c.Scale.Coefficients}
+	n := c.Scale.Samples
+
+	pooled := make([]float64, n)
+	var perCfg [][]float64
+	for _, tr := range d.Test {
+		coeffs, err := wavelet.Haar{}.Decompose(tr.CPI)
+		if err != nil {
+			return nil, err
+		}
+		mags := make([]float64, n)
+		for j, v := range coeffs {
+			mags[j] = abs(v)
+			pooled[j] += mags[j]
+		}
+		perCfg = append(perCfg, mags)
+		res.Ranks = append(res.Ranks, wavelet.MagnitudeRanks(coeffs))
+	}
+
+	pooledTop := map[int]bool{}
+	for _, idx := range topK(pooled, res.K) {
+		pooledTop[idx] = true
+	}
+	var sumRho, sumOverlap float64
+	for _, mags := range perCfg {
+		sumRho += mathx.SpearmanRank(mags, pooled)
+		hits := 0
+		for _, idx := range topK(mags, res.K) {
+			if pooledTop[idx] {
+				hits++
+			}
+		}
+		sumOverlap += float64(hits) / float64(res.K)
+	}
+	res.MeanSpearman = sumRho / float64(len(perCfg))
+	res.TopKOverlap = sumOverlap / float64(len(perCfg))
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func topK(mags []float64, k int) []int {
+	return wavelet.TopKByMagnitude(mags, k)
+}
+
+// Report renders the rank map and stability statistics.
+func (r *Fig7Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7. Magnitude-based ranking of %d wavelet coefficients (%s) across %d configurations\n",
+		len(r.Ranks[0]), r.Benchmark, len(r.Ranks))
+	fmt.Fprintf(&sb, "  mean Spearman rank correlation vs pooled ranking: %.3f\n", r.MeanSpearman)
+	fmt.Fprintf(&sb, "  mean top-%d overlap with pooled selection: %.1f%%\n", r.K, 100*r.TopKOverlap)
+	// Render a compact rank map: rows = configs, cols = first 32
+	// positions, darker = higher rank.
+	cols := len(r.Ranks[0])
+	if cols > 32 {
+		cols = 32
+	}
+	vals := make([][]float64, len(r.Ranks))
+	labels := make([]string, cols)
+	for j := range labels {
+		labels[j] = fmt.Sprintf("%d", j)
+	}
+	for i, ranks := range r.Ranks {
+		row := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			row[j] = -float64(ranks[j]) // negative: rank 1 renders darkest
+		}
+		vals[i] = row
+	}
+	sb.WriteString(stats.RenderHeatMap(labels, vals, nil))
+	return sb.String()
+}
+
+// Fig8Result is the headline accuracy evaluation: per-benchmark MSE%
+// distributions in the three domains.
+type Fig8Result struct {
+	Benchmarks []string
+	Metrics    []sim.Metric
+	// MSEs[metric][benchmark] lists per-test-point MSE%.
+	MSEs [][][]float64
+}
+
+// Fig8 reproduces Figure 8: boxplots of workload-dynamics prediction MSE
+// in performance, power and reliability domains.
+func Fig8(c *Campaign) (*Fig8Result, error) {
+	res := &Fig8Result{
+		Benchmarks: c.Scale.Benchmarks,
+		Metrics:    []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF},
+	}
+	for _, m := range res.Metrics {
+		var perBench [][]float64
+		for _, b := range res.Benchmarks {
+			mses, _, err := c.EvaluateMetric(b, m)
+			if err != nil {
+				return nil, err
+			}
+			perBench = append(perBench, mses)
+		}
+		res.MSEs = append(res.MSEs, perBench)
+	}
+	return res, nil
+}
+
+// OverallMedian returns the median MSE% across all benchmarks for one
+// metric index.
+func (r *Fig8Result) OverallMedian(metricIdx int) float64 {
+	var all []float64
+	for _, mses := range r.MSEs[metricIdx] {
+		all = append(all, mses...)
+	}
+	return mathx.Median(all)
+}
+
+// Report renders per-benchmark boxplots per domain.
+func (r *Fig8Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8. MSE% boxplots of workload dynamics prediction\n")
+	for mi, m := range r.Metrics {
+		fmt.Fprintf(&sb, "(%c) %s — overall median %.2f%%\n", 'a'+mi, m, r.OverallMedian(mi))
+		plots := make([]stats.Boxplot, len(r.Benchmarks))
+		for bi := range r.Benchmarks {
+			plots[bi] = stats.NewBoxplot(r.MSEs[mi][bi])
+		}
+		sb.WriteString(stats.RenderBoxplots(r.Benchmarks, plots, 48))
+	}
+	return sb.String()
+}
+
+// TrendResult reports mean MSE% across a swept model/protocol parameter —
+// the shape of Figures 9 and 10.
+type TrendResult struct {
+	Name   string
+	Xs     []int
+	Metric []sim.Metric
+	// Mean[metric][x] is the mean MSE% across benchmarks and test points.
+	Mean [][]float64
+}
+
+// Fig9 reproduces Figure 9: MSE versus the number of modelled wavelet
+// coefficients (diminishing returns past the paper's k=16).
+func Fig9(c *Campaign, ks []int) (*TrendResult, error) {
+	if len(ks) == 0 {
+		// The paper sweeps {16, 32, 64, 96, 128}; clamp to the trace
+		// length and backfill smaller k at reduced scales.
+		for _, k := range []int{4, 8, 16, 32, 64, 96, 128} {
+			if k <= c.Scale.Samples && (k >= 16 || c.Scale.Samples < 128) {
+				ks = append(ks, k)
+			}
+		}
+	}
+	res := &TrendResult{
+		Name:   "Figure 9. MSE vs number of wavelet coefficients",
+		Xs:     ks,
+		Metric: []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF},
+	}
+	for _, m := range res.Metric {
+		row := make([]float64, len(ks))
+		for xi, k := range ks {
+			var all []float64
+			for _, b := range c.Scale.Benchmarks {
+				d, err := c.Dataset(b)
+				if err != nil {
+					return nil, err
+				}
+				opts := c.modelOptions(false)
+				opts.NumCoefficients = k
+				mses, _, err := evaluate(d, m, opts)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, mses...)
+			}
+			row[xi] = mathx.Mean(all)
+		}
+		res.Mean = append(res.Mean, row)
+	}
+	return res, nil
+}
+
+// Fig10 reproduces Figure 10: MSE versus sampling frequency (trace length)
+// at fixed k. Higher sampling rates reveal detail a fixed coefficient
+// budget cannot carry, so MSE grows mildly.
+func Fig10(c *Campaign, sampleCounts []int) (*TrendResult, error) {
+	if len(sampleCounts) == 0 {
+		sampleCounts = []int{16, 32, 64, 128}
+	}
+	res := &TrendResult{
+		Name:   "Figure 10. MSE vs number of samples",
+		Xs:     sampleCounts,
+		Metric: []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF},
+	}
+	res.Mean = make([][]float64, len(res.Metric))
+	for i := range res.Mean {
+		res.Mean[i] = make([]float64, len(sampleCounts))
+	}
+	for xi, n := range sampleCounts {
+		// A dedicated campaign at this sampling rate, sharing designs.
+		sc := c.Scale
+		sc.Samples = n
+		sc.Instructions = roundTo(c.Scale.Instructions, uint64(n))
+		sub, err := NewCampaign(sc)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range res.Metric {
+			var all []float64
+			for _, b := range sc.Benchmarks {
+				mses, _, err := sub.EvaluateMetric(b, m)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, mses...)
+			}
+			res.Mean[mi][xi] = mathx.Mean(all)
+		}
+	}
+	return res, nil
+}
+
+// Report renders the trend rows.
+func (r *TrendResult) Report() string {
+	var sb strings.Builder
+	sb.WriteString(r.Name + "\n")
+	fmt.Fprintf(&sb, "  %-8s", "x")
+	for _, m := range r.Metric {
+		fmt.Fprintf(&sb, " %8s", m)
+	}
+	sb.WriteByte('\n')
+	for xi, x := range r.Xs {
+		fmt.Fprintf(&sb, "  %-8d", x)
+		for mi := range r.Metric {
+			fmt.Fprintf(&sb, " %7.2f%%", r.Mean[mi][xi])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig11Result carries the star-plot significance data.
+type Fig11Result struct {
+	Metrics []sim.Metric
+	// ByOrder[metric] and ByFrequency[metric] are star plots with one row
+	// per benchmark and one spoke per design parameter.
+	ByOrder     []*stats.StarPlot
+	ByFrequency []*stats.StarPlot
+}
+
+// Fig11 reproduces Figure 11: which microarchitecture parameters drive
+// workload dynamics, read from the regression trees of the trained
+// networks — (a) by split order, (b) by split frequency.
+func Fig11(c *Campaign) (*Fig11Result, error) {
+	res := &Fig11Result{Metrics: []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF}}
+	names := space.ParamNames[:]
+	for _, m := range res.Metrics {
+		order := stats.NewStarPlot(names)
+		freq := stats.NewStarPlot(names)
+		for _, b := range c.Scale.Benchmarks {
+			_, p, err := c.EvaluateMetric(b, m)
+			if err != nil {
+				return nil, err
+			}
+			order.Add(b, p.ImportanceByOrder())
+			freq.Add(b, p.ImportanceByFrequency())
+		}
+		res.ByOrder = append(res.ByOrder, order)
+		res.ByFrequency = append(res.ByFrequency, freq)
+	}
+	return res, nil
+}
+
+// Report renders both star-plot families.
+func (r *Fig11Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11. Parameter roles in predicting workload dynamics\n")
+	for i, m := range r.Metrics {
+		fmt.Fprintf(&sb, "(a) by split order — %s\n%s", m, r.ByOrder[i].Render())
+		fmt.Fprintf(&sb, "(b) by split frequency — %s\n%s", m, r.ByFrequency[i].Render())
+	}
+	return sb.String()
+}
+
+// Fig13Result reports threshold-based scenario classification quality.
+type Fig13Result struct {
+	Benchmarks []string
+	Metrics    []sim.Metric
+	Levels     []stats.ThresholdLevel
+	// Asymmetry[metric][benchmark][level] is mean (1−DS)% over test
+	// points.
+	Asymmetry [][][]float64
+}
+
+// Fig13 reproduces Figure 13: directional asymmetry of threshold-crossing
+// classification at the Q1/Q2/Q3 levels of Figure 12.
+func Fig13(c *Campaign) (*Fig13Result, error) {
+	res := &Fig13Result{
+		Benchmarks: c.Scale.Benchmarks,
+		Metrics:    []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF},
+		Levels:     []stats.ThresholdLevel{stats.Q1, stats.Q2, stats.Q3},
+	}
+	for _, m := range res.Metrics {
+		var perBench [][]float64
+		for _, b := range res.Benchmarks {
+			d, err := c.Dataset(b)
+			if err != nil {
+				return nil, err
+			}
+			_, p, err := c.EvaluateMetric(b, m)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, len(res.Levels))
+			for li, level := range res.Levels {
+				var sum float64
+				for i, cfg := range d.TestConfigs {
+					actual := d.Test[i].Series(m)
+					pred := p.Predict(cfg)
+					thr := stats.Threshold(actual, level)
+					sum += stats.DirectionalAsymmetry(actual, pred, thr)
+				}
+				row[li] = sum / float64(len(d.TestConfigs))
+			}
+			perBench = append(perBench, row)
+		}
+		res.Asymmetry = append(res.Asymmetry, perBench)
+	}
+	return res, nil
+}
+
+// Report renders the per-benchmark asymmetry rows.
+func (r *Fig13Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13. Threshold-based scenario prediction, directional asymmetry (1−DS)%\n")
+	for mi, m := range r.Metrics {
+		fmt.Fprintf(&sb, "%s:\n  %-10s", m, "bench")
+		for _, l := range r.Levels {
+			fmt.Fprintf(&sb, " %8s", fmt.Sprintf("%s_%s", m, l))
+		}
+		sb.WriteByte('\n')
+		for bi, b := range r.Benchmarks {
+			fmt.Fprintf(&sb, "  %-10s", b)
+			for li := range r.Levels {
+				fmt.Fprintf(&sb, " %7.2f%%", r.Asymmetry[mi][bi][li])
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Fig14Result carries simulated-vs-predicted overlays for one benchmark.
+type Fig14Result struct {
+	Benchmark string
+	Metrics   []sim.Metric
+	Actual    [][]float64
+	Predicted [][]float64
+	MSEs      []float64
+}
+
+// Fig14 reproduces Figure 14: detailed scenario prediction overlays on one
+// benchmark (the paper shows bzip2) for one representative test design.
+func Fig14(c *Campaign, benchmark string) (*Fig14Result, error) {
+	d, err := c.Dataset(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{
+		Benchmark: benchmark,
+		Metrics:   []sim.Metric{sim.MetricCPI, sim.MetricPower, sim.MetricAVF},
+	}
+	for _, m := range res.Metrics {
+		_, p, err := c.EvaluateMetric(benchmark, m)
+		if err != nil {
+			return nil, err
+		}
+		actual := d.Test[0].Series(m)
+		pred := p.Predict(d.TestConfigs[0])
+		res.Actual = append(res.Actual, actual)
+		res.Predicted = append(res.Predicted, pred)
+		res.MSEs = append(res.MSEs, mathx.RelativeMSEPercent(actual, pred))
+	}
+	return res, nil
+}
+
+// Report renders the overlays.
+func (r *Fig14Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 14. Workload execution scenario predictions on %s\n", r.Benchmark)
+	for i, m := range r.Metrics {
+		sb.WriteString(stats.RenderSeries(
+			fmt.Sprintf("%s (MSE %.2f%%)", m, r.MSEs[i]),
+			r.Actual[i], r.Predicted[i], 8))
+	}
+	return sb.String()
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// Dataset persistence: paper-scale sweeps take minutes of simulation, so
+// campaigns can be checkpointed to disk and reloaded. The format is plain
+// JSON, one file per (benchmark, variant), so saved traces remain
+// inspectable and diffable.
+
+// datasetFile is the on-disk representation of one dataset.
+type datasetFile struct {
+	FormatVersion int              `json:"format_version"`
+	Benchmark     string           `json:"benchmark"`
+	Scale         scaleFingerprint `json:"scale"`
+	TrainConfigs  []space.Config   `json:"train_configs"`
+	TestConfigs   []space.Config   `json:"test_configs"`
+	Train         []traceFile      `json:"train"`
+	Test          []traceFile      `json:"test"`
+}
+
+// traceFile serialises the series of one run (interval detail is not
+// persisted; experiments consume only the series).
+type traceFile struct {
+	CPI   []float64 `json:"cpi"`
+	Power []float64 `json:"power"`
+	AVF   []float64 `json:"avf"`
+	IQAVF []float64 `json:"iq_avf"`
+}
+
+// scaleFingerprint records the campaign parameters that shaped the data,
+// so stale caches are rejected on load.
+type scaleFingerprint struct {
+	Train        int    `json:"train"`
+	Test         int    `json:"test"`
+	Samples      int    `json:"samples"`
+	Instructions uint64 `json:"instructions"`
+	Seed         uint64 `json:"seed"`
+}
+
+const datasetFormatVersion = 1
+
+func (s Scale) fingerprint() scaleFingerprint {
+	return scaleFingerprint{
+		Train: s.Train, Test: s.Test, Samples: s.Samples,
+		Instructions: s.Instructions, Seed: s.Seed,
+	}
+}
+
+// SaveDatasets writes every cached dataset of the campaign to dir.
+func (c *Campaign) SaveDatasets(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type entry struct {
+		key string
+		d   *Dataset
+	}
+	var entries []entry
+	for k, d := range c.plain {
+		entries = append(entries, entry{"plain-" + k, d})
+	}
+	for k, d := range c.dvm {
+		entries = append(entries, entry{"dvm-" + k, d})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	for _, e := range entries {
+		if err := writeDataset(filepath.Join(dir, e.key+".json"), e.d, c.Scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDatasets restores previously saved datasets into the campaign cache.
+// Files whose scale fingerprint does not match the campaign are rejected
+// with an error (silently mixing protocols would corrupt results).
+func (c *Campaign) LoadDatasets(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, path := range matches {
+		d, key, err := readDataset(path, c.Scale)
+		if err != nil {
+			return err
+		}
+		switch {
+		case len(key) > 6 && key[:6] == "plain-":
+			c.plain[key[6:]] = d
+		case len(key) > 4 && key[:4] == "dvm-":
+			c.dvm[key[4:]] = d
+		default:
+			return fmt.Errorf("experiments: unrecognised dataset file %s", path)
+		}
+	}
+	return nil
+}
+
+// CachedDatasets reports the number of cached plain and DVM datasets.
+func (c *Campaign) CachedDatasets() (plain, dvm int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plain), len(c.dvm)
+}
+
+func writeDataset(path string, d *Dataset, sc Scale) error {
+	df := datasetFile{
+		FormatVersion: datasetFormatVersion,
+		Benchmark:     d.Benchmark,
+		Scale:         sc.fingerprint(),
+		TrainConfigs:  d.TrainConfigs,
+		TestConfigs:   d.TestConfigs,
+	}
+	for _, tr := range d.Train {
+		df.Train = append(df.Train, toTraceFile(tr))
+	}
+	for _, tr := range d.Test {
+		df.Test = append(df.Test, toTraceFile(tr))
+	}
+	data, err := json.Marshal(df)
+	if err != nil {
+		return fmt.Errorf("experiments: encode %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+func readDataset(path string, sc Scale) (*Dataset, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: %w", err)
+	}
+	var df datasetFile
+	if err := json.Unmarshal(data, &df); err != nil {
+		return nil, "", fmt.Errorf("experiments: decode %s: %w", path, err)
+	}
+	if df.FormatVersion != datasetFormatVersion {
+		return nil, "", fmt.Errorf("experiments: %s has format %d, want %d", path, df.FormatVersion, datasetFormatVersion)
+	}
+	if df.Scale != sc.fingerprint() {
+		return nil, "", fmt.Errorf("experiments: %s was generated at a different scale (%+v vs %+v)", path, df.Scale, sc.fingerprint())
+	}
+	d := &Dataset{
+		Benchmark:    df.Benchmark,
+		TrainConfigs: df.TrainConfigs,
+		TestConfigs:  df.TestConfigs,
+	}
+	for i, tf := range df.Train {
+		d.Train = append(d.Train, fromTraceFile(tf, df.Benchmark, df.TrainConfigs[i]))
+	}
+	for i, tf := range df.Test {
+		d.Test = append(d.Test, fromTraceFile(tf, df.Benchmark, df.TestConfigs[i]))
+	}
+	base := filepath.Base(path)
+	return d, base[:len(base)-len(".json")], nil
+}
+
+func toTraceFile(tr *sim.Trace) traceFile {
+	return traceFile{CPI: tr.CPI, Power: tr.Power, AVF: tr.AVF, IQAVF: tr.IQAVF}
+}
+
+func fromTraceFile(tf traceFile, benchmark string, cfg space.Config) *sim.Trace {
+	return &sim.Trace{
+		Benchmark: benchmark,
+		Config:    cfg,
+		CPI:       tf.CPI,
+		Power:     tf.Power,
+		AVF:       tf.AVF,
+		IQAVF:     tf.IQAVF,
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSaveLoadDatasetsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := tinyCampaign(t)
+	if _, err := c.Dataset("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DVMDataset("gcc", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("saved %d files, want 2", len(files))
+	}
+
+	// Fresh campaign at the same scale loads the cache.
+	c2, err := NewCampaign(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+	plain, dvm := c2.CachedDatasets()
+	if plain != 1 || dvm != 1 {
+		t.Fatalf("loaded %d/%d datasets, want 1/1", plain, dvm)
+	}
+	d1, _ := c.Dataset("gcc")
+	d2, err := c2.Dataset("gcc") // must hit the cache, not re-simulate
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Train {
+		for j := range d1.Train[i].CPI {
+			if d1.Train[i].CPI[j] != d2.Train[i].CPI[j] {
+				t.Fatal("round-tripped trace differs")
+			}
+		}
+	}
+	// Configs must round-trip so predictions use the right features.
+	for i := range d1.TrainConfigs {
+		if d1.TrainConfigs[i].Vector()[0] != d2.TrainConfigs[i].Vector()[0] {
+			t.Fatal("round-tripped config differs")
+		}
+	}
+}
+
+func TestLoadRejectsWrongScale(t *testing.T) {
+	dir := t.TempDir()
+	c := tinyCampaign(t)
+	if _, err := c.Dataset("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyScale()
+	other.Instructions *= 2
+	c2, err := NewCampaign(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadDatasets(dir); err == nil {
+		t.Fatal("loading datasets from a different scale must fail")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "plain-x.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := tinyCampaign(t)
+	if err := c.LoadDatasets(dir); err == nil {
+		t.Fatal("corrupt file must fail to load")
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	c := tinyCampaign(t)
+	r, err := Fig8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 3 metrics × 2 benchmarks × 4 test points
+	if want := 1 + 3*2*4; len(lines) != want {
+		t.Fatalf("CSV rows = %d, want %d", len(lines), want)
+	}
+	if lines[0] != "metric,benchmark,testpoint,mse_percent" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestTrendAndAblationCSV(t *testing.T) {
+	c := tinyCampaign(t)
+	tr, err := Fig9(c, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 1+3*2 {
+		t.Errorf("trend CSV rows = %d", got)
+	}
+
+	ab, err := AblationSelection(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "magnitude-based") {
+		t.Error("ablation CSV missing variant")
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	c := tinyCampaign(t)
+	d, err := c.Dataset("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, d.Test[0]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + int(sim.NumMetrics)*c.Scale.Samples; len(lines) != want {
+		t.Fatalf("trace CSV rows = %d, want %d", len(lines), want)
+	}
+}
+
+func TestFigResultCSVs(t *testing.T) {
+	c := tinyCampaign(t)
+	var buf bytes.Buffer
+
+	f1, err := Fig1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gap") {
+		t.Error("fig1 CSV missing data")
+	}
+
+	f4, err := Fig4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "original") {
+		t.Error("fig4 CSV missing header")
+	}
+
+	f13, err := Fig13(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f13.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Q3") {
+		t.Error("fig13 CSV missing levels")
+	}
+
+	f14, err := Fig14(c, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f14.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "predicted") {
+		t.Error("fig14 CSV missing header")
+	}
+
+	f18, err := Fig18(c, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f18.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "IQ_AVF") {
+		t.Error("fig18 CSV missing metric")
+	}
+
+	f19, err := Fig19(c, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f19.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Error("fig19 CSV missing header")
+	}
+}

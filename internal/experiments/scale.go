@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each experiment
+// function returns a structured result plus a printable report whose rows
+// mirror what the paper plots.
+//
+// Experiments run at a configurable Scale: PaperScale reproduces the full
+// protocol (200 training + 50 testing designs per benchmark, 128-sample
+// traces), QuickScale is sized for test suites and benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/space"
+	"repro/internal/workload"
+)
+
+// Scale sizes an experimental campaign.
+type Scale struct {
+	// Train and Test are the number of design points per benchmark.
+	Train, Test int
+	// LHSCandidates is how many LHS matrices compete on discrepancy.
+	LHSCandidates int
+	// Samples is the trace length per run (power of two).
+	Samples int
+	// Instructions is the committed-instruction budget per run.
+	Instructions uint64
+	// Benchmarks to include (paper order).
+	Benchmarks []string
+	// Coefficients is k, the modelled wavelet coefficient count.
+	Coefficients int
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives design sampling.
+	Seed uint64
+}
+
+// PaperScale is the protocol of Section 3: 200 train / 50 test designs,
+// 128 samples, twelve benchmarks, k=16. The per-run instruction budget is
+// sized so each of the 128 samples averages over enough instructions that
+// sample-to-sample microarchitectural noise does not dominate the phase
+// signal (the paper's samples each cover ~1.5M instructions of a 200M
+// SimPoint; ours cover 8K of a 1M slice of the synthetic workloads, which
+// have proportionally faster phase periods).
+func PaperScale() Scale {
+	return Scale{
+		Train:         200,
+		Test:          50,
+		LHSCandidates: 20,
+		Samples:       128,
+		Instructions:  1048576,
+		Benchmarks:    workload.Names(),
+		Coefficients:  16,
+		Seed:          2007,
+	}
+}
+
+// QuickScale is a reduced protocol for test suites and benchmarks: fewer
+// designs, shorter traces, a representative benchmark subset. The shapes of
+// all results (who wins, trends) are preserved; absolute errors are higher
+// than at paper scale because the models see less training data.
+func QuickScale() Scale {
+	return Scale{
+		Train:         30,
+		Test:          8,
+		LHSCandidates: 5,
+		Samples:       32,
+		Instructions:  32768,
+		Benchmarks:    []string{"bzip2", "gcc", "mcf", "swim"},
+		Coefficients:  8,
+		Seed:          2007,
+	}
+}
+
+// Validate checks the scale for consistency.
+func (s Scale) Validate() error {
+	if s.Train < 4 || s.Test < 1 {
+		return fmt.Errorf("experiments: need ≥4 train and ≥1 test designs, got %d/%d", s.Train, s.Test)
+	}
+	if s.Samples < 2 || s.Samples&(s.Samples-1) != 0 {
+		return fmt.Errorf("experiments: samples must be a power of two ≥ 2, got %d", s.Samples)
+	}
+	if s.Instructions == 0 || s.Instructions%uint64(s.Samples) != 0 {
+		return fmt.Errorf("experiments: instructions %d must be a positive multiple of samples %d", s.Instructions, s.Samples)
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("experiments: no benchmarks")
+	}
+	for _, b := range s.Benchmarks {
+		if _, ok := workload.ProfileByName(b); !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", b)
+		}
+	}
+	if s.Coefficients <= 0 || s.Coefficients > s.Samples {
+		return fmt.Errorf("experiments: coefficients %d outside (0, %d]", s.Coefficients, s.Samples)
+	}
+	return nil
+}
+
+// designs draws the train and test design sets for this scale. Training
+// designs come from the best-of-N LHS (Table 2 train levels); test designs
+// are sampled randomly and independently from the test levels, as in the
+// paper.
+func (s Scale) designs() (train, test []space.Config) {
+	rng := newRNG(s.Seed)
+	base := space.Baseline()
+	train = space.SampleDesign(s.Train, space.TrainLevels(), base, s.LHSCandidates, rng)
+	test = space.Random(s.Test, space.TestLevels(), base, rng)
+	return train, test
+}

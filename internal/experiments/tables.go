@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/space"
+)
+
+// Table1 renders the baseline machine configuration (paper Table 1).
+func Table1() string {
+	b := space.Baseline()
+	var sb strings.Builder
+	sb.WriteString("Table 1. Simulated machine configuration\n")
+	rows := [][2]string{
+		{"Processor Width", fmt.Sprintf("%d-wide fetch/issue/commit", b.FetchWidth)},
+		{"Issue Queue", fmt.Sprintf("%d", b.IQSize)},
+		{"ITLB", fmt.Sprintf("%d entries, 4-way, %d cycle miss", b.ITLBEntries, b.TLBMissLat)},
+		{"Branch Predictor", fmt.Sprintf("%dK entries Gshare, %d-bit global history", b.BPredEntries/1024, b.GHistBits)},
+		{"BTB", fmt.Sprintf("%dK entries, 4-way", b.BTBEntries/1024)},
+		{"Return Address Stack", fmt.Sprintf("%d entries RAS", b.RASEntries)},
+		{"L1 Instruction Cache", fmt.Sprintf("%dK, %d-way, %d Byte/line", b.IL1SizeKB, b.IL1Assoc, b.IL1LineB)},
+		{"ROB Size", fmt.Sprintf("%d entries", b.ROBSize)},
+		{"Load/Store Queue", fmt.Sprintf("%d entries", b.LSQSize)},
+		{"Integer ALU", fmt.Sprintf("%d I-ALU, %d I-MUL/DIV", b.IntALU, b.IntMulDiv)},
+		{"FP ALU", fmt.Sprintf("%d FP-ALU, %d FP-MUL/DIV/SQRT", b.FPALU, b.FPMulDiv)},
+		{"DTLB", fmt.Sprintf("%d entries, 4-way, %d cycle miss", b.DTLBEntries, b.TLBMissLat)},
+		{"L1 Data Cache", fmt.Sprintf("%dKB, %d-way, %d Byte/line, %d ports, %d cycle access", b.DL1SizeKB, b.DL1Assoc, b.DL1LineB, b.MemPorts, b.DL1Lat)},
+		{"L2 Cache", fmt.Sprintf("unified %dMB, %d-way, %d Byte/line, %d cycle access", b.L2SizeKB/1024, b.L2Assoc, b.L2LineB, b.L2Lat)},
+		{"Memory Access", fmt.Sprintf("%d cycles access latency", b.MemLat)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-22s %s\n", r[0], r[1])
+	}
+	return sb.String()
+}
+
+// Table2 renders the swept parameter ranges (paper Table 2).
+func Table2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Microarchitectural parameter ranges used for generating train/test data\n")
+	fmt.Fprintf(&sb, "  %-12s %-28s %-24s %s\n", "Parameter", "Train", "Test", "#Levels")
+	train := space.TrainLevels()
+	test := space.TestLevels()
+	for p := 0; p < space.NumParams; p++ {
+		fmt.Fprintf(&sb, "  %-12s %-28s %-24s %d\n",
+			space.ParamNames[p], intsToString(train[p]), intsToString(test[p]), len(train[p]))
+	}
+	return sb.String()
+}
+
+func intsToString(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+)
+
+// ThermalResult is the extension study motivated by the paper's DTM
+// discussion (Section 1): forecast workload *thermal* dynamics across the
+// design space and score how well the forecasts classify DTM trigger
+// scenarios.
+type ThermalResult struct {
+	Benchmarks []string
+	Params     thermal.Params
+	// MSE[benchmark] lists per-test-point temperature-trace MSE%.
+	MSE [][]float64
+	// TriggerAsymmetry[benchmark] is the mean (1−DS)% of DTM-trigger
+	// classification at the Q3 (hot-scenario) threshold.
+	TriggerAsymmetry []float64
+	// PeakErrC[benchmark] is the mean absolute error of the predicted
+	// worst-case temperature, in °C.
+	PeakErrC []float64
+}
+
+// ExtThermal trains temperature-dynamics predictors per benchmark:
+// temperature traces are derived from each run's power trace through the
+// RC package model, and the usual wavelet-NN protocol is applied.
+func ExtThermal(c *Campaign, params thermal.Params) (*ThermalResult, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ThermalResult{Benchmarks: c.Scale.Benchmarks, Params: params}
+	for _, b := range res.Benchmarks {
+		d, err := c.Dataset(b)
+		if err != nil {
+			return nil, err
+		}
+		toTemp := func(traces []*sim.Trace) ([][]float64, error) {
+			out := make([][]float64, len(traces))
+			for i, tr := range traces {
+				t, err := thermal.Trace(tr.Power, params)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = t
+			}
+			return out, nil
+		}
+		trainTemps, err := toTemp(d.Train)
+		if err != nil {
+			return nil, err
+		}
+		testTemps, err := toTemp(d.Test)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.Train(d.TrainConfigs, trainTemps, c.modelOptions(false))
+		if err != nil {
+			return nil, err
+		}
+
+		mses := make([]float64, len(d.TestConfigs))
+		var asymSum, peakSum float64
+		for i, cfg := range d.TestConfigs {
+			actual := testTemps[i]
+			pred := p.Predict(cfg)
+			mses[i] = mathx.RelativeMSEPercent(actual, pred)
+			thr := stats.Threshold(actual, stats.Q3)
+			asymSum += stats.DirectionalAsymmetry(actual, pred, thr)
+			peak := mathx.Max(actual) - mathx.Max(pred)
+			if peak < 0 {
+				peak = -peak
+			}
+			peakSum += peak
+		}
+		res.MSE = append(res.MSE, mses)
+		res.TriggerAsymmetry = append(res.TriggerAsymmetry, asymSum/float64(len(d.TestConfigs)))
+		res.PeakErrC = append(res.PeakErrC, peakSum/float64(len(d.TestConfigs)))
+	}
+	return res, nil
+}
+
+// Report renders the per-benchmark thermal forecasting quality.
+func (r *ThermalResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension: thermal dynamics prediction (R=%.2f K/W, τ=%.0f samples, ambient %.0f°C)\n",
+		r.Params.RThermal, r.Params.TimeConstant, r.Params.Ambient)
+	fmt.Fprintf(&sb, "  %-10s %12s %16s %14s\n", "bench", "med MSE%", "Q3 1-DS %", "peak err °C")
+	for bi, b := range r.Benchmarks {
+		fmt.Fprintf(&sb, "  %-10s %11.2f%% %15.2f%% %13.2f\n",
+			b, mathx.Median(r.MSE[bi]), r.TriggerAsymmetry[bi], r.PeakErrC[bi])
+	}
+	return sb.String()
+}
+
+// WriteCSV emits one row per (benchmark, testpoint).
+func (r *ThermalResult) WriteCSV(out ioWriter) error {
+	w := newCSVWriter(out)
+	rows := [][]string{{"benchmark", "testpoint", "mse_percent"}}
+	for bi, b := range r.Benchmarks {
+		for ti, v := range r.MSE[bi] {
+			rows = append(rows, []string{b, fmt.Sprint(ti), f2s(v)})
+		}
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// WorkloadRow characterises one synthetic benchmark on the baseline
+// machine.
+type WorkloadRow struct {
+	Benchmark     string
+	IPC           float64
+	BranchRate    float64 // branches per instruction
+	MispredRate   float64 // mispredictions per branch
+	DL1MissRate   float64
+	L2MissRate    float64
+	MeanPower     float64
+	MeanIQAVF     float64
+	CPIDynRange   float64 // max/min sampled CPI — phase visibility
+	PowerDynRange float64
+}
+
+// WorkloadTable runs every campaign benchmark on the Table 1 baseline and
+// reports its headline characteristics — the sanity sheet for the
+// SPEC CPU 2000 substitution (DESIGN.md §2).
+func WorkloadTable(c *Campaign) ([]WorkloadRow, error) {
+	opts := c.simOptions()
+	rows := make([]WorkloadRow, 0, len(c.Scale.Benchmarks))
+	for _, b := range c.Scale.Benchmarks {
+		tr, err := sim.Run(space.Baseline(), b, opts)
+		if err != nil {
+			return nil, err
+		}
+		var instrs, cycles, branches, mispred uint64
+		var dl1A, dl1M, l2A, l2M uint64
+		for _, iv := range tr.Intervals {
+			instrs += iv.Instrs
+			cycles += iv.Cycles
+			branches += iv.Branches
+			mispred += iv.Mispredicts
+			dl1A += iv.DL1Accesses
+			dl1M += iv.DL1Misses
+			l2A += iv.L2Accesses
+			l2M += iv.L2Misses
+		}
+		row := WorkloadRow{
+			Benchmark: b,
+			IPC:       float64(instrs) / float64(cycles),
+			MeanPower: mathx.Mean(tr.Power),
+			MeanIQAVF: mathx.Mean(tr.IQAVF),
+		}
+		if instrs > 0 {
+			row.BranchRate = float64(branches) / float64(instrs)
+		}
+		if branches > 0 {
+			row.MispredRate = float64(mispred) / float64(branches)
+		}
+		if dl1A > 0 {
+			row.DL1MissRate = float64(dl1M) / float64(dl1A)
+		}
+		if l2A > 0 {
+			row.L2MissRate = float64(l2M) / float64(l2A)
+		}
+		if lo := mathx.Min(tr.CPI); lo > 0 {
+			row.CPIDynRange = mathx.Max(tr.CPI) / lo
+		}
+		if lo := mathx.Min(tr.Power); lo > 0 {
+			row.PowerDynRange = mathx.Max(tr.Power) / lo
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WorkloadReport renders the characterisation table.
+func WorkloadReport(rows []WorkloadRow) string {
+	var sb strings.Builder
+	sb.WriteString("Synthetic workload characterisation on the Table 1 baseline\n")
+	fmt.Fprintf(&sb, "  %-9s %6s %7s %8s %8s %7s %7s %7s %8s %8s\n",
+		"bench", "IPC", "br/in", "mispred", "dl1miss", "l2miss", "power", "iqAVF", "cpiRng", "powRng")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-9s %6.2f %7.3f %7.1f%% %7.1f%% %6.1f%% %6.1fW %7.3f %8.2f %8.2f\n",
+			r.Benchmark, r.IPC, r.BranchRate, 100*r.MispredRate,
+			100*r.DL1MissRate, 100*r.L2MissRate, r.MeanPower, r.MeanIQAVF,
+			r.CPIDynRange, r.PowerDynRange)
+	}
+	return sb.String()
+}

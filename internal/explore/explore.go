@@ -1,0 +1,172 @@
+// Package explore implements the end use-case the paper motivates:
+// *informed* design space exploration. Once wavelet neural networks are
+// trained for a workload, whole design spaces can be swept through the
+// models at microseconds per design instead of minutes of detailed
+// simulation — scoring every candidate's predicted dynamics, filtering by
+// worst-case scenario constraints, and extracting Pareto frontiers.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/space"
+)
+
+// Objective summarises a predicted dynamics trace into a scalar score.
+type Objective struct {
+	// Name labels the objective in reports.
+	Name string
+	// Score reduces a predicted trace to a scalar (lower is better).
+	Score func(trace []float64) float64
+}
+
+// MeanObjective scores by trace mean — aggregate behaviour.
+func MeanObjective(name string) Objective {
+	return Objective{Name: name, Score: mathx.Mean}
+}
+
+// WorstCaseObjective scores by trace maximum — the worst execution
+// scenario, the quantity thermal/reliability provisioning cares about.
+func WorstCaseObjective(name string) Objective {
+	return Objective{Name: name, Score: mathx.Max}
+}
+
+// ExceedanceObjective scores by the fraction of samples at or above a
+// threshold — the scenario-classification view of Figures 12–13.
+func ExceedanceObjective(name string, threshold float64) Objective {
+	return Objective{Name: name, Score: func(trace []float64) float64 {
+		n := 0
+		for _, v := range trace {
+			if v >= threshold {
+				n++
+			}
+		}
+		return float64(n) / float64(len(trace))
+	}}
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	Config space.Config
+	// Scores[i] is the i-th objective's value (lower is better).
+	Scores []float64
+}
+
+// Result is the outcome of a model-driven sweep.
+type Result struct {
+	Objectives []Objective
+	// Evaluated is every candidate in sweep order.
+	Evaluated []Candidate
+	// Frontier is the Pareto-optimal subset (no candidate dominates
+	// another on all objectives), sorted by the first objective.
+	Frontier []Candidate
+}
+
+// Sweep predicts dynamics for every design and scores it under each
+// (model, objective) pair. models[i] produces the trace scored by
+// objectives[i]; the two slices must align.
+func Sweep(designs []space.Config, models []core.DynamicsModel, objectives []Objective) (*Result, error) {
+	if len(models) == 0 || len(models) != len(objectives) {
+		return nil, fmt.Errorf("explore: need matching models (%d) and objectives (%d)", len(models), len(objectives))
+	}
+	if len(designs) == 0 {
+		return nil, fmt.Errorf("explore: no designs to sweep")
+	}
+	res := &Result{Objectives: objectives}
+	for _, cfg := range designs {
+		cand := Candidate{Config: cfg, Scores: make([]float64, len(models))}
+		for i, m := range models {
+			cand.Scores[i] = objectives[i].Score(m.Predict(cfg))
+		}
+		res.Evaluated = append(res.Evaluated, cand)
+	}
+	res.Frontier = paretoFrontier(res.Evaluated)
+	sort.Slice(res.Frontier, func(a, b int) bool {
+		return res.Frontier[a].Scores[0] < res.Frontier[b].Scores[0]
+	})
+	return res, nil
+}
+
+// dominates reports whether a is at least as good as b everywhere and
+// strictly better somewhere (minimisation).
+func dominates(a, b Candidate) bool {
+	strictly := false
+	for i := range a.Scores {
+		if a.Scores[i] > b.Scores[i] {
+			return false
+		}
+		if a.Scores[i] < b.Scores[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// paretoFrontier extracts the non-dominated candidates.
+func paretoFrontier(cands []Candidate) []Candidate {
+	var out []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i != j && dominates(o, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Constraint bounds one objective during constrained selection.
+type Constraint struct {
+	// Objective indexes Result.Objectives.
+	Objective int
+	// Max is the largest admissible score.
+	Max float64
+}
+
+// Best returns the feasible candidate minimising the given objective, or
+// ok=false when no candidate satisfies every constraint.
+func (r *Result) Best(objective int, constraints []Constraint) (Candidate, bool) {
+	if objective < 0 || objective >= len(r.Objectives) {
+		panic(fmt.Sprintf("explore: objective %d out of range", objective))
+	}
+	best := Candidate{}
+	found := false
+	for _, c := range r.Evaluated {
+		feasible := true
+		for _, con := range constraints {
+			if c.Scores[con.Objective] > con.Max {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if !found || c.Scores[objective] < best.Scores[objective] {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Report renders the frontier.
+func (r *Result) Report() string {
+	s := fmt.Sprintf("explored %d designs; Pareto frontier has %d points\n", len(r.Evaluated), len(r.Frontier))
+	for _, c := range r.Frontier {
+		s += "  "
+		for i, obj := range r.Objectives {
+			s += fmt.Sprintf("%s=%.4f ", obj.Name, c.Scores[i])
+		}
+		s += "| " + c.Config.String() + "\n"
+	}
+	return s
+}

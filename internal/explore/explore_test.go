@@ -1,0 +1,191 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/space"
+)
+
+// flatModel predicts a constant trace whose level is a fixed function of
+// the configuration — enough to test sweep mechanics without training.
+type flatModel struct {
+	f func(cfg space.Config) float64
+}
+
+func (m flatModel) Predict(cfg space.Config) []float64 {
+	out := make([]float64, 8)
+	for i := range out {
+		out[i] = m.f(cfg)
+	}
+	return out
+}
+
+var _ core.DynamicsModel = flatModel{}
+
+func testDesigns() []space.Config {
+	levels := space.Levels{
+		{2, 4, 8, 16}, {96}, {32}, {16}, {256, 1024}, {8}, {8}, {8}, {1},
+	}
+	return levels.FullFactorial(space.Baseline())
+}
+
+// cpiModel: wider machines are faster. powerModel: wider machines and
+// bigger L2 burn more.
+func testModels() []core.DynamicsModel {
+	cpi := flatModel{f: func(c space.Config) float64 { return 8 / float64(c.FetchWidth) }}
+	power := flatModel{f: func(c space.Config) float64 {
+		return float64(c.FetchWidth)*3 + float64(c.L2SizeKB)/256
+	}}
+	return []core.DynamicsModel{cpi, power}
+}
+
+func sweepOrFatal(t *testing.T) *Result {
+	t.Helper()
+	res, err := Sweep(testDesigns(), testModels(),
+		[]Objective{MeanObjective("cpi"), MeanObjective("power")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepEvaluatesAllDesigns(t *testing.T) {
+	res := sweepOrFatal(t)
+	if len(res.Evaluated) != 8 { // 4 widths × 2 L2 sizes
+		t.Fatalf("evaluated %d designs, want 8", len(res.Evaluated))
+	}
+}
+
+func TestParetoFrontierShape(t *testing.T) {
+	res := sweepOrFatal(t)
+	// For each width, only the small-L2 variant can be on the frontier
+	// (same CPI, less power) → exactly 4 frontier points.
+	if len(res.Frontier) != 4 {
+		t.Fatalf("frontier size %d, want 4: %v", len(res.Frontier), res.Frontier)
+	}
+	for _, c := range res.Frontier {
+		if c.Config.L2SizeKB != 256 {
+			t.Errorf("dominated large-L2 config on frontier: %v", c.Config)
+		}
+	}
+	// Sorted by CPI ascending → width descending.
+	for i := 1; i < len(res.Frontier); i++ {
+		if res.Frontier[i].Scores[0] < res.Frontier[i-1].Scores[0] {
+			t.Error("frontier not sorted by first objective")
+		}
+	}
+}
+
+func TestNoFrontierPointDominated(t *testing.T) {
+	res := sweepOrFatal(t)
+	for i, a := range res.Frontier {
+		for j, b := range res.Frontier {
+			if i != j && dominates(a, b) {
+				t.Errorf("frontier point %v dominates frontier point %v", a, b)
+			}
+		}
+	}
+}
+
+func TestBestWithConstraints(t *testing.T) {
+	res := sweepOrFatal(t)
+	// Fastest machine under a power cap of 14: width 4 (12+1) beats
+	// width 8 (24+1 — over cap).
+	best, ok := res.Best(0, []Constraint{{Objective: 1, Max: 14}})
+	if !ok {
+		t.Fatal("expected a feasible candidate")
+	}
+	if best.Config.FetchWidth != 4 {
+		t.Errorf("best under power cap = width %d, want 4", best.Config.FetchWidth)
+	}
+	// Impossible constraint.
+	if _, ok := res.Best(0, []Constraint{{Objective: 1, Max: 0.1}}); ok {
+		t.Error("infeasible constraints should report not-found")
+	}
+	// Unconstrained best CPI is the widest machine.
+	best, _ = res.Best(0, nil)
+	if best.Config.FetchWidth != 16 {
+		t.Errorf("unconstrained best = width %d, want 16", best.Config.FetchWidth)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(nil, testModels(), []Objective{MeanObjective("a"), MeanObjective("b")}); err == nil {
+		t.Error("empty design list should fail")
+	}
+	if _, err := Sweep(testDesigns(), testModels(), []Objective{MeanObjective("a")}); err == nil {
+		t.Error("model/objective mismatch should fail")
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	trace := []float64{1, 5, 2, 4}
+	if got := MeanObjective("m").Score(trace); got != 3 {
+		t.Errorf("mean objective = %v, want 3", got)
+	}
+	if got := WorstCaseObjective("w").Score(trace); got != 5 {
+		t.Errorf("worst-case objective = %v, want 5", got)
+	}
+	if got := ExceedanceObjective("e", 4).Score(trace); got != 0.5 {
+		t.Errorf("exceedance objective = %v, want 0.5", got)
+	}
+}
+
+func TestReportLists(t *testing.T) {
+	res := sweepOrFatal(t)
+	rep := res.Report()
+	if !strings.Contains(rep, "Pareto frontier") || !strings.Contains(rep, "cpi=") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+}
+
+// Property: the frontier is exactly the non-dominated subset — every
+// evaluated candidate is either on the frontier or dominated by a frontier
+// point.
+func TestFrontierCoversProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{Scores: []float64{
+				float64(rng.Intn(8)), float64(rng.Intn(8)),
+			}}
+		}
+		frontier := paretoFrontier(cands)
+		inFrontier := func(c Candidate) bool {
+			for _, f := range frontier {
+				if &f == &c {
+					return true
+				}
+				if f.Scores[0] == c.Scores[0] && f.Scores[1] == c.Scores[1] {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range cands {
+			if inFrontier(c) {
+				continue
+			}
+			dominatedByFrontier := false
+			for _, fc := range frontier {
+				if dominates(fc, c) {
+					dominatedByFrontier = true
+					break
+				}
+			}
+			if !dominatedByFrontier {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

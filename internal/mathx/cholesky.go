@@ -1,0 +1,83 @@
+package mathx
+
+import "math"
+
+// Cholesky is a reusable lower-triangular factorisation L of a symmetric
+// positive-definite matrix A = L·Lᵀ, supporting repeated solves against
+// different right-hand sides (used by the GCV computation in the RBF
+// trainer, which solves one system per basis function).
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage)
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a without
+// modifying it. It returns ErrNotPositiveDefinite when a non-positive pivot
+// is encountered.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mathx: NewCholesky of non-square matrix")
+	}
+	l := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l[j*n+k]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = s * inv
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with A·x = b. b is not modified.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("mathx: Cholesky.Solve dimension mismatch")
+	}
+	n, l := c.n, c.l
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l[i*n:]
+		for k := 0; k < i; k++ {
+			s -= row[k] * z[k]
+		}
+		z[i] = s / row[i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return x
+}
+
+// TraceInverse returns tr(A⁻¹), computed column by column.
+func (c *Cholesky) TraceInverse() float64 {
+	e := make([]float64, c.n)
+	var tr float64
+	for i := 0; i < c.n; i++ {
+		e[i] = 1
+		x := c.Solve(e)
+		tr += x[i]
+		e[i] = 0
+	}
+	return tr
+}

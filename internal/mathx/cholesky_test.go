@@ -1,0 +1,119 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func randomSPD(rng *RNG, n int) *Matrix {
+	b := NewMatrix(n+3, n)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()*2 - 1
+	}
+	spd := GramMatrix(b)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+1)
+	}
+	return spd
+}
+
+func TestCholeskyFactorSolveMatchesOneShot(t *testing.T) {
+	rng := NewRNG(31)
+	a := randomSPD(rng, 6)
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	f, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := f.Solve(b)
+	x2, err := CholeskySolve(a.Clone(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-10 {
+			t.Errorf("x[%d]: factor %v vs one-shot %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestCholeskyFactorDoesNotModifyInput(t *testing.T) {
+	rng := NewRNG(41)
+	a := randomSPD(rng, 4)
+	orig := a.Clone()
+	if _, err := NewCholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != orig.Data[i] {
+			t.Fatal("NewCholesky modified its input")
+		}
+	}
+}
+
+func TestCholeskyRepeatedSolves(t *testing.T) {
+	rng := NewRNG(51)
+	a := randomSPD(rng, 5)
+	f, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		b := make([]float64, 5)
+		for i := range b {
+			b[i] = rng.Float64()*4 - 2
+		}
+		x := f.Solve(b)
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d: A·x != b (%v vs %v)", trial, back, b)
+			}
+		}
+	}
+}
+
+func TestCholeskyTraceInverseIdentity(t *testing.T) {
+	n := 7
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+	}
+	f, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.TraceInverse(); math.Abs(got-float64(n)/2) > 1e-10 {
+		t.Errorf("tr((2I)⁻¹) = %v, want %v", got, float64(n)/2)
+	}
+}
+
+func TestCholeskyFactorRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{0, 0, 0, 0})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected failure for zero matrix")
+	}
+}
+
+// Property: trace of inverse equals sum over unit solves for random SPD
+// matrices and is positive.
+func TestCholeskyTraceInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		a := randomSPD(rng, n)
+		fac, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		return fac.TraceInverse() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values. It is sized for the
+// model-fitting work in this repository (a few hundred rows and columns), not
+// for general-purpose numerical computing.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-filled rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("mathx: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += fmt.Sprintf("%v\n", m.Row(i))
+	}
+	return s
+}
+
+// MulVec computes m · x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("mathx: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// GramMatrix computes Aᵀ·A for the design matrix a.
+func GramMatrix(a *Matrix) *Matrix {
+	g := NewMatrix(a.Cols, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j := 0; j < a.Cols; j++ {
+			vj := row[j]
+			if vj == 0 {
+				continue
+			}
+			gr := g.Row(j)
+			for k := j; k < a.Cols; k++ {
+				gr[k] += vj * row[k]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for j := 0; j < g.Rows; j++ {
+		for k := j + 1; k < g.Cols; k++ {
+			g.Set(k, j, g.At(j, k))
+		}
+	}
+	return g
+}
+
+// MulTransVec computes Aᵀ·y.
+func MulTransVec(a *Matrix, y []float64) []float64 {
+	if len(y) != a.Rows {
+		panic("mathx: MulTransVec dimension mismatch")
+	}
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		yi := y[i]
+		for j, v := range row {
+			out[j] += v * yi
+		}
+	}
+	return out
+}
+
+// ErrNotPositiveDefinite is returned by CholeskySolve when the system matrix
+// is not positive definite even after regularisation.
+var ErrNotPositiveDefinite = errors.New("mathx: matrix not positive definite")
+
+// CholeskySolve solves the symmetric positive-definite system A·x = b in
+// place using a Cholesky decomposition. A is overwritten with its Cholesky
+// factor. It returns ErrNotPositiveDefinite when a non-positive pivot is
+// encountered.
+func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mathx: CholeskySolve dimension mismatch")
+	}
+	// Decompose A = L·Lᵀ (lower triangle of a holds L).
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			l := a.At(j, k)
+			d -= l * l
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s*inv)
+		}
+	}
+	// Forward substitution: L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a.At(i, k) * z[k]
+		}
+		z[i] = s / a.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= a.At(k, i) * x[k]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// RidgeSolve solves the regularised least squares problem
+// (AᵀA + λI)·w = Aᵀy and returns w. If λ is too small to make the system
+// positive definite it is grown geometrically until the factorisation
+// succeeds.
+func RidgeSolve(a *Matrix, y []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		panic("mathx: negative ridge penalty")
+	}
+	gram := GramMatrix(a)
+	rhs := MulTransVec(a, y)
+	lam := lambda
+	if lam == 0 {
+		lam = 1e-12
+	}
+	for attempt := 0; attempt < 40; attempt++ {
+		sys := gram.Clone()
+		for i := 0; i < sys.Rows; i++ {
+			sys.Set(i, i, sys.At(i, i)+lam)
+		}
+		w, err := CholeskySolve(sys, rhs)
+		if err == nil {
+			return w, nil
+		}
+		lam *= 10
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+// SolveLinear solves a general square system A·x = b with partial-pivot
+// Gaussian elimination. A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mathx: SolveLinear dimension mismatch")
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, errors.New("mathx: singular matrix")
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				v := m.At(col, j)
+				m.Set(col, j, m.At(pivot, j))
+				m.Set(pivot, j, v)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,226 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 4.5)
+	m.Set(1, 2, -2)
+	if got := m.At(0, 1); got != 4.5 {
+		t.Errorf("At(0,1) = %v, want 4.5", got)
+	}
+	if got := m.At(1, 2); got != -2 {
+		t.Errorf("At(1,2) = %v, want -2", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float64{1, 0, -1})
+	want := []float64{-2, -2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dimension mismatch")
+		}
+	}()
+	NewMatrix(2, 3).MulVec([]float64{1, 2})
+}
+
+func TestGramMatrix(t *testing.T) {
+	a := NewMatrix(3, 2)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	g := GramMatrix(a)
+	// AᵀA = [[35, 44], [44, 56]]
+	want := [][]float64{{35, 44}, {44, 56}}
+	for i := range want {
+		for j := range want[i] {
+			if got := g.At(i, j); got != want[i][j] {
+				t.Errorf("Gram[%d][%d] = %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 2, 2, 3})
+	x, err := CholeskySolve(a, []float64{10, 8})
+	if err != nil {
+		t.Fatalf("CholeskySolve: %v", err)
+	}
+	// Solution of [[4,2],[2,3]]x = [10,8] is x = [1.75, 1.5].
+	if !almostEqual(x[0], 1.75, 1e-12) || !almostEqual(x[1], 1.5, 1e-12) {
+		t.Errorf("x = %v, want [1.75 1.5]", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := CholeskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestRidgeSolveRecoversExactFit(t *testing.T) {
+	// y = 2·x0 − 3·x1 with more rows than columns and tiny ridge.
+	rng := NewRNG(7)
+	a := NewMatrix(40, 2)
+	y := make([]float64, 40)
+	for i := 0; i < 40; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		a.Set(i, 0, x0)
+		a.Set(i, 1, x1)
+		y[i] = 2*x0 - 3*x1
+	}
+	w, err := RidgeSolve(a, y, 1e-10)
+	if err != nil {
+		t.Fatalf("RidgeSolve: %v", err)
+	}
+	if !almostEqual(w[0], 2, 1e-4) || !almostEqual(w[1], -3, 1e-4) {
+		t.Errorf("w = %v, want [2 -3]", w)
+	}
+}
+
+func TestRidgeSolveShrinksWeights(t *testing.T) {
+	rng := NewRNG(11)
+	a := NewMatrix(30, 3)
+	y := make([]float64, 30)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+		y[i] = 5 * a.At(i, 0)
+	}
+	small, err := RidgeSolve(a, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RidgeSolve(a, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns, nb float64
+	for j := 0; j < 3; j++ {
+		ns += small[j] * small[j]
+		nb += big[j] * big[j]
+	}
+	if nb >= ns {
+		t.Errorf("ridge with larger penalty should shrink weights: small=%v big=%v", ns, nb)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 4})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+// Property: for random SPD systems built as M = BᵀB + I, CholeskySolve
+// returns x with A·x ≈ b.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.Float64()*2 - 1
+		}
+		spd := GramMatrix(b)
+		for i := 0; i < n; i++ {
+			spd.Set(i, i, spd.At(i, i)+1)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.Float64()*4 - 2
+		}
+		sys := spd.Clone()
+		x, err := CholeskySolve(sys, rhs)
+		if err != nil {
+			return false
+		}
+		back := spd.MulVec(x)
+		for i := range rhs {
+			if !almostEqual(back[i], rhs[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveLinear agrees with CholeskySolve on SPD systems.
+func TestSolversAgreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(5)
+		b := NewMatrix(n+2, n)
+		for i := range b.Data {
+			b.Data[i] = rng.Float64()*2 - 1
+		}
+		spd := GramMatrix(b)
+		for i := 0; i < n; i++ {
+			spd.Set(i, i, spd.At(i, i)+0.5)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.Float64()
+		}
+		x1, err1 := CholeskySolve(spd.Clone(), rhs)
+		x2, err2 := SolveLinear(spd, rhs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range x1 {
+			if !almostEqual(x1[i], x2[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

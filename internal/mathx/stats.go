@@ -1,0 +1,189 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value in xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks (the R-7 / NumPy default method).
+// It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("mathx: Percentile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MSE returns the mean squared error between actual and predicted series.
+// It panics when lengths differ and returns 0 for empty input.
+func MSE(actual, predicted []float64) float64 {
+	if len(actual) != len(predicted) {
+		panic("mathx: MSE length mismatch")
+	}
+	if len(actual) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		sum += d * d
+	}
+	return sum / float64(len(actual))
+}
+
+// RelativeMSEPercent returns the paper's error metric:
+// 100 · mean((x̂−x)²) / mean(x)², a scale-free relative squared error.
+// A perfectly flat prediction at the series mean scores the series' squared
+// coefficient of variation. Returns 0 when actual has zero mean.
+func RelativeMSEPercent(actual, predicted []float64) float64 {
+	m := Mean(actual)
+	if m == 0 {
+		return 0
+	}
+	return 100 * MSE(actual, predicted) / (m * m)
+}
+
+// PearsonCorrelation returns the linear correlation coefficient between two
+// equal-length series, or 0 when either has zero variance.
+func PearsonCorrelation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mathx: correlation length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// SpearmanRank returns Spearman's rank correlation between two equal-length
+// series (ties broken by average rank).
+func SpearmanRank(x, y []float64) float64 {
+	return PearsonCorrelation(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based average ranks of xs (ties share the mean rank).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg + 1
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

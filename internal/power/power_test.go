@@ -1,0 +1,158 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+// busyActivity builds a plausible busy interval for a machine of width w.
+func busyActivity(w int, cycles uint64) Activity {
+	c := cycles
+	per := uint64(w) * c / 2 // half the peak throughput
+	return Activity{
+		Cycles:      c,
+		Fetches:     per,
+		Issues:      per,
+		Commits:     per,
+		IntOps:      per / 2,
+		FPOps:       per / 4,
+		MemOps:      per / 4,
+		Branches:    per / 8,
+		IL1Accesses: per,
+		DL1Accesses: per / 4,
+		L2Accesses:  per / 50,
+		AvgROBOcc:   40,
+		AvgIQOcc:    30,
+		AvgLSQOcc:   12,
+	}
+}
+
+func TestBaselinePeakPlausible(t *testing.T) {
+	m := NewModel(space.Baseline())
+	p := m.PeakPower()
+	if p < 50 || p > 160 {
+		t.Errorf("baseline peak power = %vW, want a 2007-class envelope (50–160W)", p)
+	}
+}
+
+func TestIdleFloorAndPeakCeiling(t *testing.T) {
+	m := NewModel(space.Baseline())
+	idle := m.Power(Activity{Cycles: 1000})
+	if idle <= 0 {
+		t.Fatal("idle power must be positive (leakage + clock)")
+	}
+	if idle > 0.35*m.PeakPower() {
+		t.Errorf("idle power %v too close to peak %v", idle, m.PeakPower())
+	}
+	busy := m.Power(busyActivity(8, 1000))
+	if busy <= idle {
+		t.Errorf("busy power %v should exceed idle %v", busy, idle)
+	}
+	if busy > m.PeakPower() {
+		t.Errorf("computed power %v exceeds peak %v", busy, m.PeakPower())
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	m := NewModel(space.Baseline())
+	if got := m.Power(Activity{}); got != 0 {
+		t.Errorf("zero-cycle interval power = %v, want 0", got)
+	}
+}
+
+func TestPowerScalesWithStructureSizes(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*space.Config)
+		struc  Structure
+	}{
+		{"IQ", func(c *space.Config) { c.IQSize = 128 }, StructIQ},
+		{"ROB", func(c *space.Config) { c.ROBSize = 160 }, StructRenameROB},
+		{"LSQ", func(c *space.Config) { c.LSQSize = 64 }, StructLSQ},
+		{"DL1", func(c *space.Config) { c.DL1SizeKB = 128 }, StructDL1},
+		{"IL1", func(c *space.Config) { c.IL1SizeKB = 64 }, StructIL1},
+		{"L2", func(c *space.Config) { c.L2SizeKB = 4096 }, StructL2},
+		{"Width", func(c *space.Config) { c.FetchWidth = 16 }, StructRegFile},
+	}
+	base := NewModel(space.Baseline())
+	for _, tc := range cases {
+		cfg := space.Baseline()
+		tc.mutate(&cfg)
+		grown := NewModel(cfg)
+		if grown.StructurePeak(tc.struc) <= base.StructurePeak(tc.struc) {
+			t.Errorf("%s: enlarging the structure should raise its peak (%v vs %v)",
+				tc.name, grown.StructurePeak(tc.struc), base.StructurePeak(tc.struc))
+		}
+		if grown.PeakPower() <= base.PeakPower() {
+			t.Errorf("%s: total peak should grow", tc.name)
+		}
+	}
+}
+
+func TestSmallerMachineDrawsLess(t *testing.T) {
+	small := space.Baseline().WithSweptValues([space.NumParams]int{2, 96, 32, 16, 256, 12, 8, 8, 1})
+	if NewModel(small).PeakPower() >= NewModel(space.Baseline()).PeakPower() {
+		t.Error("minimal configuration should have lower peak power than baseline")
+	}
+}
+
+func TestActivityMonotonicity(t *testing.T) {
+	m := NewModel(space.Baseline())
+	quiet := busyActivity(8, 1000)
+	quiet.Issues /= 4
+	quiet.Commits /= 4
+	quiet.IntOps /= 4
+	busy := busyActivity(8, 1000)
+	if m.Power(quiet) >= m.Power(busy) {
+		t.Errorf("less activity should mean less power: quiet=%v busy=%v",
+			m.Power(quiet), m.Power(busy))
+	}
+}
+
+func TestActivityFactorsClamped(t *testing.T) {
+	m := NewModel(space.Baseline())
+	// Pathological over-counting must not push power beyond peak.
+	a := busyActivity(8, 10)
+	a.Issues *= 1000
+	a.IntOps *= 1000
+	a.DL1Accesses *= 1000
+	if got := m.Power(a); got > m.PeakPower() {
+		t.Errorf("clamped power %v exceeds peak %v", got, m.PeakPower())
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if StructIQ.String() != "iq" || StructClock.String() != "clock" {
+		t.Error("structure labels wrong")
+	}
+}
+
+func TestBreakdownSumsToPower(t *testing.T) {
+	m := NewModel(space.Baseline())
+	a := busyActivity(8, 1000)
+	var sum float64
+	for _, p := range m.Breakdown(a) {
+		sum += p
+	}
+	if got := m.Power(a); got != sum {
+		t.Errorf("Power %v != breakdown sum %v", got, sum)
+	}
+}
+
+func TestBreakdownStructureResponds(t *testing.T) {
+	m := NewModel(space.Baseline())
+	quiet := busyActivity(8, 1000)
+	quiet.FPOps = 0
+	busy := busyActivity(8, 1000)
+	bq := m.Breakdown(quiet)
+	bb := m.Breakdown(busy)
+	if bq[StructFPExec] >= bb[StructFPExec] {
+		t.Errorf("FP structure power should rise with FP activity: %v vs %v",
+			bq[StructFPExec], bb[StructFPExec])
+	}
+	// Idle floor: even with zero FP activity, the structure leaks.
+	if bq[StructFPExec] <= 0 {
+		t.Error("idle structure must still draw leakage power")
+	}
+}

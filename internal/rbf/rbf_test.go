@@ -1,0 +1,207 @@
+package rbf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/regtree"
+)
+
+// makeSmooth samples a smooth 2-D function on [0,1]².
+func makeSmooth(rng *mathx.RNG, n int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		xs[i] = []float64{x0, x1}
+		ys[i] = math.Sin(3*x0) + x1*x1
+	}
+	return xs, ys
+}
+
+func TestTrainFitsSmoothFunction(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	xs, ys := makeSmooth(rng, 200)
+	net, err := Train(xs, ys, Options{Tree: regtree.Options{MinLeafSize: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out error.
+	testX, testY := makeSmooth(rng, 100)
+	var sse, ref float64
+	mean := mathx.Mean(testY)
+	for i := range testX {
+		d := net.Predict(testX[i]) - testY[i]
+		sse += d * d
+		r := testY[i] - mean
+		ref += r * r
+	}
+	if sse > 0.05*ref {
+		t.Errorf("RBF test SSE %v exceeds 5%% of variance %v", sse, ref)
+	}
+}
+
+func TestTrainBeatsTreeBaseline(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	xs, ys := makeSmooth(rng, 200)
+	opts := Options{Tree: regtree.Options{MinLeafSize: 5}}
+	net, err := Train(xs, ys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := makeSmooth(rng, 150)
+	var sseNet, sseTree float64
+	for i := range testX {
+		dn := net.Predict(testX[i]) - testY[i]
+		dt := net.Tree().Predict(testX[i]) - testY[i]
+		sseNet += dn * dn
+		sseTree += dt * dt
+	}
+	if sseNet >= sseTree {
+		t.Errorf("RBF (%v) should beat piecewise-constant tree (%v) on smooth target", sseNet, sseTree)
+	}
+}
+
+func TestTrainConstantTarget(t *testing.T) {
+	xs := make([][]float64, 30)
+	ys := make([]float64, 30)
+	rng := mathx.NewRNG(3)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64()}
+		ys[i] = 4.2
+	}
+	net, err := Train(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := net.Predict([]float64{rng.Float64()})
+		if math.Abs(got-4.2) > 0.05 {
+			t.Errorf("Predict = %v, want ≈4.2", got)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestMaxCentersCap(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	xs, ys := makeSmooth(rng, 300)
+	net, err := Train(xs, ys, Options{
+		Tree:       regtree.Options{MinLeafSize: 2, MaxDepth: 15},
+		MaxCenters: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumCenters() > 10 {
+		t.Errorf("NumCenters = %d, want <= 10", net.NumCenters())
+	}
+}
+
+func TestLambdaFromGrid(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	xs, ys := makeSmooth(rng, 100)
+	grid := []float64{1e-4, 1e-2, 1}
+	net, err := Train(xs, ys, Options{Lambdas: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range grid {
+		if net.Lambda() == l {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Lambda %v not in grid %v", net.Lambda(), grid)
+	}
+	if net.GCV() < 0 {
+		t.Errorf("GCV = %v, want >= 0", net.GCV())
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng1 := mathx.NewRNG(7)
+	xs1, ys1 := makeSmooth(rng1, 120)
+	rng2 := mathx.NewRNG(7)
+	xs2, ys2 := makeSmooth(rng2, 120)
+	n1, err := Train(xs1, ys1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Train(xs2, ys2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7}
+	if n1.Predict(probe) != n2.Predict(probe) {
+		t.Error("identical data must produce identical networks")
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	center := []float64{0.5, 0.5}
+	radius := []float64{0.2, 0.2}
+	peak := gaussian(center, center, radius)
+	if peak != 1 {
+		t.Errorf("gaussian at center = %v, want 1", peak)
+	}
+	near := gaussian([]float64{0.55, 0.5}, center, radius)
+	far := gaussian([]float64{0.9, 0.5}, center, radius)
+	if !(peak > near && near > far && far > 0) {
+		t.Errorf("gaussian must decay monotonically: %v > %v > %v > 0", peak, near, far)
+	}
+}
+
+func TestNoBiasOption(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	xs, ys := makeSmooth(rng, 80)
+	net, err := Train(xs, ys, Options{NoBias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.weights) != net.NumCenters() {
+		t.Errorf("weights %d != centers %d with NoBias", len(net.weights), net.NumCenters())
+	}
+}
+
+// Property: training on y = a + b·x0 with ample data yields predictions
+// within the observed response range (no wild extrapolation inside the
+// training box).
+func TestPredictionBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		a := rng.Float64()*4 - 2
+		b := rng.Float64()*4 - 2
+		n := 80
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = []float64{rng.Float64()}
+			ys[i] = a + b*xs[i][0]
+		}
+		net, err := Train(xs, ys, Options{})
+		if err != nil {
+			return false
+		}
+		lo, hi := mathx.Min(ys), mathx.Max(ys)
+		span := hi - lo + 1e-9
+		for trial := 0; trial < 20; trial++ {
+			p := net.Predict([]float64{rng.Float64()})
+			if p < lo-0.5*span || p > hi+0.5*span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

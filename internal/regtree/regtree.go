@@ -1,0 +1,338 @@
+// Package regtree implements a CART-style regression tree over dense
+// float64 feature vectors.
+//
+// The tree serves three purposes in this repository, mirroring its roles in
+// the paper:
+//
+//  1. RBF centre/radius selection (Orr et al. 2000): every tree node defines
+//     a hyperrectangle whose centre and extent seed one radial basis
+//     function (Section 2.2 of the paper).
+//  2. Parameter-significance analysis (Figure 11): the split order and split
+//     frequency of each input feature rank how strongly each
+//     microarchitecture parameter drives a wavelet coefficient.
+//  3. A piecewise-constant predictor in its own right, used as a baseline.
+package regtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options controls tree growth.
+type Options struct {
+	// MinLeafSize is the smallest number of samples a leaf may hold.
+	// Defaults to 5.
+	MinLeafSize int
+	// MaxDepth bounds tree depth (root at depth 0). Defaults to 12.
+	MaxDepth int
+	// MinImprove is the minimum absolute SSE reduction a split must achieve.
+	// Defaults to 1e-12.
+	MinImprove float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLeafSize <= 0 {
+		o.MinLeafSize = 5
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinImprove <= 0 {
+		o.MinImprove = 1e-12
+	}
+	return o
+}
+
+// Node is one node of a fitted tree. Leaves have nil children.
+type Node struct {
+	// Mean is the mean response of the samples in this node.
+	Mean float64
+	// SSE is the sum of squared errors around Mean.
+	SSE float64
+	// Count is the number of training samples in the node.
+	Count int
+	// Depth is the node's distance from the root.
+	Depth int
+	// Feature and Threshold define the split (valid when Left != nil):
+	// samples with x[Feature] <= Threshold go left.
+	Feature   int
+	Threshold float64
+	// Lo and Hi bound the node's hyperrectangle in input space, inherited
+	// from the training data extent and refined by ancestor splits.
+	Lo, Hi []float64
+
+	Left, Right *Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Center returns the midpoint of the node's hyperrectangle.
+func (n *Node) Center() []float64 {
+	c := make([]float64, len(n.Lo))
+	for i := range c {
+		c[i] = (n.Lo[i] + n.Hi[i]) / 2
+	}
+	return c
+}
+
+// Extent returns the per-dimension width of the node's hyperrectangle.
+func (n *Node) Extent() []float64 {
+	e := make([]float64, len(n.Lo))
+	for i := range e {
+		e[i] = n.Hi[i] - n.Lo[i]
+	}
+	return e
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	Root *Node
+	// NumFeatures is the input dimensionality.
+	NumFeatures int
+	// SplitCounts[f] is the number of internal nodes splitting on feature f
+	// (Figure 11b, "by split frequency").
+	SplitCounts []int
+	// FirstSplitDepth[f] is the depth of the shallowest node splitting on
+	// feature f, or -1 if f is never split (Figure 11a, "by split order":
+	// parameters that cause the most output variation split earliest).
+	FirstSplitDepth []int
+	nodes           []*Node
+}
+
+// Fit grows a regression tree on xs (n samples × d features) and ys (n
+// responses). It returns an error for inconsistent or empty input.
+func Fit(xs [][]float64, ys []float64, opts Options) (*Tree, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("regtree: no samples")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regtree: %d samples but %d responses", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, fmt.Errorf("regtree: zero-dimensional features")
+	}
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("regtree: sample %d has %d features, want %d", i, len(x), d)
+		}
+	}
+	opts = opts.withDefaults()
+
+	t := &Tree{
+		NumFeatures:     d,
+		SplitCounts:     make([]int, d),
+		FirstSplitDepth: make([]int, d),
+	}
+	for f := range t.FirstSplitDepth {
+		t.FirstSplitDepth[f] = -1
+	}
+
+	// Root bounds: the data extent.
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	copy(lo, xs[0])
+	copy(hi, xs[0])
+	for _, x := range xs[1:] {
+		for j, v := range x {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Root = t.grow(xs, ys, idx, 0, lo, hi, opts)
+	return t, nil
+}
+
+func meanSSE(ys []float64, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += ys[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := ys[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+type split struct {
+	feature   int
+	threshold float64
+	sseAfter  float64
+}
+
+// bestSplit finds the SSE-minimising binary split of idx, or ok=false when
+// no admissible split exists.
+func bestSplit(xs [][]float64, ys []float64, idx []int, minLeaf int) (split, bool) {
+	best := split{sseAfter: math.Inf(1)}
+	found := false
+	n := len(idx)
+	order := make([]int, n)
+	for f := 0; f < len(xs[0]); f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+
+		// Prefix sums over the sorted order for O(1) SSE of each cut.
+		var sumL, sqL float64
+		var sumT, sqT float64
+		for _, i := range order {
+			sumT += ys[i]
+			sqT += ys[i] * ys[i]
+		}
+		for cut := 1; cut < n; cut++ {
+			y := ys[order[cut-1]]
+			sumL += y
+			sqL += y * y
+			// Can't split between equal feature values.
+			if xs[order[cut-1]][f] == xs[order[cut]][f] {
+				continue
+			}
+			if cut < minLeaf || n-cut < minLeaf {
+				continue
+			}
+			nl, nr := float64(cut), float64(n-cut)
+			sumR, sqR := sumT-sumL, sqT-sqL
+			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			if sse < best.sseAfter {
+				best = split{
+					feature:   f,
+					threshold: (xs[order[cut-1]][f] + xs[order[cut]][f]) / 2,
+					sseAfter:  sse,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+func (t *Tree) grow(xs [][]float64, ys []float64, idx []int, depth int, lo, hi []float64, opts Options) *Node {
+	mean, sse := meanSSE(ys, idx)
+	node := &Node{
+		Mean: mean, SSE: sse, Count: len(idx), Depth: depth,
+		Lo: append([]float64(nil), lo...),
+		Hi: append([]float64(nil), hi...),
+	}
+	t.nodes = append(t.nodes, node)
+
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeafSize || sse <= opts.MinImprove {
+		return node
+	}
+	sp, ok := bestSplit(xs, ys, idx, opts.MinLeafSize)
+	if !ok || sse-sp.sseAfter < opts.MinImprove {
+		return node
+	}
+
+	node.Feature = sp.feature
+	node.Threshold = sp.threshold
+	t.SplitCounts[sp.feature]++
+	if t.FirstSplitDepth[sp.feature] < 0 || depth < t.FirstSplitDepth[sp.feature] {
+		t.FirstSplitDepth[sp.feature] = depth
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if xs[i][sp.feature] <= sp.threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	loL, hiL := append([]float64(nil), lo...), append([]float64(nil), hi...)
+	loR, hiR := append([]float64(nil), lo...), append([]float64(nil), hi...)
+	hiL[sp.feature] = sp.threshold
+	loR[sp.feature] = sp.threshold
+	node.Left = t.grow(xs, ys, left, depth+1, loL, hiL, opts)
+	node.Right = t.grow(xs, ys, right, depth+1, loR, hiR, opts)
+	return node
+}
+
+// Predict returns the mean response of the leaf containing x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Mean
+}
+
+// Nodes returns every node in the tree in breadth-last (creation) order; the
+// root is first. The slice is shared with the tree — do not modify.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	count := 0
+	for _, n := range t.nodes {
+		if n.IsLeaf() {
+			count++
+		}
+	}
+	return count
+}
+
+// Depth returns the maximum node depth.
+func (t *Tree) Depth() int {
+	max := 0
+	for _, n := range t.nodes {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	}
+	return max
+}
+
+// ImportanceByOrder returns a score per feature derived from the first-split
+// depth: features split nearer the root score higher, never-split features
+// score zero. Scores are scaled to max 1, matching the star-plot convention
+// where spoke length is relative to the maximum.
+func (t *Tree) ImportanceByOrder() []float64 {
+	scores := make([]float64, t.NumFeatures)
+	for f, d := range t.FirstSplitDepth {
+		if d >= 0 {
+			scores[f] = 1 / float64(d+1)
+		}
+	}
+	normalizeMax(scores)
+	return scores
+}
+
+// ImportanceByFrequency returns per-feature split counts scaled to max 1.
+func (t *Tree) ImportanceByFrequency() []float64 {
+	scores := make([]float64, t.NumFeatures)
+	for f, c := range t.SplitCounts {
+		scores[f] = float64(c)
+	}
+	normalizeMax(scores)
+	return scores
+}
+
+func normalizeMax(xs []float64) {
+	var max float64
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= max
+	}
+}

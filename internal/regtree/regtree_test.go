@@ -1,0 +1,256 @@
+package regtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func stepData(n int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / float64(n-1)
+		xs[i] = []float64{v, 0.5} // second feature is constant noise-free
+		if v <= 0.5 {
+			ys[i] = 1
+		} else {
+			ys[i] = 5
+		}
+	}
+	return xs, ys
+}
+
+func TestFitStepFunction(t *testing.T) {
+	xs, ys := stepData(40)
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.2, 0.5}); got != 1 {
+		t.Errorf("Predict(0.2) = %v, want 1", got)
+	}
+	if got := tree.Predict([]float64{0.9, 0.5}); got != 5 {
+		t.Errorf("Predict(0.9) = %v, want 5", got)
+	}
+	// The informative feature must be split first; the constant feature never.
+	if tree.FirstSplitDepth[0] != 0 {
+		t.Errorf("feature 0 first split depth = %d, want 0", tree.FirstSplitDepth[0])
+	}
+	if tree.FirstSplitDepth[1] != -1 {
+		t.Errorf("constant feature should never split, got depth %d", tree.FirstSplitDepth[1])
+	}
+	if tree.SplitCounts[1] != 0 {
+		t.Errorf("constant feature split count = %d, want 0", tree.SplitCounts[1])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}, Options{}); err == nil {
+		t.Error("zero-dimensional features should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("ragged features should fail")
+	}
+}
+
+func TestMinLeafSizeRespected(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	n := 100
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64()}
+		ys[i] = rng.Float64()
+	}
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 10, MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range tree.Nodes() {
+		if node.IsLeaf() && node.Count < 10 {
+			t.Errorf("leaf with %d samples violates MinLeafSize 10", node.Count)
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	n := 200
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = xs[i][0]*7 + xs[i][1]
+	}
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 2, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 3 {
+		t.Errorf("tree depth = %d, want <= 3", d)
+	}
+}
+
+func TestImportanceRanksInformativeFeature(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	n := 300
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		// Feature 1 dominates; feature 2 is weak; feature 0 is noise.
+		ys[i] = 10*xs[i][1] + 0.5*xs[i][2] + 0.01*rng.Float64()
+	}
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOrder := tree.ImportanceByOrder()
+	byFreq := tree.ImportanceByFrequency()
+	if byOrder[1] != 1 {
+		t.Errorf("dominant feature order importance = %v, want 1", byOrder[1])
+	}
+	if byFreq[1] != 1 {
+		t.Errorf("dominant feature frequency importance = %v, want 1", byFreq[1])
+	}
+	if byFreq[0] >= byFreq[1] {
+		t.Errorf("noise feature frequency %v >= dominant %v", byFreq[0], byFreq[1])
+	}
+}
+
+func TestNodeGeometry(t *testing.T) {
+	xs, ys := stepData(40)
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root
+	c := root.Center()
+	if math.Abs(c[0]-0.5) > 1e-9 {
+		t.Errorf("root center x = %v, want 0.5", c[0])
+	}
+	e := root.Extent()
+	if math.Abs(e[0]-1) > 1e-9 {
+		t.Errorf("root extent x = %v, want 1", e[0])
+	}
+	// Children partition the root box along the split feature.
+	l, r := root.Left, root.Right
+	if l.Hi[root.Feature] != root.Threshold || r.Lo[root.Feature] != root.Threshold {
+		t.Error("children do not partition parent box at the threshold")
+	}
+}
+
+func TestPerfectFitOnSeparableData(t *testing.T) {
+	// With MinLeafSize 1, a tree must drive training SSE of a piecewise
+	// constant target to ~0.
+	xs, ys := stepData(32)
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 1, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := tree.Predict(xs[i]); got != ys[i] {
+			t.Errorf("Predict(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestConstantResponse(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}, {11}, {12}}
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = 7
+	}
+	tree, err := Fit(xs, ys, Options{MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("constant response should produce a single leaf")
+	}
+	if got := tree.Predict([]float64{99}); got != 7 {
+		t.Errorf("Predict = %v, want 7", got)
+	}
+}
+
+// Property: every split strictly reduces total SSE, and children counts sum
+// to the parent count.
+func TestSplitInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 20 + rng.Intn(100)
+		d := 1 + rng.Intn(4)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, d)
+			for j := range xs[i] {
+				xs[i][j] = rng.Float64()
+			}
+			ys[i] = xs[i][0]*3 + rng.Float64()*0.2
+		}
+		tree, err := Fit(xs, ys, Options{MinLeafSize: 3})
+		if err != nil {
+			return false
+		}
+		for _, node := range tree.Nodes() {
+			if node.IsLeaf() {
+				continue
+			}
+			if node.Left.Count+node.Right.Count != node.Count {
+				return false
+			}
+			if node.Left.SSE+node.Right.SSE > node.SSE+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tree prediction of any point inside the training extent equals
+// the mean of one of its leaves.
+func TestPredictInLeafMeansProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 30 + rng.Intn(50)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.Float64(), rng.Float64()}
+			ys[i] = xs[i][0] - xs[i][1]
+		}
+		tree, err := Fit(xs, ys, Options{MinLeafSize: 4})
+		if err != nil {
+			return false
+		}
+		leafMeans := map[float64]bool{}
+		for _, node := range tree.Nodes() {
+			if node.IsLeaf() {
+				leafMeans[node.Mean] = true
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := tree.Predict([]float64{rng.Float64(), rng.Float64()})
+			if !leafMeans[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

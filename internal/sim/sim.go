@@ -1,0 +1,212 @@
+// Package sim is the unified simulation facade: it binds a machine
+// configuration and a benchmark into one run of the cycle-level CPU model,
+// attaches the Wattch-style power model and AVF accounting, and returns the
+// sampled workload-dynamics trace the paper's predictive models consume
+// (128 samples per run by default, as in Section 3).
+//
+// It also provides a parallel sweep driver for the train/test campaigns
+// (200 + 50 design points per benchmark at paper scale).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/space"
+	"repro/internal/workload"
+)
+
+// Metric identifies one workload-dynamics domain.
+type Metric int
+
+// The paper's three domains (Figure 8) plus the Section 5 IQ-specific AVF.
+const (
+	MetricCPI Metric = iota
+	MetricPower
+	MetricAVF
+	MetricIQAVF
+	NumMetrics
+)
+
+// String returns the metric label used in tables and figures.
+func (m Metric) String() string {
+	switch m {
+	case MetricCPI:
+		return "CPI"
+	case MetricPower:
+		return "Power"
+	case MetricAVF:
+		return "AVF"
+	case MetricIQAVF:
+		return "IQ_AVF"
+	}
+	return "?"
+}
+
+// Options sizes a simulation run.
+type Options struct {
+	// Instructions is the committed-instruction budget per run.
+	// Default 262,144 (2K instructions per sample at 128 samples; the
+	// synthetic workloads reach representative phase behaviour quickly, so
+	// this slice plays the role of the paper's 200M-instruction SimPoint).
+	Instructions uint64
+	// Samples is the trace length. Default 128 (Section 3).
+	Samples int
+	// DVMSampleCycles is the coarse sampling interval whose fifth is the
+	// DVM online AVF window (Figure 16). Default 2000 cycles.
+	DVMSampleCycles uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instructions == 0 {
+		o.Instructions = 262144
+	}
+	if o.Samples == 0 {
+		o.Samples = 128
+	}
+	if o.DVMSampleCycles == 0 {
+		o.DVMSampleCycles = 2000
+	}
+	return o
+}
+
+// Trace is the sampled workload dynamics of one run.
+type Trace struct {
+	Benchmark string
+	Config    space.Config
+	// Per-sample series, each Samples long.
+	CPI   []float64
+	Power []float64
+	// AVF is the processor vulnerability proxy: the entry-weighted mean
+	// of IQ and ROB AVF.
+	AVF   []float64
+	IQAVF []float64
+	// Intervals retains the full per-sample activity detail.
+	Intervals []cpu.Interval
+}
+
+// Series returns the named metric's sample series (shared storage).
+func (t *Trace) Series(m Metric) []float64 {
+	switch m {
+	case MetricCPI:
+		return t.CPI
+	case MetricPower:
+		return t.Power
+	case MetricAVF:
+		return t.AVF
+	case MetricIQAVF:
+		return t.IQAVF
+	}
+	panic(fmt.Sprintf("sim: unknown metric %d", m))
+}
+
+// MeanCPI returns the run's aggregate cycles-per-instruction.
+func (t *Trace) MeanCPI() float64 {
+	var cyc, ins uint64
+	for _, iv := range t.Intervals {
+		cyc += iv.Cycles
+		ins += iv.Instrs
+	}
+	if ins == 0 {
+		return 0
+	}
+	return float64(cyc) / float64(ins)
+}
+
+// Run simulates one benchmark on one configuration and returns its
+// dynamics trace.
+func Run(cfg space.Config, benchmark string, opts Options) (*Trace, error) {
+	opts = opts.withDefaults()
+	prof, ok := workload.ProfileByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown benchmark %q", benchmark)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return nil, err
+	}
+	core, err := cpu.New(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DVM {
+		core.EnableDVM(cfg.DVMThreshold, opts.DVMSampleCycles)
+	}
+	intervals, err := core.Run(opts.Instructions, opts.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %v: %w", benchmark, cfg, err)
+	}
+
+	pm := power.NewModel(cfg)
+	tr := &Trace{
+		Benchmark: benchmark,
+		Config:    cfg,
+		CPI:       make([]float64, len(intervals)),
+		Power:     make([]float64, len(intervals)),
+		AVF:       make([]float64, len(intervals)),
+		IQAVF:     make([]float64, len(intervals)),
+		Intervals: intervals,
+	}
+	iqW := float64(cfg.IQSize)
+	robW := float64(cfg.ROBSize)
+	for i, iv := range intervals {
+		tr.CPI[i] = iv.CPI()
+		tr.Power[i] = pm.Power(power.Activity{
+			Cycles:      iv.Cycles,
+			Fetches:     iv.Fetches,
+			Issues:      iv.Issues,
+			Commits:     iv.Commits,
+			IntOps:      iv.IntOps,
+			FPOps:       iv.FPOps,
+			MemOps:      iv.MemOps,
+			Branches:    iv.Branches,
+			IL1Accesses: iv.IL1Accesses,
+			DL1Accesses: iv.DL1Accesses,
+			L2Accesses:  iv.L2Accesses,
+			AvgROBOcc:   iv.AvgROBOcc,
+			AvgIQOcc:    iv.AvgIQOcc,
+			AvgLSQOcc:   iv.AvgLSQOcc,
+		})
+		tr.AVF[i] = (iv.IQAVF*iqW + iv.ROBAVF*robW) / (iqW + robW)
+		tr.IQAVF[i] = iv.IQAVF
+	}
+	return tr, nil
+}
+
+// Job names one simulation of a sweep.
+type Job struct {
+	Config    space.Config
+	Benchmark string
+}
+
+// Sweep runs all jobs with up to workers parallel simulations (default
+// GOMAXPROCS) and returns traces in job order. The first error aborts the
+// sweep.
+func Sweep(jobs []Job, opts Options, workers int) ([]*Trace, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	traces := make([]*Trace, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			traces[i], errs[i] = Run(job.Config, job.Benchmark, opts)
+		}(i, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}

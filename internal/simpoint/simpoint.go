@@ -1,0 +1,221 @@
+// Package simpoint implements the representative-slice selection the paper
+// relies on for its workloads ("We use the Simpoint tool to pick the most
+// representative simulation point for each benchmark", Section 3),
+// following Sherwood et al. (ASPLOS 2002): execution is cut into fixed-size
+// intervals, each summarised by a basic-block-vector-like code signature,
+// the signatures are k-means clustered, and each cluster contributes one
+// representative interval weighted by the cluster's share of execution.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// SignatureDim is the dimensionality of an interval signature: a hashed
+// code-region histogram (the BBV analogue) concatenated with the op-class
+// mix.
+const SignatureDim = 64 + int(workload.NumOpClasses)
+
+// Signature summarises one execution interval.
+type Signature []float64
+
+// Collect cuts the first totalInstrs instructions of a workload into
+// intervals of intervalLen and returns one L1-normalised signature per
+// interval. The generator is reset first.
+func Collect(gen workload.Generator, totalInstrs, intervalLen int) ([]Signature, error) {
+	if intervalLen <= 0 || totalInstrs < intervalLen {
+		return nil, fmt.Errorf("simpoint: need totalInstrs ≥ intervalLen > 0, got %d/%d", totalInstrs, intervalLen)
+	}
+	gen.Reset()
+	n := totalInstrs / intervalLen
+	sigs := make([]Signature, 0, n)
+	var inst workload.Inst
+	for i := 0; i < n; i++ {
+		sig := make(Signature, SignatureDim)
+		for j := 0; j < intervalLen; j++ {
+			gen.Next(&inst)
+			// Hashed code-region bucket (BBV analogue).
+			bucket := (inst.PC * 0x9E3779B97F4A7C15) >> 58 // top 6 bits
+			sig[bucket]++
+			sig[64+int(inst.Op)]++
+		}
+		// L1-normalise so intervals are comparable.
+		for k := range sig {
+			sig[k] /= float64(2 * intervalLen) // code + op halves each sum to intervalLen
+		}
+		sigs = append(sigs, sig)
+	}
+	return sigs, nil
+}
+
+func sqDist(a, b Signature) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// KMeans clusters signatures into k groups (k-means with deterministic
+// seeding via the provided RNG, restarted assignment until convergence or
+// maxIters). It returns per-signature cluster assignments and centroids.
+func KMeans(sigs []Signature, k int, rng *mathx.RNG, maxIters int) (assign []int, centroids []Signature, err error) {
+	if len(sigs) == 0 {
+		return nil, nil, fmt.Errorf("simpoint: no signatures")
+	}
+	if k <= 0 || k > len(sigs) {
+		return nil, nil, fmt.Errorf("simpoint: k=%d outside [1, %d]", k, len(sigs))
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	dim := len(sigs[0])
+	for _, s := range sigs {
+		if len(s) != dim {
+			return nil, nil, fmt.Errorf("simpoint: inconsistent signature dimensions")
+		}
+	}
+
+	// k-means++ style seeding: first centroid random, then proportional to
+	// squared distance.
+	centroids = make([]Signature, 0, k)
+	first := rng.Intn(len(sigs))
+	centroids = append(centroids, append(Signature(nil), sigs[first]...))
+	for len(centroids) < k {
+		weights := make([]float64, len(sigs))
+		var total float64
+		for i, s := range sigs {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(s, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, append(Signature(nil), sigs[rng.Intn(len(sigs))]...))
+			continue
+		}
+		centroids = append(centroids, append(Signature(nil), sigs[rng.Pick(weights)]...))
+	}
+
+	assign = make([]int, len(sigs))
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, s := range sigs {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(s, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([]Signature, k)
+		for ci := range next {
+			next[ci] = make(Signature, dim)
+		}
+		for i, s := range sigs {
+			ci := assign[i]
+			counts[ci]++
+			for j, v := range s {
+				next[ci][j] += v
+			}
+		}
+		for ci := range next {
+			if counts[ci] == 0 {
+				// Empty cluster: reseed at the farthest point.
+				far, farD := 0, -1.0
+				for i, s := range sigs {
+					if d := sqDist(s, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[ci], sigs[far])
+				continue
+			}
+			for j := range next[ci] {
+				next[ci][j] /= float64(counts[ci])
+			}
+		}
+		centroids = next
+	}
+	return assign, centroids, nil
+}
+
+// Point is one selected simulation point.
+type Point struct {
+	// Interval is the index of the representative interval.
+	Interval int
+	// Weight is the fraction of execution its cluster covers.
+	Weight float64
+}
+
+// Select runs the full SimPoint pipeline: cluster the signatures into k
+// phases and pick, per cluster, the interval closest to the centroid.
+// Points are returned in interval order with weights summing to 1.
+func Select(sigs []Signature, k int, rng *mathx.RNG) ([]Point, error) {
+	assign, centroids, err := KMeans(sigs, k, rng, 0)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, k)
+	repIdx := make([]int, k)
+	repDist := make([]float64, k)
+	for ci := range repDist {
+		repDist[ci] = math.Inf(1)
+		repIdx[ci] = -1
+	}
+	for i, s := range sigs {
+		ci := assign[i]
+		counts[ci]++
+		if d := sqDist(s, centroids[ci]); d < repDist[ci] {
+			repDist[ci] = d
+			repIdx[ci] = i
+		}
+	}
+	var points []Point
+	for ci := 0; ci < k; ci++ {
+		if counts[ci] == 0 {
+			continue
+		}
+		points = append(points, Point{
+			Interval: repIdx[ci],
+			Weight:   float64(counts[ci]) / float64(len(sigs)),
+		})
+	}
+	// Interval order for reproducible reporting.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j].Interval < points[j-1].Interval; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	return points, nil
+}
+
+// EstimateAggregate combines per-interval metric values using the selected
+// points' weights — the SimPoint estimate of whole-run behaviour from
+// representative slices only.
+func EstimateAggregate(perInterval []float64, points []Point) float64 {
+	var est float64
+	for _, p := range points {
+		est += p.Weight * perInterval[p.Interval]
+	}
+	return est
+}

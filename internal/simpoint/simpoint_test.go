@@ -1,0 +1,207 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/workload"
+)
+
+func TestCollectShapes(t *testing.T) {
+	p, _ := workload.ProfileByName("gcc")
+	gen := workload.MustNewGenerator(p)
+	sigs, err := Collect(gen, 32768, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 16 {
+		t.Fatalf("got %d signatures, want 16", len(sigs))
+	}
+	for i, s := range sigs {
+		if len(s) != SignatureDim {
+			t.Fatalf("signature %d has dim %d", i, len(s))
+		}
+		var sum float64
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("negative signature entry")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("signature %d not L1-normalised: sum %v", i, sum)
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	p, _ := workload.ProfileByName("gcc")
+	gen := workload.MustNewGenerator(p)
+	if _, err := Collect(gen, 100, 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := Collect(gen, 10, 100); err == nil {
+		t.Error("total below one interval should fail")
+	}
+}
+
+// Synthetic clustering ground truth: three well-separated blobs.
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	var sigs []Signature
+	truth := make([]int, 0, 90)
+	centers := []float64{0, 10, 20}
+	for c, base := range centers {
+		for i := 0; i < 30; i++ {
+			s := make(Signature, 4)
+			for j := range s {
+				s[j] = base + rng.Float64()
+			}
+			sigs = append(sigs, s)
+			truth = append(truth, c)
+		}
+	}
+	assign, centroids, err := KMeans(sigs, 3, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 3 {
+		t.Fatalf("got %d centroids", len(centroids))
+	}
+	// Each true blob must map to exactly one cluster id.
+	blobTo := map[int]int{}
+	for i, a := range assign {
+		if prev, ok := blobTo[truth[i]]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters", truth[i])
+		}
+		blobTo[truth[i]] = a
+	}
+	if len(blobTo) != 3 {
+		t.Fatalf("blobs merged: %v", blobTo)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	if _, _, err := KMeans(nil, 2, rng, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	sigs := []Signature{{1}, {2}}
+	if _, _, err := KMeans(sigs, 3, rng, 0); err == nil {
+		t.Error("k beyond n should fail")
+	}
+	if _, _, err := KMeans([]Signature{{1}, {1, 2}}, 1, rng, 0); err == nil {
+		t.Error("ragged signatures should fail")
+	}
+}
+
+func TestSelectWeightsSumToOne(t *testing.T) {
+	p, _ := workload.ProfileByName("gcc")
+	gen := workload.MustNewGenerator(p)
+	sigs, err := Collect(gen, 65536, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Select(sigs, 6, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 || len(points) > 6 {
+		t.Fatalf("selected %d points", len(points))
+	}
+	var wsum float64
+	prev := -1
+	for _, pt := range points {
+		if pt.Interval <= prev {
+			t.Error("points not in ascending interval order")
+		}
+		prev = pt.Interval
+		if pt.Interval < 0 || pt.Interval >= len(sigs) {
+			t.Errorf("representative interval %d out of range", pt.Interval)
+		}
+		wsum += pt.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", wsum)
+	}
+}
+
+// The headline SimPoint property: the weighted representative estimate of
+// aggregate CPI beats a naive single-slice estimate.
+func TestSimPointEstimateBeatsFirstSlice(t *testing.T) {
+	p, _ := workload.ProfileByName("gap") // strongly phased
+	gen := workload.MustNewGenerator(p)
+	const (
+		totalInstrs = 131072
+		samples     = 64
+	)
+	sigs, err := Collect(gen, totalInstrs, totalInstrs/samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(space.Baseline(), "gap", sim.Options{Instructions: totalInstrs, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the cold-start intervals from truth and candidates, as the
+	// SimPoint methodology does with warmup.
+	const warmup = 2
+	warm := tr.CPI[warmup:]
+	truth := mathx.Mean(warm)
+
+	points, err := Select(sigs[warmup:], 6, mathx.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateAggregate(warm, points)
+	naive := warm[0] // "just simulate one early slice"
+
+	errEst := math.Abs(est-truth) / truth
+	errNaive := math.Abs(naive-truth) / truth
+	t.Logf("simpoint estimate %.4f vs truth %.4f (%.2f%% err); single-slice %.4f (%.2f%% err)",
+		est, truth, 100*errEst, naive, 100*errNaive)
+	if errEst >= errNaive {
+		t.Errorf("simpoint estimate error %.4f should beat single-slice %.4f", errEst, errNaive)
+	}
+	if errEst > 0.10 {
+		t.Errorf("simpoint estimate error %v too large", errEst)
+	}
+}
+
+// Property: every interval is assigned to its nearest centroid after
+// convergence.
+func TestKMeansNearestAssignmentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 10 + rng.Intn(40)
+		dim := 2 + rng.Intn(5)
+		sigs := make([]Signature, n)
+		for i := range sigs {
+			sigs[i] = make(Signature, dim)
+			for j := range sigs[i] {
+				sigs[i][j] = rng.Float64()
+			}
+		}
+		k := 1 + rng.Intn(4)
+		assign, centroids, err := KMeans(sigs, k, rng, 0)
+		if err != nil {
+			return false
+		}
+		for i, s := range sigs {
+			dAssigned := sqDist(s, centroids[assign[i]])
+			for _, c := range centroids {
+				if sqDist(s, c) < dAssigned-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

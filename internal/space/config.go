@@ -1,0 +1,204 @@
+// Package space defines the microarchitecture design space explored by the
+// paper: the baseline machine (Table 1), the nine swept parameters with
+// their training and testing levels (Table 2), the normalised feature
+// encoding consumed by the predictive models, and the Latin Hypercube
+// Sampling strategy with L2-star discrepancy minimisation used to choose
+// training designs.
+package space
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config is a complete design point: the nine swept parameters plus the
+// fixed baseline structures of Table 1 and the Section 5 DVM extension.
+type Config struct {
+	// The nine swept parameters (Table 2).
+	FetchWidth int // fetch/issue/commit width
+	ROBSize    int // reorder buffer entries
+	IQSize     int // issue queue entries
+	LSQSize    int // load/store queue entries
+	L2SizeKB   int // unified L2 capacity
+	L2Lat      int // L2 access latency (cycles)
+	IL1SizeKB  int // L1 instruction cache capacity
+	DL1SizeKB  int // L1 data cache capacity
+	DL1Lat     int // L1 data cache access latency (cycles)
+
+	// Fixed structures (Table 1).
+	ITLBEntries  int // 128, 4-way
+	DTLBEntries  int // 256, 4-way
+	TLBMissLat   int // 200 cycles
+	BPredEntries int // 2K-entry gshare
+	GHistBits    int // 10-bit global history
+	BTBEntries   int // 2K, 4-way
+	RASEntries   int // 32-entry return address stack
+	IntALU       int
+	IntMulDiv    int
+	FPALU        int
+	FPMulDiv     int
+	MemPorts     int // cache ports / load-store units
+	MemLat       int // main memory latency (cycles)
+	IL1Assoc     int
+	IL1LineB     int
+	DL1Assoc     int
+	DL1LineB     int
+	L2Assoc      int
+	L2LineB      int
+
+	// Section 5 extension: dynamic vulnerability management as an extra
+	// design parameter.
+	DVM          bool
+	DVMThreshold float64 // IQ AVF trigger level when DVM is enabled
+}
+
+// Baseline returns the Table 1 machine configuration.
+func Baseline() Config {
+	return Config{
+		FetchWidth: 8,
+		ROBSize:    96,
+		IQSize:     96,
+		LSQSize:    48,
+		L2SizeKB:   2048,
+		L2Lat:      12,
+		IL1SizeKB:  32,
+		DL1SizeKB:  64,
+		DL1Lat:     1,
+
+		ITLBEntries:  128,
+		DTLBEntries:  256,
+		TLBMissLat:   200,
+		BPredEntries: 2048,
+		GHistBits:    10,
+		BTBEntries:   2048,
+		RASEntries:   32,
+		IntALU:       8,
+		IntMulDiv:    4,
+		FPALU:        8,
+		FPMulDiv:     4,
+		MemPorts:     2,
+		MemLat:       200,
+		IL1Assoc:     2,
+		IL1LineB:     32,
+		DL1Assoc:     4,
+		DL1LineB:     64,
+		L2Assoc:      4,
+		L2LineB:      128,
+
+		DVMThreshold: 0.3,
+	}
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"ROBSize", c.ROBSize}, {"IQSize", c.IQSize},
+		{"LSQSize", c.LSQSize}, {"L2SizeKB", c.L2SizeKB}, {"L2Lat", c.L2Lat},
+		{"IL1SizeKB", c.IL1SizeKB}, {"DL1SizeKB", c.DL1SizeKB}, {"DL1Lat", c.DL1Lat},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("space: %s must be positive, got %d", p.name, p.v)
+		}
+	}
+	if c.DVM && (c.DVMThreshold <= 0 || c.DVMThreshold >= 1) {
+		return fmt.Errorf("space: DVM threshold must be in (0,1), got %v", c.DVMThreshold)
+	}
+	return nil
+}
+
+// SweptValues returns the nine swept parameter values in canonical order
+// (the order of ParamNames).
+func (c Config) SweptValues() [NumParams]int {
+	return [NumParams]int{
+		c.FetchWidth, c.ROBSize, c.IQSize, c.LSQSize,
+		c.L2SizeKB, c.L2Lat, c.IL1SizeKB, c.DL1SizeKB, c.DL1Lat,
+	}
+}
+
+// WithSweptValues returns a copy of c with the nine swept parameters
+// replaced by vals (canonical order).
+func (c Config) WithSweptValues(vals [NumParams]int) Config {
+	c.FetchWidth = vals[0]
+	c.ROBSize = vals[1]
+	c.IQSize = vals[2]
+	c.LSQSize = vals[3]
+	c.L2SizeKB = vals[4]
+	c.L2Lat = vals[5]
+	c.IL1SizeKB = vals[6]
+	c.DL1SizeKB = vals[7]
+	c.DL1Lat = vals[8]
+	return c
+}
+
+// NumParams is the number of swept design parameters.
+const NumParams = 9
+
+// ParamNames are the paper's parameter labels, in canonical order (Table 2
+// and the Figure 11 star plots).
+var ParamNames = [NumParams]string{
+	"Fetch", "ROB", "IQ", "LSQ", "L2", "L2_lat", "il1", "dl1", "dl1_lat",
+}
+
+// paramBounds gives the global [min,max] for each parameter across both
+// train and test levels; used for feature normalisation. Capacity-like
+// parameters are log2-scaled before normalising so that doubling a size
+// moves the feature by a constant amount.
+var paramBounds = [NumParams]struct {
+	lo, hi float64
+	log    bool
+}{
+	{2, 16, true},     // Fetch
+	{96, 160, true},   // ROB
+	{32, 128, true},   // IQ
+	{16, 64, true},    // LSQ
+	{256, 4096, true}, // L2 (KB)
+	{8, 20, false},    // L2_lat
+	{8, 64, true},     // il1 (KB)
+	{8, 64, true},     // dl1 (KB)
+	{1, 4, false},     // dl1_lat
+}
+
+// normalizeParam maps a raw parameter value to [0,1].
+func normalizeParam(p int, v float64) float64 {
+	b := paramBounds[p]
+	lo, hi, x := b.lo, b.hi, v
+	if b.log {
+		lo, hi, x = math.Log2(lo), math.Log2(hi), math.Log2(v)
+	}
+	return (x - lo) / (hi - lo)
+}
+
+// Vector encodes the nine swept parameters as a normalised feature vector
+// in [0,1]⁹ — the input representation consumed by every predictive model.
+func (c Config) Vector() []float64 {
+	vals := c.SweptValues()
+	out := make([]float64, NumParams)
+	for p := 0; p < NumParams; p++ {
+		out[p] = normalizeParam(p, float64(vals[p]))
+	}
+	return out
+}
+
+// VectorDVM encodes the nine swept parameters plus the DVM state (enable
+// flag and trigger threshold) as an 11-feature vector — the Section 5
+// extension where DVM becomes a design parameter.
+func (c Config) VectorDVM() []float64 {
+	out := c.Vector()
+	enable := 0.0
+	if c.DVM {
+		enable = 1.0
+	}
+	out = append(out, enable, c.DVMThreshold)
+	return out
+}
+
+// String renders the swept parameters compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("fetch=%d rob=%d iq=%d lsq=%d l2=%dKB/%dcy il1=%dKB dl1=%dKB/%dcy dvm=%v",
+		c.FetchWidth, c.ROBSize, c.IQSize, c.LSQSize, c.L2SizeKB, c.L2Lat,
+		c.IL1SizeKB, c.DL1SizeKB, c.DL1Lat, c.DVM)
+}

@@ -1,0 +1,133 @@
+package space
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// LHS draws n designs from the levels with a discrete variant of Latin
+// Hypercube Sampling: in each dimension the n draws are spread across n
+// equal strata (independently permuted per dimension), and each stratum
+// midpoint is snapped to the nearest admissible level. This gives the
+// paper's "better coverage compared to a naive random sampling scheme".
+func LHS(n int, levels Levels, base Config, rng *mathx.RNG) []Config {
+	if n <= 0 {
+		return nil
+	}
+	// strata[p][i] holds the level index for design i in parameter p.
+	var strata [NumParams][]int
+	for p := 0; p < NumParams; p++ {
+		perm := rng.Perm(n)
+		strata[p] = make([]int, n)
+		k := len(levels[p])
+		for i := 0; i < n; i++ {
+			// Jittered stratum midpoint in [0,1), then map to a level.
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			li := int(u * float64(k))
+			if li >= k {
+				li = k - 1
+			}
+			strata[p][i] = li
+		}
+	}
+	out := make([]Config, n)
+	for i := 0; i < n; i++ {
+		var idx [NumParams]int
+		for p := 0; p < NumParams; p++ {
+			idx[p] = strata[p][i]
+		}
+		out[i] = levels.Design(base, idx)
+	}
+	return out
+}
+
+// Random draws n designs uniformly at random from the levels — the naive
+// baseline the paper compares LHS against.
+func Random(n int, levels Levels, base Config, rng *mathx.RNG) []Config {
+	out := make([]Config, n)
+	for i := 0; i < n; i++ {
+		var idx [NumParams]int
+		for p := 0; p < NumParams; p++ {
+			idx[p] = rng.Intn(len(levels[p]))
+		}
+		out[i] = levels.Design(base, idx)
+	}
+	return out
+}
+
+// L2StarDiscrepancy computes the L2-star discrepancy of a point set in
+// [0,1]^d using Warnock's closed form:
+//
+//	T² = 3⁻ᵈ − (2^(1−d)/n)·Σᵢ Πⱼ(1−xᵢⱼ²) + (1/n²)·ΣᵢΣₖ Πⱼ(1−max(xᵢⱼ,xₖⱼ))
+//
+// Lower values indicate a more uniformly space-filling design.
+func L2StarDiscrepancy(points [][]float64) float64 {
+	n := len(points)
+	if n == 0 {
+		return 0
+	}
+	d := len(points[0])
+	term1 := math.Pow(3, -float64(d))
+
+	var sum2 float64
+	for _, x := range points {
+		prod := 1.0
+		for _, v := range x {
+			prod *= 1 - v*v
+		}
+		sum2 += prod
+	}
+	term2 := math.Pow(2, 1-float64(d)) / float64(n) * sum2
+
+	var sum3 float64
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			prod := 1.0
+			for j := 0; j < d; j++ {
+				m := points[i][j]
+				if points[k][j] > m {
+					m = points[k][j]
+				}
+				prod *= 1 - m
+			}
+			sum3 += prod
+		}
+	}
+	term3 := sum3 / float64(n*n)
+
+	t2 := term1 - term2 + term3
+	if t2 < 0 {
+		t2 = 0 // guard against round-off for tiny sets
+	}
+	return math.Sqrt(t2)
+}
+
+// DiscrepancyOf evaluates the L2-star discrepancy of a design set using the
+// normalised feature encoding.
+func DiscrepancyOf(designs []Config) float64 {
+	pts := make([][]float64, len(designs))
+	for i, c := range designs {
+		pts[i] = c.Vector()
+	}
+	return L2StarDiscrepancy(pts)
+}
+
+// SampleDesign generates candidates LHS matrices and returns the one with
+// the lowest L2-star discrepancy — the paper's sampling strategy for
+// building a representative training space.
+func SampleDesign(n int, levels Levels, base Config, candidates int, rng *mathx.RNG) []Config {
+	if candidates < 1 {
+		candidates = 1
+	}
+	var best []Config
+	bestD := math.Inf(1)
+	for c := 0; c < candidates; c++ {
+		trial := LHS(n, levels, base, rng)
+		if d := DiscrepancyOf(trial); d < bestD {
+			bestD = d
+			best = trial
+		}
+	}
+	return best
+}

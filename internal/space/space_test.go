@@ -1,0 +1,281 @@
+package space
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestBaselineMatchesTable1(t *testing.T) {
+	b := Baseline()
+	if b.FetchWidth != 8 || b.ROBSize != 96 || b.IQSize != 96 || b.LSQSize != 48 {
+		t.Errorf("core sizes wrong: %+v", b)
+	}
+	if b.L2SizeKB != 2048 || b.L2Lat != 12 || b.IL1SizeKB != 32 || b.DL1SizeKB != 64 || b.DL1Lat != 1 {
+		t.Errorf("cache params wrong: %+v", b)
+	}
+	if b.BPredEntries != 2048 || b.GHistBits != 10 || b.BTBEntries != 2048 || b.RASEntries != 32 {
+		t.Errorf("frontend params wrong: %+v", b)
+	}
+	if b.MemLat != 200 || b.TLBMissLat != 200 {
+		t.Errorf("latencies wrong: %+v", b)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("baseline must validate: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	c := Baseline()
+	c.ROBSize = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero ROB should fail validation")
+	}
+	c = Baseline()
+	c.DVM = true
+	c.DVMThreshold = 0
+	if err := c.Validate(); err == nil {
+		t.Error("DVM with zero threshold should fail validation")
+	}
+}
+
+func TestSweptValuesRoundTrip(t *testing.T) {
+	b := Baseline()
+	vals := b.SweptValues()
+	c := Baseline().WithSweptValues(vals)
+	if c != b {
+		t.Errorf("round trip changed config: %+v vs %+v", c, b)
+	}
+	vals[0] = 2
+	c = b.WithSweptValues(vals)
+	if c.FetchWidth != 2 {
+		t.Errorf("WithSweptValues did not apply fetch width")
+	}
+}
+
+func TestTable2LevelCounts(t *testing.T) {
+	train := TrainLevels()
+	wantTrain := [NumParams]int{4, 3, 4, 4, 4, 5, 4, 4, 4}
+	for p := 0; p < NumParams; p++ {
+		if len(train[p]) != wantTrain[p] {
+			t.Errorf("train levels for %s = %d, want %d", ParamNames[p], len(train[p]), wantTrain[p])
+		}
+	}
+	test := TestLevels()
+	wantTest := [NumParams]int{2, 2, 2, 3, 3, 3, 3, 3, 3}
+	for p := 0; p < NumParams; p++ {
+		if len(test[p]) != wantTest[p] {
+			t.Errorf("test levels for %s = %d, want %d", ParamNames[p], len(test[p]), wantTest[p])
+		}
+	}
+	// 4·3·4·4·4·5·4·4·4 = 245760 training designs.
+	if n := train.NumDesigns(); n != 245760 {
+		t.Errorf("train NumDesigns = %d, want 245760", n)
+	}
+}
+
+func TestVectorNormalised(t *testing.T) {
+	for _, levels := range []Levels{TrainLevels(), TestLevels()} {
+		for p := 0; p < NumParams; p++ {
+			for _, v := range levels[p] {
+				var vals [NumParams]int
+				for q := 0; q < NumParams; q++ {
+					vals[q] = levels[q][0]
+				}
+				vals[p] = v
+				vec := Baseline().WithSweptValues(vals).Vector()
+				if vec[p] < 0 || vec[p] > 1 {
+					t.Errorf("feature %s value %d normalises to %v, want [0,1]", ParamNames[p], v, vec[p])
+				}
+			}
+		}
+	}
+}
+
+func TestVectorMonotoneInEachParam(t *testing.T) {
+	train := TrainLevels()
+	for p := 0; p < NumParams; p++ {
+		prev := -1.0
+		for _, v := range train[p] {
+			var vals [NumParams]int
+			for q := 0; q < NumParams; q++ {
+				vals[q] = train[q][0]
+			}
+			vals[p] = v
+			x := Baseline().WithSweptValues(vals).Vector()[p]
+			if x <= prev {
+				t.Errorf("feature %s not strictly increasing at level %d", ParamNames[p], v)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestVectorDVM(t *testing.T) {
+	c := Baseline()
+	c.DVM = true
+	c.DVMThreshold = 0.5
+	v := c.VectorDVM()
+	if len(v) != NumParams+2 {
+		t.Fatalf("VectorDVM length = %d, want %d", len(v), NumParams+2)
+	}
+	if v[NumParams] != 1 || v[NumParams+1] != 0.5 {
+		t.Errorf("DVM features = %v, want [1 0.5]", v[NumParams:])
+	}
+	c.DVM = false
+	if got := c.VectorDVM()[NumParams]; got != 0 {
+		t.Errorf("DVM-off feature = %v, want 0", got)
+	}
+}
+
+func TestLHSCoversAllLevelsOfSmallDims(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	designs := LHS(40, TrainLevels(), Baseline(), rng)
+	if len(designs) != 40 {
+		t.Fatalf("LHS returned %d designs, want 40", len(designs))
+	}
+	// With 40 stratified draws over ≤5 levels, every level of every
+	// parameter must appear at least once.
+	train := TrainLevels()
+	for p := 0; p < NumParams; p++ {
+		seen := map[int]bool{}
+		for _, c := range designs {
+			seen[c.SweptValues()[p]] = true
+		}
+		if len(seen) != len(train[p]) {
+			t.Errorf("parameter %s: LHS covered %d/%d levels", ParamNames[p], len(seen), len(train[p]))
+		}
+	}
+}
+
+func TestLHSBalancedStrata(t *testing.T) {
+	// n a multiple of the level count → perfectly balanced marginal counts.
+	rng := mathx.NewRNG(2)
+	designs := LHS(40, TrainLevels(), Baseline(), rng)
+	counts := map[int]int{}
+	for _, c := range designs {
+		counts[c.FetchWidth]++
+	}
+	for v, n := range counts {
+		if n != 10 {
+			t.Errorf("fetch width %d drawn %d times, want 10 (balanced strata)", v, n)
+		}
+	}
+}
+
+func TestDesignsOnLevels(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	train := TrainLevels()
+	for _, c := range LHS(25, train, Baseline(), rng) {
+		if !train.Contains(c) {
+			t.Errorf("LHS design off-grid: %v", c)
+		}
+	}
+	for _, c := range Random(25, train, Baseline(), rng) {
+		if !train.Contains(c) {
+			t.Errorf("random design off-grid: %v", c)
+		}
+	}
+}
+
+func TestL2StarDiscrepancyKnownValues(t *testing.T) {
+	// Single point at the origin of [0,1]: T² = 1/3 − 2·(1)/2·... compute:
+	// d=1: T² = 1/3 − (2/1)·(1/2)·(1−0) + (1/1)·(1−0) = 1/3 − 1 + 1 = 1/3.
+	got := L2StarDiscrepancy([][]float64{{0}})
+	if math.Abs(got-math.Sqrt(1.0/3.0)) > 1e-12 {
+		t.Errorf("discrepancy of {0} = %v, want sqrt(1/3)", got)
+	}
+	// The midpoint {0.5} is the best single point in 1-D:
+	// T² = 1/3 − (1−0.25) + (1−0.5) = 1/12.
+	got = L2StarDiscrepancy([][]float64{{0.5}})
+	if math.Abs(got-math.Sqrt(1.0/12.0)) > 1e-12 {
+		t.Errorf("discrepancy of {0.5} = %v, want sqrt(1/12)", got)
+	}
+}
+
+func TestUniformGridBeatsClusteredSet(t *testing.T) {
+	var uniform, clustered [][]float64
+	for i := 0; i < 16; i++ {
+		uniform = append(uniform, []float64{(float64(i) + 0.5) / 16})
+		clustered = append(clustered, []float64{0.5 + float64(i)*0.001})
+	}
+	if du, dc := L2StarDiscrepancy(uniform), L2StarDiscrepancy(clustered); du >= dc {
+		t.Errorf("uniform grid discrepancy %v should beat clustered %v", du, dc)
+	}
+}
+
+func TestSampleDesignImprovesOnSingleLHS(t *testing.T) {
+	base := Baseline()
+	train := TrainLevels()
+	// The discrepancy of the multi-candidate pick must be ≤ the expected
+	// single-candidate value; verify against a fresh single draw with the
+	// same generator class.
+	best := SampleDesign(30, train, base, 20, mathx.NewRNG(7))
+	single := LHS(30, train, base, mathx.NewRNG(8))
+	if DiscrepancyOf(best) > DiscrepancyOf(single)+1e-9 {
+		t.Errorf("20-candidate design (%v) worse than single draw (%v)",
+			DiscrepancyOf(best), DiscrepancyOf(single))
+	}
+}
+
+func TestFullFactorialSmallSpace(t *testing.T) {
+	small := Levels{
+		{2, 4}, {96}, {32}, {16}, {256}, {8}, {8}, {8}, {1, 2},
+	}
+	designs := small.FullFactorial(Baseline())
+	if len(designs) != 4 {
+		t.Fatalf("full factorial size = %d, want 4", len(designs))
+	}
+	seen := map[string]bool{}
+	for _, d := range designs {
+		seen[d.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("duplicate designs in full factorial: %v", seen)
+	}
+}
+
+// Property: LHS marginal counts per level never differ by more than one
+// when n is a multiple of the level count, and designs stay on-grid.
+func TestLHSMarginalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		train := TrainLevels()
+		n := 60 // multiple of 3, 4 and 5 → balanced in every dimension
+		designs := LHS(n, train, Baseline(), rng)
+		for p := 0; p < NumParams; p++ {
+			counts := map[int]int{}
+			for _, c := range designs {
+				counts[c.SweptValues()[p]]++
+			}
+			want := n / len(train[p])
+			for _, got := range counts {
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's full sampling strategy (multiple LHS matrices, keep the
+// lowest-discrepancy one) must beat naive random sampling on average.
+func TestSampleDesignBeatsRandomOnAverage(t *testing.T) {
+	train := TrainLevels()
+	base := Baseline()
+	var lhsSum, rndSum float64
+	const trials = 8
+	for s := uint64(0); s < trials; s++ {
+		lhsSum += DiscrepancyOf(SampleDesign(30, train, base, 10, mathx.NewRNG(1000+s)))
+		rndSum += DiscrepancyOf(Random(30, train, base, mathx.NewRNG(2000+s)))
+	}
+	if lhsSum/trials >= rndSum/trials {
+		t.Errorf("mean best-of-10 LHS discrepancy %v should beat random %v", lhsSum/trials, rndSum/trials)
+	}
+}

@@ -1,0 +1,93 @@
+package space
+
+// Levels lists the admissible values of each swept parameter for one of the
+// two sampling regimes of Table 2.
+type Levels [NumParams][]int
+
+// TrainLevels returns the Table 2 "Train" ranges.
+func TrainLevels() Levels {
+	return Levels{
+		{2, 4, 8, 16},           // Fetch_width
+		{96, 128, 160},          // ROB_size
+		{32, 64, 96, 128},       // IQ_size
+		{16, 24, 32, 64},        // LSQ_size
+		{256, 1024, 2048, 4096}, // L2_size (KB)
+		{8, 12, 14, 16, 20},     // L2_lat
+		{8, 16, 32, 64},         // il1_size (KB)
+		{8, 16, 32, 64},         // dl1_size (KB)
+		{1, 2, 3, 4},            // dl1_lat
+	}
+}
+
+// TestLevels returns the Table 2 "Test" ranges. They are deliberately a
+// different (partially overlapping) subset so that test designs are not
+// memorised training designs.
+func TestLevels() Levels {
+	return Levels{
+		{2, 8},            // Fetch_width
+		{128, 160},        // ROB_size
+		{32, 64},          // IQ_size
+		{16, 24, 32},      // LSQ_size
+		{256, 1024, 4096}, // L2_size (KB)
+		{8, 12, 14},       // L2_lat
+		{8, 16, 32},       // il1_size (KB)
+		{16, 32, 64},      // dl1_size (KB)
+		{1, 2, 3},         // dl1_lat
+	}
+}
+
+// NumDesigns returns the size of the full-factorial space over the levels.
+func (l Levels) NumDesigns() int {
+	n := 1
+	for _, vs := range l {
+		n *= len(vs)
+	}
+	return n
+}
+
+// Contains reports whether the swept parameters of c all lie on levels of l.
+func (l Levels) Contains(c Config) bool {
+	vals := c.SweptValues()
+	for p := 0; p < NumParams; p++ {
+		found := false
+		for _, v := range l[p] {
+			if v == vals[p] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Design converts per-parameter level indices into a Config based on base.
+func (l Levels) Design(base Config, levelIdx [NumParams]int) Config {
+	var vals [NumParams]int
+	for p := 0; p < NumParams; p++ {
+		vals[p] = l[p][levelIdx[p]]
+	}
+	return base.WithSweptValues(vals)
+}
+
+// FullFactorial enumerates every design in the space (use with care: the
+// Table 2 training space holds 245,760 designs).
+func (l Levels) FullFactorial(base Config) []Config {
+	out := make([]Config, 0, l.NumDesigns())
+	var idx [NumParams]int
+	var rec func(p int)
+	rec = func(p int) {
+		if p == NumParams {
+			out = append(out, l.Design(base, idx))
+			return
+		}
+		for i := range l[p] {
+			idx[p] = i
+			rec(p + 1)
+		}
+	}
+	rec(0)
+	return out
+}

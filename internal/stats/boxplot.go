@@ -1,0 +1,173 @@
+// Package stats provides the statistical summaries and plot-data
+// structures the paper's evaluation uses: boxplots (Figure 8), the
+// directional-symmetry scenario-classification metric (Figures 12–13),
+// hierarchical clustering for heat-plot dendrograms (Figure 18), and text
+// renderers that print these artifacts in a terminal.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Boxplot is the five-number summary with outliers, using the paper's
+// whisker rule: whiskers extend to the extreme values or 1.5×IQR from the
+// median, whichever is less.
+type Boxplot struct {
+	Median   float64
+	Q1, Q3   float64
+	Lo, Hi   float64 // whisker ends
+	Outliers []float64
+	Mean     float64
+	N        int
+}
+
+// NewBoxplot summarises xs. It panics on empty input.
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		panic("stats: boxplot of empty data")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	b := Boxplot{N: len(xs)}
+	b.Median = quantileSorted(sorted, 0.5)
+	b.Q1 = quantileSorted(sorted, 0.25)
+	b.Q3 = quantileSorted(sorted, 0.75)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	b.Mean = sum / float64(len(sorted))
+
+	iqr := b.Q3 - b.Q1
+	loLimit := b.Median - 1.5*iqr
+	hiLimit := b.Median + 1.5*iqr
+	b.Lo, b.Hi = sorted[0], sorted[len(sorted)-1]
+	if b.Lo < loLimit {
+		b.Lo = loLimit
+	}
+	if b.Hi > hiLimit {
+		b.Hi = hiLimit
+	}
+	// Snap whiskers to the most extreme datum inside the limits.
+	for _, v := range sorted {
+		if v >= b.Lo {
+			b.Lo = v
+			break
+		}
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i] <= b.Hi {
+			b.Hi = sorted[i]
+			break
+		}
+	}
+	for _, v := range sorted {
+		if v < b.Lo || v > b.Hi {
+			b.Outliers = append(b.Outliers, v)
+		}
+	}
+	return b
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a one-line textual summary.
+func (b Boxplot) String() string {
+	return fmt.Sprintf("med=%.3f q1=%.3f q3=%.3f whiskers=[%.3f,%.3f] outliers=%d mean=%.3f",
+		b.Median, b.Q1, b.Q3, b.Lo, b.Hi, len(b.Outliers), b.Mean)
+}
+
+// RenderRow draws the boxplot as a fixed-width ASCII strip covering
+// [axisLo, axisHi].
+func (b Boxplot) RenderRow(axisLo, axisHi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	cells := make([]rune, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	pos := func(v float64) int {
+		if axisHi <= axisLo {
+			return 0
+		}
+		p := int(float64(width-1) * (v - axisLo) / (axisHi - axisLo))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	lo, q1, med, q3, hi := pos(b.Lo), pos(b.Q1), pos(b.Median), pos(b.Q3), pos(b.Hi)
+	for i := lo; i <= hi; i++ {
+		cells[i] = '-'
+	}
+	for i := q1; i <= q3; i++ {
+		cells[i] = '='
+	}
+	cells[lo] = '|'
+	cells[hi] = '|'
+	cells[med] = 'M'
+	for _, o := range b.Outliers {
+		cells[pos(o)] = 'o'
+	}
+	return string(cells)
+}
+
+// RenderBoxplots prints labelled boxplot rows on a shared axis.
+func RenderBoxplots(labels []string, plots []Boxplot, width int) string {
+	if len(labels) != len(plots) {
+		panic("stats: labels/plots length mismatch")
+	}
+	if len(plots) == 0 {
+		return ""
+	}
+	axisLo, axisHi := plots[0].Lo, plots[0].Hi
+	for _, p := range plots {
+		lo, hi := p.Lo, p.Hi
+		for _, o := range p.Outliers {
+			if o < lo {
+				lo = o
+			}
+			if o > hi {
+				hi = o
+			}
+		}
+		if lo < axisLo {
+			axisLo = lo
+		}
+		if hi > axisHi {
+			axisHi = hi
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, p := range plots {
+		fmt.Fprintf(&sb, "%-*s %s med=%6.2f\n", labelW, labels[i], p.RenderRow(axisLo, axisHi, width), p.Median)
+	}
+	fmt.Fprintf(&sb, "%-*s axis: [%.3f, %.3f]\n", labelW, "", axisLo, axisHi)
+	return sb.String()
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dendrogram is an average-linkage hierarchical clustering over labelled
+// observation vectors — the tree drawn above the paper's Figure 18 heat
+// plots.
+type Dendrogram struct {
+	labels []string
+	merges []merge
+	order  []int // leaf order induced by the merge tree
+}
+
+type merge struct {
+	a, b     int // node ids: 0..n-1 leaves, n+k internal
+	distance float64
+}
+
+// Cluster builds the dendrogram from one vector per label using Euclidean
+// distance and average linkage (UPGMA). It panics on inconsistent input.
+func Cluster(labels []string, vectors [][]float64) *Dendrogram {
+	n := len(labels)
+	if n == 0 || n != len(vectors) {
+		panic("stats: Cluster needs matching labels and vectors")
+	}
+	d := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != d {
+			panic("stats: Cluster vectors must share a dimension")
+		}
+	}
+
+	type cluster struct {
+		id      int
+		members []int // leaf indices
+	}
+	active := make([]cluster, n)
+	for i := range active {
+		active[i] = cluster{id: i, members: []int{i}}
+	}
+	dist := func(a, b []int) float64 {
+		var sum float64
+		for _, i := range a {
+			for _, j := range b {
+				var d2 float64
+				for k := range vectors[i] {
+					diff := vectors[i][k] - vectors[j][k]
+					d2 += diff * diff
+				}
+				sum += math.Sqrt(d2)
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+
+	dg := &Dendrogram{labels: labels}
+	children := map[int][2]int{}
+	nextID := n
+	for len(active) > 1 {
+		bi, bj, best := 0, 1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if dd := dist(active[i].members, active[j].members); dd < best {
+					bi, bj, best = i, j, dd
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		dg.merges = append(dg.merges, merge{a: a.id, b: b.id, distance: best})
+		children[nextID] = [2]int{a.id, b.id}
+		merged := cluster{id: nextID, members: append(append([]int{}, a.members...), b.members...)}
+		nextID++
+		// Remove bj first (it is the larger index).
+		active = append(active[:bj], active[bj+1:]...)
+		active[bi] = merged
+	}
+
+	// Leaf order from a depth-first walk of the final tree.
+	var walk func(id int)
+	walk = func(id int) {
+		if id < n {
+			dg.order = append(dg.order, id)
+			return
+		}
+		c := children[id]
+		walk(c[0])
+		walk(c[1])
+	}
+	walk(nextID - 1)
+	return dg
+}
+
+// LeafOrder returns label indices in dendrogram display order.
+func (d *Dendrogram) LeafOrder() []int { return append([]int(nil), d.order...) }
+
+// OrderedLabels returns labels in dendrogram display order.
+func (d *Dendrogram) OrderedLabels() []string {
+	out := make([]string, len(d.order))
+	for i, idx := range d.order {
+		out[i] = d.labels[idx]
+	}
+	return out
+}
+
+// NumMerges returns the number of internal nodes (len(labels)−1).
+func (d *Dendrogram) NumMerges() int { return len(d.merges) }
+
+// MergeDistances returns the linkage distances in merge order
+// (non-decreasing for well-formed average-linkage trees on metric data).
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.merges))
+	for i, m := range d.merges {
+		out[i] = m.distance
+	}
+	return out
+}
+
+// String renders the merge sequence.
+func (d *Dendrogram) String() string {
+	var sb strings.Builder
+	name := func(id int) string {
+		if id < len(d.labels) {
+			return d.labels[id]
+		}
+		return fmt.Sprintf("#%d", id)
+	}
+	for i, m := range d.merges {
+		fmt.Fprintf(&sb, "merge %d: %s + %s (d=%.4f) -> #%d\n",
+			i, name(m.a), name(m.b), m.distance, len(d.labels)+i)
+	}
+	return sb.String()
+}
+
+// shadeRamp maps [0,1] onto ASCII intensity for heat plots.
+const shadeRamp = " .:-=+*#%@"
+
+// RenderHeatMap draws a column-labelled heat map of values[row][col],
+// normalised over the full matrix, with row indices on the left. colOrder
+// permutes columns (pass a dendrogram leaf order to mimic Figure 18).
+func RenderHeatMap(colLabels []string, values [][]float64, colOrder []int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if colOrder == nil {
+		colOrder = make([]int, len(colLabels))
+		for i := range colOrder {
+			colOrder[i] = i
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	// Header: truncated column labels, vertical.
+	maxLabel := 0
+	ordered := make([]string, len(colOrder))
+	for i, c := range colOrder {
+		ordered[i] = colLabels[c]
+		if len(colLabels[c]) > maxLabel {
+			maxLabel = len(colLabels[c])
+		}
+	}
+	for line := 0; line < maxLabel; line++ {
+		sb.WriteString("     ")
+		for _, l := range ordered {
+			if line < len(l) {
+				sb.WriteByte(l[line])
+			} else {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	for r, row := range values {
+		fmt.Fprintf(&sb, "%4d ", r+1)
+		for _, c := range colOrder {
+			frac := (row[c] - lo) / span
+			idx := int(frac * float64(len(shadeRamp)-1))
+			sb.WriteByte(shadeRamp[idx])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scale: %.4f (%q) .. %.4f (%q)\n", lo, shadeRamp[0], hi, shadeRamp[len(shadeRamp)-1])
+	return sb.String()
+}

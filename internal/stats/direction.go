@@ -1,0 +1,64 @@
+package stats
+
+import "repro/internal/mathx"
+
+// ThresholdLevel names the paper's three scenario-classification levels
+// (Figure 12): Q1, Q2, Q3 between the trace minimum and maximum.
+type ThresholdLevel int
+
+// The three levels.
+const (
+	Q1 ThresholdLevel = iota + 1
+	Q2
+	Q3
+)
+
+// String names the level.
+func (l ThresholdLevel) String() string {
+	return [...]string{"", "Q1", "Q2", "Q3"}[l]
+}
+
+// Threshold computes the level's value for a trace:
+// Qk = min + (max−min)·k/4.
+func Threshold(trace []float64, level ThresholdLevel) float64 {
+	lo, hi := mathx.Min(trace), mathx.Max(trace)
+	return lo + (hi-lo)*float64(level)/4
+}
+
+// DirectionalSymmetry is the paper's DS metric: the fraction of samples
+// where prediction and actual sit on the same side of the threshold. A
+// sample exactly on the threshold counts as "above or equal".
+func DirectionalSymmetry(actual, predicted []float64, threshold float64) float64 {
+	if len(actual) != len(predicted) {
+		panic("stats: DS length mismatch")
+	}
+	if len(actual) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range actual {
+		if (actual[i] >= threshold) == (predicted[i] >= threshold) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(actual))
+}
+
+// DirectionalAsymmetry is 1−DS expressed in percent, as plotted in
+// Figure 13.
+func DirectionalAsymmetry(actual, predicted []float64, threshold float64) float64 {
+	return 100 * (1 - DirectionalSymmetry(actual, predicted, threshold))
+}
+
+// ScenarioExceedances counts how many samples of a trace are at or above
+// the threshold — the "how many sampling points are above the threshold"
+// classification used to drive proactive management.
+func ScenarioExceedances(trace []float64, threshold float64) int {
+	n := 0
+	for _, v := range trace {
+		if v >= threshold {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// Sparkline renders a series as a one-line unicode sparkline, normalised to
+// its own range.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := mathx.Min(xs), mathx.Max(xs)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for _, v := range xs {
+		idx := int((v - lo) / span * float64(len(ramp)-1))
+		sb.WriteRune(ramp[idx])
+	}
+	return sb.String()
+}
+
+// RenderSeries draws a multi-row ASCII chart of one or two series sharing
+// an axis (used for the simulation-vs-prediction overlays of Figures 14 and
+// 17). The second series, when present, is drawn with '+' over the first's
+// '·'; coincident points show '*'.
+func RenderSeries(title string, a, b []float64, height int) string {
+	if height < 4 {
+		height = 8
+	}
+	n := len(a)
+	if n == 0 {
+		return ""
+	}
+	lo, hi := mathx.Min(a), mathx.Max(a)
+	if b != nil {
+		if m := mathx.Min(b); m < lo {
+			lo = m
+		}
+		if m := mathx.Max(b); m > hi {
+			hi = m
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	plot := func(xs []float64, ch byte) {
+		for i, v := range xs {
+			r := height - 1 - int((v-lo)/span*float64(height-1))
+			if grid[r][i] == ' ' {
+				grid[r][i] = ch
+			} else if grid[r][i] != ch {
+				grid[r][i] = '*'
+			}
+		}
+	}
+	plot(a, '.')
+	if b != nil {
+		plot(b, '+')
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [%.4g .. %.4g]", title, lo, hi)
+	if b != nil {
+		sb.WriteString("  ('.'=actual '+'=predicted '*'=both)")
+	}
+	sb.WriteByte('\n')
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// StarPlot holds per-spoke magnitudes for a set of observations — the
+// Figure 11 representation of parameter significance.
+type StarPlot struct {
+	Spokes []string // parameter names
+	Rows   map[string][]float64
+	order  []string
+}
+
+// NewStarPlot creates an empty star plot with the given spoke names.
+func NewStarPlot(spokes []string) *StarPlot {
+	return &StarPlot{Spokes: spokes, Rows: map[string][]float64{}}
+}
+
+// Add appends one observation (values per spoke, expected in [0,1]).
+func (s *StarPlot) Add(label string, values []float64) {
+	if len(values) != len(s.Spokes) {
+		panic("stats: star plot spoke count mismatch")
+	}
+	if _, dup := s.Rows[label]; !dup {
+		s.order = append(s.order, label)
+	}
+	s.Rows[label] = values
+}
+
+// Render prints each observation as a row of spoke bars (0–5 ticks).
+func (s *StarPlot) Render() string {
+	var sb strings.Builder
+	labelW := 0
+	for _, l := range s.order {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW+1, "")
+	for _, sp := range s.Spokes {
+		fmt.Fprintf(&sb, " %8s", sp)
+	}
+	sb.WriteByte('\n')
+	for _, label := range s.order {
+		fmt.Fprintf(&sb, "%-*s", labelW+1, label)
+		for _, v := range s.Rows[label] {
+			ticks := int(mathx.Clamp(v, 0, 1)*5 + 0.5)
+			fmt.Fprintf(&sb, " %8s", strings.Repeat("*", ticks))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestBoxplotKnownQuartiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBoxplot(xs)
+	if b.Median != 5 {
+		t.Errorf("median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v/%v, want 3/7", b.Q1, b.Q3)
+	}
+	if b.Lo != 1 || b.Hi != 9 {
+		t.Errorf("whiskers = %v/%v, want 1/9 (no outliers)", b.Lo, b.Hi)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("outliers = %v, want none", b.Outliers)
+	}
+	if b.Mean != 5 || b.N != 9 {
+		t.Errorf("mean/N = %v/%d", b.Mean, b.N)
+	}
+}
+
+func TestBoxplotDetectsOutliers(t *testing.T) {
+	xs := []float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100}
+	b := NewBoxplot(xs)
+	if len(b.Outliers) == 0 || b.Outliers[len(b.Outliers)-1] != 100 {
+		t.Errorf("expected 100 flagged as outlier, got %v", b.Outliers)
+	}
+	if b.Hi == 100 {
+		t.Error("whisker should not extend to the outlier")
+	}
+}
+
+func TestBoxplotSingleValue(t *testing.T) {
+	b := NewBoxplot([]float64{7})
+	if b.Median != 7 || b.Q1 != 7 || b.Q3 != 7 || b.Lo != 7 || b.Hi != 7 {
+		t.Errorf("degenerate boxplot wrong: %+v", b)
+	}
+}
+
+// Property: ordering invariants of the five-number summary, and all
+// non-outlier points lie within the whiskers.
+func TestBoxplotInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Norm(0, 3)
+		}
+		b := NewBoxplot(xs)
+		// Quartile ordering always holds; whiskers are data-snapped so
+		// they may cross an *interpolated* quartile, but never invert.
+		if !(b.Q1 <= b.Median && b.Median <= b.Q3 && b.Lo <= b.Hi) {
+			return false
+		}
+		out := map[float64]int{}
+		for _, o := range b.Outliers {
+			out[o]++
+		}
+		for _, v := range xs {
+			if v < b.Lo || v > b.Hi {
+				if out[v] == 0 {
+					return false
+				}
+				out[v]--
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderBoxplots(t *testing.T) {
+	plots := []Boxplot{NewBoxplot([]float64{1, 2, 3, 4, 5}), NewBoxplot([]float64{2, 4, 6, 8, 10})}
+	out := RenderBoxplots([]string{"a", "bb"}, plots, 40)
+	if !strings.Contains(out, "M") || !strings.Contains(out, "axis:") {
+		t.Errorf("render missing elements:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("expected 3 lines:\n%s", out)
+	}
+}
+
+func TestThresholdLevels(t *testing.T) {
+	trace := []float64{0, 4} // min 0, max 4
+	if Threshold(trace, Q1) != 1 || Threshold(trace, Q2) != 2 || Threshold(trace, Q3) != 3 {
+		t.Error("threshold levels wrong")
+	}
+	if Q1.String() != "Q1" || Q3.String() != "Q3" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestDirectionalSymmetry(t *testing.T) {
+	actual := []float64{1, 5, 1, 5}
+	perfect := []float64{2, 9, 0, 4}
+	if ds := DirectionalSymmetry(actual, perfect, 3); ds != 1 {
+		t.Errorf("DS = %v, want 1 for direction-preserving prediction", ds)
+	}
+	inverted := []float64{5, 1, 5, 1}
+	if ds := DirectionalSymmetry(actual, inverted, 3); ds != 0 {
+		t.Errorf("DS = %v, want 0 for inverted prediction", ds)
+	}
+	half := []float64{5, 9, 5, 9}
+	if ds := DirectionalSymmetry(actual, half, 3); ds != 0.5 {
+		t.Errorf("DS = %v, want 0.5", ds)
+	}
+	if da := DirectionalAsymmetry(actual, half, 3); da != 50 {
+		t.Errorf("asymmetry = %v, want 50", da)
+	}
+}
+
+func TestScenarioExceedances(t *testing.T) {
+	trace := []float64{1, 2, 3, 4, 5}
+	if n := ScenarioExceedances(trace, 3); n != 3 {
+		t.Errorf("exceedances = %d, want 3 (≥ threshold)", n)
+	}
+}
+
+func TestClusterGroupsSimilarVectors(t *testing.T) {
+	labels := []string{"a1", "a2", "b1", "b2"}
+	vectors := [][]float64{
+		{0, 0}, {0.1, 0}, {5, 5}, {5.1, 5},
+	}
+	d := Cluster(labels, vectors)
+	if d.NumMerges() != 3 {
+		t.Fatalf("merges = %d, want 3", d.NumMerges())
+	}
+	order := d.OrderedLabels()
+	// The two tight pairs must be adjacent in leaf order.
+	idx := map[string]int{}
+	for i, l := range order {
+		idx[l] = i
+	}
+	if abs(idx["a1"]-idx["a2"]) != 1 {
+		t.Errorf("a-pair not adjacent in %v", order)
+	}
+	if abs(idx["b1"]-idx["b2"]) != 1 {
+		t.Errorf("b-pair not adjacent in %v", order)
+	}
+	// First merge must join one of the tight pairs at small distance.
+	if d.MergeDistances()[0] > 0.2 {
+		t.Errorf("first merge distance %v too large", d.MergeDistances()[0])
+	}
+}
+
+func TestClusterLeafOrderIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		labels := make([]string, n)
+		vecs := make([][]float64, n)
+		for i := range labels {
+			labels[i] = string(rune('a' + i))
+			vecs[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		d := Cluster(labels, vecs)
+		order := d.LeafOrder()
+		sorted := append([]int(nil), order...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageLinkageMonotone(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	n := 10
+	labels := make([]string, n)
+	vecs := make([][]float64, n)
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+		vecs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	dists := Cluster(labels, vecs).MergeDistances()
+	for i := 1; i < len(dists); i++ {
+		// UPGMA can have small inversions in pathological cases, but on
+		// random metric data distances should be near-monotone; allow
+		// slack.
+		if dists[i] < dists[i-1]*0.5 {
+			t.Errorf("merge distances wildly non-monotone: %v", dists)
+		}
+	}
+}
+
+func TestRenderHeatMap(t *testing.T) {
+	out := RenderHeatMap([]string{"x", "y"}, [][]float64{{0, 1}, {1, 0}}, nil)
+	if !strings.Contains(out, "scale:") {
+		t.Errorf("heat map missing scale:\n%s", out)
+	}
+	if !strings.Contains(out, "@") || !strings.Contains(out, " ") {
+		t.Errorf("heat map should span the shade ramp:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestRenderSeriesOverlay(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	b := []float64{1, 2, 3, 2, 1}
+	out := RenderSeries("t", a, b, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("identical series should produce '*' overlap markers:\n%s", out)
+	}
+	out = RenderSeries("t", a, nil, 5)
+	if strings.Contains(out, "+") {
+		t.Errorf("single series should not contain '+':\n%s", out)
+	}
+}
+
+func TestStarPlot(t *testing.T) {
+	sp := NewStarPlot([]string{"Fetch", "ROB"})
+	sp.Add("gcc", []float64{1, 0.4})
+	sp.Add("mcf", []float64{0, 1})
+	out := sp.Render()
+	if !strings.Contains(out, "Fetch") || !strings.Contains(out, "gcc") {
+		t.Errorf("star plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*****") {
+		t.Errorf("full spoke should render five ticks:\n%s", out)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ = math.Inf // silence potential unused import if edits change usage

@@ -1,0 +1,99 @@
+// Package thermal implements the lumped-RC thermal model behind the
+// paper's opening motivation: "instead of designing packaging that can
+// meet the cooling capacity for worst-case scenarios, architects can
+// examine how the workload thermal dynamics behave across different
+// architecture configurations and deploy appropriate dynamic thermal
+// management (DTM) policies" (Section 1, citing Brooks & Martonosi,
+// HPCA 2001).
+//
+// Temperature is a first-order RC response to the sampled power trace:
+//
+//	T[t+1] = T[t] + α · (T_steady(P[t]) − T[t]),   T_steady(P) = T_amb + R·P
+//
+// so thermal dynamics are a low-pass-filtered view of power dynamics —
+// another time series the wavelet neural networks can forecast across the
+// design space.
+package thermal
+
+import "fmt"
+
+// Params describes the package/heatsink.
+type Params struct {
+	// RThermal is the junction-to-ambient thermal resistance (K/W).
+	RThermal float64
+	// TimeConstant is the RC constant expressed in trace samples. Sampled
+	// traces cover microseconds of simulated time, so the constant is
+	// given directly in sample units (an accelerated-thermal-constant
+	// substitution; DESIGN.md §2).
+	TimeConstant float64
+	// Ambient is the ambient temperature (°C).
+	Ambient float64
+}
+
+// DefaultParams models a 2007-class package: ~0.6 K/W to ambient at 45°C,
+// responding over roughly a dozen samples.
+func DefaultParams() Params {
+	return Params{RThermal: 0.6, TimeConstant: 12, Ambient: 45}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.RThermal <= 0 {
+		return fmt.Errorf("thermal: non-positive thermal resistance %v", p.RThermal)
+	}
+	if p.TimeConstant <= 0 {
+		return fmt.Errorf("thermal: non-positive time constant %v", p.TimeConstant)
+	}
+	return nil
+}
+
+// SteadyState returns the equilibrium temperature under constant power.
+func (p Params) SteadyState(watts float64) float64 {
+	return p.Ambient + p.RThermal*watts
+}
+
+// Trace converts a sampled power trace into a temperature trace. The
+// filter starts at the steady state of the first sample (the slice is
+// assumed to continue prior similar execution).
+func Trace(powers []float64, p Params) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(powers) == 0 {
+		return nil, nil
+	}
+	alpha := 1 / p.TimeConstant
+	if alpha > 1 {
+		alpha = 1
+	}
+	out := make([]float64, len(powers))
+	t := p.SteadyState(powers[0])
+	out[0] = t
+	for i := 1; i < len(powers); i++ {
+		t += alpha * (p.SteadyState(powers[i]) - t)
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Emergencies counts samples at or above the thermal limit — the events a
+// DTM policy must respond to.
+func Emergencies(temps []float64, limit float64) int {
+	n := 0
+	for _, t := range temps {
+		if t >= limit {
+			n++
+		}
+	}
+	return n
+}
+
+// DTMDutyCycle estimates the fraction of time a threshold-triggered DTM
+// response would be engaged, assuming it activates at the trigger level
+// and disengages below it.
+func DTMDutyCycle(temps []float64, trigger float64) float64 {
+	if len(temps) == 0 {
+		return 0
+	}
+	return float64(Emergencies(temps, trigger)) / float64(len(temps))
+}

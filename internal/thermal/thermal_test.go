@@ -1,0 +1,169 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestSteadyState(t *testing.T) {
+	p := Params{RThermal: 0.5, TimeConstant: 10, Ambient: 40}
+	if got := p.SteadyState(60); got != 70 {
+		t.Errorf("steady state = %v, want 70", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Params{RThermal: 0, TimeConstant: 5}).Validate(); err == nil {
+		t.Error("zero R should fail")
+	}
+	if err := (Params{RThermal: 1, TimeConstant: 0}).Validate(); err == nil {
+		t.Error("zero time constant should fail")
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	if _, err := Trace([]float64{1}, Params{}); err == nil {
+		t.Error("Trace must propagate validation errors")
+	}
+}
+
+func TestConstantPowerConverges(t *testing.T) {
+	p := DefaultParams()
+	powers := make([]float64, 200)
+	for i := range powers {
+		powers[i] = 50
+	}
+	temps, err := Trace(powers, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.SteadyState(50)
+	if math.Abs(temps[len(temps)-1]-want) > 0.01 {
+		t.Errorf("final temperature %v, want ≈%v", temps[len(temps)-1], want)
+	}
+	// Starting at steady state, it should stay there.
+	for i, v := range temps {
+		if math.Abs(v-want) > 0.01 {
+			t.Fatalf("sample %d drifted to %v", i, v)
+		}
+	}
+}
+
+func TestStepResponseIsLowPass(t *testing.T) {
+	p := Params{RThermal: 1, TimeConstant: 10, Ambient: 0}
+	powers := make([]float64, 100)
+	for i := range powers {
+		if i >= 10 {
+			powers[i] = 100
+		}
+	}
+	temps, err := Trace(powers, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Temperature must rise monotonically after the step, lag the power
+	// step, and approach 100 without overshoot.
+	if temps[11] >= 100 {
+		t.Error("temperature jumped instantaneously — no thermal inertia")
+	}
+	for i := 11; i < 100; i++ {
+		if temps[i] < temps[i-1]-1e-9 {
+			t.Fatalf("temperature fell during heating at %d", i)
+		}
+		if temps[i] > 100+1e-9 {
+			t.Fatalf("temperature overshot steady state at %d", i)
+		}
+	}
+	// One time constant after the step: ≈63% of the swing.
+	frac := temps[20] / 100
+	if frac < 0.55 || frac < 0.0 || frac > 0.72 {
+		t.Errorf("one-τ response = %v of swing, want ≈0.63", frac)
+	}
+}
+
+func TestEmergenciesAndDuty(t *testing.T) {
+	temps := []float64{60, 70, 80, 90}
+	if got := Emergencies(temps, 75); got != 2 {
+		t.Errorf("emergencies = %d, want 2", got)
+	}
+	if got := DTMDutyCycle(temps, 75); got != 0.5 {
+		t.Errorf("duty = %v, want 0.5", got)
+	}
+	if DTMDutyCycle(nil, 75) != 0 {
+		t.Error("empty trace duty should be 0")
+	}
+}
+
+// Property: temperatures always lie within the steady-state envelope of
+// the power trace (no over/undershoot for a first-order filter).
+func TestEnvelopeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		p := Params{
+			RThermal:     0.2 + rng.Float64(),
+			TimeConstant: 1 + rng.Float64()*30,
+			Ambient:      30 + rng.Float64()*20,
+		}
+		n := 5 + rng.Intn(100)
+		powers := make([]float64, n)
+		for i := range powers {
+			powers[i] = 10 + rng.Float64()*100
+		}
+		temps, err := Trace(powers, p)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, w := range powers {
+			s := p.SteadyState(w)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		for _, tv := range temps {
+			if tv < lo-1e-9 || tv > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hotter power traces produce hotter temperature traces
+// (monotonicity of the filter).
+func TestMonotoneInPowerProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		p := DefaultParams()
+		n := 10 + rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = 20 + rng.Float64()*50
+			b[i] = a[i] + 5 + rng.Float64()*10
+		}
+		ta, err1 := Trace(a, p)
+		tb, err2 := Trace(b, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ta {
+			if tb[i] <= ta[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

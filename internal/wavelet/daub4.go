@@ -1,0 +1,81 @@
+package wavelet
+
+import "math"
+
+// Daubechies4 is the orthonormal Daubechies wavelet with two vanishing
+// moments (D4), using periodic boundary handling. It is provided as an
+// alternative analysing wavelet to study sensitivity of the predictor to the
+// mother-wavelet choice (the paper notes wavelet analysis "allows one to
+// choose the pair of scaling and wavelet filters from numerous functions").
+type Daubechies4 struct{}
+
+// Name implements Transform.
+func (Daubechies4) Name() string { return "daub4" }
+
+// MinLength implements Transform.
+func (Daubechies4) MinLength() int { return 4 }
+
+var (
+	d4h0 = (1 + math.Sqrt(3)) / (4 * math.Sqrt(2))
+	d4h1 = (3 + math.Sqrt(3)) / (4 * math.Sqrt(2))
+	d4h2 = (3 - math.Sqrt(3)) / (4 * math.Sqrt(2))
+	d4h3 = (1 - math.Sqrt(3)) / (4 * math.Sqrt(2))
+)
+
+// Decompose implements Transform. The multiresolution recursion stops when
+// the approximation length reaches 2, so the layout is
+// [a0, a1, detail(coarsest)..., ..., detail(finest)...].
+func (Daubechies4) Decompose(data []float64) ([]float64, error) {
+	if err := checkLength("daub4", len(data), 4); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	out := make([]float64, n)
+	approx := make([]float64, n)
+	copy(approx, data)
+	for length := n; length >= 4; length /= 2 {
+		half := length / 2
+		s := make([]float64, half)
+		d := out[half:length]
+		for i := 0; i < half; i++ {
+			j := 2 * i
+			x0 := approx[j]
+			x1 := approx[(j+1)%length]
+			x2 := approx[(j+2)%length]
+			x3 := approx[(j+3)%length]
+			s[i] = d4h0*x0 + d4h1*x1 + d4h2*x2 + d4h3*x3
+			d[i] = d4h3*x0 - d4h2*x1 + d4h1*x2 - d4h0*x3
+		}
+		copy(approx[:half], s)
+	}
+	out[0], out[1] = approx[0], approx[1]
+	return out, nil
+}
+
+// Reconstruct implements Transform. Because the stage transform is
+// orthonormal, the stage inverse is its transpose, applied as a scatter.
+func (Daubechies4) Reconstruct(coeffs []float64) ([]float64, error) {
+	if err := checkLength("daub4", len(coeffs), 4); err != nil {
+		return nil, err
+	}
+	n := len(coeffs)
+	data := make([]float64, n)
+	data[0], data[1] = coeffs[0], coeffs[1]
+	for length := 4; length <= n; length *= 2 {
+		half := length / 2
+		s := make([]float64, half)
+		copy(s, data[:half])
+		d := coeffs[half:length]
+		x := make([]float64, length)
+		for i := 0; i < half; i++ {
+			j := 2 * i
+			si, di := s[i], d[i]
+			x[j] += d4h0*si + d4h3*di
+			x[(j+1)%length] += d4h1*si - d4h2*di
+			x[(j+2)%length] += d4h2*si + d4h1*di
+			x[(j+3)%length] += d4h3*si - d4h0*di
+		}
+		copy(data[:length], x)
+	}
+	return data, nil
+}

@@ -1,0 +1,87 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestDaub4PerfectReconstructionProperty(t *testing.T) {
+	perfectReconstruction(t, Daubechies4{}, 512)
+}
+
+func TestDaub4EnergyPreservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 << (2 + rng.Intn(7))
+		data := make([]float64, n)
+		var e1 float64
+		for i := range data {
+			data[i] = rng.Float64()*20 - 10
+			e1 += data[i] * data[i]
+		}
+		coeffs, err := Daubechies4{}.Decompose(data)
+		if err != nil {
+			return false
+		}
+		var e2 float64
+		for _, c := range coeffs {
+			e2 += c * c
+		}
+		return math.Abs(e1-e2) < 1e-6*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDaub4RejectsShortInput(t *testing.T) {
+	if _, err := (Daubechies4{}).Decompose([]float64{1, 2}); err == nil {
+		t.Error("Decompose(len 2) should fail for daub4")
+	}
+	if _, err := (Daubechies4{}).Decompose(make([]float64, 12)); err == nil {
+		t.Error("Decompose(len 12) should fail (not a power of two)")
+	}
+}
+
+// A linear ramp is reproduced exactly by D4's two vanishing moments: all
+// detail coefficients at interior positions vanish (periodic wrap affects
+// only boundary-adjacent ones).
+func TestDaub4KillsLinearRampDetails(t *testing.T) {
+	n := 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 2*float64(i) + 1
+	}
+	coeffs, err := Daubechies4{}.Decompose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finest-scale details live in coeffs[n/2:]. Away from the periodic
+	// seam (last two positions of the block), they must be ~0.
+	fine := coeffs[n/2:]
+	for i := 0; i < len(fine)-2; i++ {
+		if math.Abs(fine[i]) > 1e-9 {
+			t.Errorf("fine detail[%d] = %v, want 0 for linear ramp", i, fine[i])
+		}
+	}
+}
+
+func TestDaub4FilterOrthogonality(t *testing.T) {
+	// Scaling filter has unit norm and is orthogonal to the wavelet filter.
+	h := []float64{d4h0, d4h1, d4h2, d4h3}
+	g := []float64{d4h3, -d4h2, d4h1, -d4h0}
+	var hh, hg float64
+	for i := range h {
+		hh += h[i] * h[i]
+		hg += h[i] * g[i]
+	}
+	if math.Abs(hh-1) > 1e-12 {
+		t.Errorf("‖h‖² = %v, want 1", hh)
+	}
+	if math.Abs(hg) > 1e-12 {
+		t.Errorf("h·g = %v, want 0", hg)
+	}
+}

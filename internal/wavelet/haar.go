@@ -1,0 +1,111 @@
+package wavelet
+
+// Haar is the paper's Haar transform in average/difference form: at each
+// scale, approximation a[i] = (x[2i]+x[2i+1])/2 and detail
+// d[i] = (x[2i]-x[2i+1])/2 (Figure 2). It is perfectly invertible but not
+// orthonormal (coefficient energy is not preserved).
+type Haar struct{}
+
+// Name implements Transform.
+func (Haar) Name() string { return "haar" }
+
+// MinLength implements Transform.
+func (Haar) MinLength() int { return 1 }
+
+// Decompose implements Transform. Coefficients are laid out
+// [average, coarsest detail, ..., finest details].
+func (Haar) Decompose(data []float64) ([]float64, error) {
+	if err := checkLength("haar", len(data), 1); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	out := make([]float64, n)
+	approx := make([]float64, n)
+	copy(approx, data)
+	// Fill details from the back (finest scale occupies the last n/2 slots).
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		details := out[half:length]
+		for i := 0; i < half; i++ {
+			a, b := approx[2*i], approx[2*i+1]
+			approx[i] = (a + b) / 2
+			details[i] = (a - b) / 2
+		}
+	}
+	out[0] = approx[0]
+	return out, nil
+}
+
+// Reconstruct implements Transform.
+func (Haar) Reconstruct(coeffs []float64) ([]float64, error) {
+	if err := checkLength("haar", len(coeffs), 1); err != nil {
+		return nil, err
+	}
+	n := len(coeffs)
+	data := make([]float64, n)
+	data[0] = coeffs[0]
+	tmp := make([]float64, n)
+	for length := 1; length < n; length *= 2 {
+		details := coeffs[length : 2*length]
+		for i := 0; i < length; i++ {
+			tmp[2*i] = data[i] + details[i]
+			tmp[2*i+1] = data[i] - details[i]
+		}
+		copy(data[:2*length], tmp[:2*length])
+	}
+	return data, nil
+}
+
+// HaarOrthonormal is the energy-preserving Haar transform:
+// a[i] = (x[2i]+x[2i+1])/√2, d[i] = (x[2i]-x[2i+1])/√2.
+type HaarOrthonormal struct{}
+
+// Name implements Transform.
+func (HaarOrthonormal) Name() string { return "haar-orthonormal" }
+
+// MinLength implements Transform.
+func (HaarOrthonormal) MinLength() int { return 1 }
+
+const sqrt2 = 1.41421356237309504880168872420969808
+
+// Decompose implements Transform.
+func (HaarOrthonormal) Decompose(data []float64) ([]float64, error) {
+	if err := checkLength("haar-orthonormal", len(data), 1); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	out := make([]float64, n)
+	approx := make([]float64, n)
+	copy(approx, data)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		details := out[half:length]
+		for i := 0; i < half; i++ {
+			a, b := approx[2*i], approx[2*i+1]
+			approx[i] = (a + b) / sqrt2
+			details[i] = (a - b) / sqrt2
+		}
+	}
+	out[0] = approx[0]
+	return out, nil
+}
+
+// Reconstruct implements Transform.
+func (HaarOrthonormal) Reconstruct(coeffs []float64) ([]float64, error) {
+	if err := checkLength("haar-orthonormal", len(coeffs), 1); err != nil {
+		return nil, err
+	}
+	n := len(coeffs)
+	data := make([]float64, n)
+	data[0] = coeffs[0]
+	tmp := make([]float64, n)
+	for length := 1; length < n; length *= 2 {
+		details := coeffs[length : 2*length]
+		for i := 0; i < length; i++ {
+			tmp[2*i] = (data[i] + details[i]) / sqrt2
+			tmp[2*i+1] = (data[i] - details[i]) / sqrt2
+		}
+		copy(data[:2*length], tmp[:2*length])
+	}
+	return data, nil
+}

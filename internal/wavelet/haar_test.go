@@ -1,0 +1,219 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// TestHaarPaperExample reproduces Figure 2 of the paper exactly:
+// {3,4,20,25,15,5,20,3} decomposes to
+// [11.875, 1.125, -9.5, -0.75, -0.5, -2.5, 5, 8.5].
+func TestHaarPaperExample(t *testing.T) {
+	data := []float64{3, 4, 20, 25, 15, 5, 20, 3}
+	coeffs, err := Haar{}.Decompose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11.875, 1.125, -9.5, -0.75, -0.5, -2.5, 5, 8.5}
+	for i := range want {
+		if math.Abs(coeffs[i]-want[i]) > 1e-12 {
+			t.Errorf("coeff[%d] = %v, want %v", i, coeffs[i], want[i])
+		}
+	}
+}
+
+func TestHaarPaperExamplePartialReconstruction(t *testing.T) {
+	// The paper notes {13, 10.75} = {11.875+1.125, 11.875-1.125}: keeping
+	// only the first two coefficients reconstructs the scale-2
+	// approximation broadcast to full length.
+	data := []float64{3, 4, 20, 25, 15, 5, 20, 3}
+	coeffs, err := Haar{}.Decompose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Haar{}.Reconstruct(Keep(coeffs, FirstK(len(coeffs), 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(approx[i]-13) > 1e-12 {
+			t.Errorf("approx[%d] = %v, want 13", i, approx[i])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if math.Abs(approx[i]-10.75) > 1e-12 {
+			t.Errorf("approx[%d] = %v, want 10.75", i, approx[i])
+		}
+	}
+}
+
+func TestHaarFirstCoefficientIsMean(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = rng.Float64() * 10
+	}
+	coeffs, err := Haar{}.Decompose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coeffs[0]-mathx.Mean(data)) > 1e-9 {
+		t.Errorf("coeff[0] = %v, want mean %v", coeffs[0], mathx.Mean(data))
+	}
+}
+
+func TestHaarRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if _, err := (Haar{}).Decompose(make([]float64, n)); err == nil {
+			t.Errorf("Decompose(len %d) should fail", n)
+		}
+		if n > 0 {
+			if _, err := (Haar{}).Reconstruct(make([]float64, n)); err == nil {
+				t.Errorf("Reconstruct(len %d) should fail", n)
+			}
+		}
+	}
+}
+
+func TestHaarLengthOne(t *testing.T) {
+	coeffs, err := Haar{}.Decompose([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coeffs[0] != 42 {
+		t.Errorf("coeff = %v, want 42", coeffs)
+	}
+	back, err := Haar{}.Reconstruct(coeffs)
+	if err != nil || back[0] != 42 {
+		t.Errorf("reconstruct = %v (%v), want 42", back, err)
+	}
+}
+
+func perfectReconstruction(t *testing.T, tr Transform, maxLen int) {
+	t.Helper()
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := tr.MinLength()
+		for n < maxLen && rng.Float64() < 0.6 {
+			n *= 2
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*200 - 100
+		}
+		coeffs, err := tr.Decompose(data)
+		if err != nil {
+			return false
+		}
+		back, err := tr.Reconstruct(coeffs)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(back[i]-data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (paper §2.1): "the original data can be perfectly recovered if
+// all wavelet coefficients are involved."
+func TestHaarPerfectReconstructionProperty(t *testing.T) {
+	perfectReconstruction(t, Haar{}, 512)
+}
+
+func TestHaarOrthonormalPerfectReconstructionProperty(t *testing.T) {
+	perfectReconstruction(t, HaarOrthonormal{}, 512)
+}
+
+// Property: the orthonormal Haar preserves energy (Parseval).
+func TestHaarOrthonormalEnergyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 << (1 + rng.Intn(8))
+		data := make([]float64, n)
+		var e1 float64
+		for i := range data {
+			data[i] = rng.Float64()*20 - 10
+			e1 += data[i] * data[i]
+		}
+		coeffs, err := HaarOrthonormal{}.Decompose(data)
+		if err != nil {
+			return false
+		}
+		var e2 float64
+		for _, c := range coeffs {
+			e2 += c * c
+		}
+		return math.Abs(e1-e2) < 1e-6*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Haar transform is linear.
+func TestHaarLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 << (1 + rng.Intn(6))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		sum := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()*10 - 5
+			b[i] = rng.Float64()*10 - 5
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		ca, _ := Haar{}.Decompose(a)
+		cb, _ := Haar{}.Decompose(b)
+		cs, _ := Haar{}.Decompose(sum)
+		for i := range cs {
+			if math.Abs(cs[i]-(2*ca[i]+3*cb[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reconstruction error must shrink monotonically (weakly) as more
+// magnitude-ranked coefficients are kept, reaching zero with all of them —
+// the Figure 4 progression.
+func TestHaarProgressiveApproximation(t *testing.T) {
+	rng := mathx.NewRNG(99)
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/5)*3 + rng.Float64()
+	}
+	coeffs, err := Haar{}.Decompose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8, 16, 64} {
+		approx, err := Haar{}.Reconstruct(Keep(coeffs, TopKByMagnitude(coeffs, k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse := mathx.MSE(data, approx)
+		if mse > prev+1e-12 {
+			t.Errorf("MSE with k=%d (%v) exceeds previous (%v)", k, mse, prev)
+		}
+		prev = mse
+	}
+	if prev > 1e-18 {
+		t.Errorf("full reconstruction MSE = %v, want 0", prev)
+	}
+}

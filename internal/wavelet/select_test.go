@@ -1,0 +1,131 @@
+package wavelet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestTopKByMagnitude(t *testing.T) {
+	coeffs := []float64{1, -9, 3, 0.5, -3}
+	got := TopKByMagnitude(coeffs, 3)
+	// |−9| > |3| == |−3| (tie → lower index) > |1|.
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKClampsK(t *testing.T) {
+	coeffs := []float64{1, 2}
+	if got := TopKByMagnitude(coeffs, 10); len(got) != 2 {
+		t.Errorf("k beyond len should clamp: %v", got)
+	}
+	if got := TopKByMagnitude(coeffs, -1); len(got) != 0 {
+		t.Errorf("negative k should clamp to 0: %v", got)
+	}
+}
+
+func TestFirstK(t *testing.T) {
+	got := FirstK(5, 3)
+	for i, v := range got {
+		if v != i {
+			t.Errorf("FirstK[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if len(FirstK(2, 9)) != 2 {
+		t.Error("FirstK should clamp k to n")
+	}
+}
+
+func TestKeepZeroesOthers(t *testing.T) {
+	coeffs := []float64{5, 6, 7, 8}
+	kept := Keep(coeffs, []int{0, 2})
+	want := []float64{5, 0, 7, 0}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("Keep[%d] = %v, want %v", i, kept[i], want[i])
+		}
+	}
+	// Out-of-range indices are ignored.
+	kept = Keep(coeffs, []int{-1, 99})
+	for i, v := range kept {
+		if v != 0 {
+			t.Errorf("Keep with invalid indices[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMagnitudeRanks(t *testing.T) {
+	coeffs := []float64{0.5, -9, 3}
+	ranks := MagnitudeRanks(coeffs)
+	want := []int{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+}
+
+func TestEnergyFraction(t *testing.T) {
+	coeffs := []float64{3, 4} // energies 9, 16; total 25
+	if got := EnergyFraction(coeffs, []int{1}); got != 16.0/25.0 {
+		t.Errorf("EnergyFraction = %v, want 0.64", got)
+	}
+	if got := EnergyFraction(coeffs, []int{1, 1}); got != 16.0/25.0 {
+		t.Errorf("duplicate indices double-counted: %v", got)
+	}
+	if got := EnergyFraction([]float64{0, 0}, nil); got != 1 {
+		t.Errorf("all-zero series = %v, want 1", got)
+	}
+}
+
+// Property: magnitude-based selection captures at least as much energy as
+// order-based selection for the same k — the reason the paper adopts it.
+func TestMagnitudeBeatsOrderEnergyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 << (2 + rng.Intn(6))
+		coeffs := make([]float64, n)
+		for i := range coeffs {
+			coeffs[i] = rng.Float64()*10 - 5
+		}
+		k := 1 + rng.Intn(n)
+		mag := EnergyFraction(coeffs, TopKByMagnitude(coeffs, k))
+		ord := EnergyFraction(coeffs, FirstK(n, k))
+		return mag >= ord-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation of 1..n.
+func TestMagnitudeRanksPermutationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 + rng.Intn(50)
+		coeffs := make([]float64, n)
+		for i := range coeffs {
+			coeffs[i] = rng.Float64()
+		}
+		ranks := MagnitudeRanks(coeffs)
+		seen := make([]bool, n+1)
+		for _, r := range ranks {
+			if r < 1 || r > n || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package wavelet implements the discrete wavelet transforms and
+// coefficient-selection schemes used by the workload-dynamics predictor.
+//
+// The paper (Section 2.1, Figure 2) uses the Haar transform in its
+// average/difference form: at each scale the approximation is the pairwise
+// mean and the detail is half the pairwise difference. Decomposed
+// coefficients are laid out as
+//
+//	[overall average, detail(coarsest), ..., detail(finest)]
+//
+// so that index 0 carries the global mean of the series and increasing
+// indices carry increasingly local behaviour. An orthonormal Haar and a
+// Daubechies-4 transform are provided as drop-in alternatives.
+package wavelet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transform is a two-way discrete wavelet transform over power-of-two-length
+// series.
+type Transform interface {
+	// Name identifies the transform (e.g. "haar").
+	Name() string
+	// Decompose returns the full set of wavelet coefficients for data.
+	// len(data) must be a power of two and at least MinLength().
+	Decompose(data []float64) ([]float64, error)
+	// Reconstruct inverts Decompose. len(coeffs) must be a power of two.
+	Reconstruct(coeffs []float64) ([]float64, error)
+	// MinLength is the shortest series the transform accepts.
+	MinLength() int
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func checkLength(name string, n, min int) error {
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("wavelet: %s requires power-of-two length, got %d", name, n)
+	}
+	if n < min {
+		return fmt.Errorf("wavelet: %s requires length ≥ %d, got %d", name, min, n)
+	}
+	return nil
+}
+
+// TopKByMagnitude returns the indices of the k largest-magnitude
+// coefficients, in descending magnitude order (ties broken by lower index).
+// This is the paper's "magnitude-based" selection scheme.
+func TopKByMagnitude(coeffs []float64, k int) []int {
+	if k > len(coeffs) {
+		k = len(coeffs)
+	}
+	if k < 0 {
+		k = 0
+	}
+	idx := make([]int, len(coeffs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ma, mb := abs(coeffs[idx[a]]), abs(coeffs[idx[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]int, k)
+	copy(out, idx[:k])
+	return out
+}
+
+// FirstK returns the indices 0..k-1, the paper's "order-based" selection
+// scheme (coarsest scales first given the coefficient layout).
+func FirstK(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Keep returns a copy of coeffs with every position not listed in indices
+// zeroed — the sparse approximation used before inverse transforming.
+func Keep(coeffs []float64, indices []int) []float64 {
+	out := make([]float64, len(coeffs))
+	for _, i := range indices {
+		if i >= 0 && i < len(coeffs) {
+			out[i] = coeffs[i]
+		}
+	}
+	return out
+}
+
+// MagnitudeRanks returns, for each coefficient position, its 1-based rank by
+// descending magnitude (rank 1 = largest). Used to reproduce the Figure 7
+// rank-stability map.
+func MagnitudeRanks(coeffs []float64) []int {
+	order := TopKByMagnitude(coeffs, len(coeffs))
+	ranks := make([]int, len(coeffs))
+	for rank, idx := range order {
+		ranks[idx] = rank + 1
+	}
+	return ranks
+}
+
+// EnergyFraction returns the share of total squared-coefficient energy
+// captured by the listed coefficient positions. Returns 1 for an all-zero
+// series.
+func EnergyFraction(coeffs []float64, indices []int) float64 {
+	var total float64
+	for _, c := range coeffs {
+		total += c * c
+	}
+	if total == 0 {
+		return 1
+	}
+	var kept float64
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(coeffs) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		kept += coeffs[i] * coeffs[i]
+	}
+	return kept / total
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+// Package workload generates deterministic, phase-structured synthetic
+// instruction streams standing in for the SPEC CPU 2000 simulation points
+// the paper measures (see DESIGN.md for the substitution rationale).
+//
+// Each of the twelve profiles emits the *same* dynamic instruction stream
+// every time, independent of machine configuration — exactly as a real
+// binary would. Microarchitectural behaviour (cache misses, branch
+// mispredictions, queue occupancies) then varies across configurations only
+// through the machine model, which is the property the paper's predictive
+// models learn.
+package workload
+
+// OpClass classifies a dynamic instruction for functional-unit and latency
+// purposes.
+type OpClass uint8
+
+// Operation classes, mirroring the Table 1 functional unit pools.
+const (
+	OpIntALU OpClass = iota // single-cycle integer ops
+	OpIntMul                // integer multiply/divide
+	OpFPALU                 // floating point add/compare
+	OpFPMul                 // floating point multiply/divide/sqrt
+	OpLoad
+	OpStore
+	OpBranch
+	NumOpClasses
+)
+
+// String returns the mnemonic class name.
+func (o OpClass) String() string {
+	switch o {
+	case OpIntALU:
+		return "ialu"
+	case OpIntMul:
+		return "imul"
+	case OpFPALU:
+		return "fpalu"
+	case OpFPMul:
+		return "fpmul"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	}
+	return "?"
+}
+
+// Inst is one dynamic instruction as consumed by the CPU timing model.
+type Inst struct {
+	Op OpClass
+	PC uint64
+	// Dep1, Dep2 are register dependence distances: how many dynamic
+	// instructions back the producing instruction sits. Zero means no
+	// dependence. The CPU model resolves these against its in-flight
+	// window.
+	Dep1, Dep2 uint16
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Branch semantics (Op == OpBranch).
+	Taken  bool
+	Target uint64
+	IsCall bool
+	IsRet  bool
+	// Dead marks a dynamically dead instruction: its result is never
+	// consumed, so its queue residency is un-ACE for AVF purposes.
+	Dead bool
+}
+
+// Generator produces a deterministic instruction stream.
+type Generator interface {
+	// Next fills inst with the next dynamic instruction.
+	Next(inst *Inst)
+	// Reset rewinds the stream to the beginning.
+	Reset()
+	// Name identifies the workload.
+	Name() string
+}

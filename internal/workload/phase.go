@@ -1,0 +1,145 @@
+package workload
+
+import "fmt"
+
+// Phase parameterises one behavioural regime of a benchmark: its
+// instruction mix, locality structure, branch character, and available
+// instruction-level parallelism. A benchmark is a schedule over phases.
+type Phase struct {
+	// Name labels the phase for diagnostics.
+	Name string
+
+	// Mix gives the relative frequency of each operation class.
+	Mix [NumOpClasses]float64
+
+	// DepMean is the mean register-dependence distance in dynamic
+	// instructions; larger values expose more ILP.
+	DepMean float64
+
+	// Memory behaviour: each load/store draws from one of three address
+	// generators. StreamFrac + ChaseFrac must be ≤ 1; the remainder hits a
+	// hot working set of WSBytes.
+	WSBytes    int
+	StreamFrac float64
+	ChaseFrac  float64
+	// StreamArrayBytes is the extent of each streamed array (typically
+	// larger than L2 so streams always miss at line granularity).
+	StreamArrayBytes int
+	// StreamStride is the byte stride of streaming accesses.
+	StreamStride int
+	// ChaseBytes is the extent of the pointer-chased region; chase loads
+	// form serial dependence chains.
+	ChaseBytes int
+
+	// CodeBlocks is the static code footprint in instructions; the PC
+	// stream cycles through it, generating IL1/BTB pressure when the
+	// footprint exceeds the instruction cache.
+	CodeBlocks int
+
+	// Branch character. HardBranchFrac of conditional branches are
+	// data-dependent with per-instance random outcomes (taken with
+	// HardTakenProb); the rest are strongly biased and predictable.
+	HardBranchFrac float64
+	HardTakenProb  float64
+	// CallFrac of branches are call/return pairs exercising the RAS.
+	CallFrac float64
+	// IndirectFrac of branches rotate among several targets, defeating
+	// the BTB even when the direction is predictable.
+	IndirectFrac float64
+
+	// DeadFrac of instructions are dynamically dead (un-ACE).
+	DeadFrac float64
+}
+
+// Validate checks phase parameters for consistency.
+func (p Phase) Validate() error {
+	var mixSum float64
+	for _, m := range p.Mix {
+		if m < 0 {
+			return fmt.Errorf("workload: phase %q has negative mix entry", p.Name)
+		}
+		mixSum += m
+	}
+	if mixSum <= 0 {
+		return fmt.Errorf("workload: phase %q has empty mix", p.Name)
+	}
+	if p.DepMean < 1 {
+		return fmt.Errorf("workload: phase %q DepMean %v < 1", p.Name, p.DepMean)
+	}
+	if p.StreamFrac < 0 || p.ChaseFrac < 0 || p.StreamFrac+p.ChaseFrac > 1 {
+		return fmt.Errorf("workload: phase %q memory fractions invalid (%v stream + %v chase)", p.Name, p.StreamFrac, p.ChaseFrac)
+	}
+	if p.WSBytes <= 0 || p.CodeBlocks <= 0 {
+		return fmt.Errorf("workload: phase %q needs positive WSBytes and CodeBlocks", p.Name)
+	}
+	if p.StreamFrac > 0 && (p.StreamStride <= 0 || p.StreamArrayBytes <= 0) {
+		return fmt.Errorf("workload: phase %q streams without stride/array size", p.Name)
+	}
+	if p.ChaseFrac > 0 && p.ChaseBytes <= 0 {
+		return fmt.Errorf("workload: phase %q chases without region size", p.Name)
+	}
+	for _, frac := range []float64{p.HardBranchFrac, p.HardTakenProb, p.CallFrac, p.IndirectFrac, p.DeadFrac} {
+		if frac < 0 || frac > 1 {
+			return fmt.Errorf("workload: phase %q has fraction outside [0,1]", p.Name)
+		}
+	}
+	return nil
+}
+
+// Step is one entry of a benchmark's phase schedule.
+type Step struct {
+	// Phase indexes Profile.Phases.
+	Phase int
+	// Weight is the fraction of the schedule period spent in the phase.
+	Weight float64
+}
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name is the SPEC benchmark the profile imitates.
+	Name string
+	// Seed determinises the stream; distinct per benchmark.
+	Seed uint64
+	// Phases are the behavioural regimes.
+	Phases []Phase
+	// Schedule cycles through phases; it repeats every PeriodInstrs
+	// dynamic instructions.
+	Schedule []Step
+	// PeriodInstrs is the schedule period.
+	PeriodInstrs int
+}
+
+// Validate checks the profile for consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: profile %q has no phases", p.Name)
+	}
+	for _, ph := range p.Phases {
+		if err := ph.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(p.Schedule) == 0 {
+		return fmt.Errorf("workload: profile %q has no schedule", p.Name)
+	}
+	var wsum float64
+	for _, s := range p.Schedule {
+		if s.Phase < 0 || s.Phase >= len(p.Phases) {
+			return fmt.Errorf("workload: profile %q schedule references phase %d of %d", p.Name, s.Phase, len(p.Phases))
+		}
+		if s.Weight <= 0 {
+			return fmt.Errorf("workload: profile %q schedule has non-positive weight", p.Name)
+		}
+		wsum += s.Weight
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("workload: profile %q schedule has zero total weight", p.Name)
+	}
+	if p.PeriodInstrs <= 0 {
+		return fmt.Errorf("workload: profile %q needs positive period", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,569 @@
+package workload
+
+// This file defines the twelve synthetic benchmark profiles standing in for
+// the paper's SPEC CPU 2000 selection: bzip2, crafty, eon, gap, gcc, mcf,
+// parser, perlbmk, twolf, swim, vortex and vpr. Parameter choices follow the
+// benchmarks' published characterisations qualitatively: working-set sizes
+// straddle the Table 2 cache ranges, pointer-intensive codes chase, FP codes
+// stream, and branch-intensive codes carry data-dependent branches. Each
+// profile has its own phase schedule so the sampled traces show the
+// benchmark-specific time-varying behaviour of Figure 1.
+
+// mix builds an op-class mix; the IntALU share absorbs the remainder.
+func mix(imul, fpalu, fpmul, load, store, branch float64) [NumOpClasses]float64 {
+	ialu := 1 - imul - fpalu - fpmul - load - store - branch
+	if ialu < 0 {
+		panic("workload: mix fractions exceed 1")
+	}
+	var m [NumOpClasses]float64
+	m[OpIntALU] = ialu
+	m[OpIntMul] = imul
+	m[OpFPALU] = fpalu
+	m[OpFPMul] = fpmul
+	m[OpLoad] = load
+	m[OpStore] = store
+	m[OpBranch] = branch
+	return m
+}
+
+// KB and MB scale byte-count literals in profile definitions.
+const (
+	KB = 1024
+	MB = 1024 * 1024
+)
+
+// Profiles returns the twelve benchmark profiles in the paper's order.
+func Profiles() []Profile {
+	return []Profile{
+		bzip2(), crafty(), eon(), gap(), gcc(), mcf(),
+		parser(), perlbmk(), swim(), twolf(), vortex(), vpr(),
+	}
+}
+
+// ProfileByName returns the named profile, or ok=false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in canonical order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func bzip2() Profile {
+	return Profile{
+		Name: "bzip2",
+		Seed: 0xB21,
+		Phases: []Phase{
+			{ // Run-length encoding / stream compression: sequential.
+				Name:             "compress",
+				Mix:              mix(0.01, 0, 0, 0.26, 0.12, 0.14),
+				DepMean:          6,
+				WSBytes:          64 * KB,
+				StreamFrac:       0.55,
+				StreamArrayBytes: 6 * MB,
+				StreamStride:     16,
+				CodeBlocks:       3000,
+				HardBranchFrac:   0.12,
+				HardTakenProb:    0.5,
+				CallFrac:         0.04,
+				DeadFrac:         0.10,
+			},
+			{ // Block sort: data-dependent comparisons over a block.
+				Name:           "sort",
+				Mix:            mix(0.01, 0, 0, 0.30, 0.10, 0.18),
+				DepMean:        4,
+				WSBytes:        400 * KB,
+				CodeBlocks:     2000,
+				HardBranchFrac: 0.19,
+				HardTakenProb:  0.5,
+				CallFrac:       0.06,
+				DeadFrac:       0.12,
+			},
+			{ // Huffman coding: compute-bound, tight tables.
+				Name:           "huffman",
+				Mix:            mix(0.02, 0, 0, 0.22, 0.08, 0.16),
+				DepMean:        5,
+				WSBytes:        12 * KB,
+				CodeBlocks:     1500,
+				HardBranchFrac: 0.075,
+				HardTakenProb:  0.4,
+				CallFrac:       0.05,
+				DeadFrac:       0.10,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.35}, {Phase: 1, Weight: 0.40}, {Phase: 2, Weight: 0.25},
+		},
+		PeriodInstrs: 32768,
+	}
+}
+
+func crafty() Profile {
+	return Profile{
+		Name: "crafty",
+		Seed: 0xC4A,
+		Phases: []Phase{
+			{ // Move generation: bit tricks, high ILP, small data.
+				Name:           "movegen",
+				Mix:            mix(0.02, 0, 0, 0.20, 0.07, 0.19),
+				DepMean:        7,
+				WSBytes:        24 * KB,
+				CodeBlocks:     14000, // 56KB of code: exceeds small IL1s
+				HardBranchFrac: 0.11,
+				HardTakenProb:  0.45,
+				CallFrac:       0.14,
+				DeadFrac:       0.14,
+			},
+			{ // Search/evaluate: deeper recursion, hash probes.
+				Name:           "search",
+				Mix:            mix(0.02, 0, 0, 0.26, 0.08, 0.21),
+				DepMean:        5,
+				WSBytes:        300 * KB, // transposition table slice
+				CodeBlocks:     10000,
+				HardBranchFrac: 0.16,
+				HardTakenProb:  0.5,
+				CallFrac:       0.18,
+				DeadFrac:       0.12,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.3}, {Phase: 1, Weight: 0.45}, {Phase: 0, Weight: 0.25},
+		},
+		PeriodInstrs: 24576,
+	}
+}
+
+func eon() Profile {
+	return Profile{
+		Name: "eon",
+		Seed: 0xE01,
+		Phases: []Phase{
+			{ // Ray tracing: FP with regular control, C++ virtual calls.
+				Name:           "trace",
+				Mix:            mix(0.01, 0.16, 0.07, 0.24, 0.09, 0.12),
+				DepMean:        8,
+				WSBytes:        20 * KB,
+				CodeBlocks:     6000,
+				HardBranchFrac: 0.04,
+				HardTakenProb:  0.4,
+				CallFrac:       0.16,
+				IndirectFrac:   0.08,
+				DeadFrac:       0.08,
+			},
+			{ // Shading: heavier FP multiply chains.
+				Name:           "shade",
+				Mix:            mix(0.01, 0.20, 0.12, 0.22, 0.08, 0.09),
+				DepMean:        9,
+				WSBytes:        16 * KB,
+				CodeBlocks:     4000,
+				HardBranchFrac: 0.03,
+				HardTakenProb:  0.4,
+				CallFrac:       0.12,
+				IndirectFrac:   0.06,
+				DeadFrac:       0.07,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.55}, {Phase: 1, Weight: 0.45},
+		},
+		PeriodInstrs: 16384,
+	}
+}
+
+func gap() Profile {
+	return Profile{
+		Name: "gap",
+		Seed: 0x6A9,
+		Phases: []Phase{
+			{ // Group-theory kernel: list manipulation in a heap slice.
+				Name:           "compute",
+				Mix:            mix(0.03, 0, 0, 0.27, 0.10, 0.15),
+				DepMean:        5,
+				WSBytes:        96 * KB,
+				ChaseFrac:      0.08,
+				ChaseBytes:     512 * KB,
+				CodeBlocks:     5000,
+				HardBranchFrac: 0.07,
+				HardTakenProb:  0.45,
+				CallFrac:       0.10,
+				DeadFrac:       0.12,
+			},
+			{ // Periodic garbage-collection sweep: bursty streaming scans
+				// (the spiky CPI character of Figure 1's gap trace).
+				Name:             "gc",
+				Mix:              mix(0.01, 0, 0, 0.38, 0.14, 0.10),
+				DepMean:          8,
+				WSBytes:          32 * KB,
+				StreamFrac:       0.85,
+				StreamArrayBytes: 8 * MB,
+				StreamStride:     32,
+				CodeBlocks:       1200,
+				HardBranchFrac:   0.05,
+				HardTakenProb:    0.4,
+				CallFrac:         0.02,
+				DeadFrac:         0.08,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.42}, {Phase: 1, Weight: 0.08},
+			{Phase: 0, Weight: 0.40}, {Phase: 1, Weight: 0.10},
+		},
+		PeriodInstrs: 40960,
+	}
+}
+
+func gcc() Profile {
+	return Profile{
+		Name: "gcc",
+		Seed: 0x6CC,
+		Phases: []Phase{
+			{ // Parsing: branchy, modest data.
+				Name:           "parse",
+				Mix:            mix(0.01, 0, 0, 0.24, 0.10, 0.20),
+				DepMean:        4,
+				WSBytes:        80 * KB,
+				CodeBlocks:     20000, // 80KB of code
+				HardBranchFrac: 0.13,
+				HardTakenProb:  0.5,
+				CallFrac:       0.14,
+				DeadFrac:       0.16,
+			},
+			{ // RTL optimisation passes: pointer-heavy IR walks.
+				Name:           "optimize",
+				Mix:            mix(0.02, 0, 0, 0.30, 0.11, 0.16),
+				DepMean:        5,
+				WSBytes:        600 * KB,
+				ChaseFrac:      0.14,
+				ChaseBytes:     1536 * KB,
+				CodeBlocks:     16000,
+				HardBranchFrac: 0.1,
+				HardTakenProb:  0.45,
+				CallFrac:       0.10,
+				DeadFrac:       0.18,
+			},
+			{ // Register allocation: dense bitmaps, moderate set.
+				Name:           "regalloc",
+				Mix:            mix(0.02, 0, 0, 0.27, 0.12, 0.15),
+				DepMean:        6,
+				WSBytes:        160 * KB,
+				CodeBlocks:     9000,
+				HardBranchFrac: 0.08,
+				HardTakenProb:  0.45,
+				CallFrac:       0.08,
+				DeadFrac:       0.14,
+			},
+			{ // Assembly emission: streaming output.
+				Name:             "emit",
+				Mix:              mix(0.01, 0, 0, 0.24, 0.16, 0.14),
+				DepMean:          7,
+				WSBytes:          48 * KB,
+				StreamFrac:       0.45,
+				StreamArrayBytes: 4 * MB,
+				StreamStride:     24,
+				CodeBlocks:       6000,
+				HardBranchFrac:   0.10,
+				HardTakenProb:    0.4,
+				CallFrac:         0.08,
+				DeadFrac:         0.12,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.22}, {Phase: 1, Weight: 0.34},
+			{Phase: 2, Weight: 0.26}, {Phase: 3, Weight: 0.18},
+		},
+		PeriodInstrs: 49152,
+	}
+}
+
+func mcf() Profile {
+	return Profile{
+		Name: "mcf",
+		Seed: 0x3CF,
+		Phases: []Phase{
+			{ // Network simplex pricing: dominated by dependent pointer
+				// chasing across a graph far larger than any L2.
+				Name:           "pricing",
+				Mix:            mix(0.01, 0, 0, 0.34, 0.08, 0.12),
+				DepMean:        3,
+				WSBytes:        256 * KB,
+				ChaseFrac:      0.55,
+				ChaseBytes:     7 * MB,
+				CodeBlocks:     2500,
+				HardBranchFrac: 0.09,
+				HardTakenProb:  0.5,
+				CallFrac:       0.04,
+				DeadFrac:       0.08,
+			},
+			{ // Flow update: somewhat denser arithmetic between chases.
+				Name:           "update",
+				Mix:            mix(0.02, 0, 0, 0.30, 0.11, 0.13),
+				DepMean:        4,
+				WSBytes:        384 * KB,
+				ChaseFrac:      0.30,
+				ChaseBytes:     5 * MB,
+				CodeBlocks:     2000,
+				HardBranchFrac: 0.07,
+				HardTakenProb:  0.45,
+				CallFrac:       0.04,
+				DeadFrac:       0.09,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.55}, {Phase: 1, Weight: 0.45},
+		},
+		PeriodInstrs: 28672,
+	}
+}
+
+func parser() Profile {
+	return Profile{
+		Name: "parser",
+		Seed: 0x9A5,
+		Phases: []Phase{
+			{ // Dictionary lookup: hashed probes, hard compares.
+				Name:           "lookup",
+				Mix:            mix(0.01, 0, 0, 0.28, 0.08, 0.19),
+				DepMean:        4,
+				WSBytes:        200 * KB,
+				ChaseFrac:      0.10,
+				ChaseBytes:     768 * KB,
+				CodeBlocks:     8000,
+				HardBranchFrac: 0.14,
+				HardTakenProb:  0.5,
+				CallFrac:       0.10,
+				DeadFrac:       0.13,
+			},
+			{ // Linkage evaluation: recursive small-data search.
+				Name:           "link",
+				Mix:            mix(0.01, 0, 0, 0.24, 0.09, 0.21),
+				DepMean:        4,
+				WSBytes:        40 * KB,
+				CodeBlocks:     6000,
+				HardBranchFrac: 0.165,
+				HardTakenProb:  0.5,
+				CallFrac:       0.20,
+				DeadFrac:       0.12,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.45}, {Phase: 1, Weight: 0.30},
+			{Phase: 0, Weight: 0.25},
+		},
+		PeriodInstrs: 24576,
+	}
+}
+
+func perlbmk() Profile {
+	return Profile{
+		Name: "perlbmk",
+		Seed: 0x9E4,
+		Phases: []Phase{
+			{ // Interpreter dispatch: indirect branches, big code.
+				Name:           "interp",
+				Mix:            mix(0.01, 0, 0, 0.26, 0.11, 0.19),
+				DepMean:        5,
+				WSBytes:        112 * KB,
+				CodeBlocks:     24000, // 96KB of code
+				HardBranchFrac: 0.09,
+				HardTakenProb:  0.45,
+				CallFrac:       0.18,
+				IndirectFrac:   0.12,
+				DeadFrac:       0.13,
+			},
+			{ // Regex matching: tight scanning loops.
+				Name:             "regex",
+				Mix:              mix(0.01, 0, 0, 0.28, 0.08, 0.22),
+				DepMean:          4,
+				WSBytes:          28 * KB,
+				StreamFrac:       0.25,
+				StreamArrayBytes: 2 * MB,
+				StreamStride:     8,
+				CodeBlocks:       4000,
+				HardBranchFrac:   0.24,
+				HardTakenProb:    0.55,
+				CallFrac:         0.06,
+				DeadFrac:         0.11,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.55}, {Phase: 1, Weight: 0.20},
+			{Phase: 0, Weight: 0.25},
+		},
+		PeriodInstrs: 32768,
+	}
+}
+
+func swim() Profile {
+	return Profile{
+		Name: "swim",
+		Seed: 0x591,
+		Phases: []Phase{
+			{ // Shallow-water stencil 1: wide unit-stride streams.
+				Name:             "calc1",
+				Mix:              mix(0.01, 0.24, 0.10, 0.27, 0.11, 0.04),
+				DepMean:          13,
+				WSBytes:          16 * KB,
+				StreamFrac:       0.88,
+				StreamArrayBytes: 14 * MB,
+				StreamStride:     8,
+				CodeBlocks:       900,
+				HardBranchFrac:   0.02,
+				HardTakenProb:    0.3,
+				CallFrac:         0.02,
+				DeadFrac:         0.05,
+			},
+			{ // Stencil 2: strided accesses (column order).
+				Name:             "calc2",
+				Mix:              mix(0.01, 0.26, 0.12, 0.25, 0.10, 0.04),
+				DepMean:          12,
+				WSBytes:          16 * KB,
+				StreamFrac:       0.85,
+				StreamArrayBytes: 14 * MB,
+				StreamStride:     128,
+				CodeBlocks:       1100,
+				HardBranchFrac:   0.02,
+				HardTakenProb:    0.3,
+				CallFrac:         0.02,
+				DeadFrac:         0.05,
+			},
+			{ // Boundary update: short, cache-resident.
+				Name:           "boundary",
+				Mix:            mix(0.02, 0.18, 0.06, 0.24, 0.12, 0.07),
+				DepMean:        9,
+				WSBytes:        24 * KB,
+				CodeBlocks:     700,
+				HardBranchFrac: 0.02,
+				HardTakenProb:  0.3,
+				CallFrac:       0.03,
+				DeadFrac:       0.06,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.42}, {Phase: 1, Weight: 0.42}, {Phase: 2, Weight: 0.16},
+		},
+		PeriodInstrs: 36864,
+	}
+}
+
+func twolf() Profile {
+	return Profile{
+		Name: "twolf",
+		Seed: 0x720,
+		Phases: []Phase{
+			{ // Simulated-annealing moves: random structure reads, very
+				// data-dependent accept/reject branches.
+				Name:           "anneal",
+				Mix:            mix(0.03, 0.04, 0.02, 0.27, 0.09, 0.17),
+				DepMean:        5,
+				WSBytes:        220 * KB,
+				CodeBlocks:     7000,
+				HardBranchFrac: 0.15,
+				HardTakenProb:  0.45,
+				CallFrac:       0.08,
+				DeadFrac:       0.11,
+			},
+			{ // Cost evaluation: denser arithmetic on the same structures.
+				Name:           "cost",
+				Mix:            mix(0.04, 0.06, 0.03, 0.25, 0.07, 0.14),
+				DepMean:        6,
+				WSBytes:        140 * KB,
+				CodeBlocks:     5000,
+				HardBranchFrac: 0.1,
+				HardTakenProb:  0.45,
+				CallFrac:       0.06,
+				DeadFrac:       0.10,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.6}, {Phase: 1, Weight: 0.4},
+		},
+		PeriodInstrs: 20480,
+	}
+}
+
+func vortex() Profile {
+	return Profile{
+		Name: "vortex",
+		Seed: 0x509,
+		Phases: []Phase{
+			{ // OO database transactions: very large code footprint,
+				// mostly predictable control.
+				Name:           "txn",
+				Mix:            mix(0.01, 0, 0, 0.29, 0.13, 0.16),
+				DepMean:        6,
+				WSBytes:        320 * KB,
+				CodeBlocks:     32000, // 128KB of code: always misses IL1
+				HardBranchFrac: 0.04,
+				HardTakenProb:  0.4,
+				CallFrac:       0.20,
+				DeadFrac:       0.12,
+			},
+			{ // Index traversal.
+				Name:           "index",
+				Mix:            mix(0.01, 0, 0, 0.31, 0.09, 0.15),
+				DepMean:        5,
+				WSBytes:        450 * KB,
+				ChaseFrac:      0.12,
+				ChaseBytes:     1 * MB,
+				CodeBlocks:     12000,
+				HardBranchFrac: 0.05,
+				HardTakenProb:  0.4,
+				CallFrac:       0.12,
+				DeadFrac:       0.10,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.5}, {Phase: 1, Weight: 0.25},
+			{Phase: 0, Weight: 0.25},
+		},
+		PeriodInstrs: 28672,
+	}
+}
+
+func vpr() Profile {
+	return Profile{
+		Name: "vpr",
+		Seed: 0x59B,
+		Phases: []Phase{
+			{ // Placement: annealing swaps — compact data, hard branches.
+				Name:           "place",
+				Mix:            mix(0.02, 0.06, 0.03, 0.25, 0.09, 0.17),
+				DepMean:        5,
+				WSBytes:        56 * KB,
+				CodeBlocks:     6000,
+				HardBranchFrac: 0.15,
+				HardTakenProb:  0.45,
+				CallFrac:       0.07,
+				DeadFrac:       0.10,
+			},
+			{ // Routing: graph wavefront expansion over a big netlist.
+				Name:           "route",
+				Mix:            mix(0.01, 0.03, 0.01, 0.31, 0.10, 0.15),
+				DepMean:        4,
+				WSBytes:        240 * KB,
+				ChaseFrac:      0.22,
+				ChaseBytes:     1280 * KB,
+				CodeBlocks:     4500,
+				HardBranchFrac: 0.09,
+				HardTakenProb:  0.5,
+				CallFrac:       0.05,
+				DeadFrac:       0.09,
+			},
+		},
+		Schedule: []Step{
+			{Phase: 0, Weight: 0.45}, {Phase: 1, Weight: 0.55},
+		},
+		PeriodInstrs: 32768,
+	}
+}

@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("got %d profiles, want the paper's 12", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileNamesMatchPaper(t *testing.T) {
+	want := []string{"bzip2", "crafty", "eon", "gap", "gcc", "mcf",
+		"parser", "perlbmk", "swim", "twolf", "vortex", "vpr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("mcf")
+	if !ok || p.Name != "mcf" {
+		t.Errorf("ProfileByName(mcf) = %v,%v", p.Name, ok)
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Error("unknown profile should not resolve")
+	}
+}
+
+func TestProfileSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, p := range Profiles() {
+		if other, dup := seen[p.Seed]; dup {
+			t.Errorf("profiles %s and %s share seed %#x", p.Name, other, p.Seed)
+		}
+		seen[p.Seed] = p.Name
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	g1 := MustNewGenerator(p)
+	g2 := MustNewGenerator(p)
+	var i1, i2 Inst
+	for i := 0; i < 20000; i++ {
+		g1.Next(&i1)
+		g2.Next(&i2)
+		if i1 != i2 {
+			t.Fatalf("streams diverge at instruction %d: %+v vs %+v", i, i1, i2)
+		}
+	}
+}
+
+func TestGeneratorResetRewinds(t *testing.T) {
+	p, _ := ProfileByName("vpr")
+	g := MustNewGenerator(p)
+	first := make([]Inst, 500)
+	for i := range first {
+		g.Next(&first[i])
+	}
+	g.Reset()
+	var inst Inst
+	for i := range first {
+		g.Next(&inst)
+		if inst != first[i] {
+			t.Fatalf("Reset did not rewind: instruction %d differs", i)
+		}
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	p, _ := ProfileByName("swim")
+	g := MustNewGenerator(p)
+	st := CollectStats(g, 200000)
+	// swim is FP-dominated: FP ops must outnumber branches several-fold.
+	fp := st.MixCounts[OpFPALU] + st.MixCounts[OpFPMul]
+	br := st.MixCounts[OpBranch]
+	if fp < 4*br {
+		t.Errorf("swim FP ops %d should dwarf branches %d", fp, br)
+	}
+	// Integer benchmarks carry essentially no FP.
+	p, _ = ProfileByName("gcc")
+	st = CollectStats(MustNewGenerator(p), 100000)
+	if st.MixCounts[OpFPALU]+st.MixCounts[OpFPMul] != 0 {
+		t.Error("gcc profile should not emit FP ops")
+	}
+}
+
+func TestDependenceDistancesWithinWindow(t *testing.T) {
+	for _, name := range []string{"mcf", "swim", "crafty"} {
+		p, _ := ProfileByName(name)
+		g := MustNewGenerator(p)
+		var inst Inst
+		for i := 0; i < 50000; i++ {
+			g.Next(&inst)
+			if inst.Dep1 > maxDepDistance || inst.Dep2 > maxDepDistance {
+				t.Fatalf("%s: dependence distance out of range: %+v", name, inst)
+			}
+		}
+	}
+}
+
+func TestChaseLoadsFormChains(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g := MustNewGenerator(p)
+	var inst Inst
+	var lastChase int64 = -1
+	chains := 0
+	for i := int64(0); i < 100000; i++ {
+		g.Next(&inst)
+		if inst.Op == OpLoad && inst.Addr >= regionChase {
+			if lastChase >= 0 && int64(inst.Dep1) == i-lastChase {
+				chains++
+			}
+			lastChase = i
+		}
+	}
+	if chains < 1000 {
+		t.Errorf("mcf chase chain links = %d, want many", chains)
+	}
+}
+
+func TestCallReturnBalance(t *testing.T) {
+	p, _ := ProfileByName("crafty")
+	g := MustNewGenerator(p)
+	var inst Inst
+	depth := 0
+	for i := 0; i < 100000; i++ {
+		g.Next(&inst)
+		if inst.IsCall {
+			depth++
+		}
+		if inst.IsRet {
+			depth--
+			if depth < 0 {
+				t.Fatal("return without matching call")
+			}
+		}
+	}
+	if depth > maxCallDepth {
+		t.Errorf("call depth %d exceeded cap %d", depth, maxCallDepth)
+	}
+}
+
+func TestReturnTargetsMatchCallSites(t *testing.T) {
+	p, _ := ProfileByName("vortex")
+	g := MustNewGenerator(p)
+	var inst Inst
+	var stack []uint64
+	for i := 0; i < 100000; i++ {
+		g.Next(&inst)
+		if inst.IsCall {
+			stack = append(stack, inst.PC+4)
+		} else if inst.IsRet {
+			if len(stack) == 0 {
+				t.Fatal("return with empty model stack")
+			}
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inst.Target != want {
+				t.Fatalf("return target %#x, want %#x", inst.Target, want)
+			}
+		}
+	}
+}
+
+func TestPhaseRegionsDisjoint(t *testing.T) {
+	// Loads/stores of different phases must never alias: phases own
+	// disjoint address regions.
+	p, _ := ProfileByName("gcc")
+	g := MustNewGenerator(p).(*generator)
+	seen := map[uint64]int{} // high bits → phase
+	var inst Inst
+	for i := 0; i < 200000; i++ {
+		phase := g.currentPhase()
+		g.Next(&inst)
+		if inst.Op != OpLoad && inst.Op != OpStore {
+			continue
+		}
+		region := inst.Addr >> 32
+		if prev, ok := seen[region]; ok && prev != phase {
+			t.Fatalf("address region %#x used by phases %d and %d", region, prev, phase)
+		}
+		seen[region] = phase
+	}
+}
+
+func TestScheduleVisitsAllPhases(t *testing.T) {
+	for _, p := range Profiles() {
+		g := MustNewGenerator(p).(*generator)
+		counts := make([]int, len(p.Phases))
+		var inst Inst
+		for i := 0; i < 2*p.PeriodInstrs; i++ {
+			counts[g.currentPhase()]++
+			g.Next(&inst)
+		}
+		for ph, c := range counts {
+			if c == 0 {
+				t.Errorf("%s: phase %d (%s) never scheduled", p.Name, ph, p.Phases[ph].Name)
+			}
+		}
+	}
+}
+
+func TestBranchRatesDifferAcrossBenchmarks(t *testing.T) {
+	// swim must be far less branchy than gcc — benchmark diversity check.
+	pSwim, _ := ProfileByName("swim")
+	pGcc, _ := ProfileByName("gcc")
+	sSwim := CollectStats(MustNewGenerator(pSwim), 100000)
+	sGcc := CollectStats(MustNewGenerator(pGcc), 100000)
+	bSwim := float64(sSwim.MixCounts[OpBranch]) / 100000
+	bGcc := float64(sGcc.MixCounts[OpBranch]) / 100000
+	if bSwim > 0.08 {
+		t.Errorf("swim branch rate = %v, want < 0.08", bSwim)
+	}
+	if bGcc < 0.12 {
+		t.Errorf("gcc branch rate = %v, want > 0.12", bGcc)
+	}
+}
+
+func TestDeadFractionApproximatesProfile(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	st := CollectStats(MustNewGenerator(p), 200000)
+	if st.DeadRate < 0.08 || st.DeadRate > 0.25 {
+		t.Errorf("gcc dead rate = %v, want within phase-configured band", st.DeadRate)
+	}
+}
+
+func TestValidationCatchesBrokenProfiles(t *testing.T) {
+	good, _ := ProfileByName("eon")
+
+	bad := good
+	bad.Schedule = []Step{{Phase: 99, Weight: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range phase index should fail")
+	}
+
+	bad = good
+	bad.PeriodInstrs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero period should fail")
+	}
+
+	badPhase := good.Phases[0]
+	badPhase.StreamFrac = 0.8
+	badPhase.ChaseFrac = 0.5
+	if err := badPhase.Validate(); err == nil {
+		t.Error("memory fractions above 1 should fail")
+	}
+
+	badPhase = good.Phases[0]
+	badPhase.DepMean = 0
+	if err := badPhase.Validate(); err == nil {
+		t.Error("DepMean below 1 should fail")
+	}
+
+	if _, err := NewGenerator(Profile{}); err == nil {
+		t.Error("empty profile must be rejected")
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	names := map[OpClass]string{
+		OpIntALU: "ialu", OpIntMul: "imul", OpFPALU: "fpalu",
+		OpFPMul: "fpmul", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("OpClass(%d).String() = %s, want %s", op, op.String(), want)
+		}
+	}
+	if OpClass(200).String() != "?" {
+		t.Error("unknown op class should render '?'")
+	}
+}
+
+func TestWorkingSetAddressesWithinRegion(t *testing.T) {
+	p, _ := ProfileByName("twolf")
+	g := MustNewGenerator(p)
+	var inst Inst
+	for i := 0; i < 50000; i++ {
+		g.Next(&inst)
+		if inst.Op != OpLoad && inst.Op != OpStore {
+			continue
+		}
+		if inst.Addr < regionCode {
+			t.Fatalf("data address %#x below data regions", inst.Addr)
+		}
+	}
+}
+
+// Distribution sanity for the generator's own RNG usage: the taken rate of
+// each benchmark should sit in a plausible band (not all-taken, not
+// never-taken).
+func TestTakenRateBands(t *testing.T) {
+	for _, p := range Profiles() {
+		st := CollectStats(MustNewGenerator(p), 100000)
+		if st.TakenRate < 0.2 || st.TakenRate > 0.95 {
+			t.Errorf("%s taken rate = %v, want (0.2, 0.95)", p.Name, st.TakenRate)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, _ := ProfileByName("gcc")
+	g := MustNewGenerator(p)
+	var inst Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&inst)
+	}
+	_ = mathx.Mean // keep import
+}
