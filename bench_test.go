@@ -9,10 +9,14 @@
 package repro
 
 import (
+	"context"
+	"math"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/space"
@@ -267,6 +271,157 @@ func BenchmarkAblationSampling(b *testing.B) {
 		}
 		b.ReportMetric(r.Mean[0], "LHS-MSE%")
 		b.ReportMetric(r.Mean[1], "random-MSE%")
+	}
+}
+
+// Exploration-engine benchmarks: the model-driven sweep and frontier
+// extraction paths the daemon serves.
+
+var (
+	exploreOnce      sync.Once
+	exploreModels    []core.DynamicsModel
+	exploreModelsErr error
+)
+
+// benchExploreModels trains two real wavelet-RBF predictors on synthetic
+// traces (no simulation), so BenchmarkExploreSweep measures genuine
+// Predict cost per candidate.
+func benchExploreModels(b *testing.B) []core.DynamicsModel {
+	b.Helper()
+	exploreOnce.Do(func() {
+		rng := mathx.NewRNG(7)
+		designs := space.SampleDesign(48, space.TrainLevels(), space.Baseline(), 4, rng)
+		cpi := make([][]float64, len(designs))
+		pow := make([][]float64, len(designs))
+		for i, cfg := range designs {
+			x := cfg.Vector()
+			cpiTr := make([]float64, 64)
+			powTr := make([]float64, 64)
+			for t := range cpiTr {
+				phase := math.Sin(float64(t) / 9)
+				cpiTr[t] = 0.5 + 2*(1-x[0]) + 0.3*x[5] + 0.2*phase
+				powTr[t] = 20 + 60*x[0] + 10*x[4] + 3*phase
+			}
+			cpi[i] = cpiTr
+			pow[i] = powTr
+		}
+		opts := core.Options{NumCoefficients: 8}
+		cpiModel, err := core.Train(designs, cpi, opts)
+		if err != nil {
+			exploreModelsErr = err
+			return
+		}
+		powModel, err := core.Train(designs, pow, opts)
+		if err != nil {
+			exploreModelsErr = err
+			return
+		}
+		exploreModels = []core.DynamicsModel{cpiModel, powModel}
+	})
+	if exploreModelsErr != nil {
+		b.Fatal(exploreModelsErr)
+	}
+	return exploreModels
+}
+
+// BenchmarkExploreSweep compares the sequential and pooled evaluation
+// paths at 16k designs; the designs/sec metrics expose the multi-core
+// speedup the daemon relies on.
+func BenchmarkExploreSweep(b *testing.B) {
+	models := benchExploreModels(b)
+	rng := mathx.NewRNG(3)
+	designs := space.Random(16384, space.TrainLevels(), space.Baseline(), rng)
+	objectives := []explore.Objective{
+		explore.MeanObjective("cpi"),
+		explore.WorstCaseObjective("power"),
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := explore.SweepContext(context.Background(), designs, models,
+					objectives, explore.Options{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Frontier) == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+			b.ReportMetric(float64(len(designs))*float64(b.N)/b.Elapsed().Seconds(), "designs/s")
+		})
+	}
+}
+
+// bruteDominates mirrors the O(n²) reference scan so BenchmarkParetoFrontier
+// can report the speedup of the sorted algorithms over it.
+func bruteDominates(a, b explore.Candidate) bool {
+	strictly := false
+	for i := range a.Scores {
+		if a.Scores[i] > b.Scores[i] {
+			return false
+		}
+		if a.Scores[i] < b.Scores[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+func bruteParetoFrontier(cands []explore.Candidate) []explore.Candidate {
+	var out []explore.Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i != j && bruteDominates(o, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func randomBenchCandidates(n, dims int) []explore.Candidate {
+	rng := mathx.NewRNG(11)
+	cands := make([]explore.Candidate, n)
+	for i := range cands {
+		scores := make([]float64, dims)
+		for d := range scores {
+			scores[d] = rng.Float64()
+		}
+		cands[i] = explore.Candidate{Scores: scores}
+	}
+	return cands
+}
+
+func BenchmarkParetoFrontier(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+		dims int
+		fn   func([]explore.Candidate) []explore.Candidate
+	}{
+		{"fast-n=1k-d=2", 1000, 2, explore.ParetoFrontier},
+		{"brute-n=1k-d=2", 1000, 2, bruteParetoFrontier},
+		{"fast-n=10k-d=2", 10000, 2, explore.ParetoFrontier},
+		{"brute-n=10k-d=2", 10000, 2, bruteParetoFrontier},
+		{"fast-n=10k-d=3", 10000, 3, explore.ParetoFrontier},
+		{"fast-n=100k-d=2", 100000, 2, explore.ParetoFrontier},
+	} {
+		cands := randomBenchCandidates(bc.n, bc.dims)
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(bc.fn(cands)) == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,111 @@
+// Command dsed is the design-space-exploration daemon: it trains one
+// wavelet-RBF predictor per (benchmark, metric) pair at startup — paying
+// the simulation cost once — and then serves concurrent model-driven
+// queries over the design space as JSON over HTTP.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness plus the trained-model inventory
+//	POST /predict   one design's predicted dynamics trace
+//	POST /sweep     streaming top-K constrained selection over a space
+//	POST /pareto    Pareto frontier of a space under chosen objectives
+//
+// Example:
+//
+//	dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -train 40
+//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	curl -s localhost:8090/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
+//	curl -s localhost:8090/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		benchmarks = flag.String("benchmarks", "gcc,mcf", "comma-separated benchmarks to train")
+		metrics    = flag.String("metrics", "CPI,Power,AVF", "comma-separated metrics to train (CPI,Power,AVF,IQ_AVF)")
+		train      = flag.Int("train", 40, "training design points per benchmark")
+		samples    = flag.Int("samples", 64, "trace samples per run (power of two)")
+		instrs     = flag.Uint64("instrs", 65536, "instructions per training run")
+		k          = flag.Int("k", 16, "wavelet coefficients per model")
+		seed       = flag.Uint64("seed", 1, "training-design sampling seed")
+		workers    = flag.Int("workers", 0, "simulation/query parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dsed: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := TrainConfig{
+		Benchmarks: splitList(*benchmarks),
+		Train:      *train,
+		Seed:       *seed,
+		Sim:        sim.Options{Instructions: *instrs, Samples: *samples},
+		Model:      core.Options{NumCoefficients: *k},
+		Workers:    *workers,
+		Log:        logger,
+	}
+	for _, name := range splitList(*metrics) {
+		m, err := parseMetric(name)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cfg.Metrics = append(cfg.Metrics, m)
+	}
+
+	start := time.Now()
+	srv, err := Train(ctx, cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("registry ready: %d models in %v", len(srv.models), time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		logger.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+	logger.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	<-drained
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "dsed: empty list flag")
+		os.Exit(2)
+	}
+	return out
+}

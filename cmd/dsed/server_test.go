@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+var (
+	testSrvOnce sync.Once
+	testSrv     *Server
+	testSrvErr  error
+)
+
+// testServer trains one small registry shared by every test: one
+// benchmark, two metrics, at a scale that keeps startup around a second.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	testSrvOnce.Do(func() {
+		testSrv, testSrvErr = Train(context.Background(), TrainConfig{
+			Benchmarks: []string{"gcc"},
+			Metrics:    []sim.Metric{sim.MetricCPI, sim.MetricPower},
+			Train:      24,
+			Candidates: 2,
+			Seed:       7,
+			Sim:        sim.Options{Instructions: 16384, Samples: 16},
+			Model:      core.Options{NumCoefficients: 8},
+		})
+	})
+	if testSrvErr != nil {
+		t.Fatal(testSrvErr)
+	}
+	return testSrv
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(context.Background(), TrainConfig{}); err == nil {
+		t.Error("training with no benchmarks should fail")
+	}
+	if _, err := Train(context.Background(), TrainConfig{Benchmarks: []string{"gcc"}}); err == nil {
+		t.Error("training with no metrics should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Train(ctx, TrainConfig{
+		Benchmarks: []string{"gcc"}, Metrics: []sim.Metric{sim.MetricCPI},
+	}); err == nil {
+		t.Error("cancelled training should fail")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string      `json:"status"`
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Models) != 2 {
+		t.Fatalf("healthz = %+v, want ok with 2 models", health)
+	}
+	if health.Models[0].Networks == 0 || health.Models[0].TraceLen != 16 {
+		t.Errorf("model inventory incomplete: %+v", health.Models[0])
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var resp predictResponse
+	status := postJSON(t, ts, "/predict", predictRequest{
+		Benchmark: "gcc", Metric: "CPI",
+		Config: configSpec{FetchWidth: intp(4)},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("predict status %d", status)
+	}
+	if len(resp.Trace) != 16 {
+		t.Fatalf("predicted trace length %d, want 16", len(resp.Trace))
+	}
+	if resp.Config.FetchWidth != 4 || resp.Config.ROBSize != 96 {
+		t.Errorf("config echo %+v: overrides or baseline defaults lost", resp.Config)
+	}
+	if resp.Mean <= 0 || resp.Worst < resp.Mean {
+		t.Errorf("summary stats inconsistent: mean=%v worst=%v", resp.Mean, resp.Worst)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "doom", Metric: "CPI"}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown benchmark status %d, want 404", status)
+	}
+	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "gcc", Metric: "AVF"}, nil); status != http.StatusNotFound {
+		t.Errorf("untrained metric status %d, want 404", status)
+	}
+	if status := postJSON(t, ts, "/predict", predictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(-1)},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("invalid config status %d, want 400", status)
+	}
+	resp, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /predict status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var resp sweepResponse
+	status := postJSON(t, ts, "/sweep", map[string]any{
+		"benchmark": "gcc",
+		"objectives": []map[string]any{
+			{"metric": "CPI"},
+			{"metric": "Power", "kind": "worst"},
+		},
+		"space":       "test",
+		"sample":      200,
+		"top_k":       5,
+		"constraints": []map[string]any{{"objective": 1, "max": 1000.0}},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("sweep status %d: %+v", status, resp)
+	}
+	if resp.Evaluated != 200 || resp.Feasible == 0 {
+		t.Fatalf("sweep evaluated/feasible = %d/%d, want 200/>0", resp.Evaluated, resp.Feasible)
+	}
+	if len(resp.Candidates) != 5 {
+		t.Fatalf("sweep returned %d candidates, want 5", len(resp.Candidates))
+	}
+	for i := 1; i < len(resp.Candidates); i++ {
+		if resp.Candidates[i].Scores[0] < resp.Candidates[i-1].Scores[0] {
+			t.Error("sweep candidates not sorted best-first")
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	if status := postJSON(t, ts, "/sweep", map[string]any{
+		"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI"}},
+		"space": "warp",
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("unknown space status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/sweep", map[string]any{
+		"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI", "kind": "median"}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("unknown objective kind status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/sweep", map[string]any{
+		"benchmark": "gcc", "objectives": []map[string]any{},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty objectives status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/sweep", map[string]any{
+		"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI"}},
+		"objective": 3,
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("out-of-range objective status %d, want 400", status)
+	}
+}
+
+func TestParetoEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var resp paretoResponse
+	status := postJSON(t, ts, "/pareto", map[string]any{
+		"benchmark": "gcc",
+		"objectives": []map[string]any{
+			{"metric": "CPI"},
+			{"metric": "Power"},
+		},
+		"space":  "test",
+		"sample": 300,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("pareto status %d", status)
+	}
+	if resp.Evaluated != 300 || len(resp.Frontier) == 0 {
+		t.Fatalf("pareto evaluated %d with %d frontier points", resp.Evaluated, len(resp.Frontier))
+	}
+	if len(resp.Frontier) == resp.Evaluated {
+		t.Error("frontier should prune dominated designs")
+	}
+	for i := 1; i < len(resp.Frontier); i++ {
+		if resp.Frontier[i].Scores[0] < resp.Frontier[i-1].Scores[0] {
+			t.Error("frontier not sorted by first objective")
+		}
+	}
+}
+
+func TestParetoExplicitDesigns(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var resp paretoResponse
+	status := postJSON(t, ts, "/pareto", map[string]any{
+		"benchmark":  "gcc",
+		"objectives": []map[string]any{{"metric": "CPI"}, {"metric": "Power"}},
+		"designs": []map[string]any{
+			{"fetch_width": 2},
+			{"fetch_width": 8},
+			{"fetch_width": 16, "l2_size_kb": 4096},
+		},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("pareto status %d", status)
+	}
+	if resp.Evaluated != 3 {
+		t.Fatalf("evaluated %d explicit designs, want 3", resp.Evaluated)
+	}
+}
+
+// TestConcurrentQueries hammers every endpoint at once; run under -race
+// this proves the immutable registry needs no locking.
+func TestConcurrentQueries(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pr predictResponse
+			if status := postJSON(t, ts, "/predict", predictRequest{
+				Benchmark: "gcc", Metric: "CPI",
+				Config: configSpec{FetchWidth: intp(2 << (i % 3))},
+			}, &pr); status != http.StatusOK {
+				errs <- errStatus{"predict", status}
+			}
+			var sr sweepResponse
+			if status := postJSON(t, ts, "/sweep", map[string]any{
+				"benchmark":  "gcc",
+				"objectives": []map[string]any{{"metric": "CPI"}, {"metric": "Power"}},
+				"space":      "test", "sample": 50, "top_k": 3,
+			}, &sr); status != http.StatusOK {
+				errs <- errStatus{"sweep", status}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errStatus struct {
+	endpoint string
+	status   int
+}
+
+func (e errStatus) Error() string { return e.endpoint + ": unexpected status" }
+
+func intp(v int) *int { return &v }

@@ -7,8 +7,54 @@
 // accounting, synthetic SPEC-2000-like workloads, and the Section 5 dynamic
 // vulnerability management case study).
 //
+// # Module layout
+//
+// The module (named repro, defined by go.mod at the repository root) is
+// organised in three tiers:
+//
+//   - Simulation substrate — internal/cpu, internal/cache, internal/bpred,
+//     internal/power, internal/avf, internal/dvm, internal/workload, and
+//     internal/sim, which binds them into one Run per (config, benchmark)
+//     and a pooled, context-cancellable SweepContext for campaigns.
+//   - Modelling — internal/wavelet, internal/rbf, internal/regtree,
+//     internal/mathx, and internal/core, whose Predictor maps a
+//     normalised configuration vector to a forecast dynamics trace.
+//   - Exploration — internal/space (the Table 1/2 design space),
+//     internal/explore (the exploration engine below), and
+//     internal/experiments (the paper's tables and figures), driven by
+//     cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo, and examples/.
+//
+// # Exploration engine
+//
+// internal/explore turns trained predictors into answers about the design
+// space. Candidates are evaluated on a bounded worker pool with
+// context.Context cancellation and deterministic, design-ordered results.
+// explore.SweepContext materialises every candidate and extracts the
+// Pareto frontier with sorted-sweep / divide-and-conquer algorithms
+// (O(n log n) for the common one- and two-objective cases); for larger
+// spaces, explore.SweepStream pushes candidates through streaming
+// Collectors — TopK for constrained best-of selection and
+// FrontierCollector for incremental frontiers — so a million-design sweep
+// retains only the answer. internal/sim gained the same shape:
+// sim.SweepContext runs simulations on a fixed pool and aborts the sweep
+// on the first error or cancellation.
+//
+// # The dsed daemon
+//
+// cmd/dsed is the serving surface over the engine: it trains one
+// predictor per (benchmark, metric) pair at startup, keeps the immutable
+// registry in memory, and answers concurrent JSON queries:
+//
+//	go run ./cmd/dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power
+//	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	curl -s localhost:8090/sweep   -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
+//	curl -s localhost:8090/pareto  -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.
 // The top-level benchmark harness (bench_test.go) regenerates every table
-// and figure: go test -bench=. -benchmem .
+// and figure and tracks the engine's sweep and frontier throughput
+// (BenchmarkExploreSweep, BenchmarkParetoFrontier):
+// go test -bench=. -benchmem .
 package repro

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -53,33 +55,46 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Sweep the ENTIRE factorial training space through the models.
+	// Sweep the ENTIRE factorial training space (245,760 designs) through
+	// the models on all cores, streaming candidates into a Pareto-frontier
+	// collector and a constrained top-K selector so nothing but the
+	// answers stays alive.
 	designs := space.TrainLevels().FullFactorial(space.Baseline())
+	models := []core.DynamicsModel{cpiModel, powModel}
+	objectives := []explore.Objective{
+		explore.MeanObjective("cpi"),
+		explore.WorstCaseObjective("peak-power"),
+	}
+	const powerBudget = 60.0
+	frontier := explore.NewFrontierCollector()
+	top := explore.NewTopK(1, 0, []explore.Constraint{{Objective: 1, Max: powerBudget}})
 	start := time.Now()
-	res, err := explore.Sweep(designs,
-		[]core.DynamicsModel{cpiModel, powModel},
-		[]explore.Objective{
-			explore.MeanObjective("cpi"),
-			explore.WorstCaseObjective("peak-power"),
-		})
+	err = explore.SweepStream(context.Background(), designs, models, objectives,
+		explore.Options{}, frontier, top)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("swept %d designs through the models in %v (%.0f designs/sec)\n\n",
-		len(designs), elapsed.Round(time.Millisecond),
+	fmt.Printf("swept %d designs through the models on %d workers in %v (%.0f designs/sec)\n\n",
+		len(designs), runtime.GOMAXPROCS(0), elapsed.Round(time.Millisecond),
 		float64(len(designs))/elapsed.Seconds())
 
-	// Show a slice of the frontier.
-	fmt.Println(res.Report())
+	// Show the frontier.
+	front := frontier.Frontier()
+	fmt.Printf("Pareto frontier has %d of %d designs:\n", len(front), frontier.Seen())
+	for _, c := range front {
+		fmt.Printf("  cpi=%.4f peak-power=%.4f | %v\n", c.Scores[0], c.Scores[1], c.Config)
+	}
+	fmt.Println()
 
-	// A constrained design question.
-	const powerBudget = 60.0
-	best, ok := res.Best(0, []explore.Constraint{{Objective: 1, Max: powerBudget}})
-	if !ok {
+	// The constrained design question, answered by the streaming top-K.
+	bests := top.Results()
+	if len(bests) == 0 {
 		log.Fatalf("no design meets the %.0fW worst-case budget", powerBudget)
 	}
-	fmt.Printf("fastest design with predicted worst-case power ≤ %.0fW:\n  %v\n", powerBudget, best.Config)
+	best := bests[0]
+	fmt.Printf("fastest design with predicted worst-case power ≤ %.0fW (%d of %d feasible):\n  %v\n",
+		powerBudget, top.Feasible(), top.Seen(), best.Config)
 	fmt.Printf("  predicted: mean CPI %.3f, peak power %.1fW\n", best.Scores[0], best.Scores[1])
 
 	// Validate the model's pick with detailed simulation.

@@ -4,11 +4,27 @@
 // models at microseconds per design instead of minutes of detailed
 // simulation — scoring every candidate's predicted dynamics, filtering by
 // worst-case scenario constraints, and extracting Pareto frontiers.
+//
+// The evaluation engine shards candidates across a bounded worker pool
+// (models are immutable after training, so concurrent Predict calls are
+// safe), honours context cancellation, and always reports results in
+// design order regardless of which worker scored which candidate. Two
+// sweep shapes are offered:
+//
+//   - SweepContext materialises every candidate and its Pareto frontier —
+//     the right tool up to a few hundred thousand designs.
+//   - SweepStream feeds candidates through Collectors (TopK,
+//     FrontierCollector) without retaining them, so million-design sweeps
+//     hold only the answer alive.
 package explore
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -35,9 +51,13 @@ func WorstCaseObjective(name string) Objective {
 }
 
 // ExceedanceObjective scores by the fraction of samples at or above a
-// threshold — the scenario-classification view of Figures 12–13.
+// threshold — the scenario-classification view of Figures 12–13. An empty
+// trace exceeds nothing and scores 0.
 func ExceedanceObjective(name string, threshold float64) Objective {
 	return Objective{Name: name, Score: func(trace []float64) float64 {
+		if len(trace) == 0 {
+			return 0
+		}
 		n := 0
 		for _, v := range trace {
 			if v >= threshold {
@@ -58,69 +78,141 @@ type Candidate struct {
 // Result is the outcome of a model-driven sweep.
 type Result struct {
 	Objectives []Objective
-	// Evaluated is every candidate in sweep order.
+	// Evaluated is every candidate in design order.
 	Evaluated []Candidate
 	// Frontier is the Pareto-optimal subset (no candidate dominates
 	// another on all objectives), sorted by the first objective.
 	Frontier []Candidate
 }
 
+// Options tunes the evaluation engine.
+type Options struct {
+	// Workers bounds evaluation parallelism. 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Sweep predicts dynamics for every design and scores it under each
 // (model, objective) pair. models[i] produces the trace scored by
-// objectives[i]; the two slices must align.
+// objectives[i]; the two slices must align. It is SweepContext with a
+// background context and default engine options.
 func Sweep(designs []space.Config, models []core.DynamicsModel, objectives []Objective) (*Result, error) {
-	if len(models) == 0 || len(models) != len(objectives) {
-		return nil, fmt.Errorf("explore: need matching models (%d) and objectives (%d)", len(models), len(objectives))
+	return SweepContext(context.Background(), designs, models, objectives, Options{})
+}
+
+// SweepContext evaluates every design on a bounded worker pool and
+// extracts the Pareto frontier. Results are in design order regardless of
+// evaluation interleaving. On cancellation the context's error is
+// returned and partial results are discarded.
+func SweepContext(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, opts Options) (*Result, error) {
+	if err := validateSweep(designs, models, objectives); err != nil {
+		return nil, err
 	}
-	if len(designs) == 0 {
-		return nil, fmt.Errorf("explore: no designs to sweep")
+	res := &Result{Objectives: objectives, Evaluated: make([]Candidate, len(designs))}
+	err := evalChunks(ctx, designs, models, objectives, opts.workers(), func(start int, chunk []Candidate) {
+		copy(res.Evaluated[start:], chunk)
+	})
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Objectives: objectives}
-	for _, cfg := range designs {
-		cand := Candidate{Config: cfg, Scores: make([]float64, len(models))}
-		for i, m := range models {
-			cand.Scores[i] = objectives[i].Score(m.Predict(cfg))
-		}
-		res.Evaluated = append(res.Evaluated, cand)
-	}
-	res.Frontier = paretoFrontier(res.Evaluated)
-	sort.Slice(res.Frontier, func(a, b int) bool {
+	res.Frontier = ParetoFrontier(res.Evaluated)
+	sort.SliceStable(res.Frontier, func(a, b int) bool {
 		return res.Frontier[a].Scores[0] < res.Frontier[b].Scores[0]
 	})
 	return res, nil
 }
 
-// dominates reports whether a is at least as good as b everywhere and
-// strictly better somewhere (minimisation).
-func dominates(a, b Candidate) bool {
-	strictly := false
-	for i := range a.Scores {
-		if a.Scores[i] > b.Scores[i] {
-			return false
-		}
-		if a.Scores[i] < b.Scores[i] {
-			strictly = true
-		}
-	}
-	return strictly
+// Collector consumes evaluated candidates during a streaming sweep.
+// SweepStream serialises Collect calls, so implementations need no
+// internal locking; index identifies the design so collectors can stay
+// deterministic under out-of-order arrival.
+type Collector interface {
+	Collect(index int, c Candidate)
 }
 
-// paretoFrontier extracts the non-dominated candidates.
-func paretoFrontier(cands []Candidate) []Candidate {
-	var out []Candidate
-	for i, c := range cands {
-		dominated := false
-		for j, o := range cands {
-			if i != j && dominates(o, c) {
-				dominated = true
-				break
+// SweepStream evaluates every design on a bounded worker pool and streams
+// each candidate into the collectors instead of materialising the sweep.
+// Candidates arrive exactly once each, tagged with their design index,
+// but not necessarily in order. Memory stays proportional to what the
+// collectors retain, not to len(designs).
+func SweepStream(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, opts Options, collectors ...Collector) error {
+	if err := validateSweep(designs, models, objectives); err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	return evalChunks(ctx, designs, models, objectives, opts.workers(), func(start int, chunk []Candidate) {
+		mu.Lock()
+		defer mu.Unlock()
+		for j, cand := range chunk {
+			for _, col := range collectors {
+				col.Collect(start+j, cand)
 			}
 		}
-		if !dominated {
-			out = append(out, c)
-		}
+	})
+}
+
+func validateSweep(designs []space.Config, models []core.DynamicsModel, objectives []Objective) error {
+	if len(models) == 0 || len(models) != len(objectives) {
+		return fmt.Errorf("explore: need matching models (%d) and objectives (%d)", len(models), len(objectives))
 	}
-	return out
+	if len(designs) == 0 {
+		return fmt.Errorf("explore: no designs to sweep")
+	}
+	return nil
+}
+
+// evalChunks shards designs into contiguous chunks claimed by workers off
+// an atomic cursor (cheaper than a per-design channel at model-query
+// rates of millions per second). emit is called once per finished chunk,
+// possibly concurrently, and must copy the chunk out before returning.
+func evalChunks(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, workers int, emit func(start int, chunk []Candidate)) error {
+	n := len(designs)
+	if workers > n {
+		workers = n
+	}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 512 {
+		chunk = 512
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]Candidate, chunk)
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n || ctx.Err() != nil {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				out := buf[:end-start]
+				for i := start; i < end; i++ {
+					cand := Candidate{Config: designs[i], Scores: make([]float64, len(models))}
+					for m, model := range models {
+						cand.Scores[m] = objectives[m].Score(model.Predict(designs[i]))
+					}
+					out[i-start] = cand
+				}
+				emit(start, out)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Constraint bounds one objective during constrained selection.
@@ -137,25 +229,15 @@ func (r *Result) Best(objective int, constraints []Constraint) (Candidate, bool)
 	if objective < 0 || objective >= len(r.Objectives) {
 		panic(fmt.Sprintf("explore: objective %d out of range", objective))
 	}
-	best := Candidate{}
-	found := false
-	for _, c := range r.Evaluated {
-		feasible := true
-		for _, con := range constraints {
-			if c.Scores[con.Objective] > con.Max {
-				feasible = false
-				break
-			}
-		}
-		if !feasible {
-			continue
-		}
-		if !found || c.Scores[objective] < best.Scores[objective] {
-			best = c
-			found = true
-		}
+	top := NewTopK(1, objective, constraints)
+	for i, c := range r.Evaluated {
+		top.Collect(i, c)
 	}
-	return best, found
+	best := top.Results()
+	if len(best) == 0 {
+		return Candidate{}, false
+	}
+	return best[0], true
 }
 
 // Report renders the frontier.

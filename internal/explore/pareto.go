@@ -1,0 +1,167 @@
+package explore
+
+import (
+	"math"
+	"sort"
+)
+
+// dominates reports whether a is at least as good as b everywhere and
+// strictly better somewhere (minimisation).
+func dominates(a, b Candidate) bool {
+	return dominatesScores(a.Scores, b.Scores)
+}
+
+func dominatesScores(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// lexLess orders score vectors lexicographically — the preprocessing sort
+// shared by every frontier algorithm below. After this sort no candidate
+// can dominate one that precedes it.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// ParetoFrontier extracts the non-dominated candidates, preserving input
+// order. Exactly-equal candidates do not dominate each other, so
+// duplicates of a frontier point all survive — the same convention as a
+// brute-force pairwise scan, at O(n log n) for one or two objectives and
+// divide-and-conquer (Kung et al.) cost for higher dimensions instead of
+// O(n²).
+func ParetoFrontier(cands []Candidate) []Candidate {
+	n := len(cands)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return lexLess(cands[idx[a]].Scores, cands[idx[b]].Scores)
+	})
+	var keep []int
+	switch len(cands[0].Scores) {
+	case 0:
+		keep = idx // no objectives: nothing can dominate
+	case 1:
+		keep = frontier1D(cands, idx)
+	case 2:
+		keep = frontier2D(cands, idx)
+	default:
+		keep = frontierDC(cands, idx)
+	}
+	kept := make([]bool, n)
+	for _, i := range keep {
+		kept[i] = true
+	}
+	out := make([]Candidate, 0, len(keep))
+	for i, c := range cands {
+		if kept[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// frontier1D keeps every candidate tied with the minimum.
+func frontier1D(cands []Candidate, idx []int) []int {
+	min := cands[idx[0]].Scores[0]
+	var keep []int
+	for _, i := range idx {
+		if cands[i].Scores[0] != min {
+			break
+		}
+		keep = append(keep, i)
+	}
+	return keep
+}
+
+// frontier2D is the classic sorted sweep: walk groups of equal first
+// score; within a group only candidates at the group's minimal second
+// score survive, and only if every strictly-better-on-x group seen so far
+// had a strictly worse second score.
+func frontier2D(cands []Candidate, idx []int) []int {
+	var keep []int
+	bestY := math.Inf(1)
+	for g := 0; g < len(idx); {
+		x := cands[idx[g]].Scores[0]
+		end := g
+		gminY := math.Inf(1)
+		for end < len(idx) && cands[idx[end]].Scores[0] == x {
+			if y := cands[idx[end]].Scores[1]; y < gminY {
+				gminY = y
+			}
+			end++
+		}
+		for _, i := range idx[g:end] {
+			if y := cands[i].Scores[1]; y == gminY && y < bestY {
+				keep = append(keep, i)
+			}
+		}
+		if gminY < bestY {
+			bestY = gminY
+		}
+		g = end
+	}
+	return keep
+}
+
+// frontierDC is Kung's divide and conquer over the lex-sorted order: a
+// later candidate can never dominate an earlier one, so the left half's
+// frontier is final and the right half's survivors only need checking
+// against it.
+func frontierDC(cands []Candidate, idx []int) []int {
+	if len(idx) <= 64 {
+		return bruteFrontier(cands, idx)
+	}
+	mid := len(idx) / 2
+	left := frontierDC(cands, idx[:mid])
+	right := frontierDC(cands, idx[mid:])
+	out := left
+	for _, r := range right {
+		dominated := false
+		for _, l := range left {
+			if dominatesScores(cands[l].Scores, cands[r].Scores) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// bruteFrontier is the pairwise base case.
+func bruteFrontier(cands []Candidate, idx []int) []int {
+	var keep []int
+	for _, i := range idx {
+		dominated := false
+		for _, j := range idx {
+			if i != j && dominatesScores(cands[j].Scores, cands[i].Scores) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

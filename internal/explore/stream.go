@@ -1,0 +1,148 @@
+package explore
+
+import "sort"
+
+// TopK is a streaming Collector that retains the k best feasible
+// candidates by one objective (lower is better), so constrained selection
+// over a million-design sweep holds k candidates alive instead of all of
+// them. Ties break towards the lower design index, which makes the
+// result deterministic no matter how a parallel sweep interleaves.
+type TopK struct {
+	objective   int
+	k           int
+	constraints []Constraint
+
+	seen     int
+	feasible int
+	heap     []topkEntry // max-heap: worst retained candidate at the root
+}
+
+type topkEntry struct {
+	c     Candidate
+	index int
+}
+
+// NewTopK builds a collector keeping the k minimisers of the given
+// objective among candidates satisfying every constraint.
+func NewTopK(k, objective int, constraints []Constraint) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{objective: objective, k: k, constraints: constraints}
+}
+
+// worse orders heap entries: higher score first, then higher index.
+func (t *TopK) worse(a, b topkEntry) bool {
+	sa, sb := a.c.Scores[t.objective], b.c.Scores[t.objective]
+	if sa != sb {
+		return sa > sb
+	}
+	return a.index > b.index
+}
+
+// Collect offers one candidate. It implements Collector.
+func (t *TopK) Collect(index int, c Candidate) {
+	t.seen++
+	for _, con := range t.constraints {
+		if c.Scores[con.Objective] > con.Max {
+			return
+		}
+	}
+	t.feasible++
+	e := topkEntry{c: c, index: index}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, e)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if t.worse(t.heap[0], e) {
+		t.heap[0] = e
+		t.siftDown(0)
+	}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[parent]) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		worst := i
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(t.heap) && t.worse(t.heap[child], t.heap[worst]) {
+				worst = child
+			}
+		}
+		if worst == i {
+			return
+		}
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
+	}
+}
+
+// Results returns the retained candidates, best first.
+func (t *TopK) Results() []Candidate {
+	entries := append([]topkEntry(nil), t.heap...)
+	sort.Slice(entries, func(a, b int) bool { return t.worse(entries[b], entries[a]) })
+	out := make([]Candidate, len(entries))
+	for i, e := range entries {
+		out[i] = e.c
+	}
+	return out
+}
+
+// Seen returns how many candidates were offered.
+func (t *TopK) Seen() int { return t.seen }
+
+// Feasible returns how many offered candidates satisfied the constraints.
+func (t *TopK) Feasible() int { return t.feasible }
+
+// FrontierCollector is a streaming Collector that maintains the Pareto
+// frontier incrementally: each arriving candidate is dropped if a
+// retained one dominates it, and evicts any retained candidates it
+// dominates. The non-dominated set is unique, so the result is
+// independent of arrival order. Memory stays proportional to the
+// frontier, not the sweep.
+type FrontierCollector struct {
+	seen     int
+	frontier []Candidate
+}
+
+// NewFrontierCollector builds an empty streaming frontier.
+func NewFrontierCollector() *FrontierCollector {
+	return &FrontierCollector{}
+}
+
+// Collect offers one candidate. It implements Collector.
+func (f *FrontierCollector) Collect(_ int, c Candidate) {
+	f.seen++
+	kept := f.frontier[:0]
+	for _, old := range f.frontier {
+		if dominates(old, c) {
+			return // arriving candidate loses; survivors were already mutually non-dominated
+		}
+		if !dominates(c, old) {
+			kept = append(kept, old)
+		}
+	}
+	f.frontier = append(kept, c)
+}
+
+// Seen returns how many candidates were offered.
+func (f *FrontierCollector) Seen() int { return f.seen }
+
+// Frontier returns the current non-dominated set sorted by the first
+// objective (ascending, ties by the second and so on).
+func (f *FrontierCollector) Frontier() []Candidate {
+	out := append([]Candidate(nil), f.frontier...)
+	sort.SliceStable(out, func(a, b int) bool { return lexLess(out[a].Scores, out[b].Scores) })
+	return out
+}

@@ -9,9 +9,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/power"
@@ -184,29 +186,50 @@ type Job struct {
 
 // Sweep runs all jobs with up to workers parallel simulations (default
 // GOMAXPROCS) and returns traces in job order. The first error aborts the
-// sweep.
+// sweep. It is SweepContext with a background context.
 func Sweep(jobs []Job, opts Options, workers int) ([]*Trace, error) {
+	return SweepContext(context.Background(), jobs, opts, workers)
+}
+
+// SweepContext runs all jobs on a fixed pool of min(workers, len(jobs))
+// goroutines (workers ≤ 0 means GOMAXPROCS) that pull jobs off a shared
+// cursor, and returns traces in job order. The first error — or a
+// cancellation of ctx — stops the pool from starting further jobs;
+// in-flight simulations finish and their traces are discarded. The first
+// error (respectively the context's cause) is returned.
+func SweepContext(ctx context.Context, jobs []Job, opts Options, workers int) ([]*Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 	traces := make([]*Trace, len(jobs))
-	errs := make([]error, len(jobs))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, job := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, job Job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			traces[i], errs[i] = Run(job.Config, job.Benchmark, opts)
-		}(i, job)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				tr, err := Run(jobs[i].Config, jobs[i].Benchmark, opts)
+				if err != nil {
+					cancel(err)
+					return
+				}
+				traces[i] = tr
+			}
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
 	}
 	return traces, nil
 }

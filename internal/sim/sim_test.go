@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/mathx"
@@ -135,6 +138,52 @@ func TestSweepPropagatesErrors(t *testing.T) {
 	jobs := []Job{{Config: space.Baseline(), Benchmark: "nope"}}
 	if _, err := Sweep(jobs, quickOpts, 1); err == nil {
 		t.Error("sweep should surface job errors")
+	}
+}
+
+func TestSweepFailsFast(t *testing.T) {
+	// A bad job at the head of the queue must abort the sweep: with one
+	// worker, the trailing valid jobs are never started, so the sweep
+	// returns in far less time than running them all would take.
+	jobs := []Job{{Config: space.Baseline(), Benchmark: "nope"}}
+	for i := 0; i < 64; i++ {
+		jobs = append(jobs, Job{Config: space.Baseline(), Benchmark: "gcc"})
+	}
+	traces, err := Sweep(jobs, Options{Instructions: 262144, Samples: 128}, 1)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("sweep error = %v, want the bad job's error", err)
+	}
+	if traces != nil {
+		t.Error("failed sweep should not return partial traces")
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{Config: space.Baseline(), Benchmark: "gcc"}
+	}
+	if _, err := SweepContext(ctx, jobs, quickOpts, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepManyWorkersRaceClean(t *testing.T) {
+	// More workers than jobs, exercised under -race in CI.
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Config: space.Baseline(), Benchmark: "mcf"}
+	}
+	traces, err := SweepContext(context.Background(), jobs, quickOpts, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if tr == nil {
+			t.Fatalf("trace %d missing", i)
+		}
 	}
 }
 
