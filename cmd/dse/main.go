@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -75,7 +78,12 @@ func main() {
 	}
 	sc.Workers = *workers
 
-	c, err := experiments.NewCampaign(sc)
+	// Simulation sweeps run on the PR 1 worker pool under a signal-bound
+	// context, so ^C aborts a long campaign instead of orphaning it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c, err := experiments.NewCampaignContext(ctx, sc)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// modelInfo describes one registry entry in /healthz and /benchmarks.
+type modelInfo struct {
+	Benchmark string `json:"benchmark"`
+	Metric    string `json:"metric"`
+	Networks  int    `json:"networks"`
+	TraceLen  int    `json:"trace_len"`
+	// Warm models were loaded from disk at boot instead of trained.
+	Warm      bool   `json:"warm,omitempty"`
+	TrainedAt string `json:"trained_at,omitempty"`
+}
+
+func (s *Server) modelInfos() []modelInfo {
+	entries := s.store.Entries()
+	infos := make([]modelInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = modelInfo{
+			Benchmark: e.Benchmark, Metric: e.Metric.String(),
+			Networks: e.Networks, TraceLen: e.TraceLen, Warm: e.Warm,
+		}
+		if !e.TrainedAt.IsZero() {
+			infos[i].TrainedAt = e.TrainedAt.UTC().Format(time.RFC3339)
+		}
+	}
+	return infos
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"trainings":      s.store.Trainings(),
+		"models":         s.modelInfos(),
+	})
+}
+
+// handleBenchmarks lists what the daemon can answer for: benchmarks with
+// models in memory, and benchmarks it would train on first request.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	// "Trained" means every served metric is in memory: a partially
+	// warm-started benchmark still owes a training run, so clients that
+	// pick pre-warmed work from this list are never surprised.
+	metrics := s.store.Metrics()
+	counts := make(map[string]int)
+	for _, e := range s.store.Entries() {
+		counts[e.Benchmark]++
+	}
+	trained := []string{}
+	for _, b := range s.store.Benchmarks() {
+		if counts[b] == len(metrics) {
+			trained = append(trained, b)
+		}
+	}
+	trainedSet := make(map[string]bool, len(trained))
+	for _, b := range trained {
+		trainedSet[b] = true
+	}
+	onDemand := []string{}
+	for _, b := range s.store.Trainable() {
+		if !trainedSet[b] {
+			onDemand = append(onDemand, b)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trained":             trained,
+		"trainable_on_demand": onDemand,
+		"metrics":             metricStrings(metrics),
+		"models":              s.modelInfos(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"trainings":      s.store.Trainings(),
+		"endpoints":      s.stats.snapshot(),
+	})
+}
+
+func metricStrings(ms []sim.Metric) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// predictRequest is the wire form of /predict. The single form names one
+// metric and config; the batch form (configs and/or metrics set) scores
+// many configs under many metrics in one request.
+type predictRequest struct {
+	Benchmark string     `json:"benchmark"`
+	Metric    string     `json:"metric"`
+	Config    configSpec `json:"config"`
+
+	Metrics []string     `json:"metrics"`
+	Configs []configSpec `json:"configs"`
+	// IncludeTraces adds the full predicted traces to batch responses
+	// (single-form responses always carry the trace).
+	IncludeTraces bool `json:"include_traces"`
+}
+
+type predictResponse struct {
+	Benchmark string     `json:"benchmark"`
+	Metric    string     `json:"metric"`
+	Config    configJSON `json:"config"`
+	Trace     []float64  `json:"trace"`
+	Mean      float64    `json:"mean"`
+	Worst     float64    `json:"worst"`
+}
+
+// predictResult is one cell of a batch prediction matrix.
+type predictResult struct {
+	Mean  float64   `json:"mean"`
+	Worst float64   `json:"worst"`
+	Trace []float64 `json:"trace,omitempty"`
+}
+
+type batchPredictResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Metrics   []string     `json:"metrics"`
+	Configs   []configJSON `json:"configs"`
+	// Results[i][j] scores Configs[i] under Metrics[j].
+	Results   [][]predictResult `json:"results"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Configs) > 0 || len(req.Metrics) > 0 {
+		s.handleBatchPredict(w, r, req)
+		return
+	}
+	// Validate the config before resolving the model: a malformed
+	// request must not trigger an on-demand training run.
+	cfg, err := req.Config.apply(space.Baseline())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, m, status, err := s.model(r.Context(), req.Benchmark, req.Metric)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	trace := p.Predict(cfg)
+	writeJSON(w, http.StatusOK, predictResponse{
+		Benchmark: req.Benchmark,
+		Metric:    m.String(),
+		Config:    toConfigJSON(cfg),
+		Trace:     trace,
+		Mean:      mathx.Mean(trace),
+		Worst:     mathx.Max(trace),
+	})
+}
+
+// maxBatchConfigs bounds one batch /predict request; with metrics capped
+// at sim.NumMetrics, the result matrix stays small even at the body
+// limit.
+const maxBatchConfigs = 4096
+
+// handleBatchPredict scores configs × metrics in one request on the
+// worker pool. All metrics of the benchmark come from one registry entry
+// (trained together on demand), so the whole batch costs one training at
+// most.
+func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req predictRequest) {
+	if req.Metric != "" || req.Config != (configSpec{}) {
+		httpError(w, http.StatusBadRequest, "use either the single form (metric, config) or the batch form (metrics, configs), not both")
+		return
+	}
+	if len(req.Metrics) == 0 {
+		httpError(w, http.StatusBadRequest, "batch predict needs a non-empty metrics list")
+		return
+	}
+	if len(req.Configs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch predict needs a non-empty configs list")
+		return
+	}
+	// The body limit alone doesn't bound the configs × metrics product
+	// (1 MiB of empty configs and repeated metric names expands
+	// quadratically); cap both factors explicitly.
+	if len(req.Configs) > maxBatchConfigs {
+		httpError(w, http.StatusBadRequest, "batch predict accepts at most %d configs (got %d)", maxBatchConfigs, len(req.Configs))
+		return
+	}
+	if len(req.Metrics) > int(sim.NumMetrics) {
+		httpError(w, http.StatusBadRequest, "batch predict accepts at most %d metrics (got %d)", sim.NumMetrics, len(req.Metrics))
+		return
+	}
+	// Dedupe on the parsed metric, not the raw name: parsing is
+	// case-insensitive, so "CPI" and "cpi" are the same column.
+	seenMetric := make(map[sim.Metric]bool, len(req.Metrics))
+	for _, name := range req.Metrics {
+		m, err := parseMetric(name)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if seenMetric[m] {
+			httpError(w, http.StatusBadRequest, "metric %q listed twice", name)
+			return
+		}
+		seenMetric[m] = true
+	}
+	// Configs are validated before models are resolved, so a malformed
+	// batch cannot trigger an on-demand training run.
+	configs := make([]space.Config, len(req.Configs))
+	for i, cs := range req.Configs {
+		cfg, err := cs.apply(space.Baseline())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "config %d: %v", i, err)
+			return
+		}
+		configs[i] = cfg
+	}
+	preds := make([]*core.Predictor, len(req.Metrics))
+	names := make([]string, len(req.Metrics))
+	for i, name := range req.Metrics {
+		p, m, status, err := s.model(r.Context(), req.Benchmark, name)
+		if err != nil {
+			httpError(w, status, "metric %d: %v", i, err)
+			return
+		}
+		preds[i], names[i] = p, m.String()
+	}
+
+	// Fan configs out over the worker pool; each worker scores one config
+	// under every metric (predictors are immutable, so no locking).
+	start := time.Now()
+	results := make([][]predictResult, len(configs))
+	err := explore.ParallelFor(r.Context(), len(configs), s.workers, func(i int) {
+		row := make([]predictResult, len(preds))
+		for j, p := range preds {
+			trace := p.Predict(configs[i])
+			row[j] = predictResult{Mean: mathx.Mean(trace), Worst: mathx.Max(trace)}
+			if req.IncludeTraces {
+				row[j].Trace = trace
+			}
+		}
+		results[i] = row
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	wire := make([]configJSON, len(configs))
+	for i, cfg := range configs {
+		wire[i] = toConfigJSON(cfg)
+	}
+	writeJSON(w, http.StatusOK, batchPredictResponse{
+		Benchmark: req.Benchmark,
+		Metrics:   names,
+		Configs:   wire,
+		Results:   results,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// buildObjectives resolves objective specs against the registry, training
+// the benchmark on demand when needed.
+func (s *Server) buildObjectives(r *http.Request, benchmark string, specs []objectiveSpec) ([]core.DynamicsModel, []explore.Objective, int, error) {
+	if len(specs) == 0 {
+		return nil, nil, http.StatusBadRequest, errNoObjectives
+	}
+	models := make([]core.DynamicsModel, len(specs))
+	objectives := make([]explore.Objective, len(specs))
+	for i, spec := range specs {
+		obj, err := spec.build()
+		if err != nil {
+			return nil, nil, http.StatusBadRequest, err
+		}
+		p, _, status, err := s.model(r.Context(), benchmark, spec.Metric)
+		if err != nil {
+			return nil, nil, status, err
+		}
+		models[i], objectives[i] = p, obj
+	}
+	return models, objectives, http.StatusOK, nil
+}
+
+type sweepRequest struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []objectiveSpec `json:"objectives"`
+	spaceSpec
+	// TopK bounds how many candidates are returned (default 10).
+	TopK int `json:"top_k"`
+	// Objective indexes Objectives as the minimisation target (default 0).
+	Objective   int              `json:"objective"`
+	Constraints []constraintJSON `json:"constraints"`
+}
+
+type sweepResponse struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []string        `json:"objectives"`
+	Evaluated  int             `json:"evaluated"`
+	Feasible   int             `json:"feasible"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+	Candidates []candidateJSON `json:"candidates"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	// Validate the cheap request shape before resolving models: a
+	// malformed request must not trigger an on-demand training run.
+	if len(req.Objectives) == 0 {
+		httpError(w, http.StatusBadRequest, "%v", errNoObjectives)
+		return
+	}
+	if req.Objective < 0 || req.Objective >= len(req.Objectives) {
+		httpError(w, http.StatusBadRequest, "objective index %d out of range", req.Objective)
+		return
+	}
+	for _, con := range req.Constraints {
+		if con.Objective < 0 || con.Objective >= len(req.Objectives) {
+			httpError(w, http.StatusBadRequest, "constraint objective index %d out of range", con.Objective)
+			return
+		}
+	}
+	early, err := req.resolveEarly()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	// Named spaces (possibly the full factorial) materialise only for
+	// requests that resolved models.
+	designs := req.resolveLate(early)
+	if req.TopK <= 0 {
+		req.TopK = 10
+	}
+	constraints := make([]explore.Constraint, len(req.Constraints))
+	for i, c := range req.Constraints {
+		constraints[i] = explore.Constraint{Objective: c.Objective, Max: c.Max}
+	}
+	top := explore.NewTopK(req.TopK, req.Objective, constraints)
+	start := time.Now()
+	err = explore.SweepStream(r.Context(), designs, models, objectives,
+		explore.Options{Workers: s.workers}, top)
+	if err != nil {
+		// registryStatus keeps client disconnects (cancelled contexts)
+		// out of the 5xx server-fault counters.
+		httpError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse{
+		Benchmark:  req.Benchmark,
+		Objectives: objectiveNames(objectives),
+		Evaluated:  top.Seen(),
+		Feasible:   top.Feasible(),
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Candidates: toCandidatesJSON(top.Results()),
+	})
+}
+
+type paretoRequest struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []objectiveSpec `json:"objectives"`
+	spaceSpec
+}
+
+type paretoResponse struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []string        `json:"objectives"`
+	Evaluated  int             `json:"evaluated"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+	Frontier   []candidateJSON `json:"frontier"`
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req paretoRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	// Cheap request-shape validation precedes model resolution (which
+	// may train a benchmark on demand) and the design-space
+	// materialisation (which may allocate the full factorial).
+	if len(req.Objectives) == 0 {
+		httpError(w, http.StatusBadRequest, "%v", errNoObjectives)
+		return
+	}
+	early, err := req.resolveEarly()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	designs := req.resolveLate(early)
+	// The design list is already materialised, so the batch sweep's
+	// O(n log n) / divide-and-conquer frontier beats streaming candidates
+	// through an incremental collector serialised behind a mutex.
+	start := time.Now()
+	res, err := explore.SweepContext(r.Context(), designs, models, objectives,
+		explore.Options{Workers: s.workers})
+	if err != nil {
+		httpError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paretoResponse{
+		Benchmark:  req.Benchmark,
+		Objectives: objectiveNames(objectives),
+		Evaluated:  len(res.Evaluated),
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Frontier:   toCandidatesJSON(res.Frontier),
+	})
+}

@@ -1,28 +1,40 @@
-// Command dsed is the design-space-exploration daemon: it trains one
-// wavelet-RBF predictor per (benchmark, metric) pair at startup — paying
-// the simulation cost once — and then serves concurrent model-driven
-// queries over the design space as JSON over HTTP.
+// Command dsed is the design-space-exploration daemon: it serves
+// model-driven queries over the microarchitecture design space as JSON
+// over HTTP, growing its inventory of wavelet-RBF predictors under load.
+//
+// Models live in an internal/registry store. Benchmarks named by
+// -benchmarks are trained (or warm-started from -model-dir) before the
+// listener opens; any other known benchmark is trained on demand the
+// first time a request names it, with concurrent requests deduplicated
+// into one training run. With -model-dir set, every trained model is
+// persisted with a provenance manifest, so a restarted daemon answers its
+// first query in milliseconds instead of re-simulating.
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness plus the trained-model inventory
-//	POST /predict   one design's predicted dynamics trace
-//	POST /sweep     streaming top-K constrained selection over a space
-//	POST /pareto    Pareto frontier of a space under chosen objectives
+//	GET  /healthz     liveness plus the model inventory
+//	GET  /benchmarks  trained and trainable-on-demand benchmarks
+//	GET  /metrics     per-endpoint request/latency/status counters
+//	POST /predict     predicted dynamics: one (metric, config), or a
+//	                  batch of configs × metrics in one request
+//	POST /sweep       streaming top-K constrained selection over a space
+//	POST /pareto      Pareto frontier of a space under chosen objectives
 //
 // Example:
 //
-//	dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -train 40
+//	dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -train 40 -model-dir ./models
 //	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
 //	curl -s localhost:8090/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
 //	curl -s localhost:8090/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//	curl -s localhost:8090/benchmarks
+//	curl -s localhost:8090/metrics
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -31,21 +43,25 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8090", "listen address")
-		benchmarks = flag.String("benchmarks", "gcc,mcf", "comma-separated benchmarks to train")
+		benchmarks = flag.String("benchmarks", "gcc,mcf", "comma-separated benchmarks to train before serving (empty = on-demand only)")
 		metrics    = flag.String("metrics", "CPI,Power,AVF", "comma-separated metrics to train (CPI,Power,AVF,IQ_AVF)")
 		train      = flag.Int("train", 40, "training design points per benchmark")
+		candidates = flag.Int("candidates", 10, "LHS candidate matrices scored by discrepancy")
 		samples    = flag.Int("samples", 64, "trace samples per run (power of two)")
 		instrs     = flag.Uint64("instrs", 65536, "instructions per training run")
 		k          = flag.Int("k", 16, "wavelet coefficients per model")
 		seed       = flag.Uint64("seed", 1, "training-design sampling seed")
 		workers    = flag.Int("workers", 0, "simulation/query parallelism (0 = GOMAXPROCS)")
+		modelDir   = flag.String("model-dir", "", "persist trained models here and warm-start from it on boot")
+		quiet      = flag.Bool("quiet", false, "suppress per-request log lines")
 	)
 	flag.Parse()
 
@@ -53,30 +69,78 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := TrainConfig{
-		Benchmarks: splitList(*benchmarks),
-		Train:      *train,
-		Seed:       *seed,
-		Sim:        sim.Options{Instructions: *instrs, Samples: *samples},
-		Model:      core.Options{NumCoefficients: *k},
-		Workers:    *workers,
-		Log:        logger,
-	}
+	// Parse and dedupe the metric list: the store keys models by unique
+	// (benchmark, metric), so duplicates here would skew every
+	// inventory count downstream.
+	var metricSet []sim.Metric
+	seenMetric := make(map[sim.Metric]bool)
 	for _, name := range splitList(*metrics) {
 		m, err := parseMetric(name)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		cfg.Metrics = append(cfg.Metrics, m)
+		if !seenMetric[m] {
+			seenMetric[m] = true
+			metricSet = append(metricSet, m)
+		}
+	}
+	if len(metricSet) == 0 {
+		logger.Fatal("no metrics to serve")
 	}
 
-	start := time.Now()
-	srv, err := Train(ctx, cfg)
+	// Zero flag values fall back to the historical defaults rather than
+	// producing an empty training campaign.
+	if *train <= 0 {
+		*train = 40
+	}
+	if *candidates <= 0 {
+		*candidates = 10
+	}
+	if *seed == 0 {
+		*seed = 1
+	}
+	spec := registry.Spec{
+		Train:        *train,
+		Candidates:   *candidates,
+		Seed:         *seed,
+		Samples:      *samples,
+		Instructions: *instrs,
+		Coefficients: *k,
+	}
+	trainer := &simTrainer{Spec: spec, Workers: *workers, Log: logger}
+	store, err := registry.Open(registry.Config{
+		Trainer:   trainer,
+		Metrics:   metricSet,
+		Trainable: workload.Names(),
+		Dir:       *modelDir,
+		Spec:      spec,
+		Context:   ctx,
+		Log:       logger,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("registry ready: %d models in %v", len(srv.models), time.Since(start).Round(time.Millisecond))
 
+	// Pre-train the configured benchmarks; warm-started ones are free.
+	// Every metric is probed so a partially warm-started benchmark (say a
+	// corrupt Power model beside a valid CPI one) still pays its training
+	// before the listener opens, not on the first unlucky request.
+	start := time.Now()
+	for _, b := range splitList(*benchmarks) {
+		for _, m := range metricSet {
+			if _, err := store.LoadOrTrain(ctx, b, m); err != nil {
+				logger.Fatal(err)
+			}
+		}
+	}
+	logger.Printf("registry ready: %d models (%d trained this boot) in %v",
+		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
+
+	reqLog := logger
+	if *quiet {
+		reqLog = nil
+	}
+	srv := NewServer(store, *workers, reqLog)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	drained := make(chan struct{})
 	go func() {
@@ -96,16 +160,15 @@ func main() {
 	<-drained
 }
 
+// splitList splits a comma-separated flag, dropping empty elements. An
+// empty flag yields nil (the daemon then trains nothing up front and
+// relies on warm starts and on-demand training).
 func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		if part = strings.TrimSpace(part); part != "" {
 			out = append(out, part)
 		}
-	}
-	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "dsed: empty list flag")
-		os.Exit(2)
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// httpStats accumulates per-endpoint request counters. Endpoints are the
+// daemon's known routes; anything else is folded into "other" so a
+// path-scanning client cannot grow the map without bound.
+type httpStats struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+type endpointStats struct {
+	requests int64
+	byStatus map[int]int64
+	totalMS  float64
+	maxMS    float64
+}
+
+func newHTTPStats() *httpStats {
+	return &httpStats{endpoints: make(map[string]*endpointStats)}
+}
+
+func (h *httpStats) record(endpoint string, status int, elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1000
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	es := h.endpoints[endpoint]
+	if es == nil {
+		es = &endpointStats{byStatus: make(map[int]int64)}
+		h.endpoints[endpoint] = es
+	}
+	es.requests++
+	es.byStatus[status]++
+	es.totalMS += ms
+	if ms > es.maxMS {
+		es.maxMS = ms
+	}
+}
+
+// endpointMetrics is the wire form of one endpoint's counters.
+type endpointMetrics struct {
+	Endpoint string           `json:"endpoint"`
+	Requests int64            `json:"requests"`
+	ByStatus map[string]int64 `json:"by_status"`
+	MeanMS   float64          `json:"mean_ms"`
+	MaxMS    float64          `json:"max_ms"`
+	TotalMS  float64          `json:"total_ms"`
+}
+
+func (h *httpStats) snapshot() []endpointMetrics {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]endpointMetrics, 0, len(h.endpoints))
+	for ep, es := range h.endpoints {
+		m := endpointMetrics{
+			Endpoint: ep,
+			Requests: es.requests,
+			ByStatus: make(map[string]int64, len(es.byStatus)),
+			MaxMS:    es.maxMS,
+			TotalMS:  es.totalMS,
+		}
+		if es.requests > 0 {
+			m.MeanMS = es.totalMS / float64(es.requests)
+		}
+		for status, n := range es.byStatus {
+			m.ByStatus[strconv.Itoa(status)] = n
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Endpoint < out[b].Endpoint })
+	return out
+}
+
+// statusWriter captures the response status and size for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with structured request logging and
+// per-endpoint latency/status accounting. known holds the routes that get
+// their own metric series.
+func instrument(next http.Handler, stats *httpStats, known map[string]bool, logger *log.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		endpoint := r.URL.Path
+		if !known[endpoint] {
+			endpoint = "other"
+		}
+		stats.record(endpoint, sw.status, elapsed)
+		if logger != nil {
+			// %q: the decoded path can carry control characters that
+			// would otherwise forge extra log lines.
+			logger.Printf("%s %q status=%d bytes=%d elapsed=%v",
+				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond))
+		}
+	})
+}

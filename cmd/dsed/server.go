@@ -2,532 +2,91 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
+	"errors"
 	"log"
 	"net/http"
-	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/mathx"
+	"repro/internal/registry"
 	"repro/internal/sim"
-	"repro/internal/space"
 )
 
-// modelKey addresses one trained predictor in the registry.
-type modelKey struct {
-	Benchmark string
-	Metric    sim.Metric
-}
-
-// TrainConfig sizes the startup training campaign.
-type TrainConfig struct {
-	Benchmarks []string
-	Metrics    []sim.Metric
-	// Train is the number of LHS training designs simulated per benchmark.
-	Train int
-	// Candidates is the number of LHS matrices scored by discrepancy.
-	Candidates int
-	Seed       uint64
-	Sim        sim.Options
-	Model      core.Options
-	// Workers bounds both simulation and query-evaluation parallelism
-	// (0 = GOMAXPROCS).
-	Workers int
-	// Log receives training progress lines; nil silences them.
-	Log *log.Logger
-}
-
-// Server owns the predictor registry and serves design-space queries over
-// it. The registry is immutable after Train returns, so every handler may
-// run concurrently without locking.
+// Server is the serving layer over the model registry: it owns no models
+// itself, translating HTTP queries into registry lookups (training
+// missing benchmarks on demand) and exploration-engine sweeps.
 type Server struct {
-	models  map[modelKey]*core.Predictor
-	cfg     TrainConfig
+	store *registry.Store
+	// workers bounds query-evaluation parallelism (0 = GOMAXPROCS).
+	workers int
 	started time.Time
+	stats   *httpStats
+	// reqLog receives one structured line per request; nil silences it.
+	reqLog *log.Logger
 }
 
-// Train simulates the training designs for every benchmark once, fits one
-// predictor per (benchmark, metric) pair, and returns a query-ready
-// server. Simulation fans out through sim.SweepContext, so ctx cancels a
-// long startup.
-func Train(ctx context.Context, cfg TrainConfig) (*Server, error) {
-	if len(cfg.Benchmarks) == 0 {
-		return nil, fmt.Errorf("dsed: no benchmarks to train")
+// NewServer wraps a registry store in the HTTP serving layer.
+func NewServer(store *registry.Store, workers int, reqLog *log.Logger) *Server {
+	return &Server{
+		store:   store,
+		workers: workers,
+		started: time.Now(),
+		stats:   newHTTPStats(),
+		reqLog:  reqLog,
 	}
-	if len(cfg.Metrics) == 0 {
-		return nil, fmt.Errorf("dsed: no metrics to train")
-	}
-	if cfg.Train <= 0 {
-		cfg.Train = 40
-	}
-	if cfg.Candidates <= 0 {
-		cfg.Candidates = 10
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	logf := func(format string, args ...any) {
-		if cfg.Log != nil {
-			cfg.Log.Printf(format, args...)
-		}
-	}
-
-	rng := mathx.NewRNG(cfg.Seed)
-	designs := space.SampleDesign(cfg.Train, space.TrainLevels(), space.Baseline(), cfg.Candidates, rng)
-	srv := &Server{models: make(map[modelKey]*core.Predictor), cfg: cfg, started: time.Now()}
-	for _, bench := range cfg.Benchmarks {
-		jobs := make([]sim.Job, len(designs))
-		for i, d := range designs {
-			jobs[i] = sim.Job{Config: d, Benchmark: bench}
-		}
-		start := time.Now()
-		traces, err := sim.SweepContext(ctx, jobs, cfg.Sim, cfg.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("dsed: simulating %s training set: %w", bench, err)
-		}
-		logf("simulated %d training designs of %s in %v", len(designs), bench, time.Since(start).Round(time.Millisecond))
-		for _, metric := range cfg.Metrics {
-			series := make([][]float64, len(traces))
-			for i, tr := range traces {
-				series[i] = tr.Series(metric)
-			}
-			start := time.Now()
-			p, err := core.Train(designs, series, cfg.Model)
-			if err != nil {
-				return nil, fmt.Errorf("dsed: training %s/%s: %w", bench, metric, err)
-			}
-			srv.models[modelKey{bench, metric}] = p
-			logf("trained %s/%s (%d networks) in %v", bench, metric, p.NumNetworks(), time.Since(start).Round(time.Millisecond))
-		}
-	}
-	return srv, nil
 }
 
-// Handler routes the daemon's endpoints.
+// routes maps every endpoint to its handler. Shared with the middleware
+// so unknown paths collapse into one metrics bucket.
+func (s *Server) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"/healthz":    s.handleHealthz,
+		"/benchmarks": s.handleBenchmarks,
+		"/metrics":    s.handleMetrics,
+		"/predict":    s.handlePredict,
+		"/sweep":      s.handleSweep,
+		"/pareto":     s.handlePareto,
+	}
+}
+
+// Handler routes the daemon's endpoints behind the logging/metrics
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/sweep", s.handleSweep)
-	mux.HandleFunc("/pareto", s.handlePareto)
-	return mux
-}
-
-// httpError is the uniform JSON error envelope.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// configSpec is the wire form of a design point: any omitted swept
-// parameter inherits the Table 1 baseline.
-type configSpec struct {
-	FetchWidth   *int     `json:"fetch_width"`
-	ROBSize      *int     `json:"rob_size"`
-	IQSize       *int     `json:"iq_size"`
-	LSQSize      *int     `json:"lsq_size"`
-	L2SizeKB     *int     `json:"l2_size_kb"`
-	L2Lat        *int     `json:"l2_lat"`
-	IL1SizeKB    *int     `json:"il1_size_kb"`
-	DL1SizeKB    *int     `json:"dl1_size_kb"`
-	DL1Lat       *int     `json:"dl1_lat"`
-	DVM          *bool    `json:"dvm"`
-	DVMThreshold *float64 `json:"dvm_threshold"`
-}
-
-func (s configSpec) apply(base space.Config) (space.Config, error) {
-	set := func(dst *int, v *int) {
-		if v != nil {
-			*dst = *v
-		}
+	known := make(map[string]bool)
+	for path, h := range s.routes() {
+		mux.HandleFunc(path, h)
+		known[path] = true
 	}
-	set(&base.FetchWidth, s.FetchWidth)
-	set(&base.ROBSize, s.ROBSize)
-	set(&base.IQSize, s.IQSize)
-	set(&base.LSQSize, s.LSQSize)
-	set(&base.L2SizeKB, s.L2SizeKB)
-	set(&base.L2Lat, s.L2Lat)
-	set(&base.IL1SizeKB, s.IL1SizeKB)
-	set(&base.DL1SizeKB, s.DL1SizeKB)
-	set(&base.DL1Lat, s.DL1Lat)
-	if s.DVM != nil {
-		base.DVM = *s.DVM
-	}
-	if s.DVMThreshold != nil {
-		base.DVMThreshold = *s.DVMThreshold
-	}
-	return base, base.Validate()
+	return instrument(mux, s.stats, known, s.reqLog)
 }
 
-// configJSON is the wire form of a fully resolved design point.
-type configJSON struct {
-	FetchWidth int  `json:"fetch_width"`
-	ROBSize    int  `json:"rob_size"`
-	IQSize     int  `json:"iq_size"`
-	LSQSize    int  `json:"lsq_size"`
-	L2SizeKB   int  `json:"l2_size_kb"`
-	L2Lat      int  `json:"l2_lat"`
-	IL1SizeKB  int  `json:"il1_size_kb"`
-	DL1SizeKB  int  `json:"dl1_size_kb"`
-	DL1Lat     int  `json:"dl1_lat"`
-	DVM        bool `json:"dvm,omitempty"`
-}
-
-func toConfigJSON(c space.Config) configJSON {
-	return configJSON{
-		FetchWidth: c.FetchWidth, ROBSize: c.ROBSize, IQSize: c.IQSize,
-		LSQSize: c.LSQSize, L2SizeKB: c.L2SizeKB, L2Lat: c.L2Lat,
-		IL1SizeKB: c.IL1SizeKB, DL1SizeKB: c.DL1SizeKB, DL1Lat: c.DL1Lat,
-		DVM: c.DVM,
-	}
-}
-
-func parseMetric(name string) (sim.Metric, error) {
-	for m := sim.Metric(0); m < sim.NumMetrics; m++ {
-		if strings.EqualFold(m.String(), name) {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown metric %q", name)
-}
-
-func (s *Server) model(benchmark, metric string) (*core.Predictor, sim.Metric, error) {
+// model resolves one (benchmark, metric) pair, training the benchmark on
+// demand when the registry allows it. The returned status distinguishes
+// malformed requests (400), unknown benchmarks/metrics (404), and
+// training failures (500).
+func (s *Server) model(ctx context.Context, benchmark, metric string) (*core.Predictor, sim.Metric, int, error) {
 	m, err := parseMetric(metric)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, http.StatusBadRequest, err
 	}
-	p, ok := s.models[modelKey{benchmark, m}]
-	if !ok {
-		return nil, 0, fmt.Errorf("no model for benchmark %q metric %q", benchmark, metric)
-	}
-	return p, m, nil
-}
-
-// modelInfo describes one registry entry in /healthz.
-type modelInfo struct {
-	Benchmark string `json:"benchmark"`
-	Metric    string `json:"metric"`
-	Networks  int    `json:"networks"`
-	TraceLen  int    `json:"trace_len"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	infos := make([]modelInfo, 0, len(s.models))
-	for k, p := range s.models {
-		infos = append(infos, modelInfo{
-			Benchmark: k.Benchmark, Metric: k.Metric.String(),
-			Networks: p.NumNetworks(), TraceLen: p.TraceLen(),
-		})
-	}
-	sort.Slice(infos, func(a, b int) bool {
-		if infos[a].Benchmark != infos[b].Benchmark {
-			return infos[a].Benchmark < infos[b].Benchmark
-		}
-		return infos[a].Metric < infos[b].Metric
-	})
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"models":         infos,
-	})
-}
-
-type predictRequest struct {
-	Benchmark string     `json:"benchmark"`
-	Metric    string     `json:"metric"`
-	Config    configSpec `json:"config"`
-}
-
-type predictResponse struct {
-	Benchmark string     `json:"benchmark"`
-	Metric    string     `json:"metric"`
-	Config    configJSON `json:"config"`
-	Trace     []float64  `json:"trace"`
-	Mean      float64    `json:"mean"`
-	Worst     float64    `json:"worst"`
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	p, m, err := s.model(req.Benchmark, req.Metric)
+	p, err := s.store.LoadOrTrain(ctx, benchmark, m)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
+		return nil, 0, registryStatus(err), err
 	}
-	cfg, err := req.Config.apply(space.Baseline())
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	trace := p.Predict(cfg)
-	writeJSON(w, http.StatusOK, predictResponse{
-		Benchmark: req.Benchmark,
-		Metric:    m.String(),
-		Config:    toConfigJSON(cfg),
-		Trace:     trace,
-		Mean:      mathx.Mean(trace),
-		Worst:     mathx.Max(trace),
-	})
+	return p, m, http.StatusOK, nil
 }
 
-// objectiveSpec names one scoring rule over a predicted trace.
-type objectiveSpec struct {
-	Metric string `json:"metric"`
-	// Kind is "mean" (default), "worst", or "exceedance".
-	Kind      string  `json:"kind"`
-	Threshold float64 `json:"threshold"`
-}
-
-func (o objectiveSpec) build() (explore.Objective, error) {
-	name := o.Metric + "_" + o.Kind
-	switch o.Kind {
-	case "", "mean":
-		return explore.MeanObjective(o.Metric + "_mean"), nil
-	case "worst":
-		return explore.WorstCaseObjective(name), nil
-	case "exceedance":
-		return explore.ExceedanceObjective(fmt.Sprintf("%s_exceed_%g", o.Metric, o.Threshold), o.Threshold), nil
-	}
-	return explore.Objective{}, fmt.Errorf("unknown objective kind %q", o.Kind)
-}
-
-// spaceSpec selects the candidate designs of a sweep: an explicit list,
-// or a named Table 2 space ("train" or "test") — full factorial by
-// default, optionally LHS-subsampled to Sample designs.
-type spaceSpec struct {
-	Designs []configSpec `json:"designs"`
-	Space   string       `json:"space"`
-	Sample  int          `json:"sample"`
-	Seed    uint64       `json:"seed"`
-}
-
-func (sp spaceSpec) designs() ([]space.Config, error) {
-	if len(sp.Designs) > 0 {
-		out := make([]space.Config, len(sp.Designs))
-		for i, cs := range sp.Designs {
-			c, err := cs.apply(space.Baseline())
-			if err != nil {
-				return nil, fmt.Errorf("design %d: %w", i, err)
-			}
-			out[i] = c
-		}
-		return out, nil
-	}
-	var levels space.Levels
-	switch sp.Space {
-	case "", "train":
-		levels = space.TrainLevels()
-	case "test":
-		levels = space.TestLevels()
+// registryStatus maps registry errors onto HTTP statuses.
+func registryStatus(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrUnknownBenchmark), errors.Is(err, registry.ErrUntrainedMetric):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away mid-training; nobody reads this status,
+		// but the metrics should not count it as a server fault.
+		return http.StatusServiceUnavailable
 	default:
-		return nil, fmt.Errorf("unknown space %q (want train or test)", sp.Space)
+		return http.StatusInternalServerError
 	}
-	if sp.Sample > 0 {
-		seed := sp.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		return space.SampleDesign(sp.Sample, levels, space.Baseline(), 4, mathx.NewRNG(seed)), nil
-	}
-	return levels.FullFactorial(space.Baseline()), nil
-}
-
-// buildObjectives resolves objective specs against the registry. The
-// returned status distinguishes malformed requests (400) from lookups of
-// models the daemon never trained (404).
-func (s *Server) buildObjectives(benchmark string, specs []objectiveSpec) ([]core.DynamicsModel, []explore.Objective, int, error) {
-	if len(specs) == 0 {
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("no objectives given")
-	}
-	models := make([]core.DynamicsModel, len(specs))
-	objectives := make([]explore.Objective, len(specs))
-	for i, spec := range specs {
-		obj, err := spec.build()
-		if err != nil {
-			return nil, nil, http.StatusBadRequest, err
-		}
-		p, _, err := s.model(benchmark, spec.Metric)
-		if err != nil {
-			return nil, nil, http.StatusNotFound, err
-		}
-		models[i], objectives[i] = p, obj
-	}
-	return models, objectives, http.StatusOK, nil
-}
-
-type sweepRequest struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []objectiveSpec `json:"objectives"`
-	spaceSpec
-	// TopK bounds how many candidates are returned (default 10).
-	TopK int `json:"top_k"`
-	// Objective indexes Objectives as the minimisation target (default 0).
-	Objective   int              `json:"objective"`
-	Constraints []constraintJSON `json:"constraints"`
-}
-
-// constraintJSON is the wire form of explore.Constraint.
-type constraintJSON struct {
-	Objective int     `json:"objective"`
-	Max       float64 `json:"max"`
-}
-
-type candidateJSON struct {
-	Config configJSON `json:"config"`
-	Scores []float64  `json:"scores"`
-}
-
-func toCandidatesJSON(cands []explore.Candidate) []candidateJSON {
-	out := make([]candidateJSON, len(cands))
-	for i, c := range cands {
-		out[i] = candidateJSON{Config: toConfigJSON(c.Config), Scores: c.Scores}
-	}
-	return out
-}
-
-type sweepResponse struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []string        `json:"objectives"`
-	Evaluated  int             `json:"evaluated"`
-	Feasible   int             `json:"feasible"`
-	ElapsedMS  float64         `json:"elapsed_ms"`
-	Candidates []candidateJSON `json:"candidates"`
-}
-
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	models, objectives, status, err := s.buildObjectives(req.Benchmark, req.Objectives)
-	if err != nil {
-		httpError(w, status, "%v", err)
-		return
-	}
-	if req.Objective < 0 || req.Objective >= len(objectives) {
-		httpError(w, http.StatusBadRequest, "objective index %d out of range", req.Objective)
-		return
-	}
-	for _, con := range req.Constraints {
-		if con.Objective < 0 || con.Objective >= len(objectives) {
-			httpError(w, http.StatusBadRequest, "constraint objective index %d out of range", con.Objective)
-			return
-		}
-	}
-	designs, err := req.designs()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if req.TopK <= 0 {
-		req.TopK = 10
-	}
-	constraints := make([]explore.Constraint, len(req.Constraints))
-	for i, c := range req.Constraints {
-		constraints[i] = explore.Constraint{Objective: c.Objective, Max: c.Max}
-	}
-	top := explore.NewTopK(req.TopK, req.Objective, constraints)
-	start := time.Now()
-	err = explore.SweepStream(r.Context(), designs, models, objectives,
-		explore.Options{Workers: s.cfg.Workers}, top)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, sweepResponse{
-		Benchmark:  req.Benchmark,
-		Objectives: objectiveNames(objectives),
-		Evaluated:  top.Seen(),
-		Feasible:   top.Feasible(),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Candidates: toCandidatesJSON(top.Results()),
-	})
-}
-
-type paretoRequest struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []objectiveSpec `json:"objectives"`
-	spaceSpec
-}
-
-type paretoResponse struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []string        `json:"objectives"`
-	Evaluated  int             `json:"evaluated"`
-	ElapsedMS  float64         `json:"elapsed_ms"`
-	Frontier   []candidateJSON `json:"frontier"`
-}
-
-func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
-	var req paretoRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	models, objectives, status, err := s.buildObjectives(req.Benchmark, req.Objectives)
-	if err != nil {
-		httpError(w, status, "%v", err)
-		return
-	}
-	designs, err := req.designs()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// The design list is already materialised, so the batch sweep's
-	// O(n log n) / divide-and-conquer frontier beats streaming candidates
-	// through an incremental collector serialised behind a mutex.
-	start := time.Now()
-	res, err := explore.SweepContext(r.Context(), designs, models, objectives,
-		explore.Options{Workers: s.cfg.Workers})
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, paretoResponse{
-		Benchmark:  req.Benchmark,
-		Objectives: objectiveNames(objectives),
-		Evaluated:  len(res.Evaluated),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Frontier:   toCandidatesJSON(res.Frontier),
-	})
-}
-
-func objectiveNames(objectives []explore.Objective) []string {
-	names := make([]string, len(objectives))
-	for i, o := range objectives {
-		names[i] = o.Name
-	}
-	return names
-}
-
-// decodePost enforces POST + JSON body; it writes the error response
-// itself and reports whether the handler should continue.
-func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
-		return false
-	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	return true
 }

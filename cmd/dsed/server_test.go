@@ -4,13 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 var (
@@ -19,20 +26,56 @@ var (
 	testSrvErr  error
 )
 
-// testServer trains one small registry shared by every test: one
-// benchmark, two metrics, at a scale that keeps startup around a second.
+// tinySpec keeps training around a second per benchmark.
+func tinySpec() registry.Spec {
+	return registry.Spec{Train: 24, Candidates: 2, Seed: 7, Samples: 16, Instructions: 16384, Coefficients: 8}
+}
+
+func tinyTrainer() *simTrainer {
+	return &simTrainer{Spec: tinySpec()}
+}
+
+// countTrainer wraps a Trainer and counts benchmark training runs.
+type countTrainer struct {
+	registry.Trainer
+	calls atomic.Int32
+}
+
+func (c *countTrainer) TrainBenchmark(ctx context.Context, benchmark string, metrics []sim.Metric) (map[sim.Metric]*core.Predictor, error) {
+	c.calls.Add(1)
+	return c.Trainer.TrainBenchmark(ctx, benchmark, metrics)
+}
+
+func openTestStore(t *testing.T, dir string, tr registry.Trainer) *registry.Store {
+	t.Helper()
+	store, err := registry.Open(registry.Config{
+		Trainer:   tr,
+		Metrics:   []sim.Metric{sim.MetricCPI, sim.MetricPower},
+		Trainable: workload.Names(),
+		Dir:       dir,
+		Spec:      tinySpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// testServer boots one registry shared by every read-mostly test: gcc
+// pre-trained at a scale that keeps startup around a second.
 func testServer(t *testing.T) *Server {
 	t.Helper()
 	testSrvOnce.Do(func() {
-		testSrv, testSrvErr = Train(context.Background(), TrainConfig{
-			Benchmarks: []string{"gcc"},
-			Metrics:    []sim.Metric{sim.MetricCPI, sim.MetricPower},
-			Train:      24,
-			Candidates: 2,
-			Seed:       7,
-			Sim:        sim.Options{Instructions: 16384, Samples: 16},
-			Model:      core.Options{NumCoefficients: 8},
+		store, err := registry.Open(registry.Config{
+			Trainer:   tinyTrainer(),
+			Metrics:   []sim.Metric{sim.MetricCPI, sim.MetricPower},
+			Trainable: workload.Names(),
+			Spec:      tinySpec(),
 		})
+		if err == nil {
+			_, err = store.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI)
+		}
+		testSrv, testSrvErr = NewServer(store, 0, nil), err
 	})
 	if testSrvErr != nil {
 		t.Fatal(testSrvErr)
@@ -59,22 +102,6 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any)
 	return resp.StatusCode
 }
 
-func TestTrainValidation(t *testing.T) {
-	if _, err := Train(context.Background(), TrainConfig{}); err == nil {
-		t.Error("training with no benchmarks should fail")
-	}
-	if _, err := Train(context.Background(), TrainConfig{Benchmarks: []string{"gcc"}}); err == nil {
-		t.Error("training with no metrics should fail")
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := Train(ctx, TrainConfig{
-		Benchmarks: []string{"gcc"}, Metrics: []sim.Metric{sim.MetricCPI},
-	}); err == nil {
-		t.Error("cancelled training should fail")
-	}
-}
-
 func TestHealthzEndpoint(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
@@ -98,6 +125,84 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if health.Models[0].Networks == 0 || health.Models[0].TraceLen != 16 {
 		t.Errorf("model inventory incomplete: %+v", health.Models[0])
+	}
+	if status := postJSON(t, ts, "/healthz", map[string]any{}, nil); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz status %d, want 405", status)
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Trained  []string `json:"trained"`
+		OnDemand []string `json:"trainable_on_demand"`
+		Metrics  []string `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Trained) == 0 || body.Trained[0] != "gcc" {
+		t.Errorf("trained = %v, want [gcc ...]", body.Trained)
+	}
+	for _, b := range body.OnDemand {
+		if b == "gcc" {
+			t.Error("gcc listed both trained and on-demand")
+		}
+	}
+	found := false
+	for _, b := range body.OnDemand {
+		if b == "twolf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trainable_on_demand = %v, want to include twolf", body.OnDemand)
+	}
+	if len(body.Metrics) != 2 || body.Metrics[0] != "CPI" {
+		t.Errorf("metrics = %v, want [CPI Power]", body.Metrics)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	// Generate one known-good and one known-bad request first.
+	postJSON(t, ts, "/predict", predictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	}, nil)
+	postJSON(t, ts, "/predict", map[string]any{"benchmark": "doom", "metric": "CPI"}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Endpoints []endpointMetrics `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var predict *endpointMetrics
+	for i := range body.Endpoints {
+		if body.Endpoints[i].Endpoint == "/predict" {
+			predict = &body.Endpoints[i]
+		}
+	}
+	if predict == nil {
+		t.Fatalf("no /predict series in %+v", body.Endpoints)
+	}
+	if predict.Requests < 2 || predict.ByStatus["200"] < 1 || predict.ByStatus["404"] < 1 {
+		t.Errorf("/predict counters incomplete: %+v", predict)
+	}
+	if predict.TotalMS <= 0 || predict.MaxMS < predict.MeanMS {
+		t.Errorf("/predict latency stats inconsistent: %+v", predict)
 	}
 }
 
@@ -123,6 +228,96 @@ func TestPredictEndpoint(t *testing.T) {
 	}
 }
 
+func TestBatchPredict(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var resp batchPredictResponse
+	status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc",
+		"metrics":   []string{"CPI", "Power"},
+		"configs": []map[string]any{
+			{"fetch_width": 2},
+			{"fetch_width": 8},
+			{"rob_size": 128},
+		},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("batch predict status %d", status)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch returned %d rows, want 3", len(resp.Results))
+	}
+	for i, row := range resp.Results {
+		if len(row) != 2 {
+			t.Fatalf("row %d has %d cells, want 2", i, len(row))
+		}
+		for j, cell := range row {
+			if cell.Mean <= 0 || cell.Worst < cell.Mean {
+				t.Errorf("cell [%d][%d] stats inconsistent: %+v", i, j, cell)
+			}
+			if cell.Trace != nil {
+				t.Errorf("cell [%d][%d] carries a trace without include_traces", i, j)
+			}
+		}
+	}
+	if resp.Configs[0].FetchWidth != 2 || resp.Configs[2].ROBSize != 128 {
+		t.Errorf("config echo lost: %+v", resp.Configs)
+	}
+
+	// include_traces adds full traces to every cell.
+	status = postJSON(t, ts, "/predict", map[string]any{
+		"benchmark":      "gcc",
+		"metrics":        []string{"CPI"},
+		"configs":        []map[string]any{{"fetch_width": 4}},
+		"include_traces": true,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("batch predict with traces status %d", status)
+	}
+	if len(resp.Results[0][0].Trace) != 16 {
+		t.Errorf("include_traces trace length %d, want 16", len(resp.Results[0][0].Trace))
+	}
+}
+
+func TestBatchPredictErrors(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "metric": "CPI",
+		"metrics": []string{"CPI"}, "configs": []map[string]any{{}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("mixed single/batch form status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "metrics": []string{"CPI"},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("batch without configs status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "configs": []map[string]any{{}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("batch without metrics status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "metrics": []string{"CPI"},
+		"configs": []map[string]any{{"fetch_width": -2}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("batch with invalid config status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "metrics": []string{"CPI", "CPI"},
+		"configs": []map[string]any{{}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("duplicate batch metric status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "gcc", "metrics": []string{"CPI"},
+		"configs": make([]map[string]any, maxBatchConfigs+1),
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("oversized batch status %d, want 400", status)
+	}
+}
+
 func TestPredictErrors(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
@@ -130,7 +325,10 @@ func TestPredictErrors(t *testing.T) {
 		t.Errorf("unknown benchmark status %d, want 404", status)
 	}
 	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "gcc", Metric: "AVF"}, nil); status != http.StatusNotFound {
-		t.Errorf("untrained metric status %d, want 404", status)
+		t.Errorf("unserved metric status %d, want 404", status)
+	}
+	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "gcc", Metric: "Tempo"}, nil); status != http.StatusBadRequest {
+		t.Errorf("unparseable metric status %d, want 400", status)
 	}
 	if status := postJSON(t, ts, "/predict", predictRequest{
 		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(-1)},
@@ -144,6 +342,24 @@ func TestPredictErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /predict status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	// A syntactically valid request whose config list alone exceeds the
+	// body budget: the decoder must hit the limit, not an unknown field.
+	huge := `{"benchmark":"gcc","metrics":["CPI"],"configs":[` +
+		strings.Repeat(`{"fetch_width":4},`, maxRequestBody/16) +
+		`{"fetch_width":4}]}`
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
 	}
 }
 
@@ -256,7 +472,7 @@ func TestParetoExplicitDesigns(t *testing.T) {
 }
 
 // TestConcurrentQueries hammers every endpoint at once; run under -race
-// this proves the immutable registry needs no locking.
+// this proves the registry and stats need no further locking.
 func TestConcurrentQueries(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
@@ -287,6 +503,166 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestWarmStartServesWithoutRetraining is the acceptance scenario: a
+// killed-and-restarted daemon with -model-dir serves its first /predict
+// from persisted models — the injected trainer is never called on the
+// second boot.
+func TestWarmStartServesWithoutRetraining(t *testing.T) {
+	dir := t.TempDir()
+
+	// Boot 1: cold start, trains gcc, persists.
+	ct := &countTrainer{Trainer: tinyTrainer()}
+	store1 := openTestStore(t, dir, ct)
+	if _, err := store1.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI); err != nil {
+		t.Fatal(err)
+	}
+	if ct.calls.Load() != 1 {
+		t.Fatalf("first boot trained %d times, want 1", ct.calls.Load())
+	}
+	ts1 := httptest.NewServer(NewServer(store1, 0, nil).Handler())
+	var first predictResponse
+	if status := postJSON(t, ts1, "/predict", predictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	}, &first); status != http.StatusOK {
+		t.Fatalf("boot-1 predict status %d", status)
+	}
+	ts1.Close()
+
+	// Boot 2: same model dir, a trainer that must never run.
+	var poison registry.TrainerFunc = func(context.Context, string, []sim.Metric) (map[sim.Metric]*core.Predictor, error) {
+		t.Error("restarted daemon invoked its trainer despite persisted models")
+		return nil, fmt.Errorf("must not train")
+	}
+	store2 := openTestStore(t, dir, poison)
+	// The boot path's pre-train of gcc is free against warm models.
+	if _, err := store2.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewServer(store2, 0, nil).Handler())
+	defer ts2.Close()
+	var second predictResponse
+	if status := postJSON(t, ts2, "/predict", predictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	}, &second); status != http.StatusOK {
+		t.Fatalf("boot-2 predict status %d", status)
+	}
+	if store2.Trainings() != 0 {
+		t.Errorf("second boot recorded %d trainings, want 0", store2.Trainings())
+	}
+	if len(first.Trace) != len(second.Trace) {
+		t.Fatal("warm-started trace length differs")
+	}
+	for i := range first.Trace {
+		if first.Trace[i] != second.Trace[i] {
+			t.Fatalf("warm-started prediction differs at sample %d: %v vs %v", i, first.Trace[i], second.Trace[i])
+		}
+	}
+}
+
+// TestBenchmarksPartialWarmNotTrained proves a benchmark that
+// warm-started only some of its metrics is not advertised as trained.
+func TestBenchmarksPartialWarmNotTrained(t *testing.T) {
+	dir := t.TempDir()
+	store1 := openTestStore(t, dir, tinyTrainer())
+	if _, err := store1.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "gcc__Power.model.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store2 := openTestStore(t, dir, tinyTrainer())
+	ts := httptest.NewServer(NewServer(store2, 0, nil).Handler())
+	defer ts.Close()
+	var body struct {
+		Trained  []string `json:"trained"`
+		OnDemand []string `json:"trainable_on_demand"`
+	}
+	resp, err := http.Get(ts.URL + "/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Trained) != 0 {
+		t.Errorf("partially warm benchmark advertised as trained: %v", body.Trained)
+	}
+	found := false
+	for _, b := range body.OnDemand {
+		if b == "gcc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("partially warm benchmark missing from trainable_on_demand: %v", body.OnDemand)
+	}
+}
+
+// TestOnDemandTrainingExactlyOnce proves a request for an unconfigured
+// benchmark trains it on demand exactly once under concurrent load.
+func TestOnDemandTrainingExactlyOnce(t *testing.T) {
+	ct := &countTrainer{Trainer: tinyTrainer()}
+	store := openTestStore(t, "", ct)
+	ts := httptest.NewServer(NewServer(store, 0, nil).Handler())
+	defer ts.Close()
+
+	// Malformed requests for an untrained benchmark must be rejected
+	// before they can trigger a training run.
+	if status := postJSON(t, ts, "/predict", predictRequest{
+		Benchmark: "twolf", Metric: "Power", Config: configSpec{FetchWidth: intp(-1)},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("invalid config status %d, want 400", status)
+	}
+	if status := postJSON(t, ts, "/predict", map[string]any{
+		"benchmark": "twolf", "metrics": []string{"Power"},
+		"configs": []map[string]any{{"fetch_width": -1}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("invalid batch config status %d, want 400", status)
+	}
+	if got := ct.calls.Load(); got != 0 {
+		t.Fatalf("malformed requests triggered %d training runs, want 0", got)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i] = postJSON(t, ts, "/predict", predictRequest{
+				Benchmark: "twolf", Metric: "Power",
+				Config: configSpec{FetchWidth: intp(2 << (i % 3))},
+			}, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("concurrent on-demand request %d status %d", i, status)
+		}
+	}
+	if got := ct.calls.Load(); got != 1 {
+		t.Fatalf("on-demand training ran %d times under %d concurrent requests, want 1", got, n)
+	}
+	// The inventory now lists the benchmark as trained.
+	var body struct {
+		Trained []string `json:"trained"`
+	}
+	resp, err := http.Get(ts.URL + "/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Trained) != 1 || body.Trained[0] != "twolf" {
+		t.Errorf("trained = %v, want [twolf]", body.Trained)
 	}
 }
 

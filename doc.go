@@ -20,7 +20,8 @@
 //     internal/mathx, and internal/core, whose Predictor maps a
 //     normalised configuration vector to a forecast dynamics trace.
 //   - Exploration — internal/space (the Table 1/2 design space),
-//     internal/explore (the exploration engine below), and
+//     internal/explore (the exploration engine below),
+//     internal/registry (the trained-model store behind the daemon), and
 //     internal/experiments (the paper's tables and figures), driven by
 //     cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo, and examples/.
 //
@@ -39,17 +40,42 @@
 // sim.SweepContext runs simulations on a fixed pool and aborts the sweep
 // on the first error or cancellation.
 //
+// # The model registry
+//
+// internal/registry treats the trained-model inventory as a first-class
+// subsystem: a concurrency-safe store keyed by (benchmark, metric) with
+// Get/LoadOrTrain semantics. A request for an untrained benchmark trains
+// it on demand through an injectable Trainer, and singleflight
+// deduplication collapses N concurrent requests into exactly one
+// training run (all metrics of a benchmark are fitted from one
+// simulation sweep). With a model directory configured, trained models
+// are persisted through core.Save next to a versioned JSON manifest
+// recording their provenance (train options, seed, trace length), so a
+// restarted daemon warm-starts in milliseconds instead of re-simulating;
+// corrupt or provenance-mismatched files are skipped and retrained on
+// first use.
+//
 // # The dsed daemon
 //
-// cmd/dsed is the serving surface over the engine: it trains one
-// predictor per (benchmark, metric) pair at startup, keeps the immutable
-// registry in memory, and answers concurrent JSON queries:
+// cmd/dsed is the serving surface over the registry and the engine: it
+// pre-trains (or warm-starts) the benchmarks named on the command line,
+// grows its model inventory on demand under load, and answers concurrent
+// JSON queries behind logging/metrics middleware:
 //
-//	go run ./cmd/dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power
+//	go run ./cmd/dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -model-dir ./models
 //	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/benchmarks
+//	curl -s localhost:8090/metrics
 //	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
 //	curl -s localhost:8090/sweep   -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
 //	curl -s localhost:8090/pareto  -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//
+// The batch /predict form scores many configs under many metrics in one
+// request on the worker pool; /benchmarks lists what is trained versus
+// trainable on demand; /metrics exposes per-endpoint request, status and
+// latency counters. POST bodies are bounded (413 beyond 1 MiB) and every
+// endpoint enforces its method.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.

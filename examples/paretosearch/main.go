@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -25,6 +27,11 @@ import (
 const benchmark = "twolf"
 
 func main() {
+	// Both the training simulations and the model sweep run on the
+	// pooled, cancellable engine: ^C aborts cleanly mid-campaign.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	rng := mathx.NewRNG(11)
 	opts := sim.Options{Instructions: 65536, Samples: 64}
 
@@ -35,7 +42,7 @@ func main() {
 		jobs[i] = sim.Job{Config: cfg, Benchmark: benchmark}
 	}
 	fmt.Printf("simulating %d training designs of %s...\n", len(train), benchmark)
-	traces, err := sim.Sweep(jobs, opts, 0)
+	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +76,7 @@ func main() {
 	frontier := explore.NewFrontierCollector()
 	top := explore.NewTopK(1, 0, []explore.Constraint{{Objective: 1, Max: powerBudget}})
 	start := time.Now()
-	err = explore.SweepStream(context.Background(), designs, models, objectives,
+	err = explore.SweepStream(ctx, designs, models, objectives,
 		explore.Options{}, frontier, top)
 	if err != nil {
 		log.Fatal(err)

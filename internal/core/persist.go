@@ -67,9 +67,22 @@ func Load(r io.Reader) (*Predictor, error) {
 	if len(f.Selected) != len(f.Nets) {
 		return nil, fmt.Errorf("core: %d selected coefficients but %d networks", len(f.Selected), len(f.Nets))
 	}
+	if len(f.Nets) == 0 {
+		return nil, fmt.Errorf("core: predictor has no networks")
+	}
+	seen := make(map[int]bool, len(f.Selected))
 	for _, pos := range f.Selected {
 		if pos < 0 || pos >= f.TraceLen {
 			return nil, fmt.Errorf("core: selected coefficient %d outside trace of %d", pos, f.TraceLen)
+		}
+		if seen[pos] {
+			return nil, fmt.Errorf("core: coefficient %d selected twice", pos)
+		}
+		seen[pos] = true
+	}
+	for i, net := range f.Nets {
+		if net == nil {
+			return nil, fmt.Errorf("core: network %d is null", i)
 		}
 	}
 	w, err := waveletByName(f.Wavelet)

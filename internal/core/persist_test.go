@@ -98,6 +98,41 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"haar","selected":[9],"nets":[{}]}`)); err == nil {
 		t.Error("out-of-range coefficient should fail")
 	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"haar","selected":[],"nets":[]}`)); err == nil {
+		t.Error("predictor with no networks should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"haar","selected":[2,2],"nets":[{},{}]}`)); err == nil {
+		t.Error("duplicate coefficient should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"format_version":1,"trace_len":8,"wavelet":"haar","selected":[1,2],"nets":[{},null]}`)); err == nil {
+		t.Error("null network should fail")
+	}
+}
+
+func TestPredictorMetadataAccessors(t *testing.T) {
+	train, _ := sampleConfigs(60, 0, 25)
+	traces := tracesFor(train, 16)
+	p, err := Train(train, traces, Options{NumCoefficients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WaveletName() != "haar" {
+		t.Errorf("WaveletName = %q, want haar", p.WaveletName())
+	}
+	if p.UsesDVMFeatures() {
+		t.Error("plain encoding reported as DVM")
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.WaveletName() != p.WaveletName() || p2.UsesDVMFeatures() != p.UsesDVMFeatures() {
+		t.Error("metadata accessors lost in round trip")
+	}
 }
 
 func TestLoadedPredictorImportanceUnavailable(t *testing.T) {

@@ -207,6 +207,13 @@ func (p *Predictor) SelectedCoefficients() []int {
 // TraceLen returns the length of predicted traces.
 func (p *Predictor) TraceLen() int { return p.traceLen }
 
+// WaveletName names the analysing transform, for manifests and inventories.
+func (p *Predictor) WaveletName() string { return p.opts.Wavelet.Name() }
+
+// UsesDVMFeatures reports whether the 11-feature DVM input encoding is in
+// effect (Section 5).
+func (p *Predictor) UsesDVMFeatures() bool { return p.opts.UseDVMFeatures }
+
 // NumNetworks returns the number of per-coefficient RBF networks.
 func (p *Predictor) NumNetworks() int { return len(p.nets) }
 

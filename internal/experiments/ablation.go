@@ -154,7 +154,7 @@ func AblationSampling(c *Campaign) (*AblationResult, error) {
 		for i, cfg := range randomTrain {
 			jobs[i] = sim.Job{Config: cfg, Benchmark: b}
 		}
-		traces, err := sim.Sweep(jobs, c.simOptions(), c.Scale.Workers)
+		traces, err := sim.SweepContext(c.ctx, jobs, c.simOptions(), c.Scale.Workers)
 		if err != nil {
 			return nil, err
 		}

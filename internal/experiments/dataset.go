@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -42,6 +43,10 @@ func (d *Dataset) Series(m sim.Metric, train bool) [][]float64 {
 type Campaign struct {
 	Scale Scale
 
+	// ctx bounds every simulation sweep the campaign runs, so a driver
+	// can cancel a long experiment (e.g. on SIGINT).
+	ctx context.Context
+
 	mu       sync.Mutex
 	plain    map[string]*Dataset // benchmark → dataset (DVM off)
 	dvm      map[string]*Dataset // benchmark → dataset (train mixes DVM on/off)
@@ -49,14 +54,23 @@ type Campaign struct {
 	testCfg  []space.Config
 }
 
-// NewCampaign validates the scale and prepares an empty cache.
+// NewCampaign validates the scale and prepares an empty cache. Sweeps are
+// not cancellable; use NewCampaignContext for that.
 func NewCampaign(sc Scale) (*Campaign, error) {
+	return NewCampaignContext(context.Background(), sc)
+}
+
+// NewCampaignContext is NewCampaign with every simulation sweep bounded
+// by ctx: cancelling it aborts the in-progress sweep and fails the
+// experiment with the context's cause.
+func NewCampaignContext(ctx context.Context, sc Scale) (*Campaign, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	train, test := sc.designs()
 	return &Campaign{
 		Scale:    sc,
+		ctx:      ctx,
 		plain:    map[string]*Dataset{},
 		dvm:      map[string]*Dataset{},
 		trainCfg: train,
@@ -128,7 +142,7 @@ func (c *Campaign) buildDataset(benchmark string, train, test []space.Config) (*
 	for _, cfg := range test {
 		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
 	}
-	traces, err := sim.Sweep(jobs, c.simOptions(), c.Scale.Workers)
+	traces, err := sim.SweepContext(c.ctx, jobs, c.simOptions(), c.Scale.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -368,11 +368,12 @@ func Fig10(c *Campaign, sampleCounts []int) (*TrendResult, error) {
 		res.Mean[i] = make([]float64, len(sampleCounts))
 	}
 	for xi, n := range sampleCounts {
-		// A dedicated campaign at this sampling rate, sharing designs.
+		// A dedicated campaign at this sampling rate, sharing designs
+		// and the parent's cancellation context.
 		sc := c.Scale
 		sc.Samples = n
 		sc.Instructions = roundTo(c.Scale.Instructions, uint64(n))
-		sub, err := NewCampaign(sc)
+		sub, err := NewCampaignContext(c.ctx, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -157,6 +157,38 @@ func SweepStream(ctx context.Context, designs []space.Config, models []core.Dyna
 	})
 }
 
+// ParallelFor runs fn(i) for every i in [0, n) on a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS) — the engine's claim-off-a-cursor shape
+// for callers whose per-item work doesn't fit the sweep API. Iterations
+// stop being claimed once ctx is cancelled (in-flight ones finish) and
+// the context's error is returned. fn must be safe for concurrent
+// invocation on distinct indices.
+func ParallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 func validateSweep(designs []space.Config, models []core.DynamicsModel, objectives []Objective) error {
 	if len(models) == 0 || len(models) != len(objectives) {
 		return fmt.Errorf("explore: need matching models (%d) and objectives (%d)", len(models), len(objectives))

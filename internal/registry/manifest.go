@@ -1,0 +1,267 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// manifestVersion guards the manifest schema. A directory written by a
+// different version is ignored wholesale (and overwritten as models
+// retrain) rather than half-interpreted.
+const manifestVersion = 1
+
+// manifestName is the index file inside a model directory.
+const manifestName = "manifest.json"
+
+// errKeep marks warm-start failures that do not prove the persisted file
+// is bad (an I/O error opening it, or a metric name a newer build
+// persisted); such files and their manifest entries are kept.
+var errKeep = errors.New("kept on disk")
+
+// manifest indexes a model directory: which files exist, what provenance
+// they carry, and which spec produced them.
+type manifest struct {
+	Version int             `json:"version"`
+	Spec    Spec            `json:"spec"`
+	Models  []manifestEntry `json:"models"`
+}
+
+// manifestEntry records one persisted model.
+type manifestEntry struct {
+	Benchmark string    `json:"benchmark"`
+	Metric    string    `json:"metric"`
+	File      string    `json:"file"`
+	TraceLen  int       `json:"trace_len"`
+	Networks  int       `json:"networks"`
+	TrainedAt time.Time `json:"trained_at"`
+}
+
+// modelFileName is the on-disk name of one (benchmark, metric) model.
+// Benchmark names pass safeName before they reach here.
+func modelFileName(benchmark string, m sim.Metric) string {
+	return fmt.Sprintf("%s__%s.model.json", benchmark, m)
+}
+
+// warmStart loads every manifest entry whose provenance matches the
+// store's spec. Each problem is logged and the entry skipped — the model
+// simply retrains on first use. Called from Open before the store is
+// shared, so it may write s.models without locking.
+func (s *Store) warmStart() {
+	path := filepath.Join(s.cfg.Dir, manifestName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		// A transient read failure is not evidence the generation is
+		// stale: keep every file, but disable persistence for this run
+		// so a manifest rewrite cannot silently orphan them.
+		s.logf("registry: reading %s: %v (cold start, persistence disabled this run)", path, err)
+		s.noPersist = true
+		return
+	}
+	var mf manifest
+	if err := json.Unmarshal(data, &mf); err != nil {
+		s.logf("registry: parsing %s: %v (cold start)", path, err)
+		s.clearStale(nil)
+		return
+	}
+	if mf.Version != manifestVersion {
+		s.logf("registry: %s has version %d, want %d (cold start)", path, mf.Version, manifestVersion)
+		s.clearStale(&mf)
+		return
+	}
+	if mf.Spec != s.cfg.Spec {
+		s.logf("registry: %s was trained under a different spec (%+v); cold start", path, mf.Spec)
+		s.clearStale(&mf)
+		return
+	}
+	start := time.Now()
+	for _, e := range mf.Models {
+		err := s.warmLoad(e)
+		switch {
+		case err == nil:
+		case errors.Is(err, errKeep):
+			// The file may be fine; warmLoad kept its manifest entry so
+			// rewrites preserve it, and on-demand training heals it.
+			s.logf("registry: not serving %s/%s: %v", e.Benchmark, e.Metric, err)
+		default:
+			// Provably corrupt or inconsistent: the entry left
+			// s.persisted, so the next manifest rewrite would orphan
+			// the file — remove it now.
+			s.logf("registry: dropping %s/%s: %v (will retrain on demand)", e.Benchmark, e.Metric, err)
+			if filepath.Base(e.File) == e.File {
+				os.Remove(filepath.Join(s.cfg.Dir, e.File))
+			}
+		}
+	}
+	if n := len(s.models); n > 0 {
+		s.logf("registry: warm-started %d of %d models from %s in %v",
+			n, len(mf.Models), s.cfg.Dir, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// warmLoad validates and installs one manifest entry.
+func (s *Store) warmLoad(e manifestEntry) error {
+	if !safeName.MatchString(e.Benchmark) || e.File == "" || filepath.Base(e.File) != e.File {
+		return fmt.Errorf("suspicious manifest entry (file %q)", e.File)
+	}
+	m, ok := sim.MetricByName(e.Metric)
+	if !ok {
+		// Likely a newer build's metric: the model is opaque to this
+		// binary but not provably bad — keep the file and its entry.
+		s.persisted[e.File] = e
+		return fmt.Errorf("%w: unknown metric %q (newer format?)", errKeep, e.Metric)
+	}
+	if e.File != modelFileName(e.Benchmark, m) {
+		return fmt.Errorf("suspicious manifest entry (file %q)", e.File)
+	}
+	known := false
+	for _, cm := range s.cfg.Metrics {
+		if cm == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		// The model is valid, just outside this boot's metric set (say a
+		// -metrics CPI boot over a CPI,Power directory). Keep its
+		// manifest entry so our rewrites don't orphan the file, but
+		// don't serve it.
+		s.persisted[e.File] = e
+		return nil
+	}
+	f, err := os.Open(filepath.Join(s.cfg.Dir, e.File))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("model file missing: %w", err)
+	}
+	if err != nil {
+		// Transient I/O: keep the manifest entry so rewrites don't
+		// orphan a possibly valid file.
+		s.persisted[e.File] = e
+		return fmt.Errorf("%w: %v", errKeep, err)
+	}
+	defer f.Close()
+	p, err := core.Load(f)
+	if err != nil {
+		return err
+	}
+	if p.TraceLen() != e.TraceLen || p.NumNetworks() != e.Networks {
+		return fmt.Errorf("model shape (%d samples, %d nets) disagrees with manifest (%d, %d)",
+			p.TraceLen(), p.NumNetworks(), e.TraceLen, e.Networks)
+	}
+	if e.TraceLen != s.cfg.Spec.Samples && s.cfg.Spec.Samples != 0 {
+		return fmt.Errorf("trace length %d does not match spec samples %d", e.TraceLen, s.cfg.Spec.Samples)
+	}
+	key := Key{e.Benchmark, m}
+	s.models[key] = p
+	s.meta[key] = Entry{
+		Benchmark: e.Benchmark, Metric: m,
+		Networks: p.NumNetworks(), TraceLen: p.TraceLen(),
+		Warm: true, TrainedAt: e.TrainedAt,
+	}
+	s.persisted[e.File] = e
+	return nil
+}
+
+// clearStale removes a whole stale generation of persisted models (a
+// version or spec mismatch, or an unreadable manifest) along with the
+// manifest itself. The directory is a cache keyed to exactly one spec:
+// models from another generation are never served or reused, and leaving
+// them behind would let later manifest rewrites orphan them silently.
+// old carries the parsed stale manifest, or nil when it was unreadable
+// (then every *.model.json in the directory belongs to the stale
+// generation).
+func (s *Store) clearStale(old *manifest) {
+	var paths []string
+	if old != nil {
+		for _, e := range old.Models {
+			// Never follow a manifest entry outside the model dir.
+			if e.File != "" && filepath.Base(e.File) == e.File {
+				paths = append(paths, filepath.Join(s.cfg.Dir, e.File))
+			}
+		}
+	} else {
+		globbed, err := filepath.Glob(filepath.Join(s.cfg.Dir, "*.model.json"))
+		if err == nil {
+			paths = globbed
+		}
+	}
+	removed := 0
+	for _, p := range paths {
+		if os.Remove(p) == nil {
+			removed++
+		}
+	}
+	os.Remove(filepath.Join(s.cfg.Dir, manifestName))
+	s.logf("registry: cleared %d stale model files from %s", removed, s.cfg.Dir)
+}
+
+// persist writes one benchmark's freshly trained models and re-indexes
+// the manifest. Writes are atomic (temp file + rename) so a crash cannot
+// leave a half-written model behind a valid manifest entry.
+func (s *Store) persist(benchmark string, models map[sim.Metric]*core.Predictor, trainedAt time.Time) error {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	for m, p := range models {
+		name := modelFileName(benchmark, m)
+		if err := atomicWrite(filepath.Join(s.cfg.Dir, name), func(f *os.File) error {
+			return p.Save(f)
+		}); err != nil {
+			return err
+		}
+		s.persisted[name] = manifestEntry{
+			Benchmark: benchmark, Metric: m.String(), File: name,
+			TraceLen: p.TraceLen(), Networks: p.NumNetworks(),
+			TrainedAt: trainedAt,
+		}
+	}
+	return s.writeManifestLocked()
+}
+
+// writeManifestLocked rewrites the manifest from s.persisted. Callers
+// hold diskMu.
+func (s *Store) writeManifestLocked() error {
+	mf := manifest{Version: manifestVersion, Spec: s.cfg.Spec}
+	for _, e := range s.persisted {
+		mf.Models = append(mf.Models, e)
+	}
+	sort.Slice(mf.Models, func(a, b int) bool {
+		if mf.Models[a].Benchmark != mf.Models[b].Benchmark {
+			return mf.Models[a].Benchmark < mf.Models[b].Benchmark
+		}
+		return mf.Models[a].Metric < mf.Models[b].Metric
+	})
+	return atomicWrite(filepath.Join(s.cfg.Dir, manifestName), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(mf)
+	})
+}
+
+// atomicWrite writes via a temp file in the target's directory and
+// renames it into place.
+func atomicWrite(path string, fill func(*os.File) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

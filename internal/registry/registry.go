@@ -1,0 +1,392 @@
+// Package registry is the trained-model subsystem behind the dsed daemon:
+// a concurrency-safe store of wavelet-RBF predictors keyed by (benchmark,
+// metric), with on-demand training, singleflight deduplication, and
+// disk-backed persistence.
+//
+// The paper's value proposition is paying the simulation cost once and
+// answering design-space queries from cheap models forever after. The
+// registry makes that cost a *store* rather than a boot-time event:
+//
+//   - Get answers from models already in memory.
+//   - LoadOrTrain trains a missing benchmark on demand; N concurrent
+//     requests for the same untrained benchmark trigger exactly one
+//     training run (all metrics of a benchmark are fitted from one
+//     simulation sweep, so deduplication is keyed by benchmark).
+//   - With a model directory configured, every trained model is written
+//     through core.Save next to a versioned JSON manifest recording its
+//     provenance (train options, seed, trace length). A restarted store
+//     warm-starts from disk in milliseconds instead of re-simulating;
+//     corrupt or provenance-mismatched files are skipped and simply
+//     retrained on the next request.
+//
+// Training is delegated to an injectable Trainer, so tests (and future
+// remote-training deployments) never touch the simulator.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Key addresses one trained predictor in the store.
+type Key struct {
+	Benchmark string
+	Metric    sim.Metric
+}
+
+// Trainer produces one predictor per requested metric for a benchmark.
+// Implementations are expected to simulate the benchmark's training
+// designs once and fit every metric from the shared traces.
+type Trainer interface {
+	TrainBenchmark(ctx context.Context, benchmark string, metrics []sim.Metric) (map[sim.Metric]*core.Predictor, error)
+}
+
+// TrainerFunc adapts a function to the Trainer interface.
+type TrainerFunc func(ctx context.Context, benchmark string, metrics []sim.Metric) (map[sim.Metric]*core.Predictor, error)
+
+// TrainBenchmark implements Trainer.
+func (f TrainerFunc) TrainBenchmark(ctx context.Context, benchmark string, metrics []sim.Metric) (map[sim.Metric]*core.Predictor, error) {
+	return f(ctx, benchmark, metrics)
+}
+
+// Spec pins the provenance of trained models. It is recorded in the
+// manifest; a persisted model whose spec differs from the store's current
+// spec is not warm-started (it would answer queries with stale training
+// assumptions) and is retrained on demand instead.
+type Spec struct {
+	// Train is the number of LHS training designs simulated per benchmark.
+	Train int `json:"train"`
+	// Candidates is the number of LHS matrices scored by discrepancy.
+	Candidates int `json:"candidates"`
+	// Seed is the training-design sampling seed.
+	Seed uint64 `json:"seed"`
+	// Samples is the trace length (samples per run).
+	Samples int `json:"samples"`
+	// Instructions is the committed-instruction budget per training run.
+	Instructions uint64 `json:"instructions"`
+	// Coefficients is k, the modelled wavelet coefficients per predictor.
+	Coefficients int `json:"coefficients"`
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Trainer fits models for benchmarks missing from the store. Required.
+	Trainer Trainer
+	// Metrics is the fixed metric set trained per benchmark. Required.
+	Metrics []sim.Metric
+	// Trainable lists the benchmarks eligible for on-demand training.
+	// Empty means any benchmark name (the trainer still decides whether it
+	// can simulate it).
+	Trainable []string
+	// Dir enables disk persistence when non-empty: models and the
+	// manifest live here, and Open warm-starts from it.
+	Dir string
+	// Spec is recorded in the manifest and gates warm starts.
+	Spec Spec
+	// Context bounds the lifetime of training runs (default Background).
+	// Training is detached from the requesting context on purpose: one
+	// impatient client must not abort work shared by all waiters.
+	Context context.Context
+	// Log receives progress and warm-start diagnostics; nil silences them.
+	Log *log.Logger
+}
+
+// Sentinel errors a serving layer can map to "not found".
+var (
+	// ErrUnknownBenchmark rejects benchmarks outside the trainable set.
+	ErrUnknownBenchmark = errors.New("registry: benchmark not trainable")
+	// ErrUntrainedMetric rejects metrics outside the configured set.
+	ErrUntrainedMetric = errors.New("registry: metric not configured")
+)
+
+// safeName gates benchmark names used in file paths.
+var safeName = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// training is one in-flight singleflight train of a benchmark.
+type training struct {
+	done chan struct{}
+	err  error
+}
+
+// Entry describes one model in the store's inventory.
+type Entry struct {
+	Benchmark string
+	Metric    sim.Metric
+	Networks  int
+	TraceLen  int
+	// Warm reports the model was loaded from disk, not trained this run.
+	Warm bool
+	// TrainedAt is when the model was originally trained (zero when the
+	// store has no persistence and the model predates this process).
+	TrainedAt time.Time
+}
+
+// Store is a concurrency-safe model registry. All methods may be called
+// from concurrent request handlers.
+type Store struct {
+	cfg Config
+	ctx context.Context
+
+	mu        sync.Mutex
+	models    map[Key]*core.Predictor
+	meta      map[Key]Entry
+	inflight  map[string]*training
+	trainings int
+
+	// diskMu serialises model/manifest writes; persisted mirrors the
+	// manifest on disk, keyed by model file name so entries this binary
+	// cannot interpret (e.g. a newer build's metric) survive rewrites.
+	diskMu    sync.Mutex
+	persisted map[string]manifestEntry
+	// noPersist disables writes for this run when the existing manifest
+	// could not even be read: rewriting it blind would orphan whatever
+	// models it references. Set only during Open, before sharing.
+	noPersist bool
+}
+
+// Open validates the configuration, prepares the model directory when one
+// is configured, and warm-starts every persisted model whose provenance
+// matches cfg.Spec. Warm-start problems (corrupt files, stale manifests)
+// are logged and skipped, never fatal: the affected models retrain on
+// demand.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Trainer == nil {
+		return nil, fmt.Errorf("registry: no trainer configured")
+	}
+	if len(cfg.Metrics) == 0 {
+		return nil, fmt.Errorf("registry: no metrics configured")
+	}
+	for _, b := range cfg.Trainable {
+		if !safeName.MatchString(b) {
+			return nil, fmt.Errorf("registry: unsafe benchmark name %q", b)
+		}
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+	s := &Store{
+		cfg:       cfg,
+		ctx:       cfg.Context,
+		models:    make(map[Key]*core.Predictor),
+		meta:      make(map[Key]Entry),
+		inflight:  make(map[string]*training),
+		persisted: make(map[string]manifestEntry),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		s.warmStart()
+	}
+	return s, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Get returns the model for one (benchmark, metric) if it is already in
+// memory. It never trains.
+func (s *Store) Get(benchmark string, m sim.Metric) (*core.Predictor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.models[Key{benchmark, m}]
+	return p, ok
+}
+
+// admissible rejects requests the store could never satisfy, so handlers
+// can answer 404 without spending a training run.
+func (s *Store) admissible(benchmark string, m sim.Metric) error {
+	found := false
+	for _, cm := range s.cfg.Metrics {
+		if cm == m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: %s (serving %s)", ErrUntrainedMetric, m, metricNames(s.cfg.Metrics))
+	}
+	if !safeName.MatchString(benchmark) {
+		return fmt.Errorf("%w: %q", ErrUnknownBenchmark, benchmark)
+	}
+	if len(s.cfg.Trainable) > 0 {
+		for _, b := range s.cfg.Trainable {
+			if b == benchmark {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownBenchmark, benchmark)
+	}
+	return nil
+}
+
+// LoadOrTrain returns the model for one (benchmark, metric), training the
+// whole benchmark (all configured metrics, one simulation sweep) when it
+// is missing. Concurrent calls for the same benchmark share one training
+// run; every waiter observes the same outcome. ctx bounds this caller's
+// wait only — the training itself runs under the store's context, so a
+// cancelled waiter does not abort work other waiters share. A failed
+// training is not cached: the next request retries.
+func (s *Store) LoadOrTrain(ctx context.Context, benchmark string, m sim.Metric) (*core.Predictor, error) {
+	key := Key{benchmark, m}
+	// The cache is consulted before admissibility so a warm-started
+	// model stays servable even if the benchmark has since left the
+	// trainable set — the inventory and serving must agree.
+	if p, ok := s.Get(benchmark, m); ok {
+		return p, nil
+	}
+	if err := s.admissible(benchmark, m); err != nil {
+		return nil, err
+	}
+	for {
+		s.mu.Lock()
+		if p, ok := s.models[key]; ok {
+			s.mu.Unlock()
+			return p, nil
+		}
+		t, ok := s.inflight[benchmark]
+		if !ok {
+			t = &training{done: make(chan struct{})}
+			s.inflight[benchmark] = t
+			go s.train(benchmark, t)
+		}
+		s.mu.Unlock()
+
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+		if t.err != nil {
+			return nil, t.err
+		}
+		// Loop: the completed training installed the benchmark's models,
+		// so the fast path returns ours on the next pass.
+	}
+}
+
+// train is the singleflight leader for one benchmark: it runs the
+// trainer, persists the result, installs the models, and releases every
+// waiter. It runs in its own goroutine under the store's context.
+func (s *Store) train(benchmark string, t *training) {
+	start := time.Now()
+	models, err := s.cfg.Trainer.TrainBenchmark(s.ctx, benchmark, append([]sim.Metric(nil), s.cfg.Metrics...))
+	if err == nil {
+		// Keep exactly the configured metric set: an injected trainer
+		// returning extra entries must not silently widen what the
+		// store serves and persists.
+		filtered := make(map[sim.Metric]*core.Predictor, len(s.cfg.Metrics))
+		for _, m := range s.cfg.Metrics {
+			if models[m] == nil {
+				err = fmt.Errorf("registry: trainer returned no %s model for %s", m, benchmark)
+				break
+			}
+			filtered[m] = models[m]
+		}
+		models = filtered
+	}
+	now := time.Now()
+	if err == nil && s.cfg.Dir != "" && !s.noPersist {
+		if perr := s.persist(benchmark, models, now); perr != nil {
+			// Persistence is an optimisation, not a correctness
+			// requirement: keep serving from memory.
+			s.logf("registry: persisting %s: %v (models stay memory-only)", benchmark, perr)
+		}
+	}
+	s.mu.Lock()
+	if err == nil {
+		for m, p := range models {
+			key := Key{benchmark, m}
+			s.models[key] = p
+			s.meta[key] = Entry{
+				Benchmark: benchmark, Metric: m,
+				Networks: p.NumNetworks(), TraceLen: p.TraceLen(),
+				TrainedAt: now,
+			}
+		}
+		s.trainings++
+	}
+	t.err = err
+	delete(s.inflight, benchmark)
+	s.mu.Unlock()
+	close(t.done)
+	if err != nil {
+		s.logf("registry: training %s failed after %v: %v", benchmark, time.Since(start).Round(time.Millisecond), err)
+	} else {
+		s.logf("registry: trained %s (%d metrics) in %v", benchmark, len(models), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// Trainings returns how many benchmark training runs completed
+// successfully in this process (warm-started models count zero).
+func (s *Store) Trainings() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trainings
+}
+
+// Metrics returns the metric set trained per benchmark.
+func (s *Store) Metrics() []sim.Metric {
+	return append([]sim.Metric(nil), s.cfg.Metrics...)
+}
+
+// Trainable returns the benchmarks eligible for on-demand training (nil
+// when unrestricted).
+func (s *Store) Trainable() []string {
+	return append([]string(nil), s.cfg.Trainable...)
+}
+
+// Entries lists the in-memory inventory sorted by benchmark then metric.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.meta))
+	for _, e := range s.meta {
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Benchmark != out[b].Benchmark {
+			return out[a].Benchmark < out[b].Benchmark
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out
+}
+
+// Benchmarks returns the sorted benchmarks with at least one model in
+// memory.
+func (s *Store) Benchmarks() []string {
+	s.mu.Lock()
+	set := make(map[string]bool)
+	for k := range s.models {
+		set[k.Benchmark] = true
+	}
+	s.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func metricNames(ms []sim.Metric) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}

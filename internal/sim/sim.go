@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,17 @@ const (
 	MetricIQAVF
 	NumMetrics
 )
+
+// MetricByName maps a metric label (case-insensitive) back to its Metric,
+// for wire formats and persisted manifests.
+func MetricByName(name string) (Metric, bool) {
+	for m := Metric(0); m < NumMetrics; m++ {
+		if strings.EqualFold(m.String(), name) {
+			return m, true
+		}
+	}
+	return 0, false
+}
 
 // String returns the metric label used in tables and figures.
 func (m Metric) String() string {
