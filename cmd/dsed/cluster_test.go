@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// TestWarmEndpoint drives the admin pre-warm hook: training happens once,
+// re-warming is free, and unknown benchmarks answer 404.
+func TestWarmEndpoint(t *testing.T) {
+	ct := &countTrainer{Trainer: tinyTrainer()}
+	store := openTestStore(t, "", ct)
+	ts := httptest.NewServer(NewServer(store, 0, nil).Handler())
+	defer ts.Close()
+
+	var resp wire.WarmResponse
+	if status := postJSON(t, ts, "/warm", wire.WarmRequest{Benchmarks: []string{"twolf"}}, &resp); status != http.StatusOK {
+		t.Fatalf("warm status %d", status)
+	}
+	if ct.calls.Load() != 1 {
+		t.Fatalf("warming one benchmark ran %d trainings, want 1", ct.calls.Load())
+	}
+	if resp.Trainings != 1 {
+		t.Errorf("warm response reports %d trainings, want 1", resp.Trainings)
+	}
+
+	// Re-warming answers from memory.
+	if status := postJSON(t, ts, "/warm", wire.WarmRequest{Benchmarks: []string{"twolf"}}, nil); status != http.StatusOK {
+		t.Fatalf("re-warm status %d", status)
+	}
+	if ct.calls.Load() != 1 {
+		t.Fatalf("re-warming retrained (%d total runs)", ct.calls.Load())
+	}
+
+	if status := postJSON(t, ts, "/warm", wire.WarmRequest{Benchmarks: []string{"doom"}}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown benchmark warm status %d, want 404", status)
+	}
+	if status := postJSON(t, ts, "/warm", wire.WarmRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty warm status %d, want 400", status)
+	}
+
+	// A partially bad list still warms the good benchmarks and reports
+	// the failures in a 200, so a coordinator keeps the placements.
+	var partial wire.WarmResponse
+	if status := postJSON(t, ts, "/warm", wire.WarmRequest{Benchmarks: []string{"doom", "gap"}}, &partial); status != http.StatusOK {
+		t.Fatalf("partial warm status %d, want 200", status)
+	}
+	if partial.Trainings != 1 || len(partial.Errors) != 1 {
+		t.Errorf("partial warm reported trainings=%d errors=%v, want 1 training and 1 error", partial.Trainings, partial.Errors)
+	}
+	if _, ok := store.Get("gap", store.Metrics()[0]); !ok {
+		t.Error("gap did not warm because its listmate was unknown")
+	}
+}
+
+// killable wraps a worker handler and aborts every connection on the
+// given paths once its budget of served sweep requests is spent —
+// simulating a worker killed mid-sweep.
+type killable struct {
+	next   http.Handler
+	budget atomic.Int64
+}
+
+func (k *killable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+		if k.budget.Add(-1) < 0 {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	k.next.ServeHTTP(w, r)
+}
+
+// clusterFixture boots two HTTP workers over the shared test registry
+// (identical models, so any worker answers any shard identically) and a
+// coordinator over both; worker 2 dies after budget sweep requests.
+func clusterFixture(t *testing.T, shardSize int, worker2Budget int64) (coordTS, worker1TS *httptest.Server) {
+	t.Helper()
+	srv := testServer(t)
+	worker1TS = httptest.NewServer(srv.Handler())
+	t.Cleanup(worker1TS.Close)
+	k := &killable{next: srv.Handler()}
+	k.budget.Store(worker2Budget)
+	worker2TS := httptest.NewServer(k)
+	t.Cleanup(worker2TS.Close)
+
+	coord, err := cluster.New([]cluster.Transport{
+		cluster.NewHTTP(worker1TS.URL, nil),
+		cluster.NewHTTP(worker2TS.URL, nil),
+	}, cluster.Options{ShardSize: shardSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS = httptest.NewServer(newCoordServer(coord, nil).Handler())
+	t.Cleanup(coordTS.Close)
+	return coordTS, worker1TS
+}
+
+func sortedCandidateJSON(t *testing.T, cands []wire.Candidate) []string {
+	t.Helper()
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func paretoBody() map[string]any {
+	return map[string]any{
+		"benchmark":  "gcc",
+		"objectives": []map[string]any{{"metric": "CPI"}, {"metric": "Power"}},
+		"space":      "test",
+		"sample":     300,
+	}
+}
+
+// TestClusterParetoMatchesSingleProcess is the acceptance scenario: a
+// coordinator over two live workers answers /cluster/pareto with a
+// frontier byte-identical (up to ordering) to a single worker's /pareto
+// on the same sweep spec.
+func TestClusterParetoMatchesSingleProcess(t *testing.T) {
+	coordTS, worker1TS := clusterFixture(t, 32, 1<<30)
+
+	var single wire.ParetoResponse
+	if status := postJSON(t, worker1TS, "/pareto", paretoBody(), &single); status != http.StatusOK {
+		t.Fatalf("single-process pareto status %d", status)
+	}
+	var dist wire.ClusterParetoResponse
+	if status := postJSON(t, coordTS, "/cluster/pareto", paretoBody(), &dist); status != http.StatusOK {
+		t.Fatalf("cluster pareto status %d", status)
+	}
+
+	if dist.Evaluated != single.Evaluated {
+		t.Fatalf("cluster evaluated %d designs, single process %d", dist.Evaluated, single.Evaluated)
+	}
+	if dist.Workers != 2 || dist.Shards != (300+31)/32 {
+		t.Errorf("distribution accounting workers=%d shards=%d, want 2/%d", dist.Workers, dist.Shards, (300+31)/32)
+	}
+	wantKeys := sortedCandidateJSON(t, single.Frontier)
+	gotKeys := sortedCandidateJSON(t, dist.Frontier)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("cluster frontier has %d points, single-process %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if wantKeys[i] != gotKeys[i] {
+			t.Fatalf("frontier point %d differs:\n  cluster %s\n  single  %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// TestClusterParetoSurvivesWorkerDeath kills worker 2 mid-sweep (it
+// serves two shards, then aborts every connection): the coordinator must
+// re-dispatch its shards to worker 1 and still produce the single-process
+// frontier.
+func TestClusterParetoSurvivesWorkerDeath(t *testing.T) {
+	coordTS, worker1TS := clusterFixture(t, 16, 2)
+
+	var single wire.ParetoResponse
+	if status := postJSON(t, worker1TS, "/pareto", paretoBody(), &single); status != http.StatusOK {
+		t.Fatalf("single-process pareto status %d", status)
+	}
+	var dist wire.ClusterParetoResponse
+	if status := postJSON(t, coordTS, "/cluster/pareto", paretoBody(), &dist); status != http.StatusOK {
+		t.Fatalf("cluster pareto with a dying worker status %d", status)
+	}
+	if dist.Retries == 0 {
+		t.Fatal("killed worker produced no retries — the death was not exercised")
+	}
+	if dist.Evaluated != single.Evaluated {
+		t.Fatalf("cluster evaluated %d designs after worker death, want %d", dist.Evaluated, single.Evaluated)
+	}
+	wantKeys := sortedCandidateJSON(t, single.Frontier)
+	gotKeys := sortedCandidateJSON(t, dist.Frontier)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("frontier has %d points after worker death, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if wantKeys[i] != gotKeys[i] {
+			t.Fatalf("frontier point %d differs after worker death", i)
+		}
+	}
+
+	// The fleet health report notices the dead worker.
+	resp, err := http.Get(coordTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status  string `json:"status"`
+		Retries int    `json:"retries"`
+		Workers []struct {
+			Name     string `json:"name"`
+			OK       bool   `json:"ok"`
+			Failures int    `json:"failures"`
+		} `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Workers) != 2 {
+		t.Fatalf("healthz lists %d workers, want 2", len(health.Workers))
+	}
+	failures := 0
+	for _, w := range health.Workers {
+		failures += w.Failures
+	}
+	if failures == 0 {
+		t.Error("healthz attributes no failures despite the killed worker")
+	}
+}
+
+// TestClusterSweepMatchesSingleProcess: the distributed constrained top-K
+// agrees with a single worker's /sweep.
+func TestClusterSweepMatchesSingleProcess(t *testing.T) {
+	coordTS, worker1TS := clusterFixture(t, 32, 1<<30)
+	body := map[string]any{
+		"benchmark":   "gcc",
+		"objectives":  []map[string]any{{"metric": "CPI"}, {"metric": "Power", "kind": "worst"}},
+		"space":       "test",
+		"sample":      200,
+		"top_k":       5,
+		"constraints": []map[string]any{{"objective": 1, "max": 1000.0}},
+	}
+	var single wire.SweepResponse
+	if status := postJSON(t, worker1TS, "/sweep", body, &single); status != http.StatusOK {
+		t.Fatalf("single-process sweep status %d", status)
+	}
+	var dist wire.ClusterSweepResponse
+	if status := postJSON(t, coordTS, "/cluster/sweep", body, &dist); status != http.StatusOK {
+		t.Fatalf("cluster sweep status %d", status)
+	}
+	if dist.Evaluated != single.Evaluated || dist.Feasible != single.Feasible {
+		t.Fatalf("cluster evaluated/feasible %d/%d, single %d/%d",
+			dist.Evaluated, dist.Feasible, single.Evaluated, single.Feasible)
+	}
+	if len(dist.Candidates) != len(single.Candidates) {
+		t.Fatalf("cluster kept %d candidates, single %d", len(dist.Candidates), len(single.Candidates))
+	}
+	for i := range single.Candidates {
+		sc, err := json.Marshal(single.Candidates[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := json.Marshal(dist.Candidates[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sc) != string(dc) {
+			t.Fatalf("rank %d differs:\n  cluster %s\n  single  %s", i, dc, sc)
+		}
+	}
+}
+
+// TestClusterRequestValidation: malformed distributed requests die at the
+// coordinator without touching the fleet.
+func TestClusterRequestValidation(t *testing.T) {
+	coordTS, _ := clusterFixture(t, 32, 0) // worker 2 dead from the start
+	cases := []struct {
+		name string
+		path string
+		body map[string]any
+		want int
+	}{
+		{"no objectives", "/cluster/pareto", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{}}, http.StatusBadRequest},
+		{"bad space", "/cluster/pareto", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI"}}, "space": "warp"}, http.StatusBadRequest},
+		{"bad kind", "/cluster/sweep", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI", "kind": "median"}}}, http.StatusBadRequest},
+		{"unknown metric pareto", "/cluster/pareto", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "Tempo"}}, "space": "test", "sample": 10}, http.StatusBadRequest},
+		{"unknown metric sweep", "/cluster/sweep", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "Tempo"}}, "space": "test", "sample": 10}, http.StatusBadRequest},
+		{"bad objective index", "/cluster/sweep", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI"}}, "objective": 4}, http.StatusBadRequest},
+		{"bad constraint index", "/cluster/sweep", map[string]any{"benchmark": "gcc", "objectives": []map[string]any{{"metric": "CPI"}}, "constraints": []map[string]any{{"objective": 2, "max": 1.0}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if status := postJSON(t, coordTS, tc.path, tc.body, nil); status != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, status, tc.want)
+		}
+	}
+}
+
+// TestClusterUnknownBenchmark: a benchmark no worker can train is the
+// fleet's deterministic 404 verdict, forwarded unchanged — the cluster
+// answers exactly like a single daemon, with no fleet-wide retry storm.
+func TestClusterUnknownBenchmark(t *testing.T) {
+	coordTS, _ := clusterFixture(t, 32, 1<<30)
+	body := map[string]any{
+		"benchmark":  "doom",
+		"objectives": []map[string]any{{"metric": "CPI"}},
+		"space":      "test",
+		"sample":     50,
+	}
+	var errResp wire.Error
+	if status := postJSON(t, coordTS, "/cluster/pareto", body, &errResp); status != http.StatusNotFound {
+		t.Errorf("unknown benchmark cluster status %d, want 404 (the worker's own verdict)", status)
+	}
+	if errResp.Error == "" {
+		t.Error("rejection carried no error message")
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/explore"
+	"repro/internal/wire"
+)
+
+// coordServer is the serving layer of coordinator mode (-workers): it owns
+// no models and runs no simulations — requests are partitioned across the
+// worker fleet through a cluster.Coordinator and the partial answers
+// merged. The sweep endpoints accept exactly the wire format of a single
+// worker's /sweep and /pareto, so a client scales from one daemon to a
+// fleet by changing the URL path.
+type coordServer struct {
+	coord   *cluster.Coordinator
+	started time.Time
+	stats   *httpStats
+	reqLog  *log.Logger
+}
+
+func newCoordServer(coord *cluster.Coordinator, reqLog *log.Logger) *coordServer {
+	return &coordServer{coord: coord, started: time.Now(), stats: newHTTPStats(), reqLog: reqLog}
+}
+
+func (s *coordServer) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"/healthz":        s.handleHealthz,
+		"/metrics":        s.handleMetrics,
+		"/warm":           s.handleWarm,
+		"/cluster/sweep":  s.handleSweep,
+		"/cluster/pareto": s.handlePareto,
+	}
+}
+
+// Handler routes the coordinator's endpoints behind the same
+// logging/metrics middleware as a worker.
+func (s *coordServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	known := make(map[string]bool)
+	for path, h := range s.routes() {
+		mux.HandleFunc(path, h)
+		known[path] = true
+	}
+	return instrument(mux, s.stats, known, s.reqLog)
+}
+
+// workerProbeTimeout bounds the per-worker /healthz probe so one hung
+// worker cannot stall the coordinator's own liveness answer.
+const workerProbeTimeout = 2 * time.Second
+
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), workerProbeTimeout)
+	defer cancel()
+	health := s.coord.Health(ctx)
+	workers := make([]map[string]any, len(health))
+	status := "ok"
+	for i, h := range health {
+		entry := map[string]any{"name": h.Name, "ok": h.Err == nil, "failures": h.Failures}
+		if h.Err != nil {
+			entry["error"] = h.Err.Error()
+			status = "degraded"
+		}
+		workers[i] = entry
+	}
+	writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":         status,
+		"mode":           "coordinator",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"retries":        s.coord.Retries(),
+		"workers":        workers,
+	})
+}
+
+func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, r, http.StatusOK, map[string]any{
+		"mode":           "coordinator",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"retries":        s.coord.Retries(),
+		"endpoints":      s.stats.snapshot(),
+	})
+}
+
+// handleWarm places each benchmark's models on its consistent-hash home
+// workers ahead of the first sweep.
+func (s *coordServer) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var req wire.WarmRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	res := s.coord.Warm(r.Context(), req.Benchmarks)
+	// Only a total failure is an error status; a partially warmed fleet
+	// is reported like a degraded sweep — the successful placements
+	// stand, with the failures itemised.
+	if res.Workers > 0 && len(res.Errors) == res.Workers {
+		err := errors.Join(res.Errors...)
+		httpError(w, r, clusterStatus(r, err), "%v", err)
+		return
+	}
+	errStrings := make([]string, len(res.Errors))
+	for i, e := range res.Errors {
+		errStrings[i] = e.Error()
+	}
+	writeJSON(w, r, http.StatusOK, wire.WarmResponse{
+		Benchmarks: req.Benchmarks,
+		Trainings:  res.Trainings,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Errors:     errStrings,
+	})
+}
+
+// queryFromSweep builds the cluster query from a validated request.
+func queryFromSweep(req wire.SweepRequest) cluster.Query {
+	constraints := make([]explore.Constraint, len(req.Constraints))
+	for i, c := range req.Constraints {
+		constraints[i] = explore.Constraint{Objective: c.Objective, Max: c.Max}
+	}
+	return cluster.Query{
+		Benchmark:   req.Benchmark,
+		Objectives:  req.Objectives,
+		TopK:        req.TopK,
+		Objective:   req.Objective,
+		Constraints: constraints,
+	}
+}
+
+// objectiveNames labels the specs through the same Build path a worker
+// uses. Validate ran first and calls Build itself, so a failure here is
+// drift between the two and must not pass silently as an empty name.
+func objectiveNames(specs []wire.ObjectiveSpec) []string {
+	objectives := make([]explore.Objective, len(specs))
+	for i, spec := range specs {
+		obj, err := spec.Build()
+		if err != nil {
+			panic(fmt.Sprintf("dsed: objective %d passed Validate but failed Build: %v", i, err))
+		}
+		objectives[i] = obj
+	}
+	return wire.ObjectiveNames(objectives)
+}
+
+func (s *coordServer) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req wire.SweepRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	// The shared wire validation keeps the coordinator's verdicts
+	// identical to a worker's, and kills a request the homogeneous fleet
+	// would deterministically reject before any shard fans out.
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := queryFromSweep(req)
+	early, err := req.ResolveEarly()
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	designs := req.ResolveLate(early)
+	start := time.Now()
+	res, err := s.coord.Sweep(r.Context(), q, designs)
+	if err != nil {
+		httpError(w, r, clusterStatus(r, err), "%v", err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, wire.ClusterSweepResponse{
+		SweepResponse: wire.SweepResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: objectiveNames(req.Objectives),
+			Evaluated:  res.Evaluated,
+			Feasible:   res.Feasible,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Candidates: wire.ToCandidates(res.Candidates),
+		},
+		Workers: len(s.coord.Workers()),
+		Shards:  res.Shards,
+		Retries: res.Retries,
+	})
+}
+
+func (s *coordServer) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req wire.ParetoRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	early, err := req.ResolveEarly()
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	designs := req.ResolveLate(early)
+	q := cluster.Query{Benchmark: req.Benchmark, Objectives: req.Objectives}
+	start := time.Now()
+	res, err := s.coord.Pareto(r.Context(), q, designs)
+	if err != nil {
+		httpError(w, r, clusterStatus(r, err), "%v", err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, wire.ClusterParetoResponse{
+		ParetoResponse: wire.ParetoResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: objectiveNames(req.Objectives),
+			Evaluated:  res.Evaluated,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Frontier:   wire.ToCandidates(res.Frontier),
+		},
+		Workers: len(s.coord.Workers()),
+		Shards:  res.Shards,
+		Retries: res.Retries,
+	})
+}
+
+// clusterStatus maps a distribution failure onto an HTTP status: a
+// worker's deterministic 4xx rejection is forwarded unchanged (the
+// cluster answers exactly like a single daemon), the client cancelling is
+// not a fleet fault, and everything else is a gateway error (the fleet,
+// not the coordinator, failed the request).
+func clusterStatus(r *http.Request, err error) int {
+	var rejected *cluster.WorkerRejection
+	if errors.As(err, &rejected) {
+		return rejected.Status
+	}
+	if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadGateway
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/space"
+	"repro/internal/wire"
 )
 
 // modelInfo describes one registry entry in /healthz and /benchmarks.
@@ -41,7 +42,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"trainings":      s.store.Trainings(),
@@ -79,7 +80,7 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 			onDemand = append(onDemand, b)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"trained":             trained,
 		"trainable_on_demand": onDemand,
 		"metrics":             metricStrings(metrics),
@@ -91,7 +92,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"trainings":      s.store.Trainings(),
 		"endpoints":      s.stats.snapshot(),
@@ -106,48 +107,55 @@ func metricStrings(ms []sim.Metric) []string {
 	return out
 }
 
-// predictRequest is the wire form of /predict. The single form names one
-// metric and config; the batch form (configs and/or metrics set) scores
-// many configs under many metrics in one request.
-type predictRequest struct {
-	Benchmark string     `json:"benchmark"`
-	Metric    string     `json:"metric"`
-	Config    configSpec `json:"config"`
-
-	Metrics []string     `json:"metrics"`
-	Configs []configSpec `json:"configs"`
-	// IncludeTraces adds the full predicted traces to batch responses
-	// (single-form responses always carry the trace).
-	IncludeTraces bool `json:"include_traces"`
-}
-
-type predictResponse struct {
-	Benchmark string     `json:"benchmark"`
-	Metric    string     `json:"metric"`
-	Config    configJSON `json:"config"`
-	Trace     []float64  `json:"trace"`
-	Mean      float64    `json:"mean"`
-	Worst     float64    `json:"worst"`
-}
-
-// predictResult is one cell of a batch prediction matrix.
-type predictResult struct {
-	Mean  float64   `json:"mean"`
-	Worst float64   `json:"worst"`
-	Trace []float64 `json:"trace,omitempty"`
-}
-
-type batchPredictResponse struct {
-	Benchmark string       `json:"benchmark"`
-	Metrics   []string     `json:"metrics"`
-	Configs   []configJSON `json:"configs"`
-	// Results[i][j] scores Configs[i] under Metrics[j].
-	Results   [][]predictResult `json:"results"`
-	ElapsedMS float64           `json:"elapsed_ms"`
+// handleWarm is the admin pre-warm hook: it drives registry.LoadOrTrain
+// for every configured metric of the listed benchmarks, so a coordinator
+// (or an operator ahead of a demo) can place models before the first
+// sweep pays for them.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var req wire.WarmRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	before := s.store.Trainings()
+	err := s.store.Warm(r.Context(), req.Benchmarks)
+	// Partial failure still warmed something: only a warm that placed
+	// nothing is an error status. The failures of a partial warm are
+	// itemised in the 200 response instead, so a coordinator fanning this
+	// out keeps the successful placements.
+	var failures []error
+	if err != nil {
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			failures = joined.Unwrap()
+		} else {
+			failures = []error{err}
+		}
+	}
+	if len(failures) == len(req.Benchmarks) {
+		httpError(w, r, registryStatus(err), "%v", err)
+		return
+	}
+	errStrings := make([]string, len(failures))
+	for i, e := range failures {
+		errStrings[i] = e.Error()
+	}
+	writeJSON(w, r, http.StatusOK, wire.WarmResponse{
+		Benchmarks: req.Benchmarks,
+		// The before/after diff approximates this warm's own cost; a
+		// concurrent on-demand training can inflate it, but the number
+		// stays a per-call delta rather than an uncomparable lifetime sum.
+		Trainings: s.store.Trainings() - before,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Errors:    errStrings,
+	})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
+	var req wire.PredictRequest
 	if !decodePost(w, r, &req) {
 		return
 	}
@@ -157,21 +165,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate the config before resolving the model: a malformed
 	// request must not trigger an on-demand training run.
-	cfg, err := req.Config.apply(space.Baseline())
+	cfg, err := req.Config.Apply(space.Baseline())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	p, m, status, err := s.model(r.Context(), req.Benchmark, req.Metric)
 	if err != nil {
-		httpError(w, status, "%v", err)
+		httpError(w, r, status, "%v", err)
 		return
 	}
 	trace := p.Predict(cfg)
-	writeJSON(w, http.StatusOK, predictResponse{
+	writeJSON(w, r, http.StatusOK, wire.PredictResponse{
 		Benchmark: req.Benchmark,
 		Metric:    m.String(),
-		Config:    toConfigJSON(cfg),
+		Config:    wire.ToConfigJSON(cfg),
 		Trace:     trace,
 		Mean:      mathx.Mean(trace),
 		Worst:     mathx.Max(trace),
@@ -187,41 +195,41 @@ const maxBatchConfigs = 4096
 // worker pool. All metrics of the benchmark come from one registry entry
 // (trained together on demand), so the whole batch costs one training at
 // most.
-func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req predictRequest) {
-	if req.Metric != "" || req.Config != (configSpec{}) {
-		httpError(w, http.StatusBadRequest, "use either the single form (metric, config) or the batch form (metrics, configs), not both")
+func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req wire.PredictRequest) {
+	if req.Metric != "" || req.Config != (wire.ConfigSpec{}) {
+		httpError(w, r, http.StatusBadRequest, "use either the single form (metric, config) or the batch form (metrics, configs), not both")
 		return
 	}
 	if len(req.Metrics) == 0 {
-		httpError(w, http.StatusBadRequest, "batch predict needs a non-empty metrics list")
+		httpError(w, r, http.StatusBadRequest, "batch predict needs a non-empty metrics list")
 		return
 	}
 	if len(req.Configs) == 0 {
-		httpError(w, http.StatusBadRequest, "batch predict needs a non-empty configs list")
+		httpError(w, r, http.StatusBadRequest, "batch predict needs a non-empty configs list")
 		return
 	}
 	// The body limit alone doesn't bound the configs × metrics product
 	// (1 MiB of empty configs and repeated metric names expands
 	// quadratically); cap both factors explicitly.
 	if len(req.Configs) > maxBatchConfigs {
-		httpError(w, http.StatusBadRequest, "batch predict accepts at most %d configs (got %d)", maxBatchConfigs, len(req.Configs))
+		httpError(w, r, http.StatusBadRequest, "batch predict accepts at most %d configs (got %d)", maxBatchConfigs, len(req.Configs))
 		return
 	}
 	if len(req.Metrics) > int(sim.NumMetrics) {
-		httpError(w, http.StatusBadRequest, "batch predict accepts at most %d metrics (got %d)", sim.NumMetrics, len(req.Metrics))
+		httpError(w, r, http.StatusBadRequest, "batch predict accepts at most %d metrics (got %d)", sim.NumMetrics, len(req.Metrics))
 		return
 	}
 	// Dedupe on the parsed metric, not the raw name: parsing is
 	// case-insensitive, so "CPI" and "cpi" are the same column.
 	seenMetric := make(map[sim.Metric]bool, len(req.Metrics))
 	for _, name := range req.Metrics {
-		m, err := parseMetric(name)
+		m, err := wire.ParseMetric(name)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
 		if seenMetric[m] {
-			httpError(w, http.StatusBadRequest, "metric %q listed twice", name)
+			httpError(w, r, http.StatusBadRequest, "metric %q listed twice", name)
 			return
 		}
 		seenMetric[m] = true
@@ -230,9 +238,9 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 	// batch cannot trigger an on-demand training run.
 	configs := make([]space.Config, len(req.Configs))
 	for i, cs := range req.Configs {
-		cfg, err := cs.apply(space.Baseline())
+		cfg, err := cs.Apply(space.Baseline())
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "config %d: %v", i, err)
+			httpError(w, r, http.StatusBadRequest, "config %d: %v", i, err)
 			return
 		}
 		configs[i] = cfg
@@ -242,7 +250,7 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 	for i, name := range req.Metrics {
 		p, m, status, err := s.model(r.Context(), req.Benchmark, name)
 		if err != nil {
-			httpError(w, status, "metric %d: %v", i, err)
+			httpError(w, r, status, "metric %d: %v", i, err)
 			return
 		}
 		preds[i], names[i] = p, m.String()
@@ -251,12 +259,12 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 	// Fan configs out over the worker pool; each worker scores one config
 	// under every metric (predictors are immutable, so no locking).
 	start := time.Now()
-	results := make([][]predictResult, len(configs))
+	results := make([][]wire.PredictResult, len(configs))
 	err := explore.ParallelFor(r.Context(), len(configs), s.workers, func(i int) {
-		row := make([]predictResult, len(preds))
+		row := make([]wire.PredictResult, len(preds))
 		for j, p := range preds {
 			trace := p.Predict(configs[i])
-			row[j] = predictResult{Mean: mathx.Mean(trace), Worst: mathx.Max(trace)}
+			row[j] = wire.PredictResult{Mean: mathx.Mean(trace), Worst: mathx.Max(trace)}
 			if req.IncludeTraces {
 				row[j].Trace = trace
 			}
@@ -264,17 +272,17 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 		results[i] = row
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	wire := make([]configJSON, len(configs))
+	wireConfigs := make([]wire.ConfigJSON, len(configs))
 	for i, cfg := range configs {
-		wire[i] = toConfigJSON(cfg)
+		wireConfigs[i] = wire.ToConfigJSON(cfg)
 	}
-	writeJSON(w, http.StatusOK, batchPredictResponse{
+	writeJSON(w, r, http.StatusOK, wire.BatchPredictResponse{
 		Benchmark: req.Benchmark,
 		Metrics:   names,
-		Configs:   wire,
+		Configs:   wireConfigs,
 		Results:   results,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
@@ -282,14 +290,14 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 
 // buildObjectives resolves objective specs against the registry, training
 // the benchmark on demand when needed.
-func (s *Server) buildObjectives(r *http.Request, benchmark string, specs []objectiveSpec) ([]core.DynamicsModel, []explore.Objective, int, error) {
+func (s *Server) buildObjectives(r *http.Request, benchmark string, specs []wire.ObjectiveSpec) ([]core.DynamicsModel, []explore.Objective, int, error) {
 	if len(specs) == 0 {
-		return nil, nil, http.StatusBadRequest, errNoObjectives
+		return nil, nil, http.StatusBadRequest, wire.ErrNoObjectives
 	}
 	models := make([]core.DynamicsModel, len(specs))
 	objectives := make([]explore.Objective, len(specs))
 	for i, spec := range specs {
-		obj, err := spec.build()
+		obj, err := spec.Build()
 		if err != nil {
 			return nil, nil, http.StatusBadRequest, err
 		}
@@ -302,60 +310,30 @@ func (s *Server) buildObjectives(r *http.Request, benchmark string, specs []obje
 	return models, objectives, http.StatusOK, nil
 }
 
-type sweepRequest struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []objectiveSpec `json:"objectives"`
-	spaceSpec
-	// TopK bounds how many candidates are returned (default 10).
-	TopK int `json:"top_k"`
-	// Objective indexes Objectives as the minimisation target (default 0).
-	Objective   int              `json:"objective"`
-	Constraints []constraintJSON `json:"constraints"`
-}
-
-type sweepResponse struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []string        `json:"objectives"`
-	Evaluated  int             `json:"evaluated"`
-	Feasible   int             `json:"feasible"`
-	ElapsedMS  float64         `json:"elapsed_ms"`
-	Candidates []candidateJSON `json:"candidates"`
-}
-
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req wire.SweepRequest
 	if !decodePost(w, r, &req) {
 		return
 	}
 	// Validate the cheap request shape before resolving models: a
 	// malformed request must not trigger an on-demand training run.
-	if len(req.Objectives) == 0 {
-		httpError(w, http.StatusBadRequest, "%v", errNoObjectives)
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Objective < 0 || req.Objective >= len(req.Objectives) {
-		httpError(w, http.StatusBadRequest, "objective index %d out of range", req.Objective)
-		return
-	}
-	for _, con := range req.Constraints {
-		if con.Objective < 0 || con.Objective >= len(req.Objectives) {
-			httpError(w, http.StatusBadRequest, "constraint objective index %d out of range", con.Objective)
-			return
-		}
-	}
-	early, err := req.resolveEarly()
+	early, err := req.ResolveEarly()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
 	if err != nil {
-		httpError(w, status, "%v", err)
+		httpError(w, r, status, "%v", err)
 		return
 	}
 	// Named spaces (possibly the full factorial) materialise only for
 	// requests that resolved models.
-	designs := req.resolveLate(early)
+	designs := req.ResolveLate(early)
 	if req.TopK <= 0 {
 		req.TopK = 10
 	}
@@ -370,56 +348,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// registryStatus keeps client disconnects (cancelled contexts)
 		// out of the 5xx server-fault counters.
-		httpError(w, registryStatus(err), "%v", err)
+		httpError(w, r, registryStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepResponse{
+	writeJSON(w, r, http.StatusOK, wire.SweepResponse{
 		Benchmark:  req.Benchmark,
-		Objectives: objectiveNames(objectives),
+		Objectives: wire.ObjectiveNames(objectives),
 		Evaluated:  top.Seen(),
 		Feasible:   top.Feasible(),
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Candidates: toCandidatesJSON(top.Results()),
+		Candidates: wire.ToCandidates(top.Results()),
 	})
 }
 
-type paretoRequest struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []objectiveSpec `json:"objectives"`
-	spaceSpec
-}
-
-type paretoResponse struct {
-	Benchmark  string          `json:"benchmark"`
-	Objectives []string        `json:"objectives"`
-	Evaluated  int             `json:"evaluated"`
-	ElapsedMS  float64         `json:"elapsed_ms"`
-	Frontier   []candidateJSON `json:"frontier"`
-}
-
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
-	var req paretoRequest
+	var req wire.ParetoRequest
 	if !decodePost(w, r, &req) {
 		return
 	}
 	// Cheap request-shape validation precedes model resolution (which
 	// may train a benchmark on demand) and the design-space
 	// materialisation (which may allocate the full factorial).
-	if len(req.Objectives) == 0 {
-		httpError(w, http.StatusBadRequest, "%v", errNoObjectives)
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	early, err := req.resolveEarly()
+	early, err := req.ResolveEarly()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
 	if err != nil {
-		httpError(w, status, "%v", err)
+		httpError(w, r, status, "%v", err)
 		return
 	}
-	designs := req.resolveLate(early)
+	designs := req.ResolveLate(early)
 	// The design list is already materialised, so the batch sweep's
 	// O(n log n) / divide-and-conquer frontier beats streaming candidates
 	// through an incremental collector serialised behind a mutex.
@@ -427,14 +391,14 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	res, err := explore.SweepContext(r.Context(), designs, models, objectives,
 		explore.Options{Workers: s.workers})
 	if err != nil {
-		httpError(w, registryStatus(err), "%v", err)
+		httpError(w, r, registryStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paretoResponse{
+	writeJSON(w, r, http.StatusOK, wire.ParetoResponse{
 		Benchmark:  req.Benchmark,
-		Objectives: objectiveNames(objectives),
+		Objectives: wire.ObjectiveNames(objectives),
 		Evaluated:  len(res.Evaluated),
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Frontier:   toCandidatesJSON(res.Frontier),
+		Frontier:   wire.ToCandidates(res.Frontier),
 	})
 }

@@ -10,7 +10,7 @@
 // persisted with a provenance manifest, so a restarted daemon answers its
 // first query in milliseconds instead of re-simulating.
 //
-// Endpoints:
+// Worker endpoints:
 //
 //	GET  /healthz     liveness plus the model inventory
 //	GET  /benchmarks  trained and trainable-on-demand benchmarks
@@ -19,6 +19,19 @@
 //	                  batch of configs × metrics in one request
 //	POST /sweep       streaming top-K constrained selection over a space
 //	POST /pareto      Pareto frontier of a space under chosen objectives
+//	POST /warm        pre-train (or warm-start) a benchmark list
+//
+// With -workers, the same binary runs as a cluster coordinator instead:
+// it trains nothing itself, range-partitions each sweep into shards,
+// consistent-hashes the benchmark onto the worker fleet, retries shards
+// on worker failure, and merges the partial answers (see
+// internal/cluster). Coordinator endpoints:
+//
+//	GET  /healthz         fleet liveness (per-worker status and failures)
+//	GET  /metrics         per-endpoint counters plus shard retries
+//	POST /warm            place benchmark models on their home workers
+//	POST /cluster/sweep   distributed top-K sweep (same body as /sweep)
+//	POST /cluster/pareto  distributed frontier (same body as /pareto)
 //
 // Example:
 //
@@ -27,8 +40,19 @@
 //	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
 //	curl -s localhost:8090/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
 //	curl -s localhost:8090/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//	curl -s localhost:8090/warm -d '{"benchmarks":["twolf","gap"]}'
 //	curl -s localhost:8090/benchmarks
 //	curl -s localhost:8090/metrics
+//
+// Coordinator over two workers:
+//
+//	dsed -addr :8091 &
+//	dsed -addr :8092 &
+//	dsed -addr :8090 -workers localhost:8091,localhost:8092
+//	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/warm -d '{"benchmarks":["gcc"]}'
+//	curl -s localhost:8090/cluster/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//	curl -s localhost:8090/cluster/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5}'
 package main
 
 import (
@@ -43,8 +67,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -59,9 +85,11 @@ func main() {
 		instrs     = flag.Uint64("instrs", 65536, "instructions per training run")
 		k          = flag.Int("k", 16, "wavelet coefficients per model")
 		seed       = flag.Uint64("seed", 1, "training-design sampling seed")
-		workers    = flag.Int("workers", 0, "simulation/query parallelism (0 = GOMAXPROCS)")
+		parallel   = flag.Int("parallel", 0, "simulation/query parallelism (0 = GOMAXPROCS)")
 		modelDir   = flag.String("model-dir", "", "persist trained models here and warm-start from it on boot")
 		quiet      = flag.Bool("quiet", false, "suppress per-request log lines")
+		workerList = flag.String("workers", "", "comma-separated worker addresses (host:port); run as a cluster coordinator instead of a worker")
+		shardSize  = flag.Int("shard-size", 0, "designs per cluster shard (coordinator mode; 0 = default)")
 	)
 	flag.Parse()
 
@@ -69,13 +97,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	reqLog := logger
+	if *quiet {
+		reqLog = nil
+	}
+
+	if *workerList != "" {
+		runCoordinator(ctx, *addr, splitList(*workerList), *shardSize, logger, reqLog)
+		return
+	}
+
 	// Parse and dedupe the metric list: the store keys models by unique
 	// (benchmark, metric), so duplicates here would skew every
 	// inventory count downstream.
 	var metricSet []sim.Metric
 	seenMetric := make(map[sim.Metric]bool)
 	for _, name := range splitList(*metrics) {
-		m, err := parseMetric(name)
+		m, err := wire.ParseMetric(name)
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -107,7 +145,7 @@ func main() {
 		Instructions: *instrs,
 		Coefficients: *k,
 	}
-	trainer := &simTrainer{Spec: spec, Workers: *workers, Log: logger}
+	trainer := &simTrainer{Spec: spec, Workers: *parallel, Log: logger}
 	store, err := registry.Open(registry.Config{
 		Trainer:   trainer,
 		Metrics:   metricSet,
@@ -136,12 +174,37 @@ func main() {
 	logger.Printf("registry ready: %d models (%d trained this boot) in %v",
 		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
 
-	reqLog := logger
-	if *quiet {
-		reqLog = nil
+	srv := NewServer(store, *parallel, reqLog)
+	serve(ctx, *addr, srv.Handler(), logger)
+}
+
+// runCoordinator serves coordinator mode: no registry, no training — a
+// cluster.Coordinator over HTTP transports to the worker fleet.
+func runCoordinator(ctx context.Context, addr string, workers []string, shardSize int, logger, reqLog *log.Logger) {
+	if len(workers) == 0 {
+		logger.Fatal("coordinator mode needs at least one worker address")
 	}
-	srv := NewServer(store, *workers, reqLog)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	transports := make([]cluster.Transport, len(workers))
+	for i, w := range workers {
+		// -workers once meant parallelism (now -parallel); an address with
+		// no port is almost certainly that old usage, so fail loudly
+		// instead of booting a coordinator over an unreachable fleet.
+		if !strings.Contains(w, ":") {
+			logger.Fatalf("worker address %q is not host:port (query parallelism moved to -parallel)", w)
+		}
+		transports[i] = cluster.NewHTTP(w, nil)
+	}
+	coord, err := cluster.New(transports, cluster.Options{ShardSize: shardSize})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("coordinating %d workers: %s", len(workers), strings.Join(workers, ", "))
+	serve(ctx, addr, newCoordServer(coord, reqLog).Handler(), logger)
+}
+
+// serve runs one HTTP listener until the signal context drains it.
+func serve(ctx context.Context, addr string, handler http.Handler, logger *log.Logger) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -153,7 +216,7 @@ func main() {
 			logger.Printf("shutdown: %v", err)
 		}
 	}()
-	logger.Printf("serving on %s", *addr)
+	logger.Printf("serving on %s", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"log"
 	"net/http"
 	"sort"
@@ -107,6 +108,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 func instrument(next http.Handler, stats *httpStats, known map[string]bool, logger *log.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		if logger != nil {
+			// Hand the logger to response writers via the context, so
+			// encode failures deep in a handler reach the request log.
+			r = r.WithContext(context.WithValue(r.Context(), reqLogKey{}, logger))
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)

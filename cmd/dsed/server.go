@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Server is the serving layer over the model registry: it owns no models
@@ -46,6 +47,7 @@ func (s *Server) routes() map[string]http.HandlerFunc {
 		"/predict":    s.handlePredict,
 		"/sweep":      s.handleSweep,
 		"/pareto":     s.handlePareto,
+		"/warm":       s.handleWarm,
 	}
 }
 
@@ -66,7 +68,7 @@ func (s *Server) Handler() http.Handler {
 // malformed requests (400), unknown benchmarks/metrics (404), and
 // training failures (500).
 func (s *Server) model(ctx context.Context, benchmark, metric string) (*core.Predictor, sim.Metric, int, error) {
-	m, err := parseMetric(metric)
+	m, err := wire.ParseMetric(metric)
 	if err != nil {
 		return nil, 0, http.StatusBadRequest, err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -173,8 +174,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
 	// Generate one known-good and one known-bad request first.
-	postJSON(t, ts, "/predict", predictRequest{
-		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	postJSON(t, ts, "/predict", wire.PredictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: wire.ConfigSpec{FetchWidth: intp(4)},
 	}, nil)
 	postJSON(t, ts, "/predict", map[string]any{"benchmark": "doom", "metric": "CPI"}, nil)
 
@@ -209,10 +210,10 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestPredictEndpoint(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	var resp predictResponse
-	status := postJSON(t, ts, "/predict", predictRequest{
+	var resp wire.PredictResponse
+	status := postJSON(t, ts, "/predict", wire.PredictRequest{
 		Benchmark: "gcc", Metric: "CPI",
-		Config: configSpec{FetchWidth: intp(4)},
+		Config: wire.ConfigSpec{FetchWidth: intp(4)},
 	}, &resp)
 	if status != http.StatusOK {
 		t.Fatalf("predict status %d", status)
@@ -231,7 +232,7 @@ func TestPredictEndpoint(t *testing.T) {
 func TestBatchPredict(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	var resp batchPredictResponse
+	var resp wire.BatchPredictResponse
 	status := postJSON(t, ts, "/predict", map[string]any{
 		"benchmark": "gcc",
 		"metrics":   []string{"CPI", "Power"},
@@ -321,17 +322,17 @@ func TestBatchPredictErrors(t *testing.T) {
 func TestPredictErrors(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "doom", Metric: "CPI"}, nil); status != http.StatusNotFound {
+	if status := postJSON(t, ts, "/predict", wire.PredictRequest{Benchmark: "doom", Metric: "CPI"}, nil); status != http.StatusNotFound {
 		t.Errorf("unknown benchmark status %d, want 404", status)
 	}
-	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "gcc", Metric: "AVF"}, nil); status != http.StatusNotFound {
+	if status := postJSON(t, ts, "/predict", wire.PredictRequest{Benchmark: "gcc", Metric: "AVF"}, nil); status != http.StatusNotFound {
 		t.Errorf("unserved metric status %d, want 404", status)
 	}
-	if status := postJSON(t, ts, "/predict", predictRequest{Benchmark: "gcc", Metric: "Tempo"}, nil); status != http.StatusBadRequest {
+	if status := postJSON(t, ts, "/predict", wire.PredictRequest{Benchmark: "gcc", Metric: "Tempo"}, nil); status != http.StatusBadRequest {
 		t.Errorf("unparseable metric status %d, want 400", status)
 	}
-	if status := postJSON(t, ts, "/predict", predictRequest{
-		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(-1)},
+	if status := postJSON(t, ts, "/predict", wire.PredictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: wire.ConfigSpec{FetchWidth: intp(-1)},
 	}, nil); status != http.StatusBadRequest {
 		t.Errorf("invalid config status %d, want 400", status)
 	}
@@ -366,7 +367,7 @@ func TestRequestBodyLimit(t *testing.T) {
 func TestSweepEndpoint(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	var resp sweepResponse
+	var resp wire.SweepResponse
 	status := postJSON(t, ts, "/sweep", map[string]any{
 		"benchmark": "gcc",
 		"objectives": []map[string]any{
@@ -424,7 +425,7 @@ func TestSweepErrors(t *testing.T) {
 func TestParetoEndpoint(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	var resp paretoResponse
+	var resp wire.ParetoResponse
 	status := postJSON(t, ts, "/pareto", map[string]any{
 		"benchmark": "gcc",
 		"objectives": []map[string]any{
@@ -453,7 +454,7 @@ func TestParetoEndpoint(t *testing.T) {
 func TestParetoExplicitDesigns(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	var resp paretoResponse
+	var resp wire.ParetoResponse
 	status := postJSON(t, ts, "/pareto", map[string]any{
 		"benchmark":  "gcc",
 		"objectives": []map[string]any{{"metric": "CPI"}, {"metric": "Power"}},
@@ -482,14 +483,14 @@ func TestConcurrentQueries(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var pr predictResponse
-			if status := postJSON(t, ts, "/predict", predictRequest{
+			var pr wire.PredictResponse
+			if status := postJSON(t, ts, "/predict", wire.PredictRequest{
 				Benchmark: "gcc", Metric: "CPI",
-				Config: configSpec{FetchWidth: intp(2 << (i % 3))},
+				Config: wire.ConfigSpec{FetchWidth: intp(2 << (i % 3))},
 			}, &pr); status != http.StatusOK {
 				errs <- errStatus{"predict", status}
 			}
-			var sr sweepResponse
+			var sr wire.SweepResponse
 			if status := postJSON(t, ts, "/sweep", map[string]any{
 				"benchmark":  "gcc",
 				"objectives": []map[string]any{{"metric": "CPI"}, {"metric": "Power"}},
@@ -523,9 +524,9 @@ func TestWarmStartServesWithoutRetraining(t *testing.T) {
 		t.Fatalf("first boot trained %d times, want 1", ct.calls.Load())
 	}
 	ts1 := httptest.NewServer(NewServer(store1, 0, nil).Handler())
-	var first predictResponse
-	if status := postJSON(t, ts1, "/predict", predictRequest{
-		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	var first wire.PredictResponse
+	if status := postJSON(t, ts1, "/predict", wire.PredictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: wire.ConfigSpec{FetchWidth: intp(4)},
 	}, &first); status != http.StatusOK {
 		t.Fatalf("boot-1 predict status %d", status)
 	}
@@ -543,9 +544,9 @@ func TestWarmStartServesWithoutRetraining(t *testing.T) {
 	}
 	ts2 := httptest.NewServer(NewServer(store2, 0, nil).Handler())
 	defer ts2.Close()
-	var second predictResponse
-	if status := postJSON(t, ts2, "/predict", predictRequest{
-		Benchmark: "gcc", Metric: "CPI", Config: configSpec{FetchWidth: intp(4)},
+	var second wire.PredictResponse
+	if status := postJSON(t, ts2, "/predict", wire.PredictRequest{
+		Benchmark: "gcc", Metric: "CPI", Config: wire.ConfigSpec{FetchWidth: intp(4)},
 	}, &second); status != http.StatusOK {
 		t.Fatalf("boot-2 predict status %d", status)
 	}
@@ -612,8 +613,8 @@ func TestOnDemandTrainingExactlyOnce(t *testing.T) {
 
 	// Malformed requests for an untrained benchmark must be rejected
 	// before they can trigger a training run.
-	if status := postJSON(t, ts, "/predict", predictRequest{
-		Benchmark: "twolf", Metric: "Power", Config: configSpec{FetchWidth: intp(-1)},
+	if status := postJSON(t, ts, "/predict", wire.PredictRequest{
+		Benchmark: "twolf", Metric: "Power", Config: wire.ConfigSpec{FetchWidth: intp(-1)},
 	}, nil); status != http.StatusBadRequest {
 		t.Errorf("invalid config status %d, want 400", status)
 	}
@@ -634,9 +635,9 @@ func TestOnDemandTrainingExactlyOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			statuses[i] = postJSON(t, ts, "/predict", predictRequest{
+			statuses[i] = postJSON(t, ts, "/predict", wire.PredictRequest{
 				Benchmark: "twolf", Metric: "Power",
-				Config: configSpec{FetchWidth: intp(2 << (i % 3))},
+				Config: wire.ConfigSpec{FetchWidth: intp(2 << (i % 3))},
 			}, nil)
 		}(i)
 	}

@@ -1,32 +1,51 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
-
-	"repro/internal/explore"
-	"repro/internal/mathx"
-	"repro/internal/sim"
-	"repro/internal/space"
 )
+
+// The JSON message types themselves live in internal/wire, shared with the
+// cluster transport so daemon and coordinator cannot drift apart. This
+// file keeps the HTTP plumbing: bounded decoding, method checks, and the
+// uniform error envelope.
 
 // maxRequestBody bounds every POST body; oversized requests are rejected
 // with 413 before they reach the JSON decoder.
 const maxRequestBody = 1 << 20
 
-var errNoObjectives = errors.New("no objectives given")
+// reqLogKey carries the structured request logger through the request
+// context, so response writers deep in a handler can report I/O faults.
+type reqLogKey struct{}
 
-// httpError is the uniform JSON error envelope.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// requestLogger recovers the logger instrument attached (nil when absent
+// or running quiet).
+func requestLogger(ctx context.Context) *log.Logger {
+	l, _ := ctx.Value(reqLogKey{}).(*log.Logger)
+	return l
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes one response body. Encode failures after the header is
+// committed cannot be turned into an error status, but they must not
+// vanish either — a NaN score or a mid-body disconnect is logged through
+// the structured request logger.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		if logger := requestLogger(r.Context()); logger != nil {
+			logger.Printf("encoding %s response: %v", r.URL.Path, err)
+		}
+	}
 }
 
 // decodePost enforces POST, a bounded body, and strict JSON; it writes
@@ -34,7 +53,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // continue.
 func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		httpError(w, r, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
@@ -43,10 +62,10 @@ func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			httpError(w, r, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -55,194 +74,8 @@ func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 // requireGet enforces GET on read-only endpoints.
 func requireGet(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		httpError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return false
 	}
 	return true
-}
-
-// configSpec is the wire form of a design point: any omitted swept
-// parameter inherits the Table 1 baseline.
-type configSpec struct {
-	FetchWidth   *int     `json:"fetch_width"`
-	ROBSize      *int     `json:"rob_size"`
-	IQSize       *int     `json:"iq_size"`
-	LSQSize      *int     `json:"lsq_size"`
-	L2SizeKB     *int     `json:"l2_size_kb"`
-	L2Lat        *int     `json:"l2_lat"`
-	IL1SizeKB    *int     `json:"il1_size_kb"`
-	DL1SizeKB    *int     `json:"dl1_size_kb"`
-	DL1Lat       *int     `json:"dl1_lat"`
-	DVM          *bool    `json:"dvm"`
-	DVMThreshold *float64 `json:"dvm_threshold"`
-}
-
-func (s configSpec) apply(base space.Config) (space.Config, error) {
-	set := func(dst *int, v *int) {
-		if v != nil {
-			*dst = *v
-		}
-	}
-	set(&base.FetchWidth, s.FetchWidth)
-	set(&base.ROBSize, s.ROBSize)
-	set(&base.IQSize, s.IQSize)
-	set(&base.LSQSize, s.LSQSize)
-	set(&base.L2SizeKB, s.L2SizeKB)
-	set(&base.L2Lat, s.L2Lat)
-	set(&base.IL1SizeKB, s.IL1SizeKB)
-	set(&base.DL1SizeKB, s.DL1SizeKB)
-	set(&base.DL1Lat, s.DL1Lat)
-	if s.DVM != nil {
-		base.DVM = *s.DVM
-	}
-	if s.DVMThreshold != nil {
-		base.DVMThreshold = *s.DVMThreshold
-	}
-	return base, base.Validate()
-}
-
-// configJSON is the wire form of a fully resolved design point.
-type configJSON struct {
-	FetchWidth int  `json:"fetch_width"`
-	ROBSize    int  `json:"rob_size"`
-	IQSize     int  `json:"iq_size"`
-	LSQSize    int  `json:"lsq_size"`
-	L2SizeKB   int  `json:"l2_size_kb"`
-	L2Lat      int  `json:"l2_lat"`
-	IL1SizeKB  int  `json:"il1_size_kb"`
-	DL1SizeKB  int  `json:"dl1_size_kb"`
-	DL1Lat     int  `json:"dl1_lat"`
-	DVM        bool `json:"dvm,omitempty"`
-}
-
-func toConfigJSON(c space.Config) configJSON {
-	return configJSON{
-		FetchWidth: c.FetchWidth, ROBSize: c.ROBSize, IQSize: c.IQSize,
-		LSQSize: c.LSQSize, L2SizeKB: c.L2SizeKB, L2Lat: c.L2Lat,
-		IL1SizeKB: c.IL1SizeKB, DL1SizeKB: c.DL1SizeKB, DL1Lat: c.DL1Lat,
-		DVM: c.DVM,
-	}
-}
-
-func parseMetric(name string) (sim.Metric, error) {
-	m, ok := sim.MetricByName(name)
-	if !ok {
-		return 0, fmt.Errorf("unknown metric %q", name)
-	}
-	return m, nil
-}
-
-// objectiveSpec names one scoring rule over a predicted trace.
-type objectiveSpec struct {
-	Metric string `json:"metric"`
-	// Kind is "mean" (default), "worst", or "exceedance".
-	Kind      string  `json:"kind"`
-	Threshold float64 `json:"threshold"`
-}
-
-func (o objectiveSpec) build() (explore.Objective, error) {
-	name := o.Metric + "_" + o.Kind
-	switch o.Kind {
-	case "", "mean":
-		return explore.MeanObjective(o.Metric + "_mean"), nil
-	case "worst":
-		return explore.WorstCaseObjective(name), nil
-	case "exceedance":
-		return explore.ExceedanceObjective(fmt.Sprintf("%s_exceed_%g", o.Metric, o.Threshold), o.Threshold), nil
-	}
-	return explore.Objective{}, fmt.Errorf("unknown objective kind %q", o.Kind)
-}
-
-// spaceSpec selects the candidate designs of a sweep: an explicit list,
-// or a named Table 2 space ("train" or "test") — full factorial by
-// default, optionally LHS-subsampled to Sample designs.
-type spaceSpec struct {
-	Designs []configSpec `json:"designs"`
-	Space   string       `json:"space"`
-	Sample  int          `json:"sample"`
-	Seed    uint64       `json:"seed"`
-}
-
-// explicitDesigns resolves the explicit design list (empty when a named
-// space is selected instead).
-func (sp spaceSpec) explicitDesigns() ([]space.Config, error) {
-	out := make([]space.Config, len(sp.Designs))
-	for i, cs := range sp.Designs {
-		c, err := cs.apply(space.Baseline())
-		if err != nil {
-			return nil, fmt.Errorf("design %d: %w", i, err)
-		}
-		out[i] = c
-	}
-	return out, nil
-}
-
-// levels resolves the named Table 2 space.
-func (sp spaceSpec) levels() (space.Levels, error) {
-	switch sp.Space {
-	case "", "train":
-		return space.TrainLevels(), nil
-	case "test":
-		return space.TestLevels(), nil
-	}
-	return space.Levels{}, fmt.Errorf("unknown space %q (want train or test)", sp.Space)
-}
-
-// resolveEarly materialises the design list when that is cheap (an
-// explicit list, bounded by the body limit) and otherwise only checks
-// the named space — handlers run it before resolving models (which may
-// train on demand) and call resolveLate afterwards, so a malformed or
-// unknown request never pays training or a full-factorial allocation,
-// and no request validates the same designs twice.
-func (sp spaceSpec) resolveEarly() ([]space.Config, error) {
-	if len(sp.Designs) > 0 {
-		return sp.explicitDesigns()
-	}
-	_, err := sp.levels()
-	return nil, err
-}
-
-// resolveLate materialises the named space after model resolution; early
-// is resolveEarly's result, returned as-is for explicit lists.
-func (sp spaceSpec) resolveLate(early []space.Config) []space.Config {
-	if early != nil {
-		return early
-	}
-	// levels cannot fail here: resolveEarly validated the name.
-	levels, _ := sp.levels()
-	if sp.Sample > 0 {
-		seed := sp.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		return space.SampleDesign(sp.Sample, levels, space.Baseline(), 4, mathx.NewRNG(seed))
-	}
-	return levels.FullFactorial(space.Baseline())
-}
-
-// constraintJSON is the wire form of explore.Constraint.
-type constraintJSON struct {
-	Objective int     `json:"objective"`
-	Max       float64 `json:"max"`
-}
-
-type candidateJSON struct {
-	Config configJSON `json:"config"`
-	Scores []float64  `json:"scores"`
-}
-
-func toCandidatesJSON(cands []explore.Candidate) []candidateJSON {
-	out := make([]candidateJSON, len(cands))
-	for i, c := range cands {
-		out[i] = candidateJSON{Config: toConfigJSON(c.Config), Scores: c.Scores}
-	}
-	return out
-}
-
-func objectiveNames(objectives []explore.Objective) []string {
-	names := make([]string, len(objectives))
-	for i, o := range objectives {
-		names[i] = o.Name
-	}
-	return names
 }

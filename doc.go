@@ -21,7 +21,9 @@
 //     normalised configuration vector to a forecast dynamics trace.
 //   - Exploration — internal/space (the Table 1/2 design space),
 //     internal/explore (the exploration engine below),
-//     internal/registry (the trained-model store behind the daemon), and
+//     internal/registry (the trained-model store behind the daemon),
+//     internal/wire (the daemon's shared JSON wire format),
+//     internal/cluster (the distributed sweep plane below), and
 //     internal/experiments (the paper's tables and figures), driven by
 //     cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo, and examples/.
 //
@@ -74,8 +76,40 @@
 // The batch /predict form scores many configs under many metrics in one
 // request on the worker pool; /benchmarks lists what is trained versus
 // trainable on demand; /metrics exposes per-endpoint request, status and
-// latency counters. POST bodies are bounded (413 beyond 1 MiB) and every
-// endpoint enforces its method.
+// latency counters; POST /warm pre-trains a benchmark list before the
+// first sweep needs it. POST bodies are bounded (413 beyond 1 MiB) and
+// every endpoint enforces its method.
+//
+// # The cluster plane
+//
+// internal/cluster scales the daemon horizontally. Both reductions the
+// daemon serves — Pareto frontiers and constrained top-K — are
+// associative, so a sweep distributes losslessly: a coordinator
+// range-partitions the design list into shards, places the benchmark on
+// workers by consistent hashing (stable homes, ~1/N movement on fleet
+// change), dispatches shards concurrently with per-shard retry onto the
+// rest of the fleet when a worker dies mid-sweep, and folds the partial
+// answers through the mergeable collectors
+// (explore.FrontierCollector.Merge, explore.TopK.Merge). Two transports
+// implement the worker link: an in-process Local (deterministic -race
+// tests, one-binary fallback) and HTTP, which speaks the ordinary dsed
+// wire format — any running dsed is already a cluster worker.
+//
+// The same dsed binary serves coordinator mode:
+//
+//	go run ./cmd/dsed -addr :8091 &
+//	go run ./cmd/dsed -addr :8092 &
+//	go run ./cmd/dsed -addr :8090 -workers localhost:8091,localhost:8092
+//	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/warm -d '{"benchmarks":["gcc"]}'
+//	curl -s localhost:8090/cluster/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//	curl -s localhost:8090/cluster/sweep  -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5}'
+//
+// /cluster/sweep and /cluster/pareto accept exactly the /sweep and
+// /pareto request bodies and answer the same shape (plus workers/shards/
+// retries accounting); /healthz reports per-worker liveness and
+// accumulated shard failures; /warm trains each benchmark on its
+// consistent-hash home workers ahead of the first query.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.

@@ -7,8 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -17,6 +20,11 @@ import (
 )
 
 func main() {
+	// Simulations run on the pooled, cancellable engine: ^C aborts the
+	// campaign cleanly instead of orphaning workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const benchmark = "mcf" // memory-bound: strong dynamics
 	rng := mathx.NewRNG(9)
 	opts := sim.Options{Instructions: 65536, Samples: 64}
@@ -29,7 +37,7 @@ func main() {
 		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
 	}
 	fmt.Printf("simulating %d runs of %s...\n\n", len(jobs), benchmark)
-	traces, err := sim.Sweep(jobs, opts, 0)
+	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -28,6 +31,11 @@ const (
 )
 
 func main() {
+	// Simulations run on the pooled, cancellable engine: ^C aborts the
+	// campaign cleanly instead of orphaning workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	rng := mathx.NewRNG(5)
 	opts := sim.Options{Instructions: 65536, Samples: 64}
 
@@ -47,7 +55,7 @@ func main() {
 		jobs[i] = sim.Job{Config: cfg, Benchmark: benchmark}
 	}
 	fmt.Printf("simulating %d training runs (%s, DVM on/off pairs)...\n", len(jobs), benchmark)
-	traces, err := sim.Sweep(jobs, opts, 0)
+	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -23,6 +26,11 @@ import (
 )
 
 func main() {
+	// Simulations run on the pooled, cancellable engine: ^C aborts the
+	// campaign cleanly instead of orphaning workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const benchmark = "gcc"
 	rng := mathx.NewRNG(1)
 
@@ -38,7 +46,7 @@ func main() {
 		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
 	}
 	fmt.Printf("simulating %d design points of %s...\n", len(jobs), benchmark)
-	traces, err := sim.Sweep(jobs, opts, 0)
+	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,8 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -19,6 +22,11 @@ import (
 )
 
 func main() {
+	// Simulations run on the pooled, cancellable engine: ^C aborts the
+	// campaign cleanly instead of orphaning workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const benchmark = "gap" // bursty power behaviour (GC sweeps)
 	rng := mathx.NewRNG(21)
 	opts := sim.Options{Instructions: 131072, Samples: 64}
@@ -31,7 +39,7 @@ func main() {
 		jobs = append(jobs, sim.Job{Config: cfg, Benchmark: benchmark})
 	}
 	fmt.Printf("simulating %d runs of %s...\n\n", len(jobs), benchmark)
-	traces, err := sim.Sweep(jobs, opts, 0)
+	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

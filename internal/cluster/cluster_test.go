@@ -1,0 +1,486 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/mathx"
+	"repro/internal/space"
+	"repro/internal/wire"
+)
+
+// fakeModel is a deterministic, metric-dependent predictor: the trace is a
+// pure function of the config vector, so every worker agrees and sweeps
+// are reproducible.
+type fakeModel struct{ phase float64 }
+
+func (m fakeModel) Predict(cfg space.Config) []float64 {
+	v := cfg.Vector()
+	out := make([]float64, 8)
+	for i := range out {
+		s := m.phase
+		for j, x := range v {
+			s += x * math.Sin(float64(i+j)+m.phase)
+		}
+		out[i] = 1 + math.Abs(s)
+	}
+	return out
+}
+
+// resolveFake serves a fakeModel per metric for the "gcc" benchmark only.
+func resolveFake(_ context.Context, benchmark, metric string) (core.DynamicsModel, error) {
+	if benchmark != "gcc" {
+		return nil, fmt.Errorf("unknown benchmark %q", benchmark)
+	}
+	switch metric {
+	case "CPI":
+		return fakeModel{phase: 0.3}, nil
+	case "Power":
+		return fakeModel{phase: 1.7}, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", metric)
+}
+
+func testDesigns(n int) []space.Config {
+	return space.SampleDesign(n, space.TrainLevels(), space.Baseline(), 2, mathx.NewRNG(3))
+}
+
+func testQuery() Query {
+	return Query{
+		Benchmark:  "gcc",
+		Objectives: []wire.ObjectiveSpec{{Metric: "CPI"}, {Metric: "Power", Kind: "worst"}},
+	}
+}
+
+// singleProcessReference computes the undistributed answer.
+func singleProcessReference(t *testing.T, designs []space.Config) *explore.Result {
+	t.Helper()
+	cpi, _ := resolveFake(context.Background(), "gcc", "CPI")
+	pow, _ := resolveFake(context.Background(), "gcc", "Power")
+	obj0, _ := (wire.ObjectiveSpec{Metric: "CPI"}).Build()
+	obj1, _ := (wire.ObjectiveSpec{Metric: "Power", Kind: "worst"}).Build()
+	res, err := explore.Sweep(designs, []core.DynamicsModel{cpi, pow}, []explore.Objective{obj0, obj1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func candKeys(cands []explore.Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = fmt.Sprintf("%v|%v", c.Config.SweptValues(), c.Scores)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func newTestCoordinator(t *testing.T, workers []Transport, opts Options) *Coordinator {
+	t.Helper()
+	c, err := New(workers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func localFleet(n int) []Transport {
+	out := make([]Transport, n)
+	for i := range out {
+		out[i] = NewLocal(fmt.Sprintf("local-%d", i), resolveFake)
+	}
+	return out
+}
+
+func TestCoordinatorParetoMatchesSingleProcess(t *testing.T) {
+	designs := testDesigns(500)
+	want := singleProcessReference(t, designs)
+
+	coord := newTestCoordinator(t, localFleet(3), Options{ShardSize: 64})
+	got, err := coord.Pareto(context.Background(), testQuery(), designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != len(designs) {
+		t.Fatalf("evaluated %d designs, want %d", got.Evaluated, len(designs))
+	}
+	if got.Shards != (len(designs)+63)/64 {
+		t.Errorf("ran %d shards, want %d", got.Shards, (len(designs)+63)/64)
+	}
+	wantKeys, gotKeys := candKeys(want.Frontier), candKeys(got.Frontier)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("distributed frontier has %d points, single-process %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if wantKeys[i] != gotKeys[i] {
+			t.Fatalf("frontier mismatch at %d:\n  got  %s\n  want %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+func TestCoordinatorSweepMatchesSingleProcess(t *testing.T) {
+	designs := testDesigns(400)
+	q := testQuery()
+	q.TopK = 7
+	q.Constraints = []explore.Constraint{{Objective: 1, Max: 12}}
+
+	single := explore.NewTopK(q.TopK, 0, q.Constraints)
+	ref := singleProcessReference(t, designs)
+	for i, c := range ref.Evaluated {
+		single.Collect(i, c)
+	}
+
+	coord := newTestCoordinator(t, localFleet(4), Options{ShardSize: 32})
+	got, err := coord.Sweep(context.Background(), q, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != len(designs) {
+		t.Fatalf("evaluated %d, want %d", got.Evaluated, len(designs))
+	}
+	if got.Feasible != single.Feasible() {
+		t.Fatalf("feasible %d, want %d", got.Feasible, single.Feasible())
+	}
+	wantCands := single.Results()
+	if len(got.Candidates) != len(wantCands) {
+		t.Fatalf("kept %d candidates, want %d", len(got.Candidates), len(wantCands))
+	}
+	// Scores must match rank for rank (configs can differ only on exact
+	// score ties, which the deterministic fake does not produce here).
+	for i := range wantCands {
+		for j := range wantCands[i].Scores {
+			if got.Candidates[i].Scores[j] != wantCands[i].Scores[j] {
+				t.Fatalf("rank %d objective %d: got %v, want %v",
+					i, j, got.Candidates[i].Scores[j], wantCands[i].Scores[j])
+			}
+		}
+	}
+}
+
+// flaky wraps a Transport and fails its first n Pareto/Sweep calls.
+type flaky struct {
+	Transport
+	remaining atomic.Int64
+}
+
+func (f *flaky) fail() bool { return f.remaining.Add(-1) >= 0 }
+
+func (f *flaky) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	if f.fail() {
+		return nil, errors.New("injected worker failure")
+	}
+	return f.Transport.Pareto(ctx, q, s)
+}
+
+func (f *flaky) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	if f.fail() {
+		return nil, errors.New("injected worker failure")
+	}
+	return f.Transport.Sweep(ctx, q, s)
+}
+
+// TestCoordinatorRetriesFailedShards: a worker failing mid-sweep loses no
+// designs — its shards re-dispatch to the rest of the fleet and the
+// answer still equals the single-process frontier.
+func TestCoordinatorRetriesFailedShards(t *testing.T) {
+	designs := testDesigns(300)
+	want := singleProcessReference(t, designs)
+
+	bad := &flaky{Transport: NewLocal("flaky", resolveFake)}
+	bad.remaining.Store(5)
+	fleet := []Transport{NewLocal("steady", resolveFake), bad}
+	coord := newTestCoordinator(t, fleet, Options{ShardSize: 16})
+
+	got, err := coord.Pareto(context.Background(), testQuery(), designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != len(designs) {
+		t.Fatalf("evaluated %d designs, want %d (retries must not drop shards)", got.Evaluated, len(designs))
+	}
+	if got.Retries == 0 {
+		t.Fatal("flaky worker produced no retries — fault injection did not engage")
+	}
+	wantKeys, gotKeys := candKeys(want.Frontier), candKeys(got.Frontier)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("frontier has %d points after retries, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if wantKeys[i] != gotKeys[i] {
+			t.Fatalf("frontier differs after retries at %d", i)
+		}
+	}
+	// The lifetime health report remembers who failed.
+	var found bool
+	for _, h := range coord.Health(context.Background()) {
+		if h.Name == "flaky" && h.Failures > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("health report does not attribute failures to the flaky worker")
+	}
+}
+
+// dead always fails.
+type dead struct{ name string }
+
+func (d dead) Name() string                  { return d.name }
+func (d dead) Healthy(context.Context) error { return errors.New("dead") }
+func (d dead) Warm(context.Context, []string) (int, error) {
+	return 0, errors.New("dead")
+}
+func (d dead) Pareto(context.Context, Query, Shard) (*Partial, error) {
+	return nil, errors.New("dead")
+}
+func (d dead) Sweep(context.Context, Query, Shard) (*Partial, error) {
+	return nil, errors.New("dead")
+}
+
+// TestCoordinatorFailsWhenFleetExhausted: a shard rejected by every worker
+// fails the sweep with a diagnosable error instead of a silent hole.
+func TestCoordinatorFailsWhenFleetExhausted(t *testing.T) {
+	coord := newTestCoordinator(t, []Transport{dead{"a"}, dead{"b"}}, Options{ShardSize: 8})
+	_, err := coord.Pareto(context.Background(), testQuery(), testDesigns(20))
+	if err == nil {
+		t.Fatal("sweep over an all-dead fleet returned no error")
+	}
+	if !strings.Contains(err.Error(), "failed on all 2 workers") {
+		t.Fatalf("error does not name the exhausted fleet: %v", err)
+	}
+}
+
+// rejecting answers every sweep call with a deterministic 4xx verdict.
+type rejecting struct {
+	name  string
+	calls atomic.Int64
+}
+
+func (r *rejecting) Name() string                  { return r.name }
+func (r *rejecting) Healthy(context.Context) error { return nil }
+func (r *rejecting) Warm(context.Context, []string) (int, error) {
+	return 0, nil
+}
+func (r *rejecting) reject() (*Partial, error) {
+	r.calls.Add(1)
+	return nil, &WorkerRejection{Worker: r.name, Status: 404, Msg: "unknown benchmark"}
+}
+func (r *rejecting) Pareto(context.Context, Query, Shard) (*Partial, error) { return r.reject() }
+func (r *rejecting) Sweep(context.Context, Query, Shard) (*Partial, error)  { return r.reject() }
+
+// TestCoordinatorDoesNotRetryRejections: a worker's 4xx verdict on the
+// request is final — no fleet-wide retries, no failures booked against
+// healthy workers, and the rejection surfaces to the caller.
+func TestCoordinatorDoesNotRetryRejections(t *testing.T) {
+	rej := &rejecting{name: "judge"}
+	coord := newTestCoordinator(t, []Transport{rej}, Options{ShardSize: 8})
+	_, err := coord.Pareto(context.Background(), testQuery(), testDesigns(40))
+	var wr *WorkerRejection
+	if !errors.As(err, &wr) {
+		t.Fatalf("rejection did not surface: %v", err)
+	}
+	if coord.Retries() != 0 {
+		t.Errorf("rejections booked %d retries, want 0", coord.Retries())
+	}
+	// The first rejection aborts the run, so the worker sees at least one
+	// call but nowhere near one per shard ad infinitum — and none twice.
+	if got := rej.calls.Load(); got < 1 || got > 5 {
+		t.Errorf("rejecting worker saw %d calls, want 1..5 (no retries, early abort)", got)
+	}
+	for _, h := range coord.Health(context.Background()) {
+		if h.Failures != 0 {
+			t.Errorf("rejections booked %d failures against %s, want 0", h.Failures, h.Name)
+		}
+	}
+}
+
+// blocking parks every call until its context dies.
+type blocking struct{ name string }
+
+func (b blocking) Name() string                                { return b.name }
+func (b blocking) Healthy(context.Context) error               { return nil }
+func (b blocking) Warm(context.Context, []string) (int, error) { return 0, nil }
+func (b blocking) wait(ctx context.Context) (*Partial, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (b blocking) Pareto(ctx context.Context, _ Query, _ Shard) (*Partial, error) {
+	return b.wait(ctx)
+}
+func (b blocking) Sweep(ctx context.Context, _ Query, _ Shard) (*Partial, error) {
+	return b.wait(ctx)
+}
+
+// TestCoordinatorCancellation: cancelling the caller's context aborts a
+// distributed sweep promptly with the context's error, not a worker blame.
+func TestCoordinatorCancellation(t *testing.T) {
+	coord := newTestCoordinator(t, []Transport{blocking{"slow-a"}, blocking{"slow-b"}}, Options{ShardSize: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Pareto(ctx, testQuery(), testDesigns(64))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+}
+
+// TestCoordinatorWarmPlacement: Warm sends each benchmark to its ring
+// replicas only, and the same benchmark always lands on the same workers.
+func TestCoordinatorWarmPlacement(t *testing.T) {
+	var calls [3]atomic.Int64
+	warmed := make([]chan []string, 3)
+	fleet := make([]Transport, 3)
+	for i := range fleet {
+		i := i
+		warmed[i] = make(chan []string, 8)
+		l := NewLocal(fmt.Sprintf("w%d", i), resolveFake)
+		l.WarmFunc = func(_ context.Context, benchmarks []string) (int, error) {
+			calls[i].Add(1)
+			warmed[i] <- benchmarks
+			return len(benchmarks), nil
+		}
+		fleet[i] = l
+	}
+	coord := newTestCoordinator(t, fleet, Options{Replicas: 2})
+	benchmarks := []string{"gcc", "mcf", "twolf", "gap", "art", "ammp"}
+	res := coord.Warm(context.Background(), benchmarks)
+	if len(res.Errors) != 0 {
+		t.Fatal(res.Errors)
+	}
+	if res.Trainings != 2*len(benchmarks) {
+		t.Errorf("warm reported %d trainings, want %d (fleet-wide sum)", res.Trainings, 2*len(benchmarks))
+	}
+	total := 0
+	for i := range warmed {
+		close(warmed[i])
+		for list := range warmed[i] {
+			total += len(list)
+		}
+	}
+	if total != 2*len(benchmarks) {
+		t.Fatalf("warm placed %d (benchmark, worker) pairs, want %d (2 replicas each)", total, 2*len(benchmarks))
+	}
+}
+
+// counting wraps a Transport and counts its sweep calls.
+type counting struct {
+	Transport
+	calls atomic.Int64
+}
+
+func (c *counting) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	c.calls.Add(1)
+	return c.Transport.Pareto(ctx, q, s)
+}
+
+func (c *counting) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	c.calls.Add(1)
+	return c.Transport.Sweep(ctx, q, s)
+}
+
+// TestReplicasBoundShardPlacement: with Replicas set, a healthy fleet
+// serves every shard from the benchmark's replica set — the same workers
+// Warm pre-places models on — so a warmed benchmark never trains on
+// demand mid-sweep.
+func TestReplicasBoundShardPlacement(t *testing.T) {
+	fleet := make([]Transport, 4)
+	counters := make([]*counting, 4)
+	for i := range fleet {
+		counters[i] = &counting{Transport: NewLocal(fmt.Sprintf("w%d", i), resolveFake)}
+		fleet[i] = counters[i]
+	}
+	coord := newTestCoordinator(t, fleet, Options{ShardSize: 16, Replicas: 2})
+
+	// Warm and sweep must agree on the home set.
+	homes := coord.ring.order("gcc")[:2]
+	if _, err := coord.Pareto(context.Background(), testQuery(), testDesigns(200)); err != nil {
+		t.Fatal(err)
+	}
+	homeSet := map[int]bool{homes[0]: true, homes[1]: true}
+	for i, c := range counters {
+		if homeSet[i] && c.calls.Load() == 0 {
+			t.Errorf("home replica w%d served no shards", i)
+		}
+		if !homeSet[i] && c.calls.Load() != 0 {
+			t.Errorf("non-replica w%d served %d shards of a healthy sweep, want 0", i, c.calls.Load())
+		}
+	}
+}
+
+// TestRingStability: placement is deterministic, covers every worker, and
+// removing one worker leaves most benchmarks' home unchanged.
+func TestRingStability(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3"}
+	r := newRing(names, 0)
+	benchmarks := make([]string, 200)
+	for i := range benchmarks {
+		benchmarks[i] = fmt.Sprintf("bench-%d", i)
+	}
+	used := make(map[int]bool)
+	for _, b := range benchmarks {
+		order := r.order(b)
+		if len(order) != len(names) {
+			t.Fatalf("order(%s) covers %d workers, want %d", b, len(order), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, w := range order {
+			if seen[w] {
+				t.Fatalf("order(%s) repeats worker %d", b, w)
+			}
+			seen[w] = true
+		}
+		used[order[0]] = true
+		// Determinism.
+		again := r.order(b)
+		for i := range order {
+			if order[i] != again[i] {
+				t.Fatalf("order(%s) not deterministic", b)
+			}
+		}
+	}
+	if len(used) != len(names) {
+		t.Errorf("homes landed on %d of %d workers — badly unbalanced ring", len(used), len(names))
+	}
+
+	// Drop w3: benchmarks homed elsewhere must not move.
+	smaller := newRing(names[:3], 0)
+	moved := 0
+	for _, b := range benchmarks {
+		before := r.order(b)[0]
+		after := smaller.order(b)[0]
+		if before != 3 && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d benchmarks homed on surviving workers moved after a worker left; consistent hashing should move none", moved)
+	}
+}
+
+func TestNewRejectsBadFleets(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	dup := []Transport{NewLocal("same", resolveFake), NewLocal("same", resolveFake)}
+	if _, err := New(dup, Options{}); err == nil {
+		t.Error("duplicate worker names accepted")
+	}
+}

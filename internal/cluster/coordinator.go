@@ -1,0 +1,436 @@
+// Package cluster is the distributed sweep plane: a coordinator that
+// partitions model-driven design-space sweeps across N dsed workers and
+// merges their partial answers losslessly.
+//
+// The paper's predictors make evaluating a design point microseconds
+// cheap, so a single process bounds a sweep by one machine's cores. Both
+// reductions this repository serves — Pareto frontiers and constrained
+// top-K selection — are associative, so a sweep distributes exactly:
+// range-partition the design list into shards, evaluate each shard on any
+// worker holding the benchmark's models, and fold the partial frontiers /
+// top-Ks together (explore.FrontierCollector.Merge, explore.TopK.Merge).
+// The merged answer equals the single-process answer candidate-for-
+// candidate.
+//
+// Placement is consistent-hash-on-benchmark: each benchmark has a stable
+// home worker (and fallback order) on a hash ring, so pre-warming
+// (Coordinator.Warm) trains a benchmark's models where its shards will
+// land, and a worker joining or leaving moves only ~1/N of benchmarks.
+// Shards are dealt clockwise from the home worker, dispatched concurrently
+// under a bounded pool with context cancellation, and re-dispatched to the
+// next worker on the ring when a worker fails mid-sweep — a sweep degrades
+// through worker loss and fails only when every worker rejects a shard.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/space"
+)
+
+// Options tunes the coordinator.
+type Options struct {
+	// ShardSize is the number of designs per shard (default 2048 — large
+	// enough to amortise one HTTP round trip, small enough that a shard
+	// body stays well under the worker's 1 MiB request limit and a lost
+	// worker forfeits little work).
+	ShardSize int
+	// Parallelism bounds in-flight shards (default 2 per worker).
+	Parallelism int
+	// VirtualNodes is the consistent-hash ring's replication factor per
+	// worker (default 64).
+	VirtualNodes int
+	// Replicas is how many workers serve (and Warm pre-places) each
+	// benchmark, counted clockwise from its ring home. Shards deal
+	// round-robin over exactly this set — so a warmed benchmark never
+	// trains on demand mid-sweep — and spill past it only when every
+	// replica has failed a shard. Default 0 means the whole fleet:
+	// maximum sweep throughput, with Warm placing models everywhere.
+	// Set it lower on large many-benchmark fleets to bound how many
+	// workers hold each benchmark's models.
+	Replicas int
+	// ShardTimeout bounds one shard attempt on one worker (default 5
+	// minutes — generous enough for a cold benchmark training on demand
+	// inside the request). A worker that accepts the connection but
+	// never answers counts as failed and the shard moves on, instead of
+	// hanging the whole sweep.
+	ShardTimeout time.Duration
+}
+
+// maxShardSize caps configured shard sizes: a pinned design is ~170 bytes
+// of JSON, so 4096 designs stay comfortably inside the worker's 1 MiB
+// request-body limit. A larger operator value would make every shard 413
+// on every worker.
+const maxShardSize = 4096
+
+func (o Options) withDefaults(workers int) Options {
+	if o.ShardSize <= 0 {
+		o.ShardSize = 2048
+	}
+	if o.ShardSize > maxShardSize {
+		o.ShardSize = maxShardSize
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 2 * workers
+	}
+	if o.Replicas <= 0 || o.Replicas > workers {
+		o.Replicas = workers
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Coordinator partitions sweeps across a fixed worker fleet.
+type Coordinator struct {
+	workers []Transport
+	ring    *ring
+	opts    Options
+
+	mu       sync.Mutex
+	retries  int
+	failures map[string]int
+}
+
+// New builds a coordinator over the fleet. Worker names must be unique:
+// they are the ring's placement keys.
+func New(workers []Transport, opts Options) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	names := make([]string, len(workers))
+	seen := make(map[string]bool, len(workers))
+	for i, w := range workers {
+		name := w.Name()
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("cluster: worker %d has empty or duplicate name %q", i, name)
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	opts = opts.withDefaults(len(workers))
+	return &Coordinator{
+		workers:  workers,
+		ring:     newRing(names, opts.VirtualNodes),
+		opts:     opts,
+		failures: make(map[string]int),
+	}, nil
+}
+
+// Workers returns the fleet's names in construction order (the -workers
+// flag order) — stable, and useful for reports.
+func (c *Coordinator) Workers() []string {
+	out := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// ParetoResult is a merged distributed frontier.
+type ParetoResult struct {
+	Evaluated int
+	Frontier  []explore.Candidate
+	Shards    int
+	Retries   int
+}
+
+// SweepResult is a merged distributed top-K selection.
+type SweepResult struct {
+	Evaluated  int
+	Feasible   int
+	Candidates []explore.Candidate
+	Shards     int
+	Retries    int
+}
+
+// Pareto distributes a frontier sweep: shard, evaluate per worker, merge
+// the partial frontiers. The merged frontier equals the single-process
+// explore.ParetoFrontier over the same designs, up to ordering.
+func (c *Coordinator) Pareto(ctx context.Context, q Query, designs []space.Config) (*ParetoResult, error) {
+	merged := explore.NewFrontierCollector()
+	var mu sync.Mutex
+	evaluated := 0
+	shards, retries, err := c.run(ctx, q, designs, Transport.Pareto, func(p *Partial) {
+		// The rebuilt per-shard collector exists to feed Merge; its seen
+		// counter covers only the shipped frontier, so the authoritative
+		// design count is the summed partial.Evaluated, not merged.Seen().
+		part := explore.NewFrontierCollector()
+		for _, ic := range p.Candidates {
+			part.Collect(ic.Index, ic.Candidate)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		evaluated += p.Evaluated
+		merged.Merge(part)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ParetoResult{
+		Evaluated: evaluated,
+		Frontier:  merged.Frontier(),
+		Shards:    shards,
+		Retries:   retries,
+	}, nil
+}
+
+// Sweep distributes a constrained top-K sweep: each shard answers its own
+// feasible top K, and the merged heap keeps the global best K (associative
+// because the global top K is a subset of the union of shard top Ks).
+func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config) (*SweepResult, error) {
+	if q.TopK <= 0 {
+		q.TopK = 10
+	}
+	merged := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
+	var mu sync.Mutex
+	evaluated, feasible := 0, 0
+	shards, retries, err := c.run(ctx, q, designs, Transport.Sweep, func(p *Partial) {
+		part := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
+		for _, ic := range p.Candidates {
+			part.Collect(ic.Index, ic.Candidate)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		// The partial's counters cover the whole shard; the rebuilt
+		// collector saw only its k survivors, so the response counts come
+		// from the partial sums, not the merged collector.
+		evaluated += p.Evaluated
+		feasible += p.Feasible
+		merged.Merge(part)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{
+		Evaluated:  evaluated,
+		Feasible:   feasible,
+		Candidates: merged.Results(),
+		Shards:     shards,
+		Retries:    retries,
+	}, nil
+}
+
+// shardDesigns range-partitions the design list.
+func shardDesigns(designs []space.Config, size int) []Shard {
+	shards := make([]Shard, 0, (len(designs)+size-1)/size)
+	for start := 0; start < len(designs); start += size {
+		end := start + size
+		if end > len(designs) {
+			end = len(designs)
+		}
+		shards = append(shards, Shard{Start: start, Designs: designs[start:end]})
+	}
+	return shards
+}
+
+// run is the shared distribution engine: range-partition, dispatch shards
+// concurrently (each preferring a worker dealt clockwise from the
+// benchmark's home on the ring), retry failed shards on the remaining
+// workers, and fold successful partials through merge. merge may be called
+// concurrently only through the engine's per-shard goroutines; callers
+// serialise their own state.
+func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
+	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
+	merge func(*Partial)) (shards, retries int, err error) {
+
+	if len(designs) == 0 {
+		return 0, 0, fmt.Errorf("cluster: no designs to sweep")
+	}
+	parts := shardDesigns(designs, c.opts.ShardSize)
+	order := c.ring.order(q.Benchmark)
+	errs := make([]error, len(parts))
+	var localRetries atomic.Int64
+	// A deterministic rejection cancels the run through this context's
+	// cause: the homogeneous fleet would give every remaining shard the
+	// same verdict, so one doomed round trip is enough.
+	runCtx, abort := context.WithCancelCause(ctx)
+	defer abort(nil)
+	poolErr := explore.ParallelFor(runCtx, len(parts), c.opts.Parallelism, func(i int) {
+		errs[i] = c.runShard(runCtx, q, parts[i], c.shardOrder(order, i), abort, &localRetries, call, merge)
+	})
+	retries = int(localRetries.Load())
+	if poolErr != nil {
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+			return len(parts), retries, cause
+		}
+		return len(parts), retries, poolErr
+	}
+	if err := errors.Join(errs...); err != nil {
+		return len(parts), retries, err
+	}
+	return len(parts), retries, nil
+}
+
+// shardOrder deals one shard's worker preference: round-robin over the
+// benchmark's Replicas home workers (where Warm pre-placed the models),
+// falling back to the rest of the ring only after every replica failed.
+func (c *Coordinator) shardOrder(order []int, deal int) []int {
+	home, tail := order[:c.opts.Replicas], order[c.opts.Replicas:]
+	seq := make([]int, 0, len(order))
+	for a := 0; a < len(home); a++ {
+		seq = append(seq, home[(deal+a)%len(home)])
+	}
+	return append(seq, tail...)
+}
+
+// runShard tries one shard on each worker of seq at most once, in order,
+// until one answers or the fleet is exhausted. Each attempt is bounded by
+// ShardTimeout, so a wedged worker counts as failed instead of hanging
+// the sweep.
+func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, seq []int,
+	abort context.CancelCauseFunc, localRetries *atomic.Int64,
+	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
+	merge func(*Partial)) error {
+
+	var lastErr error
+	for attempt, wi := range seq {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w := c.workers[wi]
+		attemptCtx, done := context.WithTimeout(ctx, c.opts.ShardTimeout)
+		p, err := call(w, attemptCtx, q, s)
+		done()
+		if err == nil && p.Evaluated != len(s.Designs) {
+			// A short count means the worker silently dropped designs;
+			// trust the fleet over the answer.
+			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", w.Name(), p.Evaluated, len(s.Designs))
+		}
+		if err == nil {
+			merge(p)
+			return nil
+		}
+		// A deterministic rejection (4xx) is the fleet's verdict on the
+		// request itself: retrying it on other workers — or running the
+		// remaining shards of the same request — would book phantom
+		// failures against healthy machines and burn a round trip per
+		// shard for one bad request.
+		var rejected *WorkerRejection
+		if errors.As(err, &rejected) {
+			abort(err)
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The failure is (or is about to be reported as) the caller
+			// cancelling; don't blame the worker.
+			return ctx.Err()
+		}
+		// Every failed attempt is the worker's failure, but only a
+		// failure with another worker left to try is a re-dispatch.
+		c.note(w.Name(), attempt < len(seq)-1)
+		if attempt < len(seq)-1 {
+			localRetries.Add(1)
+		}
+	}
+	return fmt.Errorf("cluster: shard [%d,%d) failed on all %d workers: %w",
+		s.Start, s.Start+len(s.Designs), len(seq), lastErr)
+}
+
+// note records a worker failure (and optionally a re-dispatch) for the
+// lifetime health report.
+func (c *Coordinator) note(worker string, redispatched bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failures[worker]++
+	if redispatched {
+		c.retries++
+	}
+}
+
+// WarmResult is the outcome of one fleet warm.
+type WarmResult struct {
+	// Trainings sums the training runs this warm triggered fleet-wide.
+	Trainings int
+	// Workers is how many workers were asked to warm something.
+	Workers int
+	// Errors holds the per-worker failures; fewer errors than Workers
+	// means the warm partially succeeded and a sweep would still run
+	// (re-dispatching around the failed workers).
+	Errors []error
+}
+
+// Warm pre-places models: each benchmark is trained (or warm-started) on
+// its Replicas home workers, concurrently per worker. Shard dealing uses
+// exactly the same replica set, so a following sweep's shards land on
+// workers that already hold the models. Like a sweep, a warm degrades
+// through worker loss: per-worker failures are reported in the result,
+// not allowed to void the placements that succeeded.
+func (c *Coordinator) Warm(ctx context.Context, benchmarks []string) *WarmResult {
+	per := make(map[int][]string)
+	for _, b := range benchmarks {
+		order := c.ring.order(b)
+		for r := 0; r < c.opts.Replicas && r < len(order); r++ {
+			per[order[r]] = append(per[order[r]], b)
+		}
+	}
+	errs := make([]error, len(c.workers))
+	counts := make([]int, len(c.workers))
+	var wg sync.WaitGroup
+	for w, list := range per {
+		wg.Add(1)
+		go func(w int, list []string) {
+			defer wg.Done()
+			n, werr := c.workers[w].Warm(ctx, list)
+			counts[w] = n
+			if werr != nil {
+				errs[w] = fmt.Errorf("cluster: warming %v on %s: %w", list, c.workers[w].Name(), werr)
+			}
+		}(w, list)
+	}
+	wg.Wait()
+	res := &WarmResult{Workers: len(per)}
+	for _, n := range counts {
+		res.Trainings += n
+	}
+	for _, err := range errs {
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+		}
+	}
+	return res
+}
+
+// WorkerHealth is one worker's live status plus its cumulative shard
+// failures over the coordinator's lifetime.
+type WorkerHealth struct {
+	Name     string
+	Err      error
+	Failures int
+}
+
+// Health probes every worker concurrently.
+func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
+	out := make([]WorkerHealth, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w Transport) {
+			defer wg.Done()
+			out[i] = WorkerHealth{Name: w.Name(), Err: w.Healthy(ctx)}
+		}(i, w)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	for i := range out {
+		out[i].Failures = c.failures[out[i].Name]
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Retries returns how many shard attempts failed and were re-dispatched
+// over the coordinator's lifetime.
+func (c *Coordinator) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/space"
+	"repro/internal/wire"
+)
+
+// HTTP is a Transport speaking the dsed JSON wire format: shards become
+// explicit-design /pareto and /sweep requests, Warm drives /warm, and
+// Healthy probes /healthz. Any running dsed worker is a cluster worker
+// with no daemon-side changes.
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// maxWorkerResponse bounds one worker response read; a shard's frontier
+// cannot legitimately approach this.
+const maxWorkerResponse = 64 << 20
+
+// NewHTTP builds a transport for the worker at base (e.g. "host:8090" or
+// "http://host:8090"). client nil means http.DefaultClient.
+func NewHTTP(base string, client *http.Client) *HTTP {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTP{base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Name implements Transport; workers are named by their base URL.
+func (h *HTTP) Name() string { return h.base }
+
+// Healthy implements Transport.
+func (h *HTTP) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxWorkerResponse))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s: /healthz status %d", h.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// post sends one JSON request and decodes the worker's answer into out,
+// surfacing the worker's error envelope on non-200 statuses.
+func (h *HTTP) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s: %s: %w", h.base, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxWorkerResponse))
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s: reading %s response: %w", h.base, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("status %d", resp.StatusCode)
+		var we wire.Error
+		if json.Unmarshal(raw, &we) == nil && we.Error != "" {
+			msg = we.Error
+		}
+		// A 4xx is the worker's deterministic verdict on the request, not
+		// a worker fault: surface it as a rejection so the coordinator
+		// forwards it instead of retrying across the fleet.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return &WorkerRejection{Worker: h.base, Status: resp.StatusCode, Msg: msg}
+		}
+		return fmt.Errorf("cluster: worker %s: %s status %d: %s", h.base, path, resp.StatusCode, msg)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("cluster: worker %s: decoding %s response: %w", h.base, path, err)
+	}
+	return nil
+}
+
+// Warm implements Transport.
+func (h *HTTP) Warm(ctx context.Context, benchmarks []string) (int, error) {
+	var resp wire.WarmResponse
+	if err := h.post(ctx, "/warm", wire.WarmRequest{Benchmarks: benchmarks}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Trainings, nil
+}
+
+// shardSpecs pins a shard's materialised designs into explicit wire specs.
+func shardSpecs(designs []space.Config) []wire.ConfigSpec {
+	out := make([]wire.ConfigSpec, len(designs))
+	for i, c := range designs {
+		out[i] = wire.SpecFromConfig(c)
+	}
+	return out
+}
+
+// Pareto implements Transport.
+func (h *HTTP) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	req := wire.ParetoRequest{
+		Benchmark:  q.Benchmark,
+		Objectives: q.Objectives,
+		SpaceSpec:  wire.SpaceSpec{Designs: shardSpecs(s.Designs)},
+	}
+	var resp wire.ParetoResponse
+	if err := h.post(ctx, "/pareto", req, &resp); err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Evaluated:  resp.Evaluated,
+		Feasible:   resp.Evaluated,
+		Candidates: fromWire(resp.Frontier, s.Start),
+	}, nil
+}
+
+// Sweep implements Transport.
+func (h *HTTP) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	constraints := make([]wire.Constraint, len(q.Constraints))
+	for i, c := range q.Constraints {
+		constraints[i] = wire.Constraint{Objective: c.Objective, Max: c.Max}
+	}
+	req := wire.SweepRequest{
+		Benchmark:   q.Benchmark,
+		Objectives:  q.Objectives,
+		SpaceSpec:   wire.SpaceSpec{Designs: shardSpecs(s.Designs)},
+		TopK:        q.TopK,
+		Objective:   q.Objective,
+		Constraints: constraints,
+	}
+	var resp wire.SweepResponse
+	if err := h.post(ctx, "/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Evaluated:  resp.Evaluated,
+		Feasible:   resp.Feasible,
+		Candidates: fromWire(resp.Candidates, s.Start),
+	}, nil
+}
+
+// fromWire expands wire candidates, tagging them exactly like Local does.
+func fromWire(cands []wire.Candidate, start int) []IndexedCandidate {
+	out := make([]IndexedCandidate, len(cands))
+	for i, c := range cands {
+		out[i] = IndexedCandidate{Index: start + i, Candidate: c.ToExplore()}
+	}
+	return out
+}
+
+var _ Transport = (*HTTP)(nil)

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// ModelResolver resolves the predictor scoring one (benchmark, metric)
+// pair — the Local transport's seam to a registry store, a fixture, or
+// any other model source.
+type ModelResolver func(ctx context.Context, benchmark, metric string) (core.DynamicsModel, error)
+
+// Local is an in-process Transport: shards run directly on the exploration
+// engine with no sockets or serialisation. It exists for deterministic
+// -race coverage of the coordinator and as the degenerate one-binary
+// deployment (a coordinator over Local workers is just a sharded local
+// sweep). Results are tagged exactly like HTTP results, so the two
+// transports are interchangeable answer-for-answer.
+type Local struct {
+	name    string
+	resolve ModelResolver
+	// Workers bounds the in-process engine's parallelism per shard
+	// (0 = GOMAXPROCS).
+	Workers int
+	// WarmFunc, when set, handles Warm calls (e.g. registry pre-training)
+	// and reports the lifetime completed-training count.
+	WarmFunc func(ctx context.Context, benchmarks []string) (int, error)
+}
+
+// NewLocal builds an in-process worker over a model source.
+func NewLocal(name string, resolve ModelResolver) *Local {
+	return &Local{name: name, resolve: resolve}
+}
+
+// Name implements Transport.
+func (l *Local) Name() string { return l.name }
+
+// Healthy implements Transport; an in-process worker is always alive.
+func (l *Local) Healthy(context.Context) error { return nil }
+
+// Warm implements Transport.
+func (l *Local) Warm(ctx context.Context, benchmarks []string) (int, error) {
+	if l.WarmFunc == nil {
+		return 0, nil
+	}
+	return l.WarmFunc(ctx, benchmarks)
+}
+
+// build resolves the query's objectives against the model source.
+func (l *Local) build(ctx context.Context, q Query) ([]core.DynamicsModel, []explore.Objective, error) {
+	if len(q.Objectives) == 0 {
+		return nil, nil, fmt.Errorf("cluster: query has no objectives")
+	}
+	models := make([]core.DynamicsModel, len(q.Objectives))
+	objectives := make([]explore.Objective, len(q.Objectives))
+	for i, spec := range q.Objectives {
+		obj, err := spec.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := l.resolve(ctx, q.Benchmark, spec.Metric)
+		if err != nil {
+			return nil, nil, err
+		}
+		models[i], objectives[i] = m, obj
+	}
+	return models, objectives, nil
+}
+
+// Pareto implements Transport.
+func (l *Local) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	models, objectives, err := l.build(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := explore.SweepContext(ctx, s.Designs, models, objectives, explore.Options{Workers: l.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Evaluated:  len(res.Evaluated),
+		Feasible:   len(res.Evaluated),
+		Candidates: indexed(res.Frontier, s.Start),
+	}, nil
+}
+
+// Sweep implements Transport.
+func (l *Local) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
+	models, objectives, err := l.build(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	top := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
+	err = explore.SweepStream(ctx, s.Designs, models, objectives, explore.Options{Workers: l.Workers}, top)
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Evaluated:  top.Seen(),
+		Feasible:   top.Feasible(),
+		Candidates: indexed(top.Results(), s.Start),
+	}, nil
+}
+
+var _ Transport = (*Local)(nil)

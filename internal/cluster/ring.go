@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker indexes. Benchmarks hash onto
+// the ring to pick the workers holding (or owed) their trained models:
+// placement is stable across sweeps, spreads benchmarks evenly via virtual
+// nodes, and moves only ~1/N of benchmarks when a worker joins or leaves —
+// so a mostly-stable fleet keeps its warm models useful.
+type ring struct {
+	points  []ringPoint // sorted by hash
+	workers int
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// defaultVirtualNodes balances placement within a few percent for small
+// fleets without making ring construction or lookup noticeable.
+const defaultVirtualNodes = 64
+
+func newRing(names []string, virtualNodes int) *ring {
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	r := &ring{workers: len(names), points: make([]ringPoint, 0, len(names)*virtualNodes)}
+	for w, name := range names {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, v)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. Raw FNV of similar keys ("w0#1" vs
+// "w0#2", "gcc" vs "gap") clusters in the low bits, which would bunch a
+// worker's virtual nodes into a few arcs and pile benchmark homes onto one
+// worker; the finalizer's avalanche spreads them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// order returns every worker index exactly once, clockwise from the key's
+// position on the ring: order[0] is the key's home worker, the rest are
+// its fallbacks in preference order. Deterministic in the key and the
+// ring, so coordinator restarts and retries agree on placement.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.workers)
+	seen := make([]bool, r.workers)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hashKey(key) })
+	for i := 0; i < len(r.points) && len(out) < r.workers; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}

@@ -49,7 +49,11 @@ func (t *TopK) Collect(index int, c Candidate) {
 		}
 	}
 	t.feasible++
-	e := topkEntry{c: c, index: index}
+	t.insert(topkEntry{c: c, index: index})
+}
+
+// insert offers one already-feasible entry to the bounded heap.
+func (t *TopK) insert(e topkEntry) {
 	if len(t.heap) < t.k {
 		t.heap = append(t.heap, e)
 		t.siftUp(len(t.heap) - 1)
@@ -58,6 +62,34 @@ func (t *TopK) Collect(index int, c Candidate) {
 	if t.worse(t.heap[0], e) {
 		t.heap[0] = e
 		t.siftDown(0)
+	}
+}
+
+// Merge folds another collector's retained candidates and counters into t,
+// so a sweep can be partitioned into shards, collected per shard, and
+// merged: top-K selection is associative (the global top K is a subset of
+// the union of shard top Ks), so the merged result equals collecting the
+// whole sweep into one TopK — exactly, provided the shards' candidate
+// indexes form a consistent total order across shards: distinct, and
+// ordering any two candidates the same way global design indexes would.
+// Global design indexes satisfy this directly; so does the cluster
+// transports' shard-start-plus-rank tagging (ranks are order-preserving
+// within a shard and shard ranges do not overlap). Both collectors must
+// have been built with the same k, objective, and constraints; o must not
+// be t.
+func (t *TopK) Merge(o *TopK) {
+	if o.k != t.k || o.objective != t.objective || len(o.constraints) != len(t.constraints) {
+		panic("explore: merging TopK collectors with different selection rules")
+	}
+	for i, con := range t.constraints {
+		if o.constraints[i] != con {
+			panic("explore: merging TopK collectors with different constraints")
+		}
+	}
+	t.seen += o.seen
+	t.feasible += o.feasible
+	for _, e := range o.heap {
+		t.insert(e)
 	}
 }
 
@@ -124,6 +156,11 @@ func NewFrontierCollector() *FrontierCollector {
 // Collect offers one candidate. It implements Collector.
 func (f *FrontierCollector) Collect(_ int, c Candidate) {
 	f.seen++
+	f.add(c)
+}
+
+// add is Collect without the seen counter.
+func (f *FrontierCollector) add(c Candidate) {
 	kept := f.frontier[:0]
 	for _, old := range f.frontier {
 		if dominates(old, c) {
@@ -134,6 +171,19 @@ func (f *FrontierCollector) Collect(_ int, c Candidate) {
 		}
 	}
 	f.frontier = append(kept, c)
+}
+
+// Merge folds another frontier into f, so a sweep can be partitioned into
+// shards, collected per shard, and merged. Pareto dominance is associative:
+// the frontier of a union is the frontier of the union of the parts'
+// frontiers, so the merged collector holds exactly the frontier (and total
+// seen count) one collector would have accumulated over the whole sweep.
+// o must not be f itself.
+func (f *FrontierCollector) Merge(o *FrontierCollector) {
+	f.seen += o.seen
+	for _, c := range o.frontier {
+		f.add(c)
+	}
 }
 
 // Seen returns how many candidates were offered.

@@ -330,6 +330,40 @@ func (s *Store) train(benchmark string, t *training) {
 	}
 }
 
+// maxConcurrentWarm bounds Warm's parallel training runs. The trainer
+// already saturates the worker pool per benchmark; overlapping a few runs
+// hides scheduling gaps without thrashing the machine.
+const maxConcurrentWarm = 4
+
+// Warm drives LoadOrTrain for every (benchmark, configured metric) pair,
+// so an admin — or a cluster coordinator placing models by consistent
+// hash — can pre-position a benchmark list before the first sweep needs
+// it. Benchmarks train concurrently (bounded, deduplicated by the usual
+// singleflight); metrics of one benchmark come from a single training
+// run. Per-benchmark failures are joined, never short-circuiting the
+// rest of the list.
+func (s *Store) Warm(ctx context.Context, benchmarks []string) error {
+	errs := make([]error, len(benchmarks))
+	sem := make(chan struct{}, maxConcurrentWarm)
+	var wg sync.WaitGroup
+	for i, b := range benchmarks {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, m := range s.Metrics() {
+				if _, err := s.LoadOrTrain(ctx, b, m); err != nil {
+					errs[i] = fmt.Errorf("warm %s: %w", b, err)
+					return
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Trainings returns how many benchmark training runs completed
 // successfully in this process (warm-started models count zero).
 func (s *Store) Trainings() int {

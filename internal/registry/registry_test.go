@@ -459,3 +459,42 @@ func TestEntriesAndBenchmarks(t *testing.T) {
 		t.Error("freshly trained model marked warm")
 	}
 }
+
+// TestWarm proves the pre-warm hook trains every (benchmark, metric) pair
+// exactly once, is idempotent, and reports unknown benchmarks without
+// abandoning the rest of the list.
+func TestWarm(t *testing.T) {
+	tr := &countingTrainer{}
+	s := openStore(t, "", tr)
+
+	if err := s.Warm(context.Background(), []string{"gcc", "mcf"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("warming 2 benchmarks ran %d trainings, want 2 (one per benchmark, all metrics shared)", got)
+	}
+	for _, b := range []string{"gcc", "mcf"} {
+		for _, m := range testMetrics {
+			if _, ok := s.Get(b, m); !ok {
+				t.Errorf("%s/%s missing after warm", b, m)
+			}
+		}
+	}
+
+	// Idempotent: a second warm answers from memory.
+	if err := s.Warm(context.Background(), []string{"gcc", "mcf"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("re-warming trained %d more times, want 0", got-2)
+	}
+
+	// A bad benchmark fails its own entry but the good one still warms.
+	err := s.Warm(context.Background(), []string{"doom", "twolf"})
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("warming an unknown benchmark returned %v, want ErrUnknownBenchmark", err)
+	}
+	if _, ok := s.Get("twolf", sim.MetricCPI); !ok {
+		t.Error("twolf did not warm because its listmate was unknown")
+	}
+}

@@ -1,0 +1,430 @@
+// Package wire defines the JSON wire format of the dsed daemon — design
+// points, objective and space selectors, and the request/response bodies
+// of every endpoint. It exists as its own package so the serving layer
+// (cmd/dsed) and the distributed sweep plane (internal/cluster, whose
+// HTTP transport speaks to workers in exactly this format) cannot drift
+// apart: one type per message, shared by both sides of the wire.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// ConfigSpec is the wire form of a design point: any omitted swept
+// parameter inherits the Table 1 baseline.
+type ConfigSpec struct {
+	FetchWidth   *int     `json:"fetch_width"`
+	ROBSize      *int     `json:"rob_size"`
+	IQSize       *int     `json:"iq_size"`
+	LSQSize      *int     `json:"lsq_size"`
+	L2SizeKB     *int     `json:"l2_size_kb"`
+	L2Lat        *int     `json:"l2_lat"`
+	IL1SizeKB    *int     `json:"il1_size_kb"`
+	DL1SizeKB    *int     `json:"dl1_size_kb"`
+	DL1Lat       *int     `json:"dl1_lat"`
+	DVM          *bool    `json:"dvm"`
+	DVMThreshold *float64 `json:"dvm_threshold"`
+}
+
+// Apply overlays the spec on a base configuration and validates the result.
+func (s ConfigSpec) Apply(base space.Config) (space.Config, error) {
+	set := func(dst *int, v *int) {
+		if v != nil {
+			*dst = *v
+		}
+	}
+	set(&base.FetchWidth, s.FetchWidth)
+	set(&base.ROBSize, s.ROBSize)
+	set(&base.IQSize, s.IQSize)
+	set(&base.LSQSize, s.LSQSize)
+	set(&base.L2SizeKB, s.L2SizeKB)
+	set(&base.L2Lat, s.L2Lat)
+	set(&base.IL1SizeKB, s.IL1SizeKB)
+	set(&base.DL1SizeKB, s.DL1SizeKB)
+	set(&base.DL1Lat, s.DL1Lat)
+	if s.DVM != nil {
+		base.DVM = *s.DVM
+	}
+	if s.DVMThreshold != nil {
+		base.DVMThreshold = *s.DVMThreshold
+	}
+	return base, base.Validate()
+}
+
+// SpecFromConfig pins every swept parameter of c into a ConfigSpec, so a
+// coordinator shipping a materialised design to a worker loses nothing to
+// the worker's baseline defaults (including the DVM threshold, which the
+// compact ConfigJSON echo omits).
+func SpecFromConfig(c space.Config) ConfigSpec {
+	return ConfigSpec{
+		FetchWidth: &c.FetchWidth, ROBSize: &c.ROBSize, IQSize: &c.IQSize,
+		LSQSize: &c.LSQSize, L2SizeKB: &c.L2SizeKB, L2Lat: &c.L2Lat,
+		IL1SizeKB: &c.IL1SizeKB, DL1SizeKB: &c.DL1SizeKB, DL1Lat: &c.DL1Lat,
+		DVM: &c.DVM, DVMThreshold: &c.DVMThreshold,
+	}
+}
+
+// ConfigJSON is the wire form of a fully resolved design point.
+type ConfigJSON struct {
+	FetchWidth int  `json:"fetch_width"`
+	ROBSize    int  `json:"rob_size"`
+	IQSize     int  `json:"iq_size"`
+	LSQSize    int  `json:"lsq_size"`
+	L2SizeKB   int  `json:"l2_size_kb"`
+	L2Lat      int  `json:"l2_lat"`
+	IL1SizeKB  int  `json:"il1_size_kb"`
+	DL1SizeKB  int  `json:"dl1_size_kb"`
+	DL1Lat     int  `json:"dl1_lat"`
+	DVM        bool `json:"dvm,omitempty"`
+}
+
+// ToConfigJSON compacts a design point into its response echo.
+func ToConfigJSON(c space.Config) ConfigJSON {
+	return ConfigJSON{
+		FetchWidth: c.FetchWidth, ROBSize: c.ROBSize, IQSize: c.IQSize,
+		LSQSize: c.LSQSize, L2SizeKB: c.L2SizeKB, L2Lat: c.L2Lat,
+		IL1SizeKB: c.IL1SizeKB, DL1SizeKB: c.DL1SizeKB, DL1Lat: c.DL1Lat,
+		DVM: c.DVM,
+	}
+}
+
+// ToConfig expands the echo back over the baseline. Fields ConfigJSON does
+// not carry (the DVM threshold, fixed Table 1 structures) take baseline
+// values — both sides of the wire lose exactly the same information, so a
+// merged cluster answer re-encodes byte-identically to a worker's.
+func (j ConfigJSON) ToConfig() space.Config {
+	c := space.Baseline()
+	c.FetchWidth, c.ROBSize, c.IQSize = j.FetchWidth, j.ROBSize, j.IQSize
+	c.LSQSize, c.L2SizeKB, c.L2Lat = j.LSQSize, j.L2SizeKB, j.L2Lat
+	c.IL1SizeKB, c.DL1SizeKB, c.DL1Lat = j.IL1SizeKB, j.DL1SizeKB, j.DL1Lat
+	c.DVM = j.DVM
+	return c
+}
+
+// ParseMetric resolves a wire metric label.
+func ParseMetric(name string) (sim.Metric, error) {
+	m, ok := sim.MetricByName(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown metric %q", name)
+	}
+	return m, nil
+}
+
+// ObjectiveSpec names one scoring rule over a predicted trace.
+type ObjectiveSpec struct {
+	Metric string `json:"metric"`
+	// Kind is "mean" (default), "worst", or "exceedance".
+	Kind      string  `json:"kind,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// Build resolves the spec into an exploration objective.
+func (o ObjectiveSpec) Build() (explore.Objective, error) {
+	name := o.Metric + "_" + o.Kind
+	switch o.Kind {
+	case "", "mean":
+		return explore.MeanObjective(o.Metric + "_mean"), nil
+	case "worst":
+		return explore.WorstCaseObjective(name), nil
+	case "exceedance":
+		return explore.ExceedanceObjective(fmt.Sprintf("%s_exceed_%g", o.Metric, o.Threshold), o.Threshold), nil
+	}
+	return explore.Objective{}, fmt.Errorf("unknown objective kind %q", o.Kind)
+}
+
+// SpaceSpec selects the candidate designs of a sweep: an explicit list,
+// or a named Table 2 space ("train" or "test") — full factorial by
+// default, optionally LHS-subsampled to Sample designs.
+type SpaceSpec struct {
+	Designs []ConfigSpec `json:"designs,omitempty"`
+	Space   string       `json:"space,omitempty"`
+	Sample  int          `json:"sample,omitempty"`
+	Seed    uint64       `json:"seed,omitempty"`
+}
+
+// explicitDesigns resolves the explicit design list (empty when a named
+// space is selected instead).
+func (sp SpaceSpec) explicitDesigns() ([]space.Config, error) {
+	out := make([]space.Config, len(sp.Designs))
+	for i, cs := range sp.Designs {
+		c, err := cs.Apply(space.Baseline())
+		if err != nil {
+			return nil, fmt.Errorf("design %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// levels resolves the named Table 2 space.
+func (sp SpaceSpec) levels() (space.Levels, error) {
+	switch sp.Space {
+	case "", "train":
+		return space.TrainLevels(), nil
+	case "test":
+		return space.TestLevels(), nil
+	}
+	return space.Levels{}, fmt.Errorf("unknown space %q (want train or test)", sp.Space)
+}
+
+// ResolveEarly materialises the design list when that is cheap (an
+// explicit list, bounded by the body limit) and otherwise only checks
+// the named space — handlers run it before resolving models (which may
+// train on demand) and call ResolveLate afterwards, so a malformed or
+// unknown request never pays training or a full-factorial allocation,
+// and no request validates the same designs twice.
+func (sp SpaceSpec) ResolveEarly() ([]space.Config, error) {
+	if len(sp.Designs) > 0 {
+		return sp.explicitDesigns()
+	}
+	_, err := sp.levels()
+	return nil, err
+}
+
+// ResolveLate materialises the named space after model resolution; early
+// is ResolveEarly's result, returned as-is for explicit lists.
+func (sp SpaceSpec) ResolveLate(early []space.Config) []space.Config {
+	if early != nil {
+		return early
+	}
+	// levels cannot fail here: ResolveEarly validated the name.
+	levels, _ := sp.levels()
+	if sp.Sample > 0 {
+		seed := sp.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return space.SampleDesign(sp.Sample, levels, space.Baseline(), 4, mathx.NewRNG(seed))
+	}
+	return levels.FullFactorial(space.Baseline())
+}
+
+// Constraint is the wire form of explore.Constraint.
+type Constraint struct {
+	Objective int     `json:"objective"`
+	Max       float64 `json:"max"`
+}
+
+// Candidate is the wire form of one evaluated design point.
+type Candidate struct {
+	Config ConfigJSON `json:"config"`
+	Scores []float64  `json:"scores"`
+}
+
+// ToExplore expands the wire candidate back into engine form.
+func (c Candidate) ToExplore() explore.Candidate {
+	return explore.Candidate{Config: c.Config.ToConfig(), Scores: c.Scores}
+}
+
+// ToCandidates compacts evaluated candidates for a response.
+func ToCandidates(cands []explore.Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = Candidate{Config: ToConfigJSON(c.Config), Scores: c.Scores}
+	}
+	return out
+}
+
+// Error is the uniform JSON error envelope of every endpoint.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// PredictRequest is the body of POST /predict. The single form names one
+// metric and config; the batch form (configs and/or metrics set) scores
+// many configs under many metrics in one request.
+type PredictRequest struct {
+	Benchmark string     `json:"benchmark"`
+	Metric    string     `json:"metric,omitempty"`
+	Config    ConfigSpec `json:"config"`
+
+	Metrics []string     `json:"metrics,omitempty"`
+	Configs []ConfigSpec `json:"configs,omitempty"`
+	// IncludeTraces adds the full predicted traces to batch responses
+	// (single-form responses always carry the trace).
+	IncludeTraces bool `json:"include_traces,omitempty"`
+}
+
+// PredictResponse answers the single form of POST /predict.
+type PredictResponse struct {
+	Benchmark string     `json:"benchmark"`
+	Metric    string     `json:"metric"`
+	Config    ConfigJSON `json:"config"`
+	Trace     []float64  `json:"trace"`
+	Mean      float64    `json:"mean"`
+	Worst     float64    `json:"worst"`
+}
+
+// PredictResult is one cell of a batch prediction matrix.
+type PredictResult struct {
+	Mean  float64   `json:"mean"`
+	Worst float64   `json:"worst"`
+	Trace []float64 `json:"trace,omitempty"`
+}
+
+// BatchPredictResponse answers the batch form of POST /predict.
+type BatchPredictResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Metrics   []string     `json:"metrics"`
+	Configs   []ConfigJSON `json:"configs"`
+	// Results[i][j] scores Configs[i] under Metrics[j].
+	Results   [][]PredictResult `json:"results"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+// SweepRequest is the body of POST /sweep: streaming top-K constrained
+// selection over a design space.
+type SweepRequest struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []ObjectiveSpec `json:"objectives"`
+	SpaceSpec
+	// TopK bounds how many candidates are returned (default 10).
+	TopK int `json:"top_k,omitempty"`
+	// Objective indexes Objectives as the minimisation target (default 0).
+	Objective   int          `json:"objective,omitempty"`
+	Constraints []Constraint `json:"constraints,omitempty"`
+}
+
+// Validate rejects malformed sweep requests — empty or unknown
+// objectives, out-of-range objective and constraint indexes. It is the
+// single accept/reject rule shared by a worker's /sweep and a
+// coordinator's /cluster/sweep, so the two surfaces cannot drift.
+func (r SweepRequest) Validate() error {
+	if err := validateObjectives(r.Objectives); err != nil {
+		return err
+	}
+	if r.Objective < 0 || r.Objective >= len(r.Objectives) {
+		return fmt.Errorf("objective index %d out of range", r.Objective)
+	}
+	for _, con := range r.Constraints {
+		if con.Objective < 0 || con.Objective >= len(r.Objectives) {
+			return fmt.Errorf("constraint objective index %d out of range", con.Objective)
+		}
+	}
+	return nil
+}
+
+// ErrNoObjectives rejects sweeps with nothing to optimise.
+var ErrNoObjectives = errors.New("no objectives given")
+
+// validateObjectives rejects empty objective lists, bad kinds, and
+// unknown metric names up front — before a worker resolves models (which
+// could train on demand) or a coordinator fans a doomed request across
+// the fleet.
+func validateObjectives(specs []ObjectiveSpec) error {
+	if len(specs) == 0 {
+		return ErrNoObjectives
+	}
+	for _, spec := range specs {
+		if _, err := spec.Build(); err != nil {
+			return err
+		}
+		if _, err := ParseMetric(spec.Metric); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepResponse answers POST /sweep.
+type SweepResponse struct {
+	Benchmark  string      `json:"benchmark"`
+	Objectives []string    `json:"objectives"`
+	Evaluated  int         `json:"evaluated"`
+	Feasible   int         `json:"feasible"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+// ParetoRequest is the body of POST /pareto: the Pareto frontier of a
+// design space under the chosen objectives.
+type ParetoRequest struct {
+	Benchmark  string          `json:"benchmark"`
+	Objectives []ObjectiveSpec `json:"objectives"`
+	SpaceSpec
+}
+
+// Validate rejects malformed frontier requests; shared by a worker's
+// /pareto and a coordinator's /cluster/pareto.
+func (r ParetoRequest) Validate() error {
+	return validateObjectives(r.Objectives)
+}
+
+// ParetoResponse answers POST /pareto.
+type ParetoResponse struct {
+	Benchmark  string      `json:"benchmark"`
+	Objectives []string    `json:"objectives"`
+	Evaluated  int         `json:"evaluated"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Frontier   []Candidate `json:"frontier"`
+}
+
+// WarmRequest is the body of POST /warm: pre-train (or warm-start) every
+// configured metric of the named benchmarks before the first sweep needs
+// them — the admin hook a coordinator uses to place models on workers.
+type WarmRequest struct {
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// MaxWarmBenchmarks bounds one warm request; warming is training, so the
+// list stays small by construction.
+const MaxWarmBenchmarks = 64
+
+// Validate rejects malformed warm requests; shared by a worker's /warm
+// and a coordinator's.
+func (r WarmRequest) Validate() error {
+	if len(r.Benchmarks) == 0 {
+		return errors.New("warm needs a non-empty benchmark list")
+	}
+	if len(r.Benchmarks) > MaxWarmBenchmarks {
+		return fmt.Errorf("warm accepts at most %d benchmarks (got %d)", MaxWarmBenchmarks, len(r.Benchmarks))
+	}
+	return nil
+}
+
+// WarmResponse answers POST /warm.
+type WarmResponse struct {
+	Benchmarks []string `json:"benchmarks"`
+	// Trainings counts the training runs this warm itself triggered
+	// (already-warm benchmarks cost zero); a coordinator reports the sum
+	// across its fleet.
+	Trainings int     `json:"trainings"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Errors lists per-worker failures of a partially successful
+	// coordinator warm (the successful placements stand; a sweep would
+	// re-dispatch around the failed workers).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// ClusterSweepResponse answers POST /cluster/sweep: a SweepResponse merged
+// from per-shard worker answers, plus the distribution's accounting.
+type ClusterSweepResponse struct {
+	SweepResponse
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// Retries counts shard attempts that failed and were re-dispatched.
+	Retries int `json:"retries"`
+}
+
+// ClusterParetoResponse answers POST /cluster/pareto.
+type ClusterParetoResponse struct {
+	ParetoResponse
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	Retries int `json:"retries"`
+}
+
+// ObjectiveNames labels resolved objectives for a response.
+func ObjectiveNames(objectives []explore.Objective) []string {
+	names := make([]string, len(objectives))
+	for i, o := range objectives {
+		names[i] = o.Name
+	}
+	return names
+}
