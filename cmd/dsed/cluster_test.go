@@ -5,8 +5,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/wire"
@@ -97,7 +99,7 @@ func clusterFixture(t *testing.T, shardSize int, worker2Budget int64) (coordTS, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS = httptest.NewServer(newCoordServer(coord, nil).Handler())
+	coordTS = httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
 	t.Cleanup(coordTS.Close)
 	return coordTS, worker1TS
 }
@@ -260,6 +262,239 @@ func TestClusterSweepMatchesSingleProcess(t *testing.T) {
 		if string(sc) != string(dc) {
 			t.Fatalf("rank %d differs:\n  cluster %s\n  single  %s", i, dc, sc)
 		}
+	}
+}
+
+// gatedHandler parks matching requests until released, holding a sweep
+// in flight while the test mutates the fleet around it.
+type gatedHandler struct {
+	next    http.Handler
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+		g.once.Do(func() { <-g.release })
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// countingHandler counts served sweep requests.
+type countingHandler struct {
+	next  http.Handler
+	calls atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+		c.calls.Add(1)
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+// TestElasticFleetSweep is the acceptance scenario for dynamic
+// membership: a fleet formed entirely through POST /register serves a
+// sweep during which a third worker registers and one original dies —
+// and the merged frontier is still byte-identical (up to ordering) to
+// the single-process /pareto answer.
+func TestElasticFleetSweep(t *testing.T) {
+	srv := testServer(t)
+
+	// Original worker 1 parks its first sweep request until released, so
+	// the sweep is verifiably in flight while the fleet changes shape.
+	gate := &gatedHandler{next: srv.Handler(), release: make(chan struct{})}
+	worker1TS := httptest.NewServer(gate)
+	t.Cleanup(worker1TS.Close)
+	// Original worker 2 serves one sweep request, then aborts every
+	// connection — the mid-sweep death.
+	k := &killable{next: srv.Handler()}
+	k.budget.Store(1)
+	worker2TS := httptest.NewServer(k)
+	t.Cleanup(worker2TS.Close)
+	// The late joiner counts the shards it serves.
+	late := &countingHandler{next: srv.Handler()}
+	worker3TS := httptest.NewServer(late)
+	t.Cleanup(worker3TS.Close)
+
+	// An empty coordinator: the whole fleet joins over HTTP.
+	coord, err := cluster.New(nil, cluster.Options{ShardSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
+	t.Cleanup(coordTS.Close)
+
+	register := func(workerURL string) {
+		t.Helper()
+		var resp wire.RegisterResponse
+		if status := postJSON(t, coordTS, "/register", wire.RegisterRequest{Addr: workerURL}, &resp); status != http.StatusOK {
+			t.Fatalf("registering %s: status %d", workerURL, status)
+		}
+		if resp.TTLSeconds <= 0 {
+			t.Fatalf("register response advertises no TTL: %+v", resp)
+		}
+	}
+	register(worker1TS.URL)
+	register(worker2TS.URL)
+
+	// Start the sweep against the 2-worker fleet; worker 1's gate parks
+	// it mid-flight.
+	type answer struct {
+		status int
+		resp   wire.ClusterParetoResponse
+	}
+	done := make(chan answer, 1)
+	go func() {
+		var dist wire.ClusterParetoResponse
+		status := postJSON(t, coordTS, "/cluster/pareto", paretoBody(), &dist)
+		done <- answer{status, dist}
+	}()
+
+	// Mid-sweep: the third worker registers, then the gate opens (and
+	// worker 2's budget ensures it dies under load).
+	register(worker3TS.URL)
+	close(gate.release)
+
+	a := <-done
+	if a.status != http.StatusOK {
+		t.Fatalf("elastic sweep status %d", a.status)
+	}
+	// Record the joiner's shard count before anything else talks to it:
+	// the assertion below must count sweep shards only.
+	joinerShards := late.calls.Load()
+	// The reference answer comes from worker 1 (its gate is long open),
+	// NOT the counted joiner.
+	var single wire.ParetoResponse
+	if status := postJSON(t, worker1TS, "/pareto", paretoBody(), &single); status != http.StatusOK {
+		t.Fatalf("single-process pareto status %d", status)
+	}
+	if a.resp.Evaluated != single.Evaluated {
+		t.Fatalf("elastic sweep evaluated %d designs, single process %d", a.resp.Evaluated, single.Evaluated)
+	}
+	if a.resp.Retries == 0 {
+		t.Error("the dying worker produced no retries — the death was not exercised")
+	}
+	if joinerShards == 0 {
+		t.Error("the mid-sweep joiner served no shards")
+	}
+	wantKeys := sortedCandidateJSON(t, single.Frontier)
+	gotKeys := sortedCandidateJSON(t, a.resp.Frontier)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("elastic frontier has %d points, single-process %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if wantKeys[i] != gotKeys[i] {
+			t.Fatalf("elastic frontier point %d differs:\n  cluster %s\n  single  %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// TestMembershipEndpoints drives the register/heartbeat protocol over
+// HTTP: join, renew, the 404 re-register signal, validation, and the
+// /healthz membership report with its failures/rejections split.
+func TestMembershipEndpoints(t *testing.T) {
+	srv := testServer(t)
+	workerTS := httptest.NewServer(srv.Handler())
+	t.Cleanup(workerTS.Close)
+	coord, err := cluster.New(nil, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
+	t.Cleanup(coordTS.Close)
+
+	// Heartbeat before registering: 404, the re-register signal.
+	hb := wire.HeartbeatRequest{Addr: workerTS.URL, Benchmarks: []string{"gcc"}}
+	if status := postJSON(t, coordTS, "/heartbeat", hb, nil); status != http.StatusNotFound {
+		t.Fatalf("heartbeat before register: status %d, want 404", status)
+	}
+
+	// Register, then heartbeat successfully.
+	var reg wire.RegisterResponse
+	if status := postJSON(t, coordTS, "/register", wire.RegisterRequest(hb), &reg); status != http.StatusOK {
+		t.Fatalf("register status %d", status)
+	}
+	if reg.Workers != 1 {
+		t.Errorf("register reports %d workers, want 1", reg.Workers)
+	}
+	var beat wire.HeartbeatResponse
+	if status := postJSON(t, coordTS, "/heartbeat", hb, &beat); status != http.StatusOK {
+		t.Fatalf("heartbeat after register: status %d", status)
+	}
+	if beat.Worker != reg.Worker {
+		t.Errorf("heartbeat canonical name %q differs from register's %q", beat.Worker, reg.Worker)
+	}
+
+	// Malformed registrations are rejected.
+	if status := postJSON(t, coordTS, "/register", wire.RegisterRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty register status %d, want 400", status)
+	}
+	if status := postJSON(t, coordTS, "/register", wire.RegisterRequest{Addr: "portless"}, nil); status != http.StatusBadRequest {
+		t.Errorf("portless register status %d, want 400", status)
+	}
+
+	// The membership report lists the worker with its advertised
+	// inventory and the failures/rejections split.
+	resp, err := http.Get(coordTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status  string `json:"status"`
+		Members int    `json:"members"`
+		Workers []struct {
+			Name       string   `json:"name"`
+			OK         bool     `json:"ok"`
+			Static     bool     `json:"static"`
+			Failures   int      `json:"failures"`
+			Rejections int      `json:"rejections"`
+			Benchmarks []string `json:"benchmarks"`
+		} `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Members != 1 || len(health.Workers) != 1 {
+		t.Fatalf("healthz members=%d workers=%d, want 1/1", health.Members, len(health.Workers))
+	}
+	w := health.Workers[0]
+	if !w.OK || w.Static {
+		t.Errorf("registered worker reported ok=%v static=%v, want true/false", w.OK, w.Static)
+	}
+	if len(w.Benchmarks) != 1 || w.Benchmarks[0] != "gcc" {
+		t.Errorf("advertised inventory not reported: %+v", w)
+	}
+
+	// A deterministic 4xx (unknown benchmark) books a rejection, not a
+	// failure: operators can tell a bad request from a dead worker.
+	body := map[string]any{
+		"benchmark":  "doom",
+		"objectives": []map[string]any{{"metric": "CPI"}},
+		"space":      "test",
+		"sample":     40,
+	}
+	if status := postJSON(t, coordTS, "/cluster/pareto", body, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown benchmark status %d, want the worker's 404", status)
+	}
+	resp2, err := http.Get(coordTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	w = health.Workers[0]
+	if w.Failures != 0 {
+		t.Errorf("a 4xx verdict booked %d transport failures, want 0", w.Failures)
+	}
+	if w.Rejections == 0 {
+		t.Error("a 4xx verdict booked no rejection")
+	}
+	if health.Status != "ok" {
+		t.Errorf("a 4xx verdict degraded fleet health to %q", health.Status)
 	}
 }
 

@@ -13,21 +13,24 @@ import (
 	"repro/internal/wire"
 )
 
-// coordServer is the serving layer of coordinator mode (-workers): it owns
-// no models and runs no simulations — requests are partitioned across the
-// worker fleet through a cluster.Coordinator and the partial answers
-// merged. The sweep endpoints accept exactly the wire format of a single
-// worker's /sweep and /pareto, so a client scales from one daemon to a
-// fleet by changing the URL path.
+// coordServer is the serving layer of coordinator mode (-workers /
+// -coordinator): it owns no models and runs no simulations — requests are
+// partitioned across the worker fleet through a cluster.Coordinator and
+// the partial answers merged. The sweep endpoints accept exactly the wire
+// format of a single worker's /sweep and /pareto, so a client scales from
+// one daemon to a fleet by changing the URL path. The fleet itself is
+// live: workers join through POST /register, renew through POST
+// /heartbeat, and /healthz reports the membership table.
 type coordServer struct {
 	coord   *cluster.Coordinator
+	ttl     time.Duration
 	started time.Time
 	stats   *httpStats
 	reqLog  *log.Logger
 }
 
-func newCoordServer(coord *cluster.Coordinator, reqLog *log.Logger) *coordServer {
-	return &coordServer{coord: coord, started: time.Now(), stats: newHTTPStats(), reqLog: reqLog}
+func newCoordServer(coord *cluster.Coordinator, ttl time.Duration, reqLog *log.Logger) *coordServer {
+	return &coordServer{coord: coord, ttl: ttl, started: time.Now(), stats: newHTTPStats(), reqLog: reqLog}
 }
 
 func (s *coordServer) routes() map[string]http.HandlerFunc {
@@ -35,6 +38,8 @@ func (s *coordServer) routes() map[string]http.HandlerFunc {
 		"/healthz":        s.handleHealthz,
 		"/metrics":        s.handleMetrics,
 		"/warm":           s.handleWarm,
+		"/register":       s.handleRegister,
+		"/heartbeat":      s.handleHeartbeat,
 		"/cluster/sweep":  s.handleSweep,
 		"/cluster/pareto": s.handlePareto,
 	}
@@ -63,12 +68,39 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), workerProbeTimeout)
 	defer cancel()
 	health := s.coord.Health(ctx)
-	workers := make([]map[string]any, len(health))
+	probes := make(map[string]error, len(health))
+	for _, h := range health {
+		probes[h.Name] = h.Err
+	}
+	members := s.coord.Members()
+	workers := make([]map[string]any, len(members))
 	status := "ok"
-	for i, h := range health {
-		entry := map[string]any{"name": h.Name, "ok": h.Err == nil, "failures": h.Failures}
-		if h.Err != nil {
-			entry["error"] = h.Err.Error()
+	for i, m := range members {
+		err, probed := probes[m.Name]
+		entry := map[string]any{
+			"name":   m.Name,
+			"ok":     probed && err == nil,
+			"static": m.Static,
+			// failures are transport faults and timeouts (a sick worker);
+			// rejections are the worker's deterministic 4xx verdicts on
+			// bad requests — never evidence against the worker itself.
+			"failures":    m.Failures,
+			"rejections":  m.Rejections,
+			"capacity":    m.Capacity,
+			"inflight":    m.Inflight,
+			"shards_done": m.ShardsDone,
+		}
+		if m.EWMAPerDesignMS > 0 {
+			entry["ewma_ms_per_design"] = m.EWMAPerDesignMS
+		}
+		if !m.Static {
+			entry["since_heartbeat_seconds"] = m.SinceSeen.Seconds()
+		}
+		if len(m.Benchmarks) > 0 {
+			entry["benchmarks"] = m.Benchmarks
+		}
+		if err != nil {
+			entry["error"] = err.Error()
 			status = "degraded"
 		}
 		workers[i] = entry
@@ -78,7 +110,64 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"mode":           "coordinator",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"retries":        s.coord.Retries(),
+		"ttl_seconds":    s.ttl.Seconds(),
+		"members":        len(members),
 		"workers":        workers,
+	})
+}
+
+// handleRegister joins a worker to the fleet (or renews one already
+// present — registration is idempotent). The worker's advertised address
+// becomes its transport and its membership name.
+func (s *coordServer) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t := cluster.NewHTTP(req.Addr, nil)
+	added, err := s.coord.Join(t, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks})
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if added && s.reqLog != nil {
+		s.reqLog.Printf("membership: worker %s joined (%d trained benchmarks advertised)", t.Name(), len(req.Benchmarks))
+	}
+	writeJSON(w, r, http.StatusOK, wire.RegisterResponse{
+		Worker:     t.Name(),
+		Workers:    len(s.coord.Workers()),
+		TTLSeconds: s.ttl.Seconds(),
+	})
+}
+
+// handleHeartbeat renews a worker's lease and refreshes its advertised
+// inventory. Unknown workers answer 404 — the re-register signal.
+func (s *coordServer) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req wire.HeartbeatRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := cluster.NewHTTP(req.Addr, nil).Name()
+	if err := s.coord.Heartbeat(name, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks}); err != nil {
+		if errors.Is(err, cluster.ErrUnknownMember) {
+			httpError(w, r, http.StatusNotFound, "%v", err)
+			return
+		}
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, wire.HeartbeatResponse{
+		Worker:     name,
+		Workers:    len(s.coord.Workers()),
+		TTLSeconds: s.ttl.Seconds(),
 	})
 }
 

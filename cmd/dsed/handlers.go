@@ -58,18 +58,11 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	}
 	// "Trained" means every served metric is in memory: a partially
 	// warm-started benchmark still owes a training run, so clients that
-	// pick pre-warmed work from this list are never surprised.
+	// pick pre-warmed work from this list are never surprised. The same
+	// inventory is what membership heartbeats advertise for affinity
+	// scheduling.
 	metrics := s.store.Metrics()
-	counts := make(map[string]int)
-	for _, e := range s.store.Entries() {
-		counts[e.Benchmark]++
-	}
-	trained := []string{}
-	for _, b := range s.store.Benchmarks() {
-		if counts[b] == len(metrics) {
-			trained = append(trained, b)
-		}
-	}
+	trained := s.store.Trained()
 	trainedSet := make(map[string]bool, len(trained))
 	for _, b := range trained {
 		trainedSet[b] = true

@@ -21,17 +21,29 @@
 //	POST /pareto      Pareto frontier of a space under chosen objectives
 //	POST /warm        pre-train (or warm-start) a benchmark list
 //
-// With -workers, the same binary runs as a cluster coordinator instead:
-// it trains nothing itself, range-partitions each sweep into shards,
-// consistent-hashes the benchmark onto the worker fleet, retries shards
-// on worker failure, and merges the partial answers (see
-// internal/cluster). Coordinator endpoints:
+// With -workers (a static fleet) or -coordinator (an empty fleet that
+// grows by registration), the same binary runs as a cluster coordinator
+// instead: it trains nothing itself, partitions each sweep into shards,
+// routes each shard to a worker advertising the benchmark's trained
+// models (spilling to consistent-hash ring order under load), retries
+// shards on worker failure, and merges the partial answers (see
+// internal/cluster). With -target-shard-ms set, shard sizes adapt per
+// worker toward that duration from observed latency. Coordinator
+// endpoints:
 //
-//	GET  /healthz         fleet liveness (per-worker status and failures)
+//	GET  /healthz         live membership (per-worker status, failures
+//	                      vs rejections, inventory, latency EWMA)
 //	GET  /metrics         per-endpoint counters plus shard retries
+//	POST /register        join the fleet (idempotent; lease = 3 heartbeats)
+//	POST /heartbeat       renew the lease, refresh the model inventory
 //	POST /warm            place benchmark models on their home workers
 //	POST /cluster/sweep   distributed top-K sweep (same body as /sweep)
 //	POST /cluster/pareto  distributed frontier (same body as /pareto)
+//
+// A worker started with -seed coordinator-addr joins that fleet on boot
+// and heartbeats its trained-benchmark inventory every -heartbeat
+// interval (re-registering automatically if the coordinator forgets it).
+// The training-design sampling seed moved to -train-seed.
 //
 // Example:
 //
@@ -44,15 +56,18 @@
 //	curl -s localhost:8090/benchmarks
 //	curl -s localhost:8090/metrics
 //
-// Coordinator over two workers:
+// Elastic coordinator, workers joining by registration:
 //
-//	dsed -addr :8091 &
-//	dsed -addr :8092 &
-//	dsed -addr :8090 -workers localhost:8091,localhost:8092
+//	dsed -addr :8090 -coordinator -heartbeat 5s -target-shard-ms 500 &
+//	dsed -addr 127.0.0.1:8091 -seed 127.0.0.1:8090 &
+//	dsed -addr 127.0.0.1:8092 -seed 127.0.0.1:8090 &
 //	curl -s localhost:8090/healthz
 //	curl -s localhost:8090/warm -d '{"benchmarks":["gcc"]}'
 //	curl -s localhost:8090/cluster/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
 //	curl -s localhost:8090/cluster/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5}'
+//
+// A static fleet still works: dsed -addr :8090 -workers localhost:8091,localhost:8092
+// (static workers are permanent members and never evicted).
 package main
 
 import (
@@ -84,12 +99,17 @@ func main() {
 		samples    = flag.Int("samples", 64, "trace samples per run (power of two)")
 		instrs     = flag.Uint64("instrs", 65536, "instructions per training run")
 		k          = flag.Int("k", 16, "wavelet coefficients per model")
-		seed       = flag.Uint64("seed", 1, "training-design sampling seed")
+		trainSeed  = flag.Uint64("train-seed", 1, "training-design sampling seed")
 		parallel   = flag.Int("parallel", 0, "simulation/query parallelism (0 = GOMAXPROCS)")
 		modelDir   = flag.String("model-dir", "", "persist trained models here and warm-start from it on boot")
 		quiet      = flag.Bool("quiet", false, "suppress per-request log lines")
-		workerList = flag.String("workers", "", "comma-separated worker addresses (host:port); run as a cluster coordinator instead of a worker")
-		shardSize  = flag.Int("shard-size", 0, "designs per cluster shard (coordinator mode; 0 = default)")
+		workerList = flag.String("workers", "", "comma-separated static worker addresses (host:port); run as a cluster coordinator instead of a worker")
+		coordMode  = flag.Bool("coordinator", false, "run as a cluster coordinator even with no static -workers (the fleet forms via POST /register)")
+		shardSize  = flag.Int("shard-size", 0, "designs per cluster shard (coordinator mode; 0 = default; first-shard size when -target-shard-ms is set)")
+		targetMS   = flag.Int("target-shard-ms", 0, "adaptive shard sizing: carve each worker's shards to take about this long (coordinator mode; 0 = fixed -shard-size)")
+		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "membership heartbeat: send interval in worker mode (-seed), eviction basis in coordinator mode (workers lapse after 3 missed beats)")
+		seedList   = flag.String("seed", "", "comma-separated coordinator addresses to register with and heartbeat (worker mode; joins their fleets dynamically)")
+		advertise  = flag.String("advertise", "", "worker address advertised on /register (default -addr; set it when -addr binds a wildcard the coordinator cannot dial)")
 	)
 	flag.Parse()
 
@@ -102,8 +122,12 @@ func main() {
 		reqLog = nil
 	}
 
-	if *workerList != "" {
-		runCoordinator(ctx, *addr, splitList(*workerList), *shardSize, logger, reqLog)
+	if *workerList != "" || *coordMode {
+		runCoordinator(ctx, *addr, splitList(*workerList), coordOptions{
+			shardSize:     *shardSize,
+			targetShardMS: *targetMS,
+			heartbeat:     *heartbeat,
+		}, logger, reqLog)
 		return
 	}
 
@@ -134,13 +158,13 @@ func main() {
 	if *candidates <= 0 {
 		*candidates = 10
 	}
-	if *seed == 0 {
-		*seed = 1
+	if *trainSeed == 0 {
+		*trainSeed = 1
 	}
 	spec := registry.Spec{
 		Train:        *train,
 		Candidates:   *candidates,
-		Seed:         *seed,
+		Seed:         *trainSeed,
 		Samples:      *samples,
 		Instructions: *instrs,
 		Coefficients: *k,
@@ -174,16 +198,38 @@ func main() {
 	logger.Printf("registry ready: %d models (%d trained this boot) in %v",
 		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
 
+	// With seeds configured, join their fleets: register now, heartbeat
+	// forever, advertising the live trained-model inventory for
+	// benchmark-affinity scheduling.
+	if seeds := splitList(*seedList); len(seeds) > 0 {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		go newJoiner(seeds, self, *parallel, *heartbeat, store, logger).run(ctx)
+	}
+
 	srv := NewServer(store, *parallel, reqLog)
 	serve(ctx, *addr, srv.Handler(), logger)
 }
 
+// coordOptions carries coordinator-mode flags.
+type coordOptions struct {
+	shardSize     int
+	targetShardMS int
+	heartbeat     time.Duration
+}
+
+// missedHeartbeats is how many intervals a dynamic worker may skip before
+// eviction: tolerant of one lost beat and one slow one, but a worker dark
+// for three is gone.
+const missedHeartbeats = 3
+
 // runCoordinator serves coordinator mode: no registry, no training — a
-// cluster.Coordinator over HTTP transports to the worker fleet.
-func runCoordinator(ctx context.Context, addr string, workers []string, shardSize int, logger, reqLog *log.Logger) {
-	if len(workers) == 0 {
-		logger.Fatal("coordinator mode needs at least one worker address")
-	}
+// cluster.Coordinator over HTTP transports to the worker fleet. Static
+// -workers are permanent members; everyone else joins through /register
+// and stays by heartbeating.
+func runCoordinator(ctx context.Context, addr string, workers []string, opts coordOptions, logger, reqLog *log.Logger) {
 	transports := make([]cluster.Transport, len(workers))
 	for i, w := range workers {
 		// -workers once meant parallelism (now -parallel); an address with
@@ -194,12 +240,38 @@ func runCoordinator(ctx context.Context, addr string, workers []string, shardSiz
 		}
 		transports[i] = cluster.NewHTTP(w, nil)
 	}
-	coord, err := cluster.New(transports, cluster.Options{ShardSize: shardSize})
+	if opts.heartbeat <= 0 {
+		opts.heartbeat = 5 * time.Second
+	}
+	ttl := missedHeartbeats * opts.heartbeat
+	coord, err := cluster.New(transports, cluster.Options{
+		ShardSize:       opts.shardSize,
+		TargetShardTime: time.Duration(opts.targetShardMS) * time.Millisecond,
+		HeartbeatTTL:    ttl,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("coordinating %d workers: %s", len(workers), strings.Join(workers, ", "))
-	serve(ctx, addr, newCoordServer(coord, reqLog).Handler(), logger)
+	// The scheduler evicts lazily on every dispatch; this reaper keeps
+	// the membership table honest during quiet spells too.
+	go func() {
+		tick := time.NewTicker(opts.heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				coord.EvictExpired()
+			}
+		}
+	}()
+	if len(workers) > 0 {
+		logger.Printf("coordinating %d static workers: %s (TTL %v for dynamic joiners)", len(workers), strings.Join(workers, ", "), ttl)
+	} else {
+		logger.Printf("coordinating an empty fleet: waiting for POST /register (TTL %v)", ttl)
+	}
+	serve(ctx, addr, newCoordServer(coord, ttl, reqLog).Handler(), logger)
 }
 
 // serve runs one HTTP listener until the signal context drains it.

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// joiner is the worker side of the membership plane: it registers this
+// daemon with every configured seed coordinator, then renews the lease on
+// a heartbeat ticker, advertising the registry's live trained-model
+// inventory so the coordinator can route shards by benchmark affinity.
+// A heartbeat answered 404 (coordinator restarted, lease evicted) makes
+// the next beat a fresh /register — a worker never needs restarting to
+// rejoin.
+type joiner struct {
+	// seeds are coordinator base addresses (host:port or URL).
+	seeds []string
+	// addr is what this worker advertises — it must be routable from the
+	// coordinator.
+	addr     string
+	capacity int
+	interval time.Duration
+	store    *registry.Store
+	log      *log.Logger
+	client   *http.Client
+}
+
+func newJoiner(seeds []string, addr string, capacity int, interval time.Duration, store *registry.Store, logger *log.Logger) *joiner {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	timeout := interval
+	if timeout < 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	normalised := make([]string, len(seeds))
+	for i, s := range seeds {
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		normalised[i] = strings.TrimRight(s, "/")
+	}
+	return &joiner{
+		seeds:    normalised,
+		addr:     addr,
+		capacity: capacity,
+		interval: interval,
+		store:    store,
+		log:      logger,
+		client:   &http.Client{Timeout: timeout},
+	}
+}
+
+// minHeartbeatInterval floors lease-driven interval shrinking so a
+// misconfigured coordinator TTL cannot turn the joiner into a busy loop.
+const minHeartbeatInterval = 200 * time.Millisecond
+
+// run registers immediately, then heartbeats until ctx dies. It is the
+// whole lifecycle: the daemon just starts it in a goroutine. The
+// coordinator's register/heartbeat responses advertise the lease TTL;
+// when the configured -heartbeat interval would outlive a seed's lease
+// (worker and coordinator run different -heartbeat values), the joiner
+// shrinks its interval to a third of the tightest advertised TTL so the
+// lease never lapses between beats.
+func (j *joiner) run(ctx context.Context) {
+	registered := make(map[string]bool, len(j.seeds))
+	interval := j.interval
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		ttl := j.beat(ctx, registered)
+		if ttl > 0 {
+			want := time.Duration(ttl / 3 * float64(time.Second))
+			if want < minHeartbeatInterval {
+				want = minHeartbeatInterval
+			}
+			if want < interval {
+				j.log.Printf("membership: lease TTL %.1fs is tighter than -heartbeat %v; beating every %v", ttl, j.interval, want)
+				interval = want
+				tick.Reset(interval)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// beat sends one register-or-heartbeat round to every seed, returning
+// the tightest lease TTL any seed advertised (0 when none answered).
+func (j *joiner) beat(ctx context.Context, registered map[string]bool) float64 {
+	inventory := j.store.Trained()
+	if len(inventory) > wire.MaxInventoryBenchmarks {
+		inventory = inventory[:wire.MaxInventoryBenchmarks]
+	}
+	req := wire.RegisterRequest{Addr: j.addr, Capacity: j.capacity, Benchmarks: inventory}
+	minTTL := 0.0
+	noteTTL := func(ttl float64) {
+		if ttl > 0 && (minTTL == 0 || ttl < minTTL) {
+			minTTL = ttl
+		}
+	}
+	for _, seed := range j.seeds {
+		path := "/heartbeat"
+		if !registered[seed] {
+			path = "/register"
+		}
+		status, ttl, err := j.post(ctx, seed, path, req)
+		switch {
+		case err != nil:
+			if registered[seed] {
+				j.log.Printf("membership: %s%s failed: %v (will re-register)", seed, path, err)
+			}
+			registered[seed] = false
+		case status == http.StatusOK:
+			if !registered[seed] {
+				j.log.Printf("membership: registered with %s as %s (%d trained benchmarks advertised)", seed, j.addr, len(inventory))
+			}
+			registered[seed] = true
+			noteTTL(ttl)
+		case status == http.StatusNotFound && path == "/heartbeat":
+			// The coordinator forgot us (restart or eviction): re-register
+			// on the spot rather than waiting a whole interval dark.
+			registered[seed] = false
+			if s2, ttl2, err2 := j.post(ctx, seed, "/register", req); err2 == nil && s2 == http.StatusOK {
+				j.log.Printf("membership: re-registered with %s after eviction", seed)
+				registered[seed] = true
+				noteTTL(ttl2)
+			}
+		default:
+			j.log.Printf("membership: %s%s answered status %d", seed, path, status)
+			registered[seed] = false
+		}
+	}
+	return minTTL
+}
+
+func (j *joiner) post(ctx context.Context, seed, path string, body any) (int, float64, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, seed+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := j.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, 0, err
+	}
+	// Register and heartbeat responses share the ttl_seconds field; other
+	// bodies (error envelopes) simply decode to 0.
+	var lease struct {
+		TTLSeconds float64 `json:"ttl_seconds"`
+	}
+	_ = json.Unmarshal(raw, &lease)
+	return resp.StatusCode, lease.TTLSeconds, nil
+}

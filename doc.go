@@ -111,6 +111,48 @@
 // accumulated shard failures; /warm trains each benchmark on its
 // consistent-hash home workers ahead of the first query.
 //
+// # Fleet operations
+//
+// The fleet is a live membership table, not a frozen -workers list. A
+// coordinator can boot empty (-coordinator) and grow as workers register;
+// a worker started with -seed registers itself and heartbeats its
+// trained-model inventory, so the scheduler routes each benchmark's
+// shards to workers already holding its models (benchmark affinity),
+// spilling to consistent-hash ring order only under load. With
+// -target-shard-ms the coordinator also sizes each worker's shards
+// adaptively from an EWMA of its observed per-design latency.
+//
+// Boot an elastic fleet:
+//
+//	go run ./cmd/dsed -addr :8090 -coordinator -heartbeat 5s -target-shard-ms 500 &
+//	go run ./cmd/dsed -addr 127.0.0.1:8091 -seed 127.0.0.1:8090 &
+//	go run ./cmd/dsed -addr 127.0.0.1:8092 -seed 127.0.0.1:8090 &
+//
+// Register a worker by hand (registration is idempotent — re-registering
+// renews the lease):
+//
+//	curl -s localhost:8090/register -d '{"addr":"127.0.0.1:8093","capacity":8,"benchmarks":["gcc"]}'
+//
+// Renew by heartbeat (a 404 answer means the lease lapsed or the
+// coordinator restarted: register again):
+//
+//	curl -s localhost:8090/heartbeat -d '{"addr":"127.0.0.1:8093","benchmarks":["gcc","mcf"]}'
+//
+// Drain a worker: stop its heartbeats (stop the process, or just its
+// -seed loop) and the lease lapses after three missed intervals; its
+// remaining shards re-dispatch to the survivors and only ~1/N of
+// benchmark homes move. Read membership from the coordinator:
+//
+//	curl -s localhost:8090/healthz
+//
+// Each /healthz worker row reports liveness, static-versus-registered,
+// seconds since the last heartbeat, advertised benchmarks, inflight and
+// completed shards, the per-design latency EWMA, and two separate fault
+// columns: "failures" (transport faults and timeouts — a sick worker)
+// versus "rejections" (the worker's deterministic 4xx verdicts on bad
+// requests — not the worker's fault), so an operator can tell a dead
+// machine from a bad client.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.
 // The top-level benchmark harness (bench_test.go) regenerates every table

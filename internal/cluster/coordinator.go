@@ -1,31 +1,39 @@
 // Package cluster is the distributed sweep plane: a coordinator that
-// partitions model-driven design-space sweeps across N dsed workers and
-// merges their partial answers losslessly.
+// partitions model-driven design-space sweeps across a fleet of dsed
+// workers and merges their partial answers losslessly.
 //
 // The paper's predictors make evaluating a design point microseconds
 // cheap, so a single process bounds a sweep by one machine's cores. Both
 // reductions this repository serves — Pareto frontiers and constrained
 // top-K selection — are associative, so a sweep distributes exactly:
-// range-partition the design list into shards, evaluate each shard on any
+// partition the design list into shards, evaluate each shard on any
 // worker holding the benchmark's models, and fold the partial frontiers /
 // top-Ks together (explore.FrontierCollector.Merge, explore.TopK.Merge).
 // The merged answer equals the single-process answer candidate-for-
 // candidate.
 //
-// Placement is consistent-hash-on-benchmark: each benchmark has a stable
-// home worker (and fallback order) on a hash ring, so pre-warming
-// (Coordinator.Warm) trains a benchmark's models where its shards will
-// land, and a worker joining or leaving moves only ~1/N of benchmarks.
-// Shards are dealt clockwise from the home worker, dispatched concurrently
-// under a bounded pool with context cancellation, and re-dispatched to the
-// next worker on the ring when a worker fails mid-sweep — a sweep degrades
-// through worker loss and fails only when every worker rejects a shard.
+// The fleet is a live membership table, not a frozen list: workers join
+// through Join (the serving layer's POST /register), renew through
+// Heartbeat, and are evicted when their lease lapses — see membership.go.
+// The consistent-hash ring rebuilds incrementally on join and leave, so a
+// campaign keeps running while machines come and go, re-dispatching only
+// the shards orphaned by a departure.
+//
+// Scheduling is benchmark-affinity first: a shard routes to a live worker
+// whose heartbeat advertises the benchmark's trained models, spilling to
+// consistent-hash ring order only when every affine worker is at
+// capacity (or none advertises the benchmark). Shard sizes adapt per
+// worker: the coordinator tracks an EWMA of each worker's per-design
+// latency and carves subsequent shards toward a target shard duration,
+// so fast workers take big bites and slow ones small, without a fixed
+// -shard-size guess.
 package cluster
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,21 +47,28 @@ type Options struct {
 	// ShardSize is the number of designs per shard (default 2048 — large
 	// enough to amortise one HTTP round trip, small enough that a shard
 	// body stays well under the worker's 1 MiB request limit and a lost
-	// worker forfeits little work).
+	// worker forfeits little work). With TargetShardTime set it is only
+	// the first-shard size, before latency observations exist.
 	ShardSize int
-	// Parallelism bounds in-flight shards (default 2 per worker).
+	// TargetShardTime enables adaptive shard sizing: each worker's next
+	// shard is carved so that, at the worker's observed per-design EWMA
+	// latency, it takes about this long. Zero keeps fixed ShardSize
+	// shards.
+	TargetShardTime time.Duration
+	// Parallelism bounds in-flight shards (default 2 per live worker at
+	// sweep start).
 	Parallelism int
 	// VirtualNodes is the consistent-hash ring's replication factor per
 	// worker (default 64).
 	VirtualNodes int
 	// Replicas is how many workers serve (and Warm pre-places) each
-	// benchmark, counted clockwise from its ring home. Shards deal
-	// round-robin over exactly this set — so a warmed benchmark never
-	// trains on demand mid-sweep — and spill past it only when every
-	// replica has failed a shard. Default 0 means the whole fleet:
-	// maximum sweep throughput, with Warm placing models everywhere.
-	// Set it lower on large many-benchmark fleets to bound how many
-	// workers hold each benchmark's models.
+	// benchmark, counted clockwise from its ring home. Ring-order
+	// dispatch prefers exactly this set — so a warmed benchmark never
+	// trains on demand mid-sweep — and spills past it only under load or
+	// failure. Default 0 means the whole fleet: maximum sweep
+	// throughput, with Warm placing models everywhere. Set it lower on
+	// large many-benchmark fleets to bound how many workers hold each
+	// benchmark's models.
 	Replicas int
 	// ShardTimeout bounds one shard attempt on one worker (default 5
 	// minutes — generous enough for a cold benchmark training on demand
@@ -61,77 +76,93 @@ type Options struct {
 	// never answers counts as failed and the shard moves on, instead of
 	// hanging the whole sweep.
 	ShardTimeout time.Duration
+	// HeartbeatTTL is how long a dynamic member survives without a
+	// heartbeat before eviction (default 15s; static members never
+	// expire).
+	HeartbeatTTL time.Duration
+	// WorkerCapacity is the default concurrent-shard budget per worker
+	// before affinity scheduling spills to the ring; a worker's
+	// advertised capacity overrides it (default 4).
+	WorkerCapacity int
 }
 
-// maxShardSize caps configured shard sizes: a pinned design is ~170 bytes
-// of JSON, so 4096 designs stay comfortably inside the worker's 1 MiB
-// request-body limit. A larger operator value would make every shard 413
-// on every worker.
+// maxShardSize caps shard sizes, configured or adaptive: a pinned design
+// is ~170 bytes of JSON, so 4096 designs stay comfortably inside the
+// worker's 1 MiB request-body limit. A larger value would make every
+// shard 413 on every worker.
 const maxShardSize = 4096
 
-func (o Options) withDefaults(workers int) Options {
+// minShardSize floors adaptive sizing: below this the HTTP round trip
+// dominates and the scheduler would churn on noise.
+const minShardSize = 16
+
+func (o Options) withDefaults() Options {
 	if o.ShardSize <= 0 {
 		o.ShardSize = 2048
 	}
 	if o.ShardSize > maxShardSize {
 		o.ShardSize = maxShardSize
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = 2 * workers
-	}
-	if o.Replicas <= 0 || o.Replicas > workers {
-		o.Replicas = workers
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = defaultVirtualNodes
 	}
 	if o.ShardTimeout <= 0 {
 		o.ShardTimeout = 5 * time.Minute
 	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = 15 * time.Second
+	}
+	if o.WorkerCapacity <= 0 {
+		o.WorkerCapacity = 4
+	}
 	return o
 }
 
-// Coordinator partitions sweeps across a fixed worker fleet.
+// Coordinator partitions sweeps across a live worker fleet.
 type Coordinator struct {
-	workers []Transport
-	ring    *ring
-	opts    Options
+	opts Options
+	// clock overrides time.Now in tests (nil in production).
+	clock func() time.Time
 
-	mu       sync.Mutex
-	retries  int
-	failures map[string]int
+	mu         sync.Mutex
+	members    map[string]*member
+	ring       *ring
+	deal       int
+	retries    int
+	failures   map[string]int
+	rejections map[string]int
 }
 
-// New builds a coordinator over the fleet. Worker names must be unique:
-// they are the ring's placement keys.
+// New builds a coordinator over an initial static fleet (possibly empty:
+// a coordinator can boot with no workers and grow entirely through
+// Join). Static worker names must be unique: they are the ring's
+// placement keys.
 func New(workers []Transport, opts Options) (*Coordinator, error) {
-	if len(workers) == 0 {
-		return nil, fmt.Errorf("cluster: no workers")
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:       opts,
+		members:    make(map[string]*member),
+		ring:       newRing(opts.VirtualNodes),
+		failures:   make(map[string]int),
+		rejections: make(map[string]int),
 	}
-	names := make([]string, len(workers))
-	seen := make(map[string]bool, len(workers))
+	now := time.Now()
 	for i, w := range workers {
 		name := w.Name()
-		if name == "" || seen[name] {
+		if name == "" || c.members[name] != nil {
 			return nil, fmt.Errorf("cluster: worker %d has empty or duplicate name %q", i, name)
 		}
-		seen[name] = true
-		names[i] = name
+		c.members[name] = &member{
+			name:      name,
+			transport: w,
+			static:    true,
+			capacity:  opts.WorkerCapacity,
+			joined:    now,
+			lastSeen:  now,
+		}
+		c.ring.add(name)
 	}
-	opts = opts.withDefaults(len(workers))
-	return &Coordinator{
-		workers:  workers,
-		ring:     newRing(names, opts.VirtualNodes),
-		opts:     opts,
-		failures: make(map[string]int),
-	}, nil
-}
-
-// Workers returns the fleet's names in construction order (the -workers
-// flag order) — stable, and useful for reports.
-func (c *Coordinator) Workers() []string {
-	out := make([]string, len(c.workers))
-	for i, w := range c.workers {
-		out[i] = w.Name()
-	}
-	return out
+	return c, nil
 }
 
 // ParetoResult is a merged distributed frontier.
@@ -218,24 +249,13 @@ func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config
 	}, nil
 }
 
-// shardDesigns range-partitions the design list.
-func shardDesigns(designs []space.Config, size int) []Shard {
-	shards := make([]Shard, 0, (len(designs)+size-1)/size)
-	for start := 0; start < len(designs); start += size {
-		end := start + size
-		if end > len(designs) {
-			end = len(designs)
-		}
-		shards = append(shards, Shard{Start: start, Designs: designs[start:end]})
-	}
-	return shards
-}
-
-// run is the shared distribution engine: range-partition, dispatch shards
-// concurrently (each preferring a worker dealt clockwise from the
-// benchmark's home on the ring), retry failed shards on the remaining
-// workers, and fold successful partials through merge. merge may be called
-// concurrently only through the engine's per-shard goroutines; callers
+// run is the shared distribution engine: a bounded pool of dispatchers
+// carves shards off the design list on demand (each sized for the worker
+// about to take it), runs them with per-attempt timeouts, retries failed
+// shards on the rest of the live fleet, and folds successful partials
+// through merge. The fleet snapshot is taken per attempt, not per sweep:
+// a worker joining mid-run starts taking shards, one dying forfeits only
+// its in-flight shards. merge may be called concurrently; callers
 // serialise their own state.
 func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
@@ -244,67 +264,130 @@ func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
 	if len(designs) == 0 {
 		return 0, 0, fmt.Errorf("cluster: no designs to sweep")
 	}
-	parts := shardDesigns(designs, c.opts.ShardSize)
-	order := c.ring.order(q.Benchmark)
-	errs := make([]error, len(parts))
-	var localRetries atomic.Int64
+	cv := &carver{designs: designs}
+	var (
+		errMu        sync.Mutex
+		errs         []error
+		shardCount   atomic.Int64
+		localRetries atomic.Int64
+		active       atomic.Int64
+		wg           sync.WaitGroup
+	)
 	// A deterministic rejection cancels the run through this context's
 	// cause: the homogeneous fleet would give every remaining shard the
 	// same verdict, so one doomed round trip is enough.
 	runCtx, abort := context.WithCancelCause(ctx)
 	defer abort(nil)
-	poolErr := explore.ParallelFor(runCtx, len(parts), c.opts.Parallelism, func(i int) {
-		errs[i] = c.runShard(runCtx, q, parts[i], c.shardOrder(order, i), abort, &localRetries, call, merge)
-	})
-	retries = int(localRetries.Load())
-	if poolErr != nil {
-		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
-			return len(parts), retries, cause
+	var dispatch func()
+	dispatch = func() {
+		defer wg.Done()
+		defer active.Add(-1)
+		for runCtx.Err() == nil {
+			s, first, ok := c.nextAssignment(cv, q.Benchmark)
+			if !ok {
+				return
+			}
+			// Elastic pool: a fleet that grew mid-sweep deserves more
+			// in-flight shards. Spawning from inside a live dispatcher
+			// (before its own Done) keeps the WaitGroup sound; a slight
+			// overshoot under races only idles a goroutine.
+			if c.opts.Parallelism <= 0 {
+				for want := int64(c.parallelism()); active.Load() < want; {
+					active.Add(1)
+					wg.Add(1)
+					go dispatch()
+				}
+			}
+			shardCount.Add(1)
+			if err := c.runShard(runCtx, q, s, first, abort, &localRetries, call, merge); err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
 		}
-		return len(parts), retries, poolErr
+	}
+	for d := c.parallelism(); d > 0; d-- {
+		active.Add(1)
+		wg.Add(1)
+		go dispatch()
+	}
+	wg.Wait()
+	shards = int(shardCount.Load())
+	retries = int(localRetries.Load())
+	if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+		return shards, retries, cause
+	}
+	if ctx.Err() != nil {
+		return shards, retries, ctx.Err()
 	}
 	if err := errors.Join(errs...); err != nil {
-		return len(parts), retries, err
+		return shards, retries, err
 	}
-	return len(parts), retries, nil
+	return shards, retries, nil
 }
 
-// shardOrder deals one shard's worker preference: round-robin over the
-// benchmark's Replicas home workers (where Warm pre-placed the models),
-// falling back to the rest of the ring only after every replica failed.
-func (c *Coordinator) shardOrder(order []int, deal int) []int {
-	home, tail := order[:c.opts.Replicas], order[c.opts.Replicas:]
-	seq := make([]int, 0, len(order))
-	for a := 0; a < len(home); a++ {
-		seq = append(seq, home[(deal+a)%len(home)])
+// parallelism resolves the dispatcher-pool size at sweep start.
+func (c *Coordinator) parallelism() int {
+	if c.opts.Parallelism > 0 {
+		return c.opts.Parallelism
 	}
-	return append(seq, tail...)
+	c.mu.Lock()
+	live := len(c.members)
+	c.mu.Unlock()
+	if live == 0 {
+		return 1
+	}
+	return 2 * live
 }
 
-// runShard tries one shard on each worker of seq at most once, in order,
-// until one answers or the fleet is exhausted. Each attempt is bounded by
-// ShardTimeout, so a wedged worker counts as failed instead of hanging
-// the sweep.
-func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, seq []int,
+// runShard drives one shard to completion: the assigned worker first,
+// then — on transport failure — whichever untried live worker the
+// scheduler prefers next, until one answers or no live worker is left to
+// try. Each attempt is bounded by ShardTimeout, so a wedged worker counts
+// as failed instead of hanging the sweep. Claims travel as *member
+// pointers: a worker that is evicted and re-registers mid-attempt gets a
+// fresh record, and this shard's accounting settles on the detached one.
+func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *member,
 	abort context.CancelCauseFunc, localRetries *atomic.Int64,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
 	merge func(*Partial)) error {
 
+	tried := make(map[string]bool)
+	m := first
 	var lastErr error
-	for attempt, wi := range seq {
+	attempts := 0
+	for {
+		if m == nil {
+			if attempts == 0 {
+				return fmt.Errorf("cluster: shard [%d,%d): no live workers", s.Start, s.Start+len(s.Designs))
+			}
+			return fmt.Errorf("cluster: shard [%d,%d) failed on all %d workers: %w",
+				s.Start, s.Start+len(s.Designs), attempts, lastErr)
+		}
 		if err := ctx.Err(); err != nil {
+			c.release(m)
 			return err
 		}
-		w := c.workers[wi]
+		tried[m.name] = true
+		if !c.isLive(m) {
+			// Evicted (or drained) between assignment and dispatch; not a
+			// worker fault — hand the shard to the scheduler's next pick.
+			c.release(m)
+			m = c.claimRetry(q.Benchmark, tried)
+			continue
+		}
+		attempts++
 		attemptCtx, done := context.WithTimeout(ctx, c.opts.ShardTimeout)
-		p, err := call(w, attemptCtx, q, s)
+		start := time.Now()
+		p, err := call(m.transport, attemptCtx, q, s)
 		done()
 		if err == nil && p.Evaluated != len(s.Designs) {
 			// A short count means the worker silently dropped designs;
 			// trust the fleet over the answer.
-			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", w.Name(), p.Evaluated, len(s.Designs))
+			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", m.name, p.Evaluated, len(s.Designs))
 		}
 		if err == nil {
+			c.observe(m, len(s.Designs), time.Since(start))
 			merge(p)
 			return nil
 		}
@@ -312,9 +395,12 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, seq []int,
 		// request itself: retrying it on other workers — or running the
 		// remaining shards of the same request — would book phantom
 		// failures against healthy machines and burn a round trip per
-		// shard for one bad request.
+		// shard for one bad request. It is accounted apart from transport
+		// failures so fleet health never confuses a bad request with a
+		// dead worker.
 		var rejected *WorkerRejection
 		if errors.As(err, &rejected) {
+			c.noteRejection(m)
 			abort(err)
 			return err
 		}
@@ -322,28 +408,80 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, seq []int,
 		if ctx.Err() != nil {
 			// The failure is (or is about to be reported as) the caller
 			// cancelling; don't blame the worker.
+			c.release(m)
 			return ctx.Err()
 		}
+		next := c.claimRetry(q.Benchmark, tried)
 		// Every failed attempt is the worker's failure, but only a
 		// failure with another worker left to try is a re-dispatch.
-		c.note(w.Name(), attempt < len(seq)-1)
-		if attempt < len(seq)-1 {
+		c.noteFailure(m, next != nil)
+		if next != nil {
 			localRetries.Add(1)
 		}
+		m = next
 	}
-	return fmt.Errorf("cluster: shard [%d,%d) failed on all %d workers: %w",
-		s.Start, s.Start+len(s.Designs), len(seq), lastErr)
 }
 
-// note records a worker failure (and optionally a re-dispatch) for the
-// lifetime health report.
-func (c *Coordinator) note(worker string, redispatched bool) {
+// isLive reports whether this exact member record is still in the fleet
+// (same name and same registration — a rejoined worker is a new record).
+func (c *Coordinator) isLive(m *member) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.failures[worker]++
+	return c.members[m.name] == m
+}
+
+// observe books a completed shard: releases the worker's slot and folds
+// the attempt latency into its per-design EWMA (the adaptive shard
+// sizer's input).
+func (c *Coordinator) observe(m *member, designs int, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.inflight--
+	m.shardsDone++
+	if designs <= 0 {
+		return
+	}
+	sample := float64(elapsed.Microseconds()) / 1000 / float64(designs)
+	if m.ewmaPerDesignMS == 0 {
+		m.ewmaPerDesignMS = sample
+	} else {
+		m.ewmaPerDesignMS = ewmaAlpha*sample + (1-ewmaAlpha)*m.ewmaPerDesignMS
+	}
+}
+
+// ewmaAlpha weights the newest shard latency sample: heavy enough to
+// track a worker warming up or degrading within a sweep, light enough
+// that one hiccup does not whipsaw shard sizes.
+const ewmaAlpha = 0.3
+
+// release frees a worker's shard slot without a latency observation
+// (cancelled attempts say nothing about the worker's speed).
+func (c *Coordinator) release(m *member) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.inflight--
+}
+
+// noteFailure books a transport failure (and optionally a re-dispatch)
+// against a worker for the lifetime health report, releasing its slot.
+func (c *Coordinator) noteFailure(m *member, redispatched bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.inflight--
+	c.failures[m.name]++
 	if redispatched {
 		c.retries++
 	}
+}
+
+// noteRejection books a deterministic 4xx verdict, releasing the slot.
+// Rejections blame the request, not the worker: they are reported in
+// their own column and never count toward fleet-health failures.
+func (c *Coordinator) noteRejection(m *member) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.inflight--
+	c.rejections[m.name]++
 }
 
 // WarmResult is the outcome of one fleet warm.
@@ -359,69 +497,99 @@ type WarmResult struct {
 }
 
 // Warm pre-places models: each benchmark is trained (or warm-started) on
-// its Replicas home workers, concurrently per worker. Shard dealing uses
-// exactly the same replica set, so a following sweep's shards land on
-// workers that already hold the models. Like a sweep, a warm degrades
-// through worker loss: per-worker failures are reported in the result,
-// not allowed to void the placements that succeeded.
+// its Replicas home workers, concurrently per worker. Ring-order shard
+// dispatch prefers exactly the same replica set, so a following sweep's
+// shards land on workers that already hold the models. Like a sweep, a
+// warm degrades through worker loss: per-worker failures are reported in
+// the result, not allowed to void the placements that succeeded.
 func (c *Coordinator) Warm(ctx context.Context, benchmarks []string) *WarmResult {
-	per := make(map[int][]string)
+	c.mu.Lock()
+	c.evictExpiredLocked(c.now())
+	per := make(map[string][]string)
+	transports := make(map[string]Transport)
 	for _, b := range benchmarks {
 		order := c.ring.order(b)
-		for r := 0; r < c.opts.Replicas && r < len(order); r++ {
-			per[order[r]] = append(per[order[r]], b)
+		replicas := c.replicasLocked()
+		for r := 0; r < replicas && r < len(order); r++ {
+			name := order[r]
+			per[name] = append(per[name], b)
+			transports[name] = c.members[name].transport
 		}
 	}
-	errs := make([]error, len(c.workers))
-	counts := make([]int, len(c.workers))
-	var wg sync.WaitGroup
-	for w, list := range per {
+	c.mu.Unlock()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		res     = &WarmResult{Workers: len(per)}
+		warmErr []error
+	)
+	for name, list := range per {
 		wg.Add(1)
-		go func(w int, list []string) {
+		go func(name string, t Transport, list []string) {
 			defer wg.Done()
-			n, werr := c.workers[w].Warm(ctx, list)
-			counts[w] = n
+			n, werr := t.Warm(ctx, list)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Trainings += n
 			if werr != nil {
-				errs[w] = fmt.Errorf("cluster: warming %v on %s: %w", list, c.workers[w].Name(), werr)
+				warmErr = append(warmErr, fmt.Errorf("cluster: warming %v on %s: %w", list, name, werr))
 			}
-		}(w, list)
+		}(name, transports[name], list)
 	}
 	wg.Wait()
-	res := &WarmResult{Workers: len(per)}
-	for _, n := range counts {
-		res.Trainings += n
-	}
-	for _, err := range errs {
-		if err != nil {
-			res.Errors = append(res.Errors, err)
-		}
-	}
+	res.Errors = warmErr
 	return res
 }
 
-// WorkerHealth is one worker's live status plus its cumulative shard
-// failures over the coordinator's lifetime.
-type WorkerHealth struct {
-	Name     string
-	Err      error
-	Failures int
+// replicasLocked resolves the per-benchmark replica count against the
+// live fleet size.
+func (c *Coordinator) replicasLocked() int {
+	if c.opts.Replicas > 0 && c.opts.Replicas < len(c.members) {
+		return c.opts.Replicas
+	}
+	return len(c.members)
 }
 
-// Health probes every worker concurrently.
+// WorkerHealth is one worker's live status plus its cumulative shard
+// accounting over the coordinator's lifetime. Failures are transport
+// faults and timeouts — evidence of a sick worker; Rejections are the
+// worker's own deterministic 4xx verdicts on bad requests, which say
+// nothing about its health.
+type WorkerHealth struct {
+	Name       string
+	Err        error
+	Failures   int
+	Rejections int
+}
+
+// Health probes every live member concurrently.
 func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
-	out := make([]WorkerHealth, len(c.workers))
+	c.mu.Lock()
+	c.evictExpiredLocked(c.now())
+	names := make([]string, 0, len(c.members))
+	for name := range c.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	transports := make([]Transport, len(names))
+	for i, name := range names {
+		transports[i] = c.members[name].transport
+	}
+	c.mu.Unlock()
+	out := make([]WorkerHealth, len(names))
 	var wg sync.WaitGroup
-	for i, w := range c.workers {
+	for i := range names {
 		wg.Add(1)
-		go func(i int, w Transport) {
+		go func(i int) {
 			defer wg.Done()
-			out[i] = WorkerHealth{Name: w.Name(), Err: w.Healthy(ctx)}
-		}(i, w)
+			out[i] = WorkerHealth{Name: names[i], Err: transports[i].Healthy(ctx)}
+		}(i)
 	}
 	wg.Wait()
 	c.mu.Lock()
 	for i := range out {
 		out[i].Failures = c.failures[out[i].Name]
+		out[i].Rejections = c.rejections[out[i].Name]
 	}
 	c.mu.Unlock()
 	return out

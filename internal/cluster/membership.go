@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the coordinator's membership plane: the live member table
+// behind dynamic fleets. Workers join (or renew) through Join, stay alive
+// through Heartbeat, drain through Leave, and are evicted when their
+// heartbeats stop. The hash ring rebuilds incrementally on every join and
+// leave, so fleet churn moves only the affected benchmarks' homes and an
+// in-flight sweep re-dispatches only the shards orphaned by a departure.
+
+// ErrUnknownMember answers a heartbeat for a worker the coordinator does
+// not know (never registered, drained, or already evicted). A worker
+// receiving it must re-register — its state here is gone.
+var ErrUnknownMember = errors.New("cluster: unknown member (register first)")
+
+// MemberInfo is what a worker advertises when joining and on every
+// heartbeat.
+type MemberInfo struct {
+	// Capacity bounds how many shards the coordinator schedules on the
+	// worker at once before affinity spills to the ring (0 = the
+	// coordinator's default).
+	Capacity int
+	// Benchmarks is the worker's trained-model inventory: the benchmarks
+	// whose every served metric is already in its registry. The scheduler
+	// routes shards for these benchmarks to the worker first.
+	Benchmarks []string
+}
+
+// member is one fleet entry: its transport, liveness, advertised
+// inventory, and the scheduler's per-worker statistics. Shard claims
+// hold the *member pointer, not the name: a worker that is evicted and
+// re-registers mid-shard gets a fresh record, and the stale shard's
+// accounting lands harmlessly on the detached one instead of corrupting
+// the new record's inflight count.
+type member struct {
+	name      string
+	transport Transport
+	// static members come from the configured worker list: they never
+	// heartbeat and are never evicted.
+	static   bool
+	capacity int
+	joined   time.Time
+	lastSeen time.Time
+	// benchmarks is the heartbeat-advertised trained inventory.
+	benchmarks map[string]bool
+	// inflight counts shards currently dispatched to the worker.
+	inflight int
+	// ewmaPerDesignMS tracks the worker's observed per-design latency
+	// (0 until the first completed shard); adaptive sizing derives the
+	// worker's next shard size from it.
+	ewmaPerDesignMS float64
+	shardsDone      int
+}
+
+// MemberStatus is one member's row in membership reports (/healthz).
+type MemberStatus struct {
+	Name     string
+	Static   bool
+	Capacity int
+	// SinceSeen is the age of the last join/heartbeat (0 for static
+	// members, which do not heartbeat).
+	SinceSeen time.Duration
+	// Benchmarks is the advertised trained inventory, sorted.
+	Benchmarks []string
+	Inflight   int
+	ShardsDone int
+	// EWMAPerDesignMS is the scheduler's latency estimate (0 = no
+	// completed shard yet).
+	EWMAPerDesignMS float64
+	// Failures counts transport faults and timeouts booked against the
+	// worker; Rejections counts its deterministic 4xx verdicts, which
+	// blame the request, not the worker.
+	Failures   int
+	Rejections int
+}
+
+// Join registers a worker (or renews one already present: a re-register
+// is a heartbeat that also carries the transport). New members are
+// inserted into the hash ring incrementally, so only ~1/N of benchmark
+// homes move and in-flight sweeps keep their surviving placements.
+// It reports whether the worker was new.
+func (c *Coordinator) Join(t Transport, info MemberInfo) (bool, error) {
+	name := t.Name()
+	if name == "" {
+		return false, fmt.Errorf("cluster: joining worker has an empty name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if m, ok := c.members[name]; ok {
+		m.lastSeen = now
+		m.benchmarks = benchmarkSet(info.Benchmarks)
+		if info.Capacity > 0 {
+			m.capacity = info.Capacity
+		}
+		return false, nil
+	}
+	c.members[name] = &member{
+		name:       name,
+		transport:  t,
+		capacity:   c.capacityFor(info.Capacity),
+		joined:     now,
+		lastSeen:   now,
+		benchmarks: benchmarkSet(info.Benchmarks),
+	}
+	c.ring.add(name)
+	return true, nil
+}
+
+// Heartbeat renews a member's lease and refreshes its advertised
+// inventory. Unknown members answer ErrUnknownMember: the worker must
+// re-register through Join.
+func (c *Coordinator) Heartbeat(name string, info MemberInfo) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	m.lastSeen = c.now()
+	m.benchmarks = benchmarkSet(info.Benchmarks)
+	if info.Capacity > 0 {
+		m.capacity = info.Capacity
+	}
+	return nil
+}
+
+// Leave drains a worker immediately: it comes off the ring and the member
+// table, new shards stop routing to it, and its in-flight shards (if any
+// fail) re-dispatch to the survivors. It reports whether the worker was a
+// member. Static members can be drained too — that is the operator's
+// remove-from-fleet hook.
+func (c *Coordinator) Leave(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[name]; !ok {
+		return false
+	}
+	delete(c.members, name)
+	c.ring.remove(name)
+	return true
+}
+
+// evictExpiredLocked removes every dynamic member whose lease ran out.
+// Called with c.mu held on the scheduling and reporting paths, so a fleet
+// with no traffic still converges the next time anyone looks at it.
+func (c *Coordinator) evictExpiredLocked(now time.Time) {
+	if c.opts.HeartbeatTTL <= 0 {
+		return
+	}
+	for name, m := range c.members {
+		if m.static {
+			continue
+		}
+		if now.Sub(m.lastSeen) > c.opts.HeartbeatTTL {
+			delete(c.members, name)
+			c.ring.remove(name)
+		}
+	}
+}
+
+// EvictExpired sweeps expired leases now (the serving layer's periodic
+// reaper hook; the scheduler also evicts lazily on every dispatch).
+func (c *Coordinator) EvictExpired() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictExpiredLocked(c.now())
+}
+
+// Members reports the live fleet sorted by name.
+func (c *Coordinator) Members() []MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.evictExpiredLocked(now)
+	out := make([]MemberStatus, 0, len(c.members))
+	for name, m := range c.members {
+		st := MemberStatus{
+			Name:            name,
+			Static:          m.static,
+			Capacity:        m.capacity,
+			Benchmarks:      sortedBenchmarks(m.benchmarks),
+			Inflight:        m.inflight,
+			ShardsDone:      m.shardsDone,
+			EWMAPerDesignMS: m.ewmaPerDesignMS,
+			Failures:        c.failures[name],
+			Rejections:      c.rejections[name],
+		}
+		if !m.static {
+			st.SinceSeen = now.Sub(m.lastSeen)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Workers returns the live fleet's names, sorted — the dynamic successor
+// of the construction-order list, still stable for reports.
+func (c *Coordinator) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictExpiredLocked(c.now())
+	out := make([]string, 0, len(c.members))
+	for name := range c.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// capacityFor resolves an advertised capacity against the default.
+func (c *Coordinator) capacityFor(advertised int) int {
+	if advertised > 0 {
+		return advertised
+	}
+	return c.opts.WorkerCapacity
+}
+
+// now is the membership clock (injectable for deterministic lease tests).
+func (c *Coordinator) now() time.Time {
+	if c.clock != nil {
+		return c.clock()
+	}
+	return time.Now()
+}
+
+func benchmarkSet(list []string) map[string]bool {
+	if len(list) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(list))
+	for _, b := range list {
+		set[b] = true
+	}
+	return set
+}
+
+func sortedBenchmarks(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -6,34 +6,48 @@ import (
 	"sort"
 )
 
-// ring is a consistent-hash ring over worker indexes. Benchmarks hash onto
+// ring is a consistent-hash ring over worker names. Benchmarks hash onto
 // the ring to pick the workers holding (or owed) their trained models:
 // placement is stable across sweeps, spreads benchmarks evenly via virtual
 // nodes, and moves only ~1/N of benchmarks when a worker joins or leaves —
 // so a mostly-stable fleet keeps its warm models useful.
+//
+// The ring is keyed by name (not index) and rebuilds incrementally: a
+// join inserts only the new worker's virtual nodes and a leave removes
+// only the departed worker's, so dynamic fleet membership never disturbs
+// the placement of benchmarks homed on the survivors.
 type ring struct {
-	points  []ringPoint // sorted by hash
-	workers int
+	points       []ringPoint // sorted by hash
+	workers      map[string]bool
+	virtualNodes int
 }
 
 type ringPoint struct {
 	hash   uint64
-	worker int
+	worker string
 }
 
 // defaultVirtualNodes balances placement within a few percent for small
 // fleets without making ring construction or lookup noticeable.
 const defaultVirtualNodes = 64
 
-func newRing(names []string, virtualNodes int) *ring {
+func newRing(virtualNodes int) *ring {
 	if virtualNodes <= 0 {
 		virtualNodes = defaultVirtualNodes
 	}
-	r := &ring{workers: len(names), points: make([]ringPoint, 0, len(names)*virtualNodes)}
-	for w, name := range names {
-		for v := 0; v < virtualNodes; v++ {
-			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, v)), worker: w})
-		}
+	return &ring{workers: make(map[string]bool), virtualNodes: virtualNodes}
+}
+
+// add inserts one worker's virtual nodes; adding a present worker is a
+// no-op. Only the new points move benchmark homes, and every home they
+// take was the new worker's to claim — survivors never trade homes.
+func (r *ring) add(name string) {
+	if r.workers[name] {
+		return
+	}
+	r.workers[name] = true
+	for v := 0; v < r.virtualNodes; v++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, v)), worker: name})
 	}
 	sort.Slice(r.points, func(a, b int) bool {
 		if r.points[a].hash != r.points[b].hash {
@@ -41,8 +55,27 @@ func newRing(names []string, virtualNodes int) *ring {
 		}
 		return r.points[a].worker < r.points[b].worker
 	})
-	return r
 }
+
+// remove deletes one worker's virtual nodes; removing an absent worker is
+// a no-op. The surviving points keep their relative order, so only the
+// departed worker's homes move (to their next clockwise survivor).
+func (r *ring) remove(name string) {
+	if !r.workers[name] {
+		return
+	}
+	delete(r.workers, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.worker != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// size reports the worker count on the ring.
+func (r *ring) size() int { return len(r.workers) }
 
 func hashKey(key string) uint64 {
 	h := fnv.New64a()
@@ -63,15 +96,18 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// order returns every worker index exactly once, clockwise from the key's
+// order returns every worker exactly once, clockwise from the key's
 // position on the ring: order[0] is the key's home worker, the rest are
 // its fallbacks in preference order. Deterministic in the key and the
 // ring, so coordinator restarts and retries agree on placement.
-func (r *ring) order(key string) []int {
-	out := make([]int, 0, r.workers)
-	seen := make([]bool, r.workers)
+func (r *ring) order(key string) []string {
+	out := make([]string, 0, len(r.workers))
+	seen := make(map[string]bool, len(r.workers))
+	if len(r.points) == 0 {
+		return out
+	}
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hashKey(key) })
-	for i := 0; i < len(r.points) && len(out) < r.workers; i++ {
+	for i := 0; i < len(r.points) && len(out) < len(r.workers); i++ {
 		p := r.points[(start+i)%len(r.points)]
 		if !seen[p.worker] {
 			seen[p.worker] = true

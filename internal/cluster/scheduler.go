@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/space"
+)
+
+// This file is the coordinator's shard scheduler: shards are carved off
+// the design list on demand (not pre-partitioned), each sized for the
+// worker about to take it, and each routed benchmark-affinity first —
+// to a live worker whose heartbeat advertises the benchmark's trained
+// models — spilling to consistent-hash ring order only when no affine
+// worker has capacity to spare.
+
+// carver hands out contiguous shards of a sweep's design list on demand.
+// Shard boundaries do not affect the merged answer (the reductions are
+// associative and property-tested shard-size-independent), so the carver
+// is free to size every bite for whichever worker takes it. Callers
+// serialise access (the coordinator carves under its own lock).
+type carver struct {
+	designs []space.Config
+	next    int
+}
+
+// take carves the next shard of up to n designs; ok is false when the
+// list is exhausted.
+func (cv *carver) take(n int) (Shard, bool) {
+	if cv.next >= len(cv.designs) {
+		return Shard{}, false
+	}
+	if n < 1 {
+		n = 1
+	}
+	end := cv.next + n
+	if end > len(cv.designs) {
+		end = len(cv.designs)
+	}
+	s := Shard{Start: cv.next, Designs: cv.designs[cv.next:end]}
+	cv.next = end
+	return s, true
+}
+
+// nextAssignment carves the next shard and claims a worker slot for it.
+// The shard is sized for the chosen worker's observed latency (adaptive
+// sizing) and the pick sees the fleet as it is right now — a worker that
+// joined a second ago is already schedulable, an evicted one already
+// isn't. The claimed member is nil when no live worker exists (the shard
+// then fails with a diagnosable error instead of blocking forever).
+func (c *Coordinator) nextAssignment(cv *carver, benchmark string) (Shard, *member, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictExpiredLocked(c.now())
+	name := c.pickWorkerLocked(benchmark, nil)
+	s, ok := cv.take(c.shardSizeLocked(name))
+	if !ok {
+		return Shard{}, nil, false
+	}
+	m := c.members[name]
+	if m != nil {
+		m.inflight++
+	}
+	return s, m, true
+}
+
+// claimRetry picks and claims the scheduler's next choice among live
+// workers not yet tried for a failing shard (nil when none is left).
+func (c *Coordinator) claimRetry(benchmark string, tried map[string]bool) *member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictExpiredLocked(c.now())
+	m := c.members[c.pickWorkerLocked(benchmark, tried)]
+	if m != nil {
+		m.inflight++
+	}
+	return m
+}
+
+// pickWorkerLocked is the routing rule for one shard, in preference
+// order:
+//
+//  1. Benchmark affinity: workers advertising the benchmark's trained
+//     models in their heartbeat, while any has a free capacity slot —
+//     dealt round-robin so affine workers share the load.
+//  2. Ring order: the benchmark's Replicas home workers (where Warm
+//     pre-places models), round-robin over those with free slots.
+//  3. The rest of the ring, clockwise, with free slots.
+//  4. Everyone is at capacity: the least-loaded untried worker — the
+//     sweep must make progress even when the fleet is saturated.
+//
+// tried excludes workers that already failed this shard.
+func (c *Coordinator) pickWorkerLocked(benchmark string, tried map[string]bool) string {
+	if len(c.members) == 0 {
+		return ""
+	}
+	// 1. Affinity, under capacity.
+	var affine []string
+	for name, m := range c.members {
+		if tried[name] || !m.benchmarks[benchmark] {
+			continue
+		}
+		if m.inflight < m.capacity {
+			affine = append(affine, name)
+		}
+	}
+	if len(affine) > 0 {
+		sort.Strings(affine)
+		return affine[c.nextDeal()%len(affine)]
+	}
+	// 2. Ring replicas, under capacity.
+	order := c.ring.order(benchmark)
+	replicas := c.replicasLocked()
+	if replicas > len(order) {
+		replicas = len(order)
+	}
+	var free []string
+	for _, name := range order[:replicas] {
+		if !tried[name] && c.members[name].inflight < c.members[name].capacity {
+			free = append(free, name)
+		}
+	}
+	if len(free) > 0 {
+		return free[c.nextDeal()%len(free)]
+	}
+	// 3. The rest of the ring, under capacity.
+	for _, name := range order[replicas:] {
+		if !tried[name] && c.members[name].inflight < c.members[name].capacity {
+			return name
+		}
+	}
+	// 4. Saturated fleet: least-loaded untried, name-tie-broken.
+	best := ""
+	for _, name := range order {
+		if tried[name] {
+			continue
+		}
+		if best == "" || c.members[name].inflight < c.members[best].inflight ||
+			(c.members[name].inflight == c.members[best].inflight && name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
+// nextDeal advances the round-robin dealing counter (held under c.mu).
+func (c *Coordinator) nextDeal() int {
+	d := c.deal
+	c.deal++
+	return d
+}
+
+// shardSizeLocked sizes the next shard for one worker. Fixed ShardSize
+// until adaptive sizing is on (TargetShardTime > 0) and the worker has a
+// latency observation; then the size that would take about
+// TargetShardTime at the worker's per-design EWMA, clamped to
+// [minShardSize, maxShardSize].
+func (c *Coordinator) shardSizeLocked(name string) int {
+	size := c.opts.ShardSize
+	if c.opts.TargetShardTime <= 0 || name == "" {
+		return size
+	}
+	m := c.members[name]
+	if m == nil || m.ewmaPerDesignMS <= 0 {
+		return size
+	}
+	targetMS := float64(c.opts.TargetShardTime.Microseconds()) / 1000
+	adaptive := int(targetMS / m.ewmaPerDesignMS)
+	if adaptive < minShardSize {
+		return minShardSize
+	}
+	if adaptive > maxShardSize {
+		return maxShardSize
+	}
+	return adaptive
+}

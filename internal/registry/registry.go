@@ -400,6 +400,30 @@ func (s *Store) Entries() []Entry {
 	return out
 }
 
+// Trained returns the sorted benchmarks whose every configured metric is
+// in memory — the daemon's complete trained-model inventory. This is
+// what a worker advertises in its membership heartbeats: a coordinator
+// routing by affinity must only trust benchmarks that cannot owe a
+// training run mid-sweep, so a partially warm-started benchmark (one
+// valid model beside a corrupt one) is excluded until its retrain.
+func (s *Store) Trained() []string {
+	s.mu.Lock()
+	counts := make(map[string]int)
+	for k := range s.models {
+		counts[k.Benchmark]++
+	}
+	want := len(s.cfg.Metrics)
+	s.mu.Unlock()
+	out := make([]string, 0, len(counts))
+	for b, n := range counts {
+		if n == want {
+			out = append(out, b)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Benchmarks returns the sorted benchmarks with at least one model in
 // memory.
 func (s *Store) Benchmarks() []string {

@@ -460,6 +460,30 @@ func TestEntriesAndBenchmarks(t *testing.T) {
 	}
 }
 
+// TestTrained proves the heartbeat inventory lists only benchmarks with
+// every configured metric in memory: affinity routing must never send a
+// shard to a worker that still owes a training run.
+func TestTrained(t *testing.T) {
+	s := openStore(t, "", &countingTrainer{})
+	if got := s.Trained(); len(got) != 0 {
+		t.Fatalf("empty store advertises %v", got)
+	}
+	if _, err := s.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Trained(); len(got) != 1 || got[0] != "gcc" {
+		t.Fatalf("Trained() = %v, want [gcc]", got)
+	}
+	// A partial inventory (think: one valid model warm-started beside a
+	// corrupt sibling) must not advertise the benchmark.
+	s.mu.Lock()
+	s.models[Key{"twolf", sim.MetricCPI}] = s.models[Key{"gcc", sim.MetricCPI}]
+	s.mu.Unlock()
+	if got := s.Trained(); len(got) != 1 || got[0] != "gcc" {
+		t.Fatalf("Trained() with a partial twolf = %v, want [gcc]", got)
+	}
+}
+
 // TestWarm proves the pre-warm hook trains every (benchmark, metric) pair
 // exactly once, is idempotent, and reports unknown benchmarks without
 // abandoning the rest of the list.

@@ -9,6 +9,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/explore"
 	"repro/internal/mathx"
@@ -400,6 +401,79 @@ type WarmResponse struct {
 	// coordinator warm (the successful placements stand; a sweep would
 	// re-dispatch around the failed workers).
 	Errors []string `json:"errors,omitempty"`
+}
+
+// MaxInventoryBenchmarks bounds the trained-model inventory one register
+// or heartbeat may advertise; a fleet member holding more models than
+// this advertises its first MaxInventoryBenchmarks and still benefits
+// from affinity for those.
+const MaxInventoryBenchmarks = 256
+
+// RegisterRequest is the body of POST /register: a worker joining the
+// coordinator's fleet (or renewing its membership — re-registering is
+// idempotent). Addr is how the coordinator reaches the worker, so it
+// must be routable from the coordinator, not the worker's loopback view
+// of itself.
+type RegisterRequest struct {
+	Addr string `json:"addr"`
+	// Capacity is how many concurrent shards the worker wants at most
+	// (0 = the coordinator's default).
+	Capacity int `json:"capacity,omitempty"`
+	// Benchmarks is the worker's trained-model inventory (benchmarks
+	// with every served metric in memory); the scheduler routes those
+	// benchmarks' shards to this worker first.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+}
+
+// Validate rejects malformed registrations before they touch the
+// membership table.
+func (r RegisterRequest) Validate() error {
+	if r.Addr == "" {
+		return errors.New("register needs a worker addr")
+	}
+	if !strings.Contains(r.Addr, ":") {
+		return fmt.Errorf("worker addr %q is not host:port (or a URL)", r.Addr)
+	}
+	if r.Capacity < 0 {
+		return fmt.Errorf("capacity %d is negative", r.Capacity)
+	}
+	if len(r.Benchmarks) > MaxInventoryBenchmarks {
+		return fmt.Errorf("inventory lists %d benchmarks, at most %d are usable", len(r.Benchmarks), MaxInventoryBenchmarks)
+	}
+	for _, b := range r.Benchmarks {
+		if b == "" || len(b) > 128 {
+			return fmt.Errorf("inventory benchmark name %q is empty or oversized", b)
+		}
+	}
+	return nil
+}
+
+// RegisterResponse answers POST /register.
+type RegisterResponse struct {
+	// Worker is the canonical member name the coordinator filed the
+	// worker under; heartbeats must use it.
+	Worker string `json:"worker"`
+	// Workers is the live fleet size after the join.
+	Workers int `json:"workers"`
+	// TTLSeconds is the membership lease: heartbeat again before it
+	// lapses or be evicted.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// HeartbeatRequest is the body of POST /heartbeat: a lease renewal
+// carrying the worker's current inventory. The shape matches
+// RegisterRequest so a worker builds both from the same state.
+type HeartbeatRequest RegisterRequest
+
+// Validate rejects malformed heartbeats.
+func (r HeartbeatRequest) Validate() error { return RegisterRequest(r).Validate() }
+
+// HeartbeatResponse answers POST /heartbeat. An unknown worker gets a
+// 404 error envelope instead: it must re-register.
+type HeartbeatResponse struct {
+	Worker     string  `json:"worker"`
+	Workers    int     `json:"workers"`
+	TTLSeconds float64 `json:"ttl_seconds"`
 }
 
 // ClusterSweepResponse answers POST /cluster/sweep: a SweepResponse merged

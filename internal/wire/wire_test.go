@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRequestValidate(t *testing.T) {
+	big := make([]string, MaxInventoryBenchmarks+1)
+	for i := range big {
+		big[i] = "b"
+	}
+	cases := []struct {
+		name string
+		req  RegisterRequest
+		ok   bool
+	}{
+		{"minimal", RegisterRequest{Addr: "127.0.0.1:8091"}, true},
+		{"url form", RegisterRequest{Addr: "http://worker-3:8091"}, true},
+		{"with inventory", RegisterRequest{Addr: "w:1", Capacity: 8, Benchmarks: []string{"gcc", "mcf"}}, true},
+		{"no addr", RegisterRequest{}, false},
+		{"portless addr", RegisterRequest{Addr: "worker-3"}, false},
+		{"negative capacity", RegisterRequest{Addr: "w:1", Capacity: -1}, false},
+		{"oversized inventory", RegisterRequest{Addr: "w:1", Benchmarks: big}, false},
+		{"empty benchmark name", RegisterRequest{Addr: "w:1", Benchmarks: []string{""}}, false},
+		{"oversized benchmark name", RegisterRequest{Addr: "w:1", Benchmarks: []string{strings.Repeat("x", 129)}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.req.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid request accepted", tc.name)
+		}
+		// Heartbeats share the register shape and verdicts exactly.
+		herr := HeartbeatRequest(tc.req).Validate()
+		if (err == nil) != (herr == nil) {
+			t.Errorf("%s: heartbeat validation diverged from register (%v vs %v)", tc.name, herr, err)
+		}
+	}
+}
