@@ -10,6 +10,15 @@
 //
 // Output is text: each experiment prints the same rows/series the paper
 // plots.
+//
+// With -daemon the driver becomes a remote exploration CLI over the
+// versioned /v1 job API (through pkg/dsedclient): it submits a frontier
+// (-exp pareto, the default) or constrained top-K (-exp sweep) job to
+// the daemon or coordinator at that address, prints each streamed
+// partial result as it arrives, and reports the final answer:
+//
+//	dse -daemon localhost:8090 -exp pareto -benchmarks gcc -sample 2000
+//	dse -daemon localhost:8090 -exp sweep  -benchmarks gcc -sample 2000
 package main
 
 import (
@@ -24,12 +33,17 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/thermal"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 func main() {
 	var (
+		daemon     = flag.String("daemon", "", "run the exploration remotely through the dsed daemon at this address (-exp pareto or sweep)")
+		sample     = flag.Int("sample", 5000, "remote mode: LHS-sample this many designs from the space (0 = full factorial)")
 		expName    = flag.String("exp", "fig8", "experiment: table1,table2,workloads,fig1,fig2,fig4,fig7,fig8,fig9,fig10,fig11,fig13,fig14,fig17,fig18,fig19,ablation-selection,ablation-models,ablation-sampling,ext-thermal,scorecard,all")
 		scaleName  = flag.String("scale", "quick", "campaign scale: quick or paper")
 		train      = flag.Int("train", 0, "override: training design points")
@@ -45,6 +59,17 @@ func main() {
 		loadData   = flag.String("load-data", "", "restore previously checkpointed datasets before the run")
 	)
 	flag.Parse()
+
+	if *daemon != "" {
+		// Remote mode: ^C cancels the stream, which also cancels the
+		// daemon-side job.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runRemote(ctx, *daemon, *expName, *benchmarks, *sample, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -278,6 +303,67 @@ func pickBenchmark(c *experiments.Campaign, preferred string) string {
 		}
 	}
 	return c.Scale.Benchmarks[0]
+}
+
+// runRemote drives a daemon (or coordinator fleet) through the typed
+// /v1 client: submit the job, print every streamed partial result, then
+// the final answer. exp picks the job shape: "pareto" (also the
+// experiment-driver default "fig8", for bare `dse -daemon host`) or
+// "sweep".
+func runRemote(ctx context.Context, addr, exp, benchmarks string, sample int, seed uint64) error {
+	benchmark := "gcc"
+	if list := strings.Split(benchmarks, ","); benchmarks != "" && list[0] != "" {
+		benchmark = strings.TrimSpace(list[0])
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	c := dsedclient.New(addr)
+	objectives := []wire.ObjectiveSpec{{Metric: "CPI"}, {Metric: "Power"}}
+	spaceSpec := wire.SpaceSpec{Space: "test", Sample: sample, Seed: seed}
+	partials := 0
+	onUpdate := func(u api.Update) {
+		if u.Final {
+			return
+		}
+		partials++
+		line := fmt.Sprintf("partial: evaluated %d/%d, %d candidates", u.Evaluated, u.Designs, len(u.Candidates))
+		if u.Shards > 0 {
+			line += fmt.Sprintf(" (%d shards", u.Shards)
+			if u.Worker != "" {
+				line += ", last from " + u.Worker
+			}
+			line += ")"
+		}
+		fmt.Println(line)
+	}
+	switch exp {
+	case "sweep":
+		resp, err := c.SweepJob(ctx, wire.SweepRequest{
+			Benchmark: benchmark, Objectives: objectives, SpaceSpec: spaceSpec, TopK: 10,
+		}, onUpdate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("final: %d partial updates, evaluated %d, feasible %d, %d candidates in %.0fms\n",
+			partials, resp.Evaluated, resp.Feasible, len(resp.Candidates), resp.ElapsedMS)
+		for i, cand := range resp.Candidates {
+			fmt.Printf("  #%d %v | scores %v\n", i+1, cand.Config.ToConfig(), cand.Scores)
+		}
+	default: // pareto — including the experiment-driver default exp name
+		resp, err := c.ParetoJob(ctx, wire.ParetoRequest{
+			Benchmark: benchmark, Objectives: objectives, SpaceSpec: spaceSpec,
+		}, onUpdate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("final: %d partial updates, evaluated %d, frontier %d points in %.0fms\n",
+			partials, resp.Evaluated, len(resp.Frontier), resp.ElapsedMS)
+		for _, cand := range resp.Frontier {
+			fmt.Printf("  %v | scores %v\n", cand.Config.ToConfig(), cand.Scores)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,7 +21,7 @@ import (
 func TestWarmEndpoint(t *testing.T) {
 	ct := &countTrainer{Trainer: tinyTrainer()}
 	store := openTestStore(t, "", ct)
-	ts := httptest.NewServer(NewServer(store, 0, nil).Handler())
+	ts := httptest.NewServer(NewServer(context.Background(), store, 0, nil).Handler())
 	defer ts.Close()
 
 	var resp wire.WarmResponse
@@ -62,19 +64,30 @@ func TestWarmEndpoint(t *testing.T) {
 	}
 }
 
-// killable wraps a worker handler and aborts every connection on the
-// given paths once its budget of served sweep requests is spent —
-// simulating a worker killed mid-sweep.
+// shardSubmission matches the requests the cluster transport opens a
+// shard with — the /v1 job submissions.
+func shardSubmission(r *http.Request) bool {
+	return r.URL.Path == "/v1/pareto" || r.URL.Path == "/v1/sweeps"
+}
+
+// killable wraps a worker handler and aborts every sweep-serving
+// connection once its budget of shard submissions is spent — simulating
+// a worker killed mid-sweep. Job routes (stream, status, cancel) die
+// with it, so a shard whose submission slipped through still fails at
+// its stream.
 type killable struct {
 	next   http.Handler
 	budget atomic.Int64
 }
 
 func (k *killable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+	switch {
+	case shardSubmission(r):
 		if k.budget.Add(-1) < 0 {
 			panic(http.ErrAbortHandler)
 		}
+	case strings.HasPrefix(r.URL.Path, "/v1/jobs/") && k.budget.Load() < 0:
+		panic(http.ErrAbortHandler)
 	}
 	k.next.ServeHTTP(w, r)
 }
@@ -99,7 +112,7 @@ func clusterFixture(t *testing.T, shardSize int, worker2Budget int64) (coordTS, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS = httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
+	coordTS = httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
 	t.Cleanup(coordTS.Close)
 	return coordTS, worker1TS
 }
@@ -274,7 +287,7 @@ type gatedHandler struct {
 }
 
 func (g *gatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+	if shardSubmission(r) {
 		g.once.Do(func() { <-g.release })
 	}
 	g.next.ServeHTTP(w, r)
@@ -287,7 +300,7 @@ type countingHandler struct {
 }
 
 func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/pareto" || r.URL.Path == "/sweep" {
+	if shardSubmission(r) {
 		c.calls.Add(1)
 	}
 	c.next.ServeHTTP(w, r)
@@ -322,7 +335,7 @@ func TestElasticFleetSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	register := func(workerURL string) {
@@ -401,7 +414,7 @@ func TestMembershipEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	// Heartbeat before registering: 404, the re-register signal.

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/explore"
+	"repro/internal/space"
 	"repro/internal/wire"
 )
 
@@ -17,43 +19,65 @@ import (
 // -coordinator): it owns no models and runs no simulations — requests are
 // partitioned across the worker fleet through a cluster.Coordinator and
 // the partial answers merged. The sweep endpoints accept exactly the wire
-// format of a single worker's /sweep and /pareto, so a client scales from
-// one daemon to a fleet by changing the URL path. The fleet itself is
-// live: workers join through POST /register, renew through POST
-// /heartbeat, and /healthz reports the membership table.
+// format of a single worker's routes, so a client scales from one daemon
+// to a fleet by changing the URL. Exploration runs as async /v1 jobs
+// whose streams carry partial frontiers merged shard-by-shard from the
+// workers; the legacy /cluster/* routes are blocking shims over the same
+// jobs. The fleet itself is live: workers join through POST
+// /v1/register, renew through POST /v1/heartbeat, and /v1/healthz
+// reports the membership table.
 type coordServer struct {
 	coord   *cluster.Coordinator
 	ttl     time.Duration
 	started time.Time
 	stats   *httpStats
 	reqLog  *log.Logger
+	jobAPI
 }
 
-func newCoordServer(coord *cluster.Coordinator, ttl time.Duration, reqLog *log.Logger) *coordServer {
-	return &coordServer{coord: coord, ttl: ttl, started: time.Now(), stats: newHTTPStats(), reqLog: reqLog}
-}
-
-func (s *coordServer) routes() map[string]http.HandlerFunc {
-	return map[string]http.HandlerFunc{
-		"/healthz":        s.handleHealthz,
-		"/metrics":        s.handleMetrics,
-		"/warm":           s.handleWarm,
-		"/register":       s.handleRegister,
-		"/heartbeat":      s.handleHeartbeat,
-		"/cluster/sweep":  s.handleSweep,
-		"/cluster/pareto": s.handlePareto,
+func newCoordServer(ctx context.Context, coord *cluster.Coordinator, ttl time.Duration, reqLog *log.Logger) *coordServer {
+	return &coordServer{
+		coord:   coord,
+		ttl:     ttl,
+		started: time.Now(),
+		stats:   newHTTPStats(),
+		reqLog:  reqLog,
+		jobAPI: jobAPI{jobs: api.NewManager(api.ManagerOptions{
+			ErrorStatus: clusterStatus,
+			BaseContext: ctx,
+		})},
 	}
 }
 
 // Handler routes the coordinator's endpoints behind the same
-// logging/metrics middleware as a worker.
+// request-ID / logging / metrics middleware as a worker: the /v1
+// surface plus the legacy shims.
 func (s *coordServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	known := make(map[string]bool)
-	for path, h := range s.routes() {
-		mux.HandleFunc(path, h)
-		known[path] = true
+	reg := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		known[pattern] = true
 	}
+	reg("/v1/healthz", negotiated(s.handleHealthz))
+	reg("/v1/metrics", negotiated(s.handleMetrics))
+	reg("/v1/warm", negotiated(s.handleWarm))
+	reg("/v1/register", negotiated(s.handleRegister))
+	reg("/v1/heartbeat", negotiated(s.handleHeartbeat))
+	reg("/v1/sweeps", negotiated(s.handleSweepSubmit))
+	reg("/v1/pareto", negotiated(s.handleParetoSubmit))
+	reg("/v1/jobs/{id}", negotiated(s.handleJob))
+	reg("/v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, r, http.StatusNotFound, "no such /v1 route %q", r.URL.Path)
+	})
+	reg("/healthz", deprecated("/v1/healthz", s.handleHealthz))
+	reg("/metrics", deprecated("/v1/metrics", s.handleMetrics))
+	reg("/warm", deprecated("/v1/warm", s.handleWarm))
+	reg("/register", deprecated("/v1/register", s.handleRegister))
+	reg("/heartbeat", deprecated("/v1/heartbeat", s.handleHeartbeat))
+	reg("/cluster/sweep", deprecated("/v1/sweeps", s.handleSweep))
+	reg("/cluster/pareto", deprecated("/v1/pareto", s.handlePareto))
 	return instrument(mux, s.stats, known, s.reqLog)
 }
 
@@ -99,6 +123,12 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if len(m.Benchmarks) > 0 {
 			entry["benchmarks"] = m.Benchmarks
 		}
+		// The heartbeat-advertised per-benchmark running job counts: the
+		// load signal behind future spill decisions, surfaced here so an
+		// operator can already see which worker is drowning in what.
+		if len(m.QueueDepths) > 0 {
+			entry["queue_depths"] = m.QueueDepths
+		}
 		if err != nil {
 			entry["error"] = err.Error()
 			status = "degraded"
@@ -129,7 +159,7 @@ func (s *coordServer) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := cluster.NewHTTP(req.Addr, nil)
-	added, err := s.coord.Join(t, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks})
+	added, err := s.coord.Join(t, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks, QueueDepths: req.QueueDepths})
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -156,7 +186,7 @@ func (s *coordServer) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := cluster.NewHTTP(req.Addr, nil).Name()
-	if err := s.coord.Heartbeat(name, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks}); err != nil {
+	if err := s.coord.Heartbeat(name, cluster.MemberInfo{Capacity: req.Capacity, Benchmarks: req.Benchmarks, QueueDepths: req.QueueDepths}); err != nil {
 		if errors.Is(err, cluster.ErrUnknownMember) {
 			httpError(w, r, http.StatusNotFound, "%v", err)
 			return
@@ -201,7 +231,7 @@ func (s *coordServer) handleWarm(w http.ResponseWriter, r *http.Request) {
 	// stand, with the failures itemised.
 	if res.Workers > 0 && len(res.Errors) == res.Workers {
 		err := errors.Join(res.Errors...)
-		httpError(w, r, clusterStatus(r, err), "%v", err)
+		httpError(w, r, clusterStatus(err), "%v", err)
 		return
 	}
 	errStrings := make([]string, len(res.Errors))
@@ -246,80 +276,180 @@ func objectiveNames(specs []wire.ObjectiveSpec) []string {
 	return wire.ObjectiveNames(objectives)
 }
 
-func (s *coordServer) handleSweep(w http.ResponseWriter, r *http.Request) {
+// submitSweep decodes, validates and starts a distributed top-K job.
+// The shared wire validation keeps the coordinator's verdicts identical
+// to a worker's, and kills a request the homogeneous fleet would
+// deterministically reject before any shard fans out.
+func (s *coordServer) submitSweep(w http.ResponseWriter, r *http.Request) *api.Job {
 	var req wire.SweepRequest
 	if !decodePost(w, r, &req) {
-		return
+		return nil
 	}
-	// The shared wire validation keeps the coordinator's verdicts
-	// identical to a worker's, and kills a request the homogeneous fleet
-	// would deterministically reject before any shard fans out.
 	if err := req.Validate(); err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
-	q := queryFromSweep(req)
 	early, err := req.ResolveEarly()
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
-	designs := req.ResolveLate(early)
-	start := time.Now()
-	res, err := s.coord.Sweep(r.Context(), q, designs)
-	if err != nil {
-		httpError(w, r, clusterStatus(r, err), "%v", err)
-		return
-	}
-	writeJSON(w, r, http.StatusOK, wire.ClusterSweepResponse{
-		SweepResponse: wire.SweepResponse{
-			Benchmark:  req.Benchmark,
-			Objectives: objectiveNames(req.Objectives),
-			Evaluated:  res.Evaluated,
-			Feasible:   res.Feasible,
-			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-			Candidates: wire.ToCandidates(res.Candidates),
-		},
-		Workers: len(s.coord.Workers()),
-		Shards:  res.Shards,
-		Retries: res.Retries,
-	})
+	return s.startJob(w, r, api.JobSweep, req.Benchmark, len(early), s.runSweep(req, early))
 }
 
-func (s *coordServer) handlePareto(w http.ResponseWriter, r *http.Request) {
+func (s *coordServer) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitSweep(w, r); job != nil {
+		s.submitted(w, r, job)
+	}
+}
+
+// handleSweep is the legacy blocking /cluster/sweep shim over the job.
+func (s *coordServer) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitSweep(w, r); job != nil {
+		s.await(w, r, job)
+	}
+}
+
+// runSweep is the coordinator's top-K job body: the distributed sweep
+// publishes the merged feasible top-K after every shard — partial
+// results flowing worker → coordinator → client at shard granularity
+// (a shard's partial is the smallest mergeable unit).
+func (s *coordServer) runSweep(req wire.SweepRequest, early []space.Config) api.RunFunc {
+	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		q := queryFromSweep(req)
+		designs := req.ResolveLate(early)
+		names := objectiveNames(req.Objectives)
+		start := time.Now()
+		res, err := s.coord.SweepObserved(ctx, q, designs, func(p cluster.Progress) {
+			u := api.Update{
+				Evaluated:  p.Evaluated,
+				Designs:    len(designs),
+				Feasible:   p.Feasible,
+				Shards:     p.Shards,
+				Workers:    p.Workers,
+				Worker:     p.Worker,
+				Delta:      p.Delta,
+				Objectives: names,
+			}
+			// The partial payload is serialised per subscriber; skip
+			// building it when nobody streams this job.
+			if pub.Streaming() {
+				u.Candidates = wire.ToCandidates(p.Candidates)
+			}
+			pub.Publish(u)
+		})
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		resp := wire.ClusterSweepResponse{
+			SweepResponse: wire.SweepResponse{
+				Benchmark:  req.Benchmark,
+				Objectives: names,
+				Evaluated:  res.Evaluated,
+				Feasible:   res.Feasible,
+				ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+				Candidates: wire.ToCandidates(res.Candidates),
+			},
+			Workers: len(s.coord.Workers()),
+			Shards:  res.Shards,
+			Retries: res.Retries,
+		}
+		final := api.Update{
+			Evaluated:  res.Evaluated,
+			Designs:    len(designs),
+			Feasible:   res.Feasible,
+			Shards:     res.Shards,
+			Retries:    res.Retries,
+			Workers:    resp.Workers,
+			Objectives: names,
+			Candidates: resp.Candidates,
+			ElapsedMS:  resp.ElapsedMS,
+		}
+		return resp, final, nil
+	}
+}
+
+// submitPareto is submitSweep for distributed frontier jobs.
+func (s *coordServer) submitPareto(w http.ResponseWriter, r *http.Request) *api.Job {
 	var req wire.ParetoRequest
 	if !decodePost(w, r, &req) {
-		return
+		return nil
 	}
 	if err := req.Validate(); err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
 	early, err := req.ResolveEarly()
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
-	designs := req.ResolveLate(early)
-	q := cluster.Query{Benchmark: req.Benchmark, Objectives: req.Objectives}
-	start := time.Now()
-	res, err := s.coord.Pareto(r.Context(), q, designs)
-	if err != nil {
-		httpError(w, r, clusterStatus(r, err), "%v", err)
-		return
+	return s.startJob(w, r, api.JobPareto, req.Benchmark, len(early), s.runPareto(req, early))
+}
+
+func (s *coordServer) handleParetoSubmit(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitPareto(w, r); job != nil {
+		s.submitted(w, r, job)
 	}
-	writeJSON(w, r, http.StatusOK, wire.ClusterParetoResponse{
-		ParetoResponse: wire.ParetoResponse{
-			Benchmark:  req.Benchmark,
-			Objectives: objectiveNames(req.Objectives),
+}
+
+// handlePareto is the legacy blocking /cluster/pareto shim over the job.
+func (s *coordServer) handlePareto(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitPareto(w, r); job != nil {
+		s.await(w, r, job)
+	}
+}
+
+// runPareto is the coordinator's frontier job body: every merged shard
+// publishes the cumulative partial frontier.
+func (s *coordServer) runPareto(req wire.ParetoRequest, early []space.Config) api.RunFunc {
+	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		q := cluster.Query{Benchmark: req.Benchmark, Objectives: req.Objectives}
+		designs := req.ResolveLate(early)
+		names := objectiveNames(req.Objectives)
+		start := time.Now()
+		res, err := s.coord.ParetoObserved(ctx, q, designs, func(p cluster.Progress) {
+			u := api.Update{
+				Evaluated:  p.Evaluated,
+				Designs:    len(designs),
+				Shards:     p.Shards,
+				Workers:    p.Workers,
+				Worker:     p.Worker,
+				Delta:      p.Delta,
+				Objectives: names,
+			}
+			if pub.Streaming() {
+				u.Candidates = wire.ToCandidates(p.Candidates)
+			}
+			pub.Publish(u)
+		})
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		resp := wire.ClusterParetoResponse{
+			ParetoResponse: wire.ParetoResponse{
+				Benchmark:  req.Benchmark,
+				Objectives: names,
+				Evaluated:  res.Evaluated,
+				ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+				Frontier:   wire.ToCandidates(res.Frontier),
+			},
+			Workers: len(s.coord.Workers()),
+			Shards:  res.Shards,
+			Retries: res.Retries,
+		}
+		final := api.Update{
 			Evaluated:  res.Evaluated,
-			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-			Frontier:   wire.ToCandidates(res.Frontier),
-		},
-		Workers: len(s.coord.Workers()),
-		Shards:  res.Shards,
-		Retries: res.Retries,
-	})
+			Designs:    len(designs),
+			Shards:     res.Shards,
+			Retries:    res.Retries,
+			Workers:    resp.Workers,
+			Objectives: names,
+			Candidates: resp.Frontier,
+			ElapsedMS:  resp.ElapsedMS,
+		}
+		return resp, final, nil
+	}
 }
 
 // clusterStatus maps a distribution failure onto an HTTP status: a
@@ -327,12 +457,12 @@ func (s *coordServer) handlePareto(w http.ResponseWriter, r *http.Request) {
 // cluster answers exactly like a single daemon), the client cancelling is
 // not a fleet fault, and everything else is a gateway error (the fleet,
 // not the coordinator, failed the request).
-func clusterStatus(r *http.Request, err error) int {
+func clusterStatus(err error) int {
 	var rejected *cluster.WorkerRejection
 	if errors.As(err, &rejected) {
 		return rejected.Status
 	}
-	if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadGateway

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/mathx"
@@ -282,116 +285,256 @@ func (s *Server) handleBatchPredict(w http.ResponseWriter, r *http.Request, req 
 }
 
 // buildObjectives resolves objective specs against the registry, training
-// the benchmark on demand when needed.
-func (s *Server) buildObjectives(r *http.Request, benchmark string, specs []wire.ObjectiveSpec) ([]core.DynamicsModel, []explore.Objective, int, error) {
+// the benchmark on demand when needed. Specs are pre-validated at submit
+// time, so errors here are model-resolution failures and map onto HTTP
+// statuses through registryStatus.
+func (s *Server) buildObjectives(ctx context.Context, benchmark string, specs []wire.ObjectiveSpec) ([]core.DynamicsModel, []explore.Objective, error) {
 	if len(specs) == 0 {
-		return nil, nil, http.StatusBadRequest, wire.ErrNoObjectives
+		return nil, nil, wire.ErrNoObjectives
 	}
 	models := make([]core.DynamicsModel, len(specs))
 	objectives := make([]explore.Objective, len(specs))
 	for i, spec := range specs {
 		obj, err := spec.Build()
 		if err != nil {
-			return nil, nil, http.StatusBadRequest, err
+			return nil, nil, err
 		}
-		p, _, status, err := s.model(r.Context(), benchmark, spec.Metric)
+		p, err := s.store.LoadOrTrain(ctx, benchmark, mustMetric(spec.Metric))
 		if err != nil {
-			return nil, nil, status, err
+			return nil, nil, err
 		}
 		models[i], objectives[i] = p, obj
 	}
-	return models, objectives, http.StatusOK, nil
+	return models, objectives, nil
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+// mustMetric parses a metric name that already passed Validate; drift
+// between the two parses must not pass silently as a zero metric.
+func mustMetric(name string) sim.Metric {
+	m, err := wire.ParseMetric(name)
+	if err != nil {
+		panic(fmt.Sprintf("dsed: metric %q passed Validate but failed to parse: %v", name, err))
+	}
+	return m
+}
+
+// submitSweep decodes, validates and starts an async top-K job; it
+// writes the error response itself and returns nil when the request
+// died. Shared by POST /v1/sweeps (which answers 202 + job) and the
+// legacy blocking /sweep shim (which awaits the same job).
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) *api.Job {
 	var req wire.SweepRequest
 	if !decodePost(w, r, &req) {
-		return
+		return nil
 	}
-	// Validate the cheap request shape before resolving models: a
-	// malformed request must not trigger an on-demand training run.
+	// Validate the cheap request shape before a job exists: a malformed
+	// request must fail at submit, not as a dead job — and must never
+	// trigger an on-demand training run.
 	if err := req.Validate(); err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
 	early, err := req.ResolveEarly()
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
-	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
-	if err != nil {
-		httpError(w, r, status, "%v", err)
-		return
-	}
-	// Named spaces (possibly the full factorial) materialise only for
-	// requests that resolved models.
-	designs := req.ResolveLate(early)
-	if req.TopK <= 0 {
-		req.TopK = 10
-	}
-	constraints := make([]explore.Constraint, len(req.Constraints))
-	for i, c := range req.Constraints {
-		constraints[i] = explore.Constraint{Objective: c.Objective, Max: c.Max}
-	}
-	top := explore.NewTopK(req.TopK, req.Objective, constraints)
-	start := time.Now()
-	err = explore.SweepStream(r.Context(), designs, models, objectives,
-		explore.Options{Workers: s.workers}, top)
-	if err != nil {
-		// registryStatus keeps client disconnects (cancelled contexts)
-		// out of the 5xx server-fault counters.
-		httpError(w, r, registryStatus(err), "%v", err)
-		return
-	}
-	writeJSON(w, r, http.StatusOK, wire.SweepResponse{
-		Benchmark:  req.Benchmark,
-		Objectives: wire.ObjectiveNames(objectives),
-		Evaluated:  top.Seen(),
-		Feasible:   top.Feasible(),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Candidates: wire.ToCandidates(top.Results()),
-	})
+	return s.startJob(w, r, api.JobSweep, req.Benchmark, len(early), s.runSweep(req, early))
 }
 
-func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitSweep(w, r); job != nil {
+		s.submitted(w, r, job)
+	}
+}
+
+// handleSweep is the legacy blocking shim: same request, same response,
+// implemented as submit + await over the /v1 job machinery.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitSweep(w, r); job != nil {
+		s.await(w, r, job)
+	}
+}
+
+// runSweep is the worker's top-K job body: resolve models (training on
+// demand), materialise the space, and stream the sweep through a
+// snapshot-capable collector, publishing the partial feasible top-K on a
+// ticker while the engine runs.
+func (s *Server) runSweep(req wire.SweepRequest, early []space.Config) api.RunFunc {
+	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		models, objectives, err := s.buildObjectives(ctx, req.Benchmark, req.Objectives)
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		// Named spaces (possibly the full factorial) materialise only for
+		// requests that resolved models.
+		designs := req.ResolveLate(early)
+		topK := req.TopK
+		if topK <= 0 {
+			topK = 10
+		}
+		constraints := make([]explore.Constraint, len(req.Constraints))
+		for i, c := range req.Constraints {
+			constraints[i] = explore.Constraint{Objective: c.Objective, Max: c.Max}
+		}
+		top := &lockedTopK{inner: explore.NewTopK(topK, req.Objective, constraints)}
+		names := wire.ObjectiveNames(objectives)
+		// The opening snapshot: a subscriber sees the job's shape (design
+		// total, objectives) before the first results land.
+		pub.Publish(api.Update{Designs: len(designs), Objectives: names})
+		var evaluated gauge
+		stopTicks := startSnapshotTicker(ctx, pub, func() api.Update {
+			u := api.Update{
+				Evaluated:  evaluated.value(),
+				Designs:    len(designs),
+				Objectives: names,
+			}
+			// The partial top-K payload is built only for an attached
+			// stream; pollers still see the counters advance.
+			if pub.Streaming() {
+				_, feasible, results := top.snapshot()
+				u.Feasible = feasible
+				u.Candidates = wire.ToCandidates(results)
+			}
+			return u
+		})
+		start := time.Now()
+		err = explore.SweepStream(ctx, designs, models, objectives,
+			explore.Options{Workers: s.workers, Progress: evaluated.observe}, top)
+		stopTicks()
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		seen, feasible, results := top.snapshot()
+		resp := wire.SweepResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: names,
+			Evaluated:  seen,
+			Feasible:   feasible,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Candidates: wire.ToCandidates(results),
+		}
+		final := api.Update{
+			Evaluated:  seen,
+			Designs:    len(designs),
+			Feasible:   feasible,
+			Objectives: names,
+			Candidates: resp.Candidates,
+			ElapsedMS:  resp.ElapsedMS,
+		}
+		return resp, final, nil
+	}
+}
+
+// submitPareto is submitSweep for frontier jobs.
+func (s *Server) submitPareto(w http.ResponseWriter, r *http.Request) *api.Job {
 	var req wire.ParetoRequest
 	if !decodePost(w, r, &req) {
-		return
+		return nil
 	}
-	// Cheap request-shape validation precedes model resolution (which
-	// may train a benchmark on demand) and the design-space
-	// materialisation (which may allocate the full factorial).
 	if err := req.Validate(); err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
 	early, err := req.ResolveEarly()
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
-		return
+		return nil
 	}
-	models, objectives, status, err := s.buildObjectives(r, req.Benchmark, req.Objectives)
-	if err != nil {
-		httpError(w, r, status, "%v", err)
-		return
+	return s.startJob(w, r, api.JobPareto, req.Benchmark, len(early), s.runPareto(req, early))
+}
+
+func (s *Server) handleParetoSubmit(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitPareto(w, r); job != nil {
+		s.submitted(w, r, job)
 	}
-	designs := req.ResolveLate(early)
-	// The design list is already materialised, so the batch sweep's
-	// O(n log n) / divide-and-conquer frontier beats streaming candidates
-	// through an incremental collector serialised behind a mutex.
-	start := time.Now()
-	res, err := explore.SweepContext(r.Context(), designs, models, objectives,
-		explore.Options{Workers: s.workers})
-	if err != nil {
-		httpError(w, r, registryStatus(err), "%v", err)
-		return
+}
+
+// handlePareto is the legacy blocking shim over the frontier job.
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	if job := s.submitPareto(w, r); job != nil {
+		s.await(w, r, job)
 	}
-	writeJSON(w, r, http.StatusOK, wire.ParetoResponse{
-		Benchmark:  req.Benchmark,
-		Objectives: wire.ObjectiveNames(objectives),
-		Evaluated:  len(res.Evaluated),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Frontier:   wire.ToCandidates(res.Frontier),
-	})
+}
+
+// runPareto is the worker's frontier job body: the sweep streams through
+// an incremental FrontierCollector so the job can publish genuine
+// partial frontiers while it runs (the collector's frontier equals the
+// batch ParetoFrontier over the same designs, property-tested in
+// internal/explore). This trades the batch O(n log n) frontier the old
+// blocking /pareto used for per-candidate incremental insertion — the
+// price of partials being available at any instant; it is the same
+// streaming-collector shape /sweep has always run.
+func (s *Server) runPareto(req wire.ParetoRequest, early []space.Config) api.RunFunc {
+	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		models, objectives, err := s.buildObjectives(ctx, req.Benchmark, req.Objectives)
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		designs := req.ResolveLate(early)
+		fc := &lockedFrontier{inner: explore.NewFrontierCollector()}
+		names := wire.ObjectiveNames(objectives)
+		pub.Publish(api.Update{Designs: len(designs), Objectives: names})
+		var evaluated gauge
+		stopTicks := startSnapshotTicker(ctx, pub, func() api.Update {
+			u := api.Update{
+				Evaluated:  evaluated.value(),
+				Designs:    len(designs),
+				Objectives: names,
+			}
+			if pub.Streaming() {
+				_, frontier := fc.snapshot()
+				u.Candidates = wire.ToCandidates(frontier)
+			}
+			return u
+		})
+		start := time.Now()
+		err = explore.SweepStream(ctx, designs, models, objectives,
+			explore.Options{Workers: s.workers, Progress: evaluated.observe}, fc)
+		stopTicks()
+		if err != nil {
+			return nil, api.Update{}, err
+		}
+		seen, frontier := fc.snapshot()
+		resp := wire.ParetoResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: names,
+			Evaluated:  seen,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Frontier:   wire.ToCandidates(frontier),
+		}
+		final := api.Update{
+			Evaluated:  seen,
+			Designs:    len(designs),
+			Objectives: names,
+			Candidates: resp.Frontier,
+			ElapsedMS:  resp.ElapsedMS,
+		}
+		return resp, final, nil
+	}
+}
+
+// startSnapshotTicker publishes snapshots on the stream cadence until
+// the returned stop runs (or ctx dies). Snapshot construction happens on
+// the ticker goroutine, off the evaluation hot path.
+func startSnapshotTicker(ctx context.Context, pub api.Publisher, snapshot func() api.Update) (stop func()) {
+	tickCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(streamInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickCtx.Done():
+				return
+			case <-t.C:
+				pub.Publish(snapshot())
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
 }

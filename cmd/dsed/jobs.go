@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/explore"
+)
+
+// This file is the serving side of the async job API shared by worker
+// and coordinator modes: the /v1/jobs/{id} route family (status, NDJSON
+// stream, cancel), the submit/await glue the legacy blocking shims
+// reuse, and the snapshot-friendly collector wrappers the worker's job
+// runners stream partial results through.
+
+// jobAPI embeds the job table into a serving layer.
+type jobAPI struct {
+	jobs *api.Manager
+}
+
+// handleJob serves GET (status + result) and DELETE (cancel) on
+// /v1/jobs/{id}.
+func (a *jobAPI) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		job, err := a.jobs.Get(id)
+		if err != nil {
+			httpError(w, r, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, r, http.StatusOK, job.Status(true))
+	case http.MethodDelete:
+		job, err := a.jobs.Cancel(id)
+		if err != nil {
+			httpError(w, r, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, r, http.StatusOK, job.Status(false))
+	default:
+		httpError(w, r, http.StatusMethodNotAllowed, "use GET to poll or DELETE to cancel")
+	}
+}
+
+// handleJobStream serves GET /v1/jobs/{id}/stream: NDJSON, one
+// cumulative snapshot per line, ending with the final update. A client
+// that reconnects is primed with the latest snapshot, so disconnects
+// lose nothing.
+func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if !api.Negotiable(r, api.ContentNDJSON) {
+		httpError(w, r, http.StatusNotAcceptable, "the job stream answers %s", api.ContentNDJSON)
+		return
+	}
+	job, err := a.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, r, http.StatusNotFound, "%v", err)
+		return
+	}
+	// ?updates=final suppresses intermediate snapshots: consumers that
+	// only want the answer (the cluster shard transport, blocking
+	// clients) keep the one-stream mechanism without paying
+	// serialization for partials they would discard.
+	finalOnly := r.URL.Query().Get("updates") == "final"
+	updates, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+	w.Header().Set("Content-Type", api.ContentNDJSON)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				return
+			}
+			if finalOnly && !u.Final {
+				continue
+			}
+			if err := enc.Encode(u); err != nil {
+				return // client went away mid-line; it can resume
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if u.Final {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// submitted answers a successful /v1 job submission: 202 Accepted, the
+// job's initial status, and a Location pointing at the poll route.
+func (a *jobAPI) submitted(w http.ResponseWriter, r *http.Request, job *api.Job) {
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, r, http.StatusAccepted, job.Status(false))
+}
+
+// await is the legacy blocking shim's tail: wait for the job the shim
+// just submitted, answering exactly like the historical synchronous
+// route — same payload on success, same status and string error
+// envelope on failure. A client disconnect cancels the job, as aborting
+// the old blocking request used to.
+func (a *jobAPI) await(w http.ResponseWriter, r *http.Request, job *api.Job) {
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		_, _ = a.jobs.Cancel(job.ID)
+		<-job.Done()
+	}
+	// The historical synchronous routes retained nothing once the
+	// response was written; dropping the job keeps that true.
+	defer a.jobs.Forget(job.ID)
+	result, errBody := job.Result()
+	if errBody != nil {
+		httpError(w, r, errBody.Status, "%s", errBody.Message)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, result)
+}
+
+// startJob starts the submission's job, translating a full job table
+// into the structured 429. Legacy shims start unbounded: the historical
+// synchronous routes were limited only by HTTP concurrency, so the
+// shims must not invent a 429 failure mode (isV1 tells the two apart —
+// the same helper serves both route families).
+func (a *jobAPI) startJob(w http.ResponseWriter, r *http.Request, kind api.JobKind, benchmark string, designs int, run api.RunFunc) *api.Job {
+	var job *api.Job
+	var err error
+	if isV1(r) {
+		job, err = a.jobs.Start(kind, benchmark, designs, run)
+	} else {
+		job, err = a.jobs.StartUnbounded(kind, benchmark, designs, run)
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, api.ErrTooManyJobs) {
+			status = http.StatusTooManyRequests
+		}
+		httpError(w, r, status, "%v", err)
+		return nil
+	}
+	return job
+}
+
+// streamInterval paces a local job's progress snapshots: coarse enough
+// that publishing never competes with evaluation, fine enough that a
+// human watching the stream sees the frontier grow.
+const streamInterval = 100 * time.Millisecond
+
+// gauge is a monotone high-water mark over explore.Options.Progress
+// callbacks, which may arrive slightly out of order across workers.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) observe(n int) {
+	for {
+		cur := g.v.Load()
+		if int64(n) <= cur || g.v.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+func (g *gauge) value() int { return int(g.v.Load()) }
+
+// lockedFrontier wraps a FrontierCollector so the job's snapshot ticker
+// can read the partial frontier while the sweep keeps collecting.
+type lockedFrontier struct {
+	mu    sync.Mutex
+	inner *explore.FrontierCollector
+}
+
+func (l *lockedFrontier) Collect(i int, c explore.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Collect(i, c)
+}
+
+func (l *lockedFrontier) snapshot() (seen int, frontier []explore.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Seen(), l.inner.Frontier()
+}
+
+// lockedTopK is lockedFrontier for constrained top-K collection.
+type lockedTopK struct {
+	mu    sync.Mutex
+	inner *explore.TopK
+}
+
+func (l *lockedTopK) Collect(i int, c explore.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Collect(i, c)
+}
+
+func (l *lockedTopK) snapshot() (seen, feasible int, results []explore.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Seen(), l.inner.Feasible(), l.inner.Results()
+}

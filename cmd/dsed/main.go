@@ -10,61 +10,75 @@
 // persisted with a provenance manifest, so a restarted daemon answers its
 // first query in milliseconds instead of re-simulating.
 //
-// Worker endpoints:
+// The serving surface is the versioned /v1 API. Synchronous worker
+// endpoints:
 //
-//	GET  /healthz     liveness plus the model inventory
-//	GET  /benchmarks  trained and trainable-on-demand benchmarks
-//	GET  /metrics     per-endpoint request/latency/status counters
-//	POST /predict     predicted dynamics: one (metric, config), or a
-//	                  batch of configs × metrics in one request
-//	POST /sweep       streaming top-K constrained selection over a space
-//	POST /pareto      Pareto frontier of a space under chosen objectives
-//	POST /warm        pre-train (or warm-start) a benchmark list
+//	GET  /v1/healthz     liveness plus the model inventory
+//	GET  /v1/benchmarks  trained and trainable-on-demand benchmarks
+//	GET  /v1/metrics     per-endpoint request/latency/status counters
+//	POST /v1/predict     predicted dynamics: one (metric, config), or a
+//	                     batch of configs × metrics in one request
+//	POST /v1/warm        pre-train (or warm-start) a benchmark list
+//
+// Exploration is asynchronous — a job, not an RPC:
+//
+//	POST   /v1/sweeps            submit a top-K selection job → 202 + job ID
+//	POST   /v1/pareto            submit a Pareto-frontier job → 202 + job ID
+//	GET    /v1/jobs/{id}         status/progress (+ result once done)
+//	GET    /v1/jobs/{id}/stream  NDJSON partial results until the final update
+//	DELETE /v1/jobs/{id}         cancel
+//
+// Every /v1 error is the structured model {code, message, retryable,
+// request_id}; X-Request-ID is honoured when supplied and echoed always.
+// The original unversioned routes (/predict, /sweep, /pareto, /warm,
+// /healthz, /benchmarks, /metrics) remain as deprecation shims
+// delegating to the /v1 handlers: identical historical payloads
+// (blocking sweeps, string error envelopes), plus Deprecation headers
+// naming the successor. Prefer pkg/dsedclient over hand-rolled JSON.
 //
 // With -workers (a static fleet) or -coordinator (an empty fleet that
 // grows by registration), the same binary runs as a cluster coordinator
-// instead: it trains nothing itself, partitions each sweep into shards,
-// routes each shard to a worker advertising the benchmark's trained
-// models (spilling to consistent-hash ring order under load), retries
-// shards on worker failure, and merges the partial answers (see
-// internal/cluster). With -target-shard-ms set, shard sizes adapt per
-// worker toward that duration from observed latency. Coordinator
-// endpoints:
+// instead: it trains nothing itself, partitions each sweep job into
+// shards, routes each shard to a worker advertising the benchmark's
+// trained models (spilling to consistent-hash ring order under load),
+// retries shards on worker failure, and merges the partial answers (see
+// internal/cluster) — a job's stream publishes the merged partial
+// frontier after every shard. With -target-shard-ms set, shard sizes
+// adapt per worker toward that duration from observed latency.
+// Coordinator-specific endpoints (same job routes as a worker):
 //
-//	GET  /healthz         live membership (per-worker status, failures
-//	                      vs rejections, inventory, latency EWMA)
-//	GET  /metrics         per-endpoint counters plus shard retries
-//	POST /register        join the fleet (idempotent; lease = 3 heartbeats)
-//	POST /heartbeat       renew the lease, refresh the model inventory
-//	POST /warm            place benchmark models on their home workers
-//	POST /cluster/sweep   distributed top-K sweep (same body as /sweep)
-//	POST /cluster/pareto  distributed frontier (same body as /pareto)
+//	GET  /v1/healthz    live membership (per-worker status, failures vs
+//	                    rejections, inventory, queue depths, latency EWMA)
+//	POST /v1/register   join the fleet (idempotent; lease = 3 heartbeats)
+//	POST /v1/heartbeat  renew the lease, refresh inventory + queue depths
+//	POST /v1/warm       place benchmark models on their home workers
+//
+// Legacy shims: /cluster/sweep and /cluster/pareto (blocking),
+// /register, /heartbeat, /warm, /healthz, /metrics.
 //
 // A worker started with -seed coordinator-addr joins that fleet on boot
-// and heartbeats its trained-benchmark inventory every -heartbeat
-// interval (re-registering automatically if the coordinator forgets it).
-// The training-design sampling seed moved to -train-seed.
+// and heartbeats its trained-benchmark inventory and per-benchmark job
+// queue depths every -heartbeat interval (re-registering automatically
+// if the coordinator forgets it). The training-design sampling seed
+// moved to -train-seed.
 //
-// Example:
+// Example (see doc.go for the full submit → poll → stream → cancel tour):
 //
 //	dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -train 40 -model-dir ./models
-//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
-//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
-//	curl -s localhost:8090/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
-//	curl -s localhost:8090/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
-//	curl -s localhost:8090/warm -d '{"benchmarks":["twolf","gap"]}'
-//	curl -s localhost:8090/benchmarks
-//	curl -s localhost:8090/metrics
+//	curl -s localhost:8090/v1/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	job=$(curl -s localhost:8090/v1/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}' | sed 's/.*"id":"\([^"]*\)".*/\1/')
+//	curl -sN localhost:8090/v1/jobs/$job/stream
+//	curl -s localhost:8090/v1/jobs/$job
+//	curl -s -X DELETE localhost:8090/v1/jobs/$job
 //
 // Elastic coordinator, workers joining by registration:
 //
 //	dsed -addr :8090 -coordinator -heartbeat 5s -target-shard-ms 500 &
 //	dsed -addr 127.0.0.1:8091 -seed 127.0.0.1:8090 &
 //	dsed -addr 127.0.0.1:8092 -seed 127.0.0.1:8090 &
-//	curl -s localhost:8090/healthz
-//	curl -s localhost:8090/warm -d '{"benchmarks":["gcc"]}'
+//	curl -s localhost:8090/v1/healthz
+//	curl -s localhost:8090/v1/warm -d '{"benchmarks":["gcc"]}'
 //	curl -s localhost:8090/cluster/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
-//	curl -s localhost:8090/cluster/sweep -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5}'
 //
 // A static fleet still works: dsed -addr :8090 -workers localhost:8091,localhost:8092
 // (static workers are permanent members and never evicted).
@@ -198,18 +212,20 @@ func main() {
 	logger.Printf("registry ready: %d models (%d trained this boot) in %v",
 		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
 
+	srv := NewServer(ctx, store, *parallel, reqLog)
+
 	// With seeds configured, join their fleets: register now, heartbeat
-	// forever, advertising the live trained-model inventory for
-	// benchmark-affinity scheduling.
+	// forever, advertising the live trained-model inventory (for
+	// benchmark-affinity scheduling) and the per-benchmark job queue
+	// depths (the spill-decision load signal).
 	if seeds := splitList(*seedList); len(seeds) > 0 {
 		self := *advertise
 		if self == "" {
 			self = *addr
 		}
-		go newJoiner(seeds, self, *parallel, *heartbeat, store, logger).run(ctx)
+		go newJoiner(seeds, self, *parallel, *heartbeat, store, srv.QueueDepths, logger).run(ctx)
 	}
 
-	srv := NewServer(store, *parallel, reqLog)
 	serve(ctx, *addr, srv.Handler(), logger)
 }
 
@@ -271,7 +287,7 @@ func runCoordinator(ctx context.Context, addr string, workers []string, opts coo
 	} else {
 		logger.Printf("coordinating an empty fleet: waiting for POST /register (TTL %v)", ttl)
 	}
-	serve(ctx, addr, newCoordServer(coord, ttl, reqLog).Handler(), logger)
+	serve(ctx, addr, newCoordServer(ctx, coord, ttl, reqLog).Handler(), logger)
 }
 
 // serve runs one HTTP listener until the signal context drains it.

@@ -1,41 +1,43 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
+	"errors"
 	"log"
 	"net/http"
-	"strings"
+	"sort"
 	"time"
 
 	"repro/internal/registry"
 	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 // joiner is the worker side of the membership plane: it registers this
 // daemon with every configured seed coordinator, then renews the lease on
 // a heartbeat ticker, advertising the registry's live trained-model
-// inventory so the coordinator can route shards by benchmark affinity.
-// A heartbeat answered 404 (coordinator restarted, lease evicted) makes
-// the next beat a fresh /register — a worker never needs restarting to
-// rejoin.
+// inventory (for benchmark-affinity scheduling) and the per-benchmark
+// running-job queue depths (the load signal behind spill decisions).
+// It speaks through the shared typed client — the same /v1 surface every
+// other consumer uses. A heartbeat answered 404 (coordinator restarted,
+// lease evicted) triggers an immediate re-register — a worker never
+// needs restarting to rejoin.
 type joiner struct {
-	// seeds are coordinator base addresses (host:port or URL).
-	seeds []string
+	// seeds are the coordinators' clients, keyed by their base URL.
+	seeds []*dsedclient.Client
 	// addr is what this worker advertises — it must be routable from the
 	// coordinator.
 	addr     string
 	capacity int
 	interval time.Duration
 	store    *registry.Store
-	log      *log.Logger
-	client   *http.Client
+	// depths reports the per-benchmark running-job counts each beat
+	// advertises (nil advertises none).
+	depths func() map[string]int
+	log    *log.Logger
 }
 
-func newJoiner(seeds []string, addr string, capacity int, interval time.Duration, store *registry.Store, logger *log.Logger) *joiner {
+func newJoiner(seeds []string, addr string, capacity int, interval time.Duration, store *registry.Store, depths func() map[string]int, logger *log.Logger) *joiner {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
@@ -43,21 +45,21 @@ func newJoiner(seeds []string, addr string, capacity int, interval time.Duration
 	if timeout < 5*time.Second {
 		timeout = 5 * time.Second
 	}
-	normalised := make([]string, len(seeds))
+	hc := &http.Client{Timeout: timeout}
+	clients := make([]*dsedclient.Client, len(seeds))
 	for i, s := range seeds {
-		if !strings.Contains(s, "://") {
-			s = "http://" + s
-		}
-		normalised[i] = strings.TrimRight(s, "/")
+		// The joiner has its own cadence — a lost beat is retried by the
+		// next tick, so the client's internal retries stay off.
+		clients[i] = dsedclient.New(s, dsedclient.WithHTTPClient(hc), dsedclient.WithRetries(0))
 	}
 	return &joiner{
-		seeds:    normalised,
+		seeds:    clients,
 		addr:     addr,
 		capacity: capacity,
 		interval: interval,
 		store:    store,
+		depths:   depths,
 		log:      logger,
-		client:   &http.Client{Timeout: timeout},
 	}
 }
 
@@ -105,7 +107,12 @@ func (j *joiner) beat(ctx context.Context, registered map[string]bool) float64 {
 	if len(inventory) > wire.MaxInventoryBenchmarks {
 		inventory = inventory[:wire.MaxInventoryBenchmarks]
 	}
-	req := wire.RegisterRequest{Addr: j.addr, Capacity: j.capacity, Benchmarks: inventory}
+	req := wire.RegisterRequest{
+		Addr:        j.addr,
+		Capacity:    j.capacity,
+		Benchmarks:  inventory,
+		QueueDepths: j.queueDepths(),
+	}
 	minTTL := 0.0
 	noteTTL := func(ttl float64) {
 		if ttl > 0 && (minTTL == 0 || ttl < minTTL) {
@@ -113,64 +120,77 @@ func (j *joiner) beat(ctx context.Context, registered map[string]bool) float64 {
 		}
 	}
 	for _, seed := range j.seeds {
-		path := "/heartbeat"
-		if !registered[seed] {
-			path = "/register"
+		base := seed.Base()
+		if !registered[base] {
+			resp, err := seed.Register(ctx, req)
+			var ae *dsedclient.APIError
+			switch {
+			case err == nil:
+				j.log.Printf("membership: registered with %s as %s (%d trained benchmarks advertised)", base, j.addr, len(inventory))
+				registered[base] = true
+				noteTTL(resp.TTLSeconds)
+			case errors.As(err, &ae):
+				// A deterministic verdict (bad -advertise, oversized
+				// inventory) will repeat every beat — without this line
+				// the fleet silently never forms. Transport errors stay
+				// quiet: the coordinator may simply not be up yet.
+				j.log.Printf("membership: %s rejected registration: %v", base, err)
+			}
+			continue
 		}
-		status, ttl, err := j.post(ctx, seed, path, req)
+		resp, err := seed.Heartbeat(ctx, wire.HeartbeatRequest(req))
 		switch {
-		case err != nil:
-			if registered[seed] {
-				j.log.Printf("membership: %s%s failed: %v (will re-register)", seed, path, err)
-			}
-			registered[seed] = false
-		case status == http.StatusOK:
-			if !registered[seed] {
-				j.log.Printf("membership: registered with %s as %s (%d trained benchmarks advertised)", seed, j.addr, len(inventory))
-			}
-			registered[seed] = true
-			noteTTL(ttl)
-		case status == http.StatusNotFound && path == "/heartbeat":
+		case err == nil:
+			noteTTL(resp.TTLSeconds)
+		case isStatus(err, http.StatusNotFound):
 			// The coordinator forgot us (restart or eviction): re-register
 			// on the spot rather than waiting a whole interval dark.
-			registered[seed] = false
-			if s2, ttl2, err2 := j.post(ctx, seed, "/register", req); err2 == nil && s2 == http.StatusOK {
-				j.log.Printf("membership: re-registered with %s after eviction", seed)
-				registered[seed] = true
-				noteTTL(ttl2)
+			registered[base] = false
+			if r2, err2 := seed.Register(ctx, req); err2 == nil {
+				j.log.Printf("membership: re-registered with %s after eviction", base)
+				registered[base] = true
+				noteTTL(r2.TTLSeconds)
 			}
 		default:
-			j.log.Printf("membership: %s%s answered status %d", seed, path, status)
-			registered[seed] = false
+			j.log.Printf("membership: heartbeat to %s failed: %v (will re-register)", base, err)
+			registered[base] = false
 		}
 	}
 	return minTTL
 }
 
-func (j *joiner) post(ctx context.Context, seed, path string, body any) (int, float64, error) {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return 0, 0, fmt.Errorf("encoding %s request: %w", path, err)
+// queueDepths snapshots the advertised per-benchmark load, bounded to
+// what the wire format accepts. Over the cap, the busiest benchmarks
+// win (depth descending, name-tie-broken) so the trimmed set is both
+// the most useful one and stable between beats.
+func (j *joiner) queueDepths() map[string]int {
+	if j.depths == nil {
+		return nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, seed+path, bytes.NewReader(payload))
-	if err != nil {
-		return 0, 0, err
+	depths := j.depths()
+	if len(depths) <= wire.MaxInventoryBenchmarks {
+		return depths
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := j.client.Do(req)
-	if err != nil {
-		return 0, 0, err
+	names := make([]string, 0, len(depths))
+	for b := range depths {
+		names = append(names, b)
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return 0, 0, err
+	sort.Slice(names, func(a, b int) bool {
+		if depths[names[a]] != depths[names[b]] {
+			return depths[names[a]] > depths[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	trimmed := make(map[string]int, wire.MaxInventoryBenchmarks)
+	for _, b := range names[:wire.MaxInventoryBenchmarks] {
+		trimmed[b] = depths[b]
 	}
-	// Register and heartbeat responses share the ttl_seconds field; other
-	// bodies (error envelopes) simply decode to 0.
-	var lease struct {
-		TTLSeconds float64 `json:"ttl_seconds"`
-	}
-	_ = json.Unmarshal(raw, &lease)
-	return resp.StatusCode, lease.TTLSeconds, nil
+	return trimmed
+}
+
+// isStatus reports whether err is an *dsedclient.APIError with the given
+// status.
+func isStatus(err error, status int) bool {
+	var ae *dsedclient.APIError
+	return errors.As(err, &ae) && ae.Status == status
 }

@@ -1,13 +1,15 @@
 package main
 
 import (
-	"context"
 	"log"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/api"
 )
 
 // httpStats accumulates per-endpoint request counters. Endpoints are the
@@ -102,33 +104,70 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps a handler with structured request logging and
-// per-endpoint latency/status accounting. known holds the routes that get
-// their own metric series.
+// Flush forwards to the wrapped writer so the NDJSON job stream can push
+// each partial update to the client as it happens instead of buffering
+// the whole stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with per-request IDs, structured request
+// logging and per-endpoint latency/status accounting. known holds the
+// route patterns that get their own metric series.
+//
+// Every request gets an ID: a client-supplied X-Request-ID is honoured
+// when it is header-safe, otherwise one is minted. The ID is echoed in
+// the X-Request-ID response header, stamped on every structured log
+// line, and travels the request context into /v1 error bodies.
 func instrument(next http.Handler, stats *httpStats, known map[string]bool, logger *log.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		id := api.SanitizeRequestID(r.Header.Get(api.RequestIDHeader))
+		if id == "" {
+			id = api.NewRequestID()
+		}
+		w.Header().Set(api.RequestIDHeader, id)
+		ctx := api.WithRequestID(r.Context(), id)
 		if logger != nil {
 			// Hand the logger to response writers via the context, so
 			// encode failures deep in a handler reach the request log.
-			r = r.WithContext(context.WithValue(r.Context(), reqLogKey{}, logger))
+			ctx = api.WithLogger(ctx, logger)
 		}
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(ctx)
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		endpoint := r.URL.Path
-		if !known[endpoint] {
-			endpoint = "other"
-		}
-		stats.record(endpoint, sw.status, elapsed)
+		stats.record(endpointLabel(r.URL.Path, known), sw.status, elapsed)
 		if logger != nil {
 			// %q: the decoded path can carry control characters that
 			// would otherwise forge extra log lines.
-			logger.Printf("%s %q status=%d bytes=%d elapsed=%v",
-				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond))
+			logger.Printf("req=%s %s %q status=%d bytes=%d elapsed=%v",
+				id, r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond))
 		}
 	})
+}
+
+// endpointLabel folds a request path into its metric series: known
+// routes keep their own series, per-job paths collapse onto their route
+// pattern (job IDs must not grow the metrics map without bound), and
+// anything else is "other".
+func endpointLabel(path string, known map[string]bool) string {
+	if known[path] {
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		pattern := "/v1/jobs/{id}"
+		if strings.HasSuffix(path, "/stream") {
+			pattern = "/v1/jobs/{id}/stream"
+		}
+		if known[pattern] {
+			return pattern
+		}
+	}
+	return "other"
 }

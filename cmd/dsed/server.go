@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -16,6 +17,8 @@ import (
 // Server is the serving layer over the model registry: it owns no models
 // itself, translating HTTP queries into registry lookups (training
 // missing benchmarks on demand) and exploration-engine sweeps.
+// Exploration runs as async /v1 jobs; the legacy blocking routes are
+// deprecation shims that submit the same job and await it.
 type Server struct {
 	store *registry.Store
 	// workers bounds query-evaluation parallelism (0 = GOMAXPROCS).
@@ -24,42 +27,66 @@ type Server struct {
 	stats   *httpStats
 	// reqLog receives one structured line per request; nil silences it.
 	reqLog *log.Logger
+	jobAPI
 }
 
-// NewServer wraps a registry store in the HTTP serving layer.
-func NewServer(store *registry.Store, workers int, reqLog *log.Logger) *Server {
+// NewServer wraps a registry store in the HTTP serving layer. ctx is
+// the daemon's lifetime: when it dies (shutdown signal), every running
+// job is cancelled and settles with a final "canceled" update.
+func NewServer(ctx context.Context, store *registry.Store, workers int, reqLog *log.Logger) *Server {
 	return &Server{
 		store:   store,
 		workers: workers,
 		started: time.Now(),
 		stats:   newHTTPStats(),
 		reqLog:  reqLog,
+		jobAPI: jobAPI{jobs: api.NewManager(api.ManagerOptions{
+			ErrorStatus: registryStatus,
+			BaseContext: ctx,
+		})},
 	}
 }
 
-// routes maps every endpoint to its handler. Shared with the middleware
-// so unknown paths collapse into one metrics bucket.
-func (s *Server) routes() map[string]http.HandlerFunc {
-	return map[string]http.HandlerFunc{
-		"/healthz":    s.handleHealthz,
-		"/benchmarks": s.handleBenchmarks,
-		"/metrics":    s.handleMetrics,
-		"/predict":    s.handlePredict,
-		"/sweep":      s.handleSweep,
-		"/pareto":     s.handlePareto,
-		"/warm":       s.handleWarm,
-	}
+// QueueDepths reports running jobs per benchmark — what membership
+// heartbeats advertise so the coordinator can spill away from busy
+// workers.
+func (s *Server) QueueDepths() map[string]int {
+	return s.jobs.RunningByBenchmark()
 }
 
-// Handler routes the daemon's endpoints behind the logging/metrics
-// middleware.
+// Handler routes the daemon's endpoints behind the request-ID /
+// logging / metrics middleware: the versioned /v1 surface, and the
+// original unversioned routes as deprecation shims delegating to the
+// same handlers (identical historical payloads, Deprecation headers).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	known := make(map[string]bool)
-	for path, h := range s.routes() {
-		mux.HandleFunc(path, h)
-		known[path] = true
+	reg := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		known[pattern] = true
 	}
+	// The versioned surface.
+	reg("/v1/healthz", negotiated(s.handleHealthz))
+	reg("/v1/benchmarks", negotiated(s.handleBenchmarks))
+	reg("/v1/metrics", negotiated(s.handleMetrics))
+	reg("/v1/predict", negotiated(s.handlePredict))
+	reg("/v1/warm", negotiated(s.handleWarm))
+	reg("/v1/sweeps", negotiated(s.handleSweepSubmit))
+	reg("/v1/pareto", negotiated(s.handleParetoSubmit))
+	reg("/v1/jobs/{id}", negotiated(s.handleJob))
+	reg("/v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, r, http.StatusNotFound, "no such /v1 route %q", r.URL.Path)
+	})
+	// Legacy shims (deprecation policy: kept indefinitely, answering
+	// their historical payloads, advertising the /v1 successor).
+	reg("/healthz", deprecated("/v1/healthz", s.handleHealthz))
+	reg("/benchmarks", deprecated("/v1/benchmarks", s.handleBenchmarks))
+	reg("/metrics", deprecated("/v1/metrics", s.handleMetrics))
+	reg("/predict", deprecated("/v1/predict", s.handlePredict))
+	reg("/warm", deprecated("/v1/warm", s.handleWarm))
+	reg("/sweep", deprecated("/v1/sweeps", s.handleSweep))
+	reg("/pareto", deprecated("/v1/pareto", s.handlePareto))
 	return instrument(mux, s.stats, known, s.reqLog)
 }
 

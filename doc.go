@@ -23,9 +23,12 @@
 //     internal/explore (the exploration engine below),
 //     internal/registry (the trained-model store behind the daemon),
 //     internal/wire (the daemon's shared JSON wire format),
-//     internal/cluster (the distributed sweep plane below), and
-//     internal/experiments (the paper's tables and figures), driven by
-//     cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo, and examples/.
+//     internal/api (the versioned /v1 route map, structured errors, and
+//     the async job subsystem), internal/cluster (the distributed sweep
+//     plane below), and internal/experiments (the paper's tables and
+//     figures), driven by cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo,
+//     and examples/ — all speaking to the daemon through one typed
+//     client, pkg/dsedclient.
 //
 // # Exploration engine
 //
@@ -57,28 +60,73 @@
 // corrupt or provenance-mismatched files are skipped and retrained on
 // first use.
 //
-// # The dsed daemon
+// # The dsed daemon and the /v1 job API
 //
 // cmd/dsed is the serving surface over the registry and the engine: it
 // pre-trains (or warm-starts) the benchmarks named on the command line,
 // grows its model inventory on demand under load, and answers concurrent
-// JSON queries behind logging/metrics middleware:
+// JSON queries behind request-ID/logging/metrics middleware. The surface
+// is the versioned /v1 API; every /v1 error is the structured model
+// {code, message, retryable, request_id} and X-Request-ID is honoured
+// when supplied, minted otherwise, echoed always.
+//
+// Synchronous queries:
 //
 //	go run ./cmd/dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -model-dir ./models
-//	curl -s localhost:8090/healthz
-//	curl -s localhost:8090/benchmarks
-//	curl -s localhost:8090/metrics
-//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
-//	curl -s localhost:8090/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
-//	curl -s localhost:8090/sweep   -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
-//	curl -s localhost:8090/pareto  -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
+//	curl -s localhost:8090/v1/healthz
+//	curl -s localhost:8090/v1/benchmarks
+//	curl -s localhost:8090/v1/metrics
+//	curl -s localhost:8090/v1/predict -d '{"benchmark":"gcc","metric":"CPI","config":{"fetch_width":4}}'
+//	curl -s localhost:8090/v1/predict -d '{"benchmark":"gcc","metrics":["CPI","Power"],"configs":[{"fetch_width":2},{"fetch_width":8}]}'
+//	curl -s localhost:8090/v1/warm -d '{"benchmarks":["twolf","gap"]}'
 //
-// The batch /predict form scores many configs under many metrics in one
-// request on the worker pool; /benchmarks lists what is trained versus
-// trainable on demand; /metrics exposes per-endpoint request, status and
-// latency counters; POST /warm pre-trains a benchmark list before the
-// first sweep needs it. POST bodies are bounded (413 beyond 1 MiB) and
-// every endpoint enforces its method.
+// Exploration is long-running by nature — predictor-driven sweeps over
+// millions of design points — so it is a job, not an RPC. Submission
+// answers 202 with a job ID immediately; progress streams as NDJSON,
+// one cumulative snapshot per line (partial frontier / feasible top-K,
+// designs evaluated, per-worker attribution on a coordinator), ending
+// with the final update:
+//
+//	job=$(curl -s localhost:8090/v1/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}' | sed 's/.*"id":"\([^"]*\)".*/\1/')
+//	curl -sN localhost:8090/v1/jobs/$job/stream      # NDJSON partial frontiers (?updates=final for just the answer)
+//	curl -s  localhost:8090/v1/jobs/$job             # status + result once done
+//	curl -s  -X DELETE localhost:8090/v1/jobs/$job   # cancel a running job; release a finished one
+//	curl -s localhost:8090/v1/sweeps -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5,"constraints":[{"objective":1,"max":60}]}'
+//
+// Because every streamed update is a cumulative snapshot, a client that
+// disconnects simply re-opens the stream and is current after one line —
+// pkg/dsedclient's iterator does this automatically.
+//
+// Deprecation policy: the original unversioned routes (/predict, /sweep,
+// /pareto, /warm, /healthz, /benchmarks, /metrics, and the coordinator's
+// /cluster/sweep, /cluster/pareto, /register, /heartbeat) remain as thin
+// shims delegating to the /v1 handlers. They answer exactly their
+// historical payloads — blocking sweep responses, {"error": "<message>"}
+// envelopes — and carry "Deprecation: true" plus a Link header naming
+// the /v1 successor. Existing curl recipes keep working; new consumers
+// should use /v1 or, better, the typed client.
+//
+// The batch /v1/predict form scores many configs under many metrics in
+// one request on the worker pool; /v1/benchmarks lists what is trained
+// versus trainable on demand; /v1/metrics exposes per-endpoint request,
+// status and latency counters; POST /v1/warm pre-trains a benchmark list
+// before the first sweep needs it. POST bodies are bounded (413 beyond
+// 1 MiB) and every endpoint enforces its method.
+//
+// # The Go client
+//
+// pkg/dsedclient is the one way this repository speaks to a daemon: the
+// cluster transport, all five examples, cmd/dse's remote mode, and the
+// worker-side membership joiner are built on it. It offers typed calls
+// with context cancellation, automatic retry with backoff on errors the
+// daemon marks retryable, submit/poll/cancel for jobs, a streaming
+// iterator that resumes across disconnects, and blocking conveniences
+// (ParetoJob, SweepJob) that bundle submit → stream → final:
+//
+//	c := dsedclient.New("localhost:8090")
+//	resp, err := c.ParetoJob(ctx, wire.ParetoRequest{...}, func(u api.Update) {
+//		log.Printf("partial: %d/%d designs, %d frontier points", u.Evaluated, u.Designs, len(u.Candidates))
+//	})
 //
 // # The cluster plane
 //
@@ -95,21 +143,27 @@
 // tests, one-binary fallback) and HTTP, which speaks the ordinary dsed
 // wire format — any running dsed is already a cluster worker.
 //
-// The same dsed binary serves coordinator mode:
+// The same dsed binary serves coordinator mode, with the same /v1 job
+// API — a coordinator job's stream publishes the merged partial frontier
+// after every shard, so partial results flow worker → coordinator →
+// client while the fleet sweeps:
 //
 //	go run ./cmd/dsed -addr :8091 &
 //	go run ./cmd/dsed -addr :8092 &
 //	go run ./cmd/dsed -addr :8090 -workers localhost:8091,localhost:8092
-//	curl -s localhost:8090/healthz
-//	curl -s localhost:8090/warm -d '{"benchmarks":["gcc"]}'
-//	curl -s localhost:8090/cluster/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}'
-//	curl -s localhost:8090/cluster/sweep  -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power","kind":"worst"}],"space":"train","top_k":5}'
+//	curl -s localhost:8090/v1/healthz
+//	curl -s localhost:8090/v1/warm -d '{"benchmarks":["gcc"]}'
+//	job=$(curl -s localhost:8090/v1/pareto -d '{"benchmark":"gcc","objectives":[{"metric":"CPI"},{"metric":"Power"}],"space":"test"}' | sed 's/.*"id":"\([^"]*\)".*/\1/')
+//	curl -sN localhost:8090/v1/jobs/$job/stream
 //
-// /cluster/sweep and /cluster/pareto accept exactly the /sweep and
-// /pareto request bodies and answer the same shape (plus workers/shards/
-// retries accounting); /healthz reports per-worker liveness and
-// accumulated shard failures; /warm trains each benchmark on its
-// consistent-hash home workers ahead of the first query.
+// (Legacy blocking shims: /cluster/pareto and /cluster/sweep.) The
+// coordinator's shard transport is itself a dsedclient: each shard is a
+// /v1 job on its worker, submitted and streamed, so any /v1 daemon is a
+// worker with no extra surface. /v1/healthz reports per-worker liveness
+// and accumulated shard failures; /v1/warm trains each benchmark on its
+// consistent-hash home workers ahead of the first query. The remote CLI:
+//
+//	go run ./cmd/dse -daemon localhost:8090 -exp pareto -benchmarks gcc -sample 2000
 //
 // # Fleet operations
 //
@@ -131,27 +185,28 @@
 // Register a worker by hand (registration is idempotent — re-registering
 // renews the lease):
 //
-//	curl -s localhost:8090/register -d '{"addr":"127.0.0.1:8093","capacity":8,"benchmarks":["gcc"]}'
+//	curl -s localhost:8090/v1/register -d '{"addr":"127.0.0.1:8093","capacity":8,"benchmarks":["gcc"]}'
 //
 // Renew by heartbeat (a 404 answer means the lease lapsed or the
-// coordinator restarted: register again):
+// coordinator restarted: register again); queue_depths advertises the
+// worker's running jobs per benchmark:
 //
-//	curl -s localhost:8090/heartbeat -d '{"addr":"127.0.0.1:8093","benchmarks":["gcc","mcf"]}'
+//	curl -s localhost:8090/v1/heartbeat -d '{"addr":"127.0.0.1:8093","benchmarks":["gcc","mcf"],"queue_depths":{"gcc":2}}'
 //
 // Drain a worker: stop its heartbeats (stop the process, or just its
 // -seed loop) and the lease lapses after three missed intervals; its
 // remaining shards re-dispatch to the survivors and only ~1/N of
 // benchmark homes move. Read membership from the coordinator:
 //
-//	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/v1/healthz
 //
-// Each /healthz worker row reports liveness, static-versus-registered,
-// seconds since the last heartbeat, advertised benchmarks, inflight and
-// completed shards, the per-design latency EWMA, and two separate fault
-// columns: "failures" (transport faults and timeouts — a sick worker)
-// versus "rejections" (the worker's deterministic 4xx verdicts on bad
-// requests — not the worker's fault), so an operator can tell a dead
-// machine from a bad client.
+// Each /v1/healthz worker row reports liveness, static-versus-registered,
+// seconds since the last heartbeat, advertised benchmarks and queue
+// depths, inflight and completed shards, the per-design latency EWMA,
+// and two separate fault columns: "failures" (transport faults and
+// timeouts — a sick worker) versus "rejections" (the worker's
+// deterministic 4xx verdicts on bad requests — not the worker's fault),
+// so an operator can tell a dead machine from a bad client.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.

@@ -4,10 +4,19 @@
 // order-based selection.
 //
 // Run: go run ./examples/coeffsweep
+//
+// With -daemon the locally tuned models are additionally cross-checked
+// against a dsed daemon's served model on the same test designs through
+// the typed /v1 client (the daemon's model complexity comes from its own
+// -k flag, default 16 — the knee this study finds).
+//
+//	go run ./cmd/dsed -addr :8090 -benchmarks mcf &
+//	go run ./examples/coeffsweep -daemon localhost:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,9 +26,14 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/space"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "also score the dsed daemon's served model at this address against the same test designs")
+	flag.Parse()
+
 	// Simulations run on the pooled, cancellable engine: ^C aborts the
 	// campaign cleanly instead of orphaning workers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -70,4 +84,26 @@ func main() {
 	}
 	fmt.Println("\nexpected shape (paper Figure 9 and §3): error falls steeply to k≈16,")
 	fmt.Println("then flattens; magnitude-based selection is never worse than order-based.")
+
+	// Cross-check against a serving daemon: its model trained on its own
+	// campaign (own designs, own -k), scored on this study's test set.
+	if *daemon != "" {
+		c := dsedclient.New(*daemon)
+		specs := make([]wire.ConfigSpec, len(test))
+		for i, cfg := range test {
+			specs[i] = wire.SpecFromConfig(cfg)
+		}
+		batch, err := c.PredictBatch(ctx, wire.PredictRequest{
+			Benchmark: benchmark, Metrics: []string{"CPI"},
+			Configs: specs, IncludeTraces: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		for i := range test {
+			sum += mathx.RelativeMSEPercent(traces[len(train)+i].CPI, batch.Results[i][0].Trace)
+		}
+		fmt.Printf("\ndaemon %s served model: %.2f%% MSE on the same test designs\n", *daemon, sum/float64(len(test)))
+	}
 }

@@ -9,10 +9,21 @@
 //  4. validates the forecasts against detailed simulation.
 //
 // Run: go run ./examples/dvmstudy
+//
+// With -daemon the unmanaged IQ-AVF screening runs through a dsed
+// daemon's served models over the typed /v1 client (one batch predict
+// across the candidates) — the daemon's stock models do not encode the
+// DVM policy as a feature, so the policy itself is then validated by
+// local simulation, exactly like the local path. The daemon must serve
+// the IQ_AVF metric:
+//
+//	go run ./cmd/dsed -addr :8090 -metrics CPI,IQ_AVF -benchmarks gcc &
+//	go run ./examples/dvmstudy -daemon localhost:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,6 +34,8 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 const (
@@ -31,10 +44,18 @@ const (
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "screen candidates through the dsed daemon at this address instead of training locally")
+	flag.Parse()
+
 	// Simulations run on the pooled, cancellable engine: ^C aborts the
 	// campaign cleanly instead of orphaning workers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *daemon != "" {
+		runDaemon(ctx, *daemon)
+		return
+	}
 
 	rng := mathx.NewRNG(5)
 	opts := sim.Options{Instructions: 65536, Samples: 64}
@@ -69,12 +90,7 @@ func main() {
 	}
 
 	// Candidate machines the architect is considering.
-	candidates := []space.Config{
-		space.Baseline(),
-		space.Baseline().WithSweptValues([space.NumParams]int{8, 128, 96, 32, 1024, 12, 32, 32, 2}),
-		space.Baseline().WithSweptValues([space.NumParams]int{2, 160, 32, 16, 256, 20, 8, 8, 4}),
-		space.Baseline().WithSweptValues([space.NumParams]int{16, 160, 128, 64, 4096, 8, 64, 64, 1}),
-	}
+	candidates := candidateConfigs()
 
 	fmt.Printf("\nforecasting DVM(target %.2f) outcomes for %d candidates:\n\n", target, len(candidates))
 	agree := 0
@@ -110,6 +126,61 @@ func main() {
 		fmt.Printf("  sim trace   %s\n\n", stats.Sparkline(tr.IQAVF))
 	}
 	fmt.Printf("forecast agreement: %d/%d candidates\n", agree, len(candidates))
+}
+
+// candidateConfigs is the shortlist the architect is considering.
+func candidateConfigs() []space.Config {
+	return []space.Config{
+		space.Baseline(),
+		space.Baseline().WithSweptValues([space.NumParams]int{8, 128, 96, 32, 1024, 12, 32, 32, 2}),
+		space.Baseline().WithSweptValues([space.NumParams]int{2, 160, 32, 16, 256, 20, 8, 8, 4}),
+		space.Baseline().WithSweptValues([space.NumParams]int{16, 160, 128, 64, 4096, 8, 64, 64, 1}),
+	}
+}
+
+// runDaemon screens the candidates through a daemon's served IQ-AVF
+// models (unmanaged — the stock daemon does not model the DVM policy),
+// then validates the policy on each flagged candidate with local
+// detailed simulation.
+func runDaemon(ctx context.Context, addr string) {
+	c := dsedclient.New(addr)
+	candidates := candidateConfigs()
+	specs := make([]wire.ConfigSpec, len(candidates))
+	for i, cfg := range candidates {
+		specs[i] = wire.SpecFromConfig(cfg)
+	}
+	fmt.Printf("screening %d candidates through %s (unmanaged IQ AVF)...\n\n", len(candidates), addr)
+	batch, err := c.PredictBatch(ctx, wire.PredictRequest{
+		Benchmark: benchmark, Metrics: []string{"IQ_AVF"},
+		Configs: specs, IncludeTraces: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := sim.Options{Instructions: 65536, Samples: 64}
+	agree := 0
+	for i, cfg := range candidates {
+		pred := batch.Results[i][0].Trace
+		// A candidate whose unmanaged vulnerability rarely crosses the
+		// target needs no policy; the rest rely on DVM, validated by
+		// simulating the managed machine.
+		needsDVM := exceedFrac(pred, target) > 0.25
+		managed := cfg
+		managed.DVM, managed.DVMThreshold = true, target
+		tr, err := sim.Run(managed, benchmark, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		managedOK := exceedFrac(tr.IQAVF, target) <= 0.25
+		if managedOK {
+			agree++
+		}
+		fmt.Printf("candidate %d: %v\n", i+1, cfg)
+		fmt.Printf("  daemon forecast (unmanaged): peak IQ AVF %.3f, needs DVM: %v\n", mathx.Max(pred), needsDVM)
+		fmt.Printf("  simulation (managed):        peak IQ AVF %.3f, meets target: %v\n", mathx.Max(tr.IQAVF), managedOK)
+		fmt.Printf("  sim trace   %s\n\n", stats.Sparkline(tr.IQAVF))
+	}
+	fmt.Printf("DVM holds the %.2f target on %d/%d candidates\n", target, agree, len(candidates))
 }
 
 // exceedFrac returns the fraction of samples at or above the threshold.

@@ -6,10 +6,20 @@
 // validates the chosen design against detailed simulation.
 //
 // Run: go run ./examples/paretosearch
+//
+// With -daemon the whole exploration runs through a dsed daemon (or
+// coordinator fleet) over the versioned /v1 job API instead of training
+// locally: the frontier job streams partial frontiers while it sweeps,
+// and the constrained question is a top-K job. Validation still runs the
+// detailed simulator locally.
+//
+//	go run ./cmd/dsed -addr :8090 &
+//	go run ./examples/paretosearch -daemon localhost:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,21 +27,96 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/space"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 const benchmark = "twolf"
 
+const powerBudget = 60.0
+
 func main() {
+	daemon := flag.String("daemon", "", "explore through the dsed daemon at this address (/v1 job API) instead of training locally")
+	flag.Parse()
+
 	// Both the training simulations and the model sweep run on the
 	// pooled, cancellable engine: ^C aborts cleanly mid-campaign.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *daemon != "" {
+		runDaemon(ctx, *daemon)
+		return
+	}
+	runLocal(ctx)
+}
+
+// runDaemon is the served path: every model-driven step goes through the
+// typed client — one way to speak to a daemon, no hand-rolled JSON.
+func runDaemon(ctx context.Context, addr string) {
+	c := dsedclient.New(addr)
+	fmt.Printf("warming %s on %s...\n", benchmark, addr)
+	if _, err := c.Warm(ctx, []string{benchmark}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The frontier as an async job: partial frontiers stream back while
+	// the daemon (or its fleet) sweeps.
+	req := wire.ParetoRequest{
+		Benchmark: benchmark,
+		Objectives: []wire.ObjectiveSpec{
+			{Metric: "CPI"},
+			{Metric: "Power", Kind: "worst"},
+		},
+		SpaceSpec: wire.SpaceSpec{Space: "train", Sample: 20000, Seed: 11},
+	}
+	partials := 0
+	resp, err := c.ParetoJob(ctx, req, func(u api.Update) {
+		if u.Final {
+			return
+		}
+		partials++
+		fmt.Printf("partial: evaluated %d/%d, frontier %d points\n",
+			u.Evaluated, u.Designs, len(u.Candidates))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal frontier after %d partial updates: %d of %d designs in %.0fms\n",
+		partials, len(resp.Frontier), resp.Evaluated, resp.ElapsedMS)
+	for _, cand := range resp.Frontier {
+		fmt.Printf("  cpi=%.4f peak-power=%.4f | %v\n", cand.Scores[0], cand.Scores[1], cand.Config.ToConfig())
+	}
+
+	// The constrained design question as a top-K job.
+	sweep, err := c.SweepJob(ctx, wire.SweepRequest{
+		Benchmark:   benchmark,
+		Objectives:  req.Objectives,
+		SpaceSpec:   req.SpaceSpec,
+		TopK:        1,
+		Constraints: []wire.Constraint{{Objective: 1, Max: powerBudget}},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(sweep.Candidates) == 0 {
+		log.Fatalf("no design meets the %.0fW worst-case budget", powerBudget)
+	}
+	best := sweep.Candidates[0]
+	cfg := best.Config.ToConfig()
+	fmt.Printf("\nfastest design with predicted worst-case power ≤ %.0fW (%d of %d feasible):\n  %v\n",
+		powerBudget, sweep.Feasible, sweep.Evaluated, cfg)
+	fmt.Printf("  predicted: mean CPI %.3f, peak power %.1fW\n", best.Scores[0], best.Scores[1])
+	validate(cfg)
+}
+
+func runLocal(ctx context.Context) {
 	rng := mathx.NewRNG(11)
 	opts := sim.Options{Instructions: 65536, Samples: 64}
 
@@ -72,7 +157,6 @@ func main() {
 		explore.MeanObjective("cpi"),
 		explore.WorstCaseObjective("peak-power"),
 	}
-	const powerBudget = 60.0
 	frontier := explore.NewFrontierCollector()
 	top := explore.NewTopK(1, 0, []explore.Constraint{{Objective: 1, Max: powerBudget}})
 	start := time.Now()
@@ -103,9 +187,12 @@ func main() {
 	fmt.Printf("fastest design with predicted worst-case power ≤ %.0fW (%d of %d feasible):\n  %v\n",
 		powerBudget, top.Feasible(), top.Seen(), best.Config)
 	fmt.Printf("  predicted: mean CPI %.3f, peak power %.1fW\n", best.Scores[0], best.Scores[1])
+	validate(best.Config)
+}
 
-	// Validate the model's pick with detailed simulation.
-	tr, err := sim.Run(best.Config, benchmark, opts)
+// validate checks the model's pick with detailed simulation.
+func validate(cfg space.Config) {
+	tr, err := sim.Run(cfg, benchmark, sim.Options{Instructions: 65536, Samples: 64})
 	if err != nil {
 		log.Fatal(err)
 	}

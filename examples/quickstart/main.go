@@ -9,10 +9,18 @@
 //  4. predict the trace at test designs and measure MSE%.
 //
 // Run: go run ./examples/quickstart
+//
+// With -daemon the prediction step is served by a dsed daemon through
+// the typed /v1 client instead of a locally trained model (the daemon
+// trains gcc on demand); simulation still runs locally as ground truth.
+//
+//	go run ./cmd/dsed -addr :8090 &
+//	go run ./examples/quickstart -daemon localhost:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,9 +31,14 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "predict through the dsed daemon at this address instead of training locally")
+	flag.Parse()
+
 	// Simulations run on the pooled, cancellable engine: ^C aborts the
 	// campaign cleanly instead of orphaning workers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -49,6 +62,27 @@ func main() {
 	traces, err := sim.SweepContext(ctx, jobs, opts, 0)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Served variant: the daemon owns the model (training gcc on demand
+	// on first request); this process only simulates the ground truth.
+	if *daemon != "" {
+		c := dsedclient.New(*daemon)
+		fmt.Printf("predicting through %s (the daemon trains on demand)...\n\n", *daemon)
+		for i, cfg := range test {
+			actual := traces[len(train)+i].CPI
+			resp, err := c.Predict(ctx, wire.PredictRequest{
+				Benchmark: benchmark, Metric: "CPI", Config: wire.SpecFromConfig(cfg),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("test design %d: %v\n", i+1, cfg)
+			fmt.Printf("  actual    %s\n", stats.Sparkline(actual))
+			fmt.Printf("  predicted %s   (daemon's model, its own training campaign)\n",
+				stats.Sparkline(resp.Trace))
+		}
+		return
 	}
 
 	// 3. Train the wavelet neural network on the training traces.

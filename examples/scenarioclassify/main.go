@@ -5,10 +5,18 @@
 // with the directional-symmetry metric.
 //
 // Run: go run ./examples/scenarioclassify
+//
+// With -daemon the power forecasts come from a dsed daemon over the
+// typed /v1 client (one batch predict for every test design) instead of
+// a locally trained model; classification and scoring stay local.
+//
+//	go run ./cmd/dsed -addr :8090 -benchmarks gap &
+//	go run ./examples/scenarioclassify -daemon localhost:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -19,9 +27,14 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "forecast through the dsed daemon at this address instead of training locally")
+	flag.Parse()
+
 	// Simulations run on the pooled, cancellable engine: ^C aborts the
 	// campaign cleanly instead of orphaning workers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -43,20 +56,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainTraces := make([][]float64, len(train))
-	for i := range train {
-		trainTraces[i] = traces[i].Power
-	}
-	model, err := core.Train(train, trainTraces, core.Options{NumCoefficients: 16})
-	if err != nil {
-		log.Fatal(err)
+	// The forecaster: a locally trained model, or the daemon's served one
+	// (fetched as full traces in a single batch predict).
+	var predict func(i int, cfg space.Config) []float64
+	if *daemon != "" {
+		c := dsedclient.New(*daemon)
+		specs := make([]wire.ConfigSpec, len(test))
+		for i, cfg := range test {
+			specs[i] = wire.SpecFromConfig(cfg)
+		}
+		fmt.Printf("forecasting through %s...\n", *daemon)
+		batch, err := c.PredictBatch(ctx, wire.PredictRequest{
+			Benchmark: benchmark, Metrics: []string{"Power"},
+			Configs: specs, IncludeTraces: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		predict = func(i int, _ space.Config) []float64 { return batch.Results[i][0].Trace }
+	} else {
+		trainTraces := make([][]float64, len(train))
+		for i := range train {
+			trainTraces[i] = traces[i].Power
+		}
+		model, err := core.Train(train, trainTraces, core.Options{NumCoefficients: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		predict = func(_ int, cfg space.Config) []float64 { return model.Predict(cfg) }
 	}
 
 	levels := []stats.ThresholdLevel{stats.Q1, stats.Q2, stats.Q3}
 	fmt.Printf("%-8s %10s %12s %12s %12s\n", "design", "", "Q1", "Q2", "Q3")
 	for i, cfg := range test {
 		actual := traces[len(train)+i].Power
-		pred := model.Predict(cfg)
+		pred := predict(i, cfg)
 
 		fmt.Printf("design %d  actual    %s\n", i+1, stats.Sparkline(actual))
 		fmt.Printf("          predicted %s\n", stats.Sparkline(pred))

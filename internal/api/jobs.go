@@ -1,0 +1,574 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The job subsystem behind POST /v1/sweeps and /v1/pareto: exploration
+// requests return a job ID immediately and run detached from the
+// submitting request, publishing cumulative progress snapshots (partial
+// frontiers / top-K) that GET /v1/jobs/{id}/stream replays as NDJSON.
+// Every published Update is a complete snapshot, not a delta, so a
+// subscriber that joins late — or reconnects after a disconnect — is
+// current after its first line.
+
+// JobKind names what a job computes.
+type JobKind string
+
+const (
+	// JobSweep is a constrained top-K selection job (POST /v1/sweeps).
+	JobSweep JobKind = "sweep"
+	// JobPareto is a Pareto-frontier job (POST /v1/pareto).
+	JobPareto JobKind = "pareto"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s != StateRunning && s != "" }
+
+// Update is one NDJSON line of GET /v1/jobs/{id}/stream: a cumulative
+// snapshot of the job so far. Candidates is the current partial frontier
+// (Pareto) or feasible top-K (sweep); on the Final update it is the
+// complete answer.
+type Update struct {
+	JobID string   `json:"job_id"`
+	Seq   int      `json:"seq"`
+	State JobState `json:"state"`
+	// Evaluated counts designs scored so far; Designs is the job total.
+	Evaluated int `json:"evaluated"`
+	Designs   int `json:"designs,omitempty"`
+	Feasible  int `json:"feasible,omitempty"`
+	// Shards/Retries/Workers carry a coordinator job's distribution
+	// accounting (zero on single-daemon jobs).
+	Shards  int `json:"shards,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Worker names the fleet member whose merged partial produced this
+	// snapshot; Delta is how many designs that partial contributed.
+	Worker string `json:"worker,omitempty"`
+	Delta  int    `json:"delta,omitempty"`
+	// Objectives labels the score columns (set once resolved).
+	Objectives []string `json:"objectives,omitempty"`
+	// Candidates is the cumulative partial result, already merged.
+	Candidates []wire.Candidate `json:"candidates,omitempty"`
+	// Final marks the last update of the stream.
+	Final     bool    `json:"final,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Error     *Error  `json:"error,omitempty"`
+}
+
+// JobStatus answers GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Kind      JobKind  `json:"kind"`
+	Benchmark string   `json:"benchmark,omitempty"`
+	State     JobState `json:"state"`
+	CreatedAt string   `json:"created_at"`
+	Designs   int      `json:"designs"`
+	Evaluated int      `json:"evaluated"`
+	Feasible  int      `json:"feasible,omitempty"`
+	Shards    int      `json:"shards,omitempty"`
+	Retries   int      `json:"retries,omitempty"`
+	// Updates is the stream's current sequence number.
+	Updates int `json:"updates"`
+	// Attribution maps worker name to designs evaluated there
+	// (coordinator jobs only).
+	Attribution map[string]int `json:"attribution,omitempty"`
+	ElapsedMS   float64        `json:"elapsed_ms,omitempty"`
+	Error       *Error         `json:"error,omitempty"`
+	// Result is the job's final payload (the legacy response shape),
+	// present once State is "done".
+	Result any `json:"result,omitempty"`
+}
+
+// Publisher is a running job's progress sink. Streaming lets a runner
+// skip building expensive snapshot payloads (partial frontiers) while
+// nobody is attached to the stream — counters should still be published
+// so pollers see progress.
+type Publisher interface {
+	Publish(Update)
+	// Streaming reports whether any stream subscriber is attached right
+	// now (it can flip either way mid-job).
+	Streaming() bool
+}
+
+// RunFunc computes one job: it publishes cumulative snapshots through pub
+// as it goes and returns the final snapshot (counters and complete
+// candidates, State/Final left for the manager to stamp) plus the result
+// payload served by GET /v1/jobs/{id} and the legacy shims.
+type RunFunc func(ctx context.Context, pub Publisher) (result any, final Update, err error)
+
+// ManagerOptions tunes the job subsystem.
+type ManagerOptions struct {
+	// MaxRunning bounds concurrently running jobs; submissions beyond it
+	// answer 429 too_many_jobs (retryable). Default 64.
+	MaxRunning int
+	// BaseContext is the parent of every job's context (default
+	// context.Background()). Cancel it — the daemon's shutdown signal —
+	// and every running job settles "canceled" with a final update.
+	BaseContext context.Context
+	// Retention keeps finished jobs queryable for late GET/stream calls.
+	// Default 10 minutes.
+	Retention time.Duration
+	// MaxJobs caps stored jobs; beyond it the oldest finished jobs are
+	// evicted early. Default 512.
+	MaxJobs int
+	// ErrorStatus maps a job error onto the HTTP status the same failure
+	// answered on the legacy blocking routes. Default: 500.
+	ErrorStatus func(error) int
+	// Clock overrides time.Now in tests.
+	Clock func() time.Time
+}
+
+// ErrTooManyJobs rejects submissions while MaxRunning jobs are in flight.
+var ErrTooManyJobs = errors.New("api: too many running jobs, retry later")
+
+// ErrUnknownJob answers lookups for IDs never issued or already evicted.
+var ErrUnknownJob = errors.New("api: unknown job")
+
+// Manager owns the job table: submission, lookup, cancellation, retention.
+type Manager struct {
+	opts ManagerOptions
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // creation order, for bounded eviction
+	running int
+	seq     int
+}
+
+// NewManager builds the job table.
+func NewManager(opts ManagerOptions) *Manager {
+	if opts.MaxRunning <= 0 {
+		opts.MaxRunning = 64
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = 10 * time.Minute
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 512
+	}
+	if opts.ErrorStatus == nil {
+		opts.ErrorStatus = func(error) int { return http.StatusInternalServerError }
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.BaseContext == nil {
+		opts.BaseContext = context.Background()
+	}
+	return &Manager{opts: opts, jobs: make(map[string]*Job)}
+}
+
+// Job is one asynchronous exploration: its identity, live progress, the
+// stream subscribers, and — once finished — the result or error.
+type Job struct {
+	ID        string
+	Kind      JobKind
+	Benchmark string
+
+	created time.Time
+	clock   func() time.Time
+	cancel  context.CancelFunc
+	done    chan struct{}
+	// counted jobs occupy a MaxRunning admission slot; unbounded (legacy
+	// shim) jobs do not, so shim traffic cannot starve /v1 submissions.
+	counted bool
+
+	mu          sync.Mutex
+	state       JobState
+	cancelled   bool
+	seq         int
+	designs     int
+	evaluated   int
+	feasible    int
+	shards      int
+	retries     int
+	attribution map[string]int
+	last        *Update
+	result      any
+	errBody     *Error
+	finished    time.Time
+	elapsedMS   float64
+	subs        map[int]chan Update
+	nextSub     int
+}
+
+// Start submits a job: run executes on its own goroutine under a context
+// detached from the submitting request (the whole point of the async
+// API) and cancelled only by DELETE /v1/jobs/{id} or BaseContext dying
+// (daemon shutdown). Submissions beyond MaxRunning answer ErrTooManyJobs.
+func (m *Manager) Start(kind JobKind, benchmark string, designs int, run RunFunc) (*Job, error) {
+	return m.start(kind, benchmark, designs, run, true)
+}
+
+// StartUnbounded is Start without the MaxRunning admission gate — the
+// legacy blocking shims use it, because the historical synchronous
+// routes were bounded only by HTTP concurrency and the shims must not
+// invent a new 429 failure mode (nor occupy /v1 submission slots).
+func (m *Manager) StartUnbounded(kind JobKind, benchmark string, designs int, run RunFunc) (*Job, error) {
+	return m.start(kind, benchmark, designs, run, false)
+}
+
+func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc, enforceLimit bool) (*Job, error) {
+	m.mu.Lock()
+	m.evictLocked()
+	if enforceLimit && m.running >= m.opts.MaxRunning {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d in flight)", ErrTooManyJobs, m.opts.MaxRunning)
+	}
+	m.seq++
+	now := m.opts.Clock()
+	job := &Job{
+		ID:        fmt.Sprintf("%s-%d-%s", kind, m.seq, NewRequestID()[:8]),
+		Kind:      kind,
+		Benchmark: benchmark,
+		created:   now,
+		clock:     m.opts.Clock,
+		done:      make(chan struct{}),
+		state:     StateRunning,
+		designs:   designs,
+		subs:      make(map[int]chan Update),
+		counted:   enforceLimit,
+	}
+	ctx, cancel := context.WithCancel(m.opts.BaseContext)
+	job.cancel = cancel
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	if job.counted {
+		m.running++
+	}
+	m.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		result, final, err := m.protect(ctx, run, job)
+		m.finish(job, result, final, err)
+	}()
+	return job, nil
+}
+
+// protect runs the job body, converting a panic into a job failure
+// instead of crashing the daemon (jobs run outside net/http's built-in
+// per-request recovery).
+func (m *Manager) protect(ctx context.Context, run RunFunc, job *Job) (result any, final Update, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("api: job %s panicked: %v", job.ID, r)
+		}
+	}()
+	return run(ctx, job)
+}
+
+// finish settles the job: stamps the terminal state, publishes the final
+// update (never dropped — subscribers' newest-wins buffers retain it),
+// and releases the running slot.
+func (m *Manager) finish(job *Job, result any, final Update, err error) {
+	job.mu.Lock()
+	state := StateDone
+	if err != nil {
+		state = StateFailed
+		// DELETE, daemon shutdown (BaseContext), or a context error all
+		// settle "canceled" — the job was aborted, not broken.
+		if job.cancelled || errors.Is(err, context.Canceled) {
+			state = StateCanceled
+		}
+		status := m.opts.ErrorStatus(err)
+		e := NewError(status, "", "%v", err)
+		job.errBody = &e
+		final.Error = &e
+	}
+	job.state = state
+	job.result = result
+	job.finished = job.clock()
+	job.elapsedMS = float64(job.finished.Sub(job.created).Microseconds()) / 1000
+	if final.ElapsedMS == 0 {
+		final.ElapsedMS = job.elapsedMS
+	}
+	final.State = state
+	final.Final = true
+	job.publishLocked(final)
+	for id, ch := range job.subs {
+		close(ch)
+		delete(job.subs, id)
+	}
+	close(job.done)
+	job.mu.Unlock()
+
+	if job.counted {
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
+	}
+}
+
+// Get looks a job up.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictLocked()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
+// Cancel requests a job's cancellation. A running job settles
+// asynchronously — its stream still ends with a final "canceled" update.
+// DELETE on an already-finished job removes it from the table (DELETE is
+// resource removal), so consumers that have read their result can
+// release it instead of pinning the payload for the retention window.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	terminal := job.state.Terminal()
+	if !terminal {
+		job.cancelled = true
+	}
+	job.mu.Unlock()
+	job.cancel()
+	if terminal {
+		m.Forget(id)
+	}
+	return job, nil
+}
+
+// Forget drops a finished job from the table immediately, releasing its
+// retained result; running jobs are left alone. The legacy blocking
+// shims call it after writing their response — historically the
+// synchronous routes retained nothing.
+func (m *Manager) Forget(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	job.mu.Lock()
+	terminal := job.state.Terminal()
+	job.mu.Unlock()
+	if !terminal {
+		return
+	}
+	delete(m.jobs, id)
+	for i, jid := range m.order {
+		if jid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// RunningByBenchmark counts running jobs per benchmark — the per-worker
+// queue depth heartbeats advertise to the coordinator.
+func (m *Manager) RunningByBenchmark() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	depths := make(map[string]int)
+	for _, job := range m.jobs {
+		job.mu.Lock()
+		if job.state == StateRunning && job.Benchmark != "" {
+			depths[job.Benchmark]++
+		}
+		job.mu.Unlock()
+	}
+	return depths
+}
+
+// evictLocked drops finished jobs past retention, and — beyond the stored
+// cap — the oldest finished jobs early. Running jobs are never evicted.
+func (m *Manager) evictLocked() {
+	now := m.opts.Clock()
+	kept := m.order[:0]
+	for _, id := range m.order {
+		job := m.jobs[id]
+		if job == nil {
+			continue
+		}
+		job.mu.Lock()
+		expired := job.state.Terminal() && now.Sub(job.finished) > m.opts.Retention
+		job.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+	for i := 0; len(m.order) > m.opts.MaxJobs && i < len(m.order); {
+		id := m.order[i]
+		job := m.jobs[id]
+		job.mu.Lock()
+		finished := job.state.Terminal()
+		job.mu.Unlock()
+		if !finished {
+			i++
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+// Streaming implements Publisher.
+func (j *Job) Streaming() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs) > 0
+}
+
+// Publish implements Publisher: it records one cumulative snapshot and
+// fans it out to stream subscribers. Intermediate updates may be
+// coalesced per subscriber (newest wins); the final update always
+// survives because nothing is published after it.
+func (j *Job) Publish(u Update) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return // the job already settled; a straggling snapshot is stale
+	}
+	u.State = StateRunning
+	j.publishLocked(u)
+}
+
+func (j *Job) publishLocked(u Update) {
+	j.seq++
+	u.JobID = j.ID
+	u.Seq = j.seq
+	// The design total may only materialise inside the job (named spaces
+	// resolve after model resolution); adopt it from the first update
+	// that knows it.
+	if u.Designs > j.designs {
+		j.designs = u.Designs
+	} else if u.Designs == 0 {
+		u.Designs = j.designs
+	}
+	// Progress counters are cumulative and monotone; keeping the maximum
+	// also stops a failed or cancelled job's zero-valued terminal update
+	// from wiping the progress it actually made.
+	j.evaluated = max(j.evaluated, u.Evaluated)
+	u.Evaluated = j.evaluated
+	j.feasible = max(j.feasible, u.Feasible)
+	u.Feasible = j.feasible
+	j.shards = max(j.shards, u.Shards)
+	u.Shards = j.shards
+	j.retries = max(j.retries, u.Retries)
+	u.Retries = j.retries
+	if u.Worker != "" && u.Delta > 0 {
+		if j.attribution == nil {
+			j.attribution = make(map[string]int)
+		}
+		j.attribution[u.Worker] += u.Delta
+	}
+	j.last = &u
+	for _, ch := range j.subs {
+		select {
+		case ch <- u:
+		default:
+			// Slow subscriber: drop its oldest pending update and offer
+			// the newest again — snapshots are cumulative, so skipping
+			// intermediates loses nothing.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- u:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe attaches a stream reader: the channel is primed with the
+// latest snapshot (so a late or reconnecting subscriber is current
+// immediately), then receives subsequent updates, and closes after the
+// final one. The returned cancel detaches the subscriber.
+func (j *Job) Subscribe() (<-chan Update, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Update, 8)
+	if j.last != nil {
+		ch <- *j.last
+	}
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// Done closes when the job settles.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job. withResult includes the final payload (GET
+// /v1/jobs/{id} and the legacy shims want it; submission echoes do not).
+func (j *Job) Status(withResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		Benchmark: j.Benchmark,
+		State:     j.state,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Designs:   j.designs,
+		Evaluated: j.evaluated,
+		Feasible:  j.feasible,
+		Shards:    j.shards,
+		Retries:   j.retries,
+		Updates:   j.seq,
+		ElapsedMS: j.elapsedMS,
+		Error:     j.errBody,
+	}
+	if len(j.attribution) > 0 {
+		st.Attribution = make(map[string]int, len(j.attribution))
+		for k, v := range j.attribution {
+			st.Attribution[k] = v
+		}
+	}
+	if st.ElapsedMS == 0 {
+		st.ElapsedMS = float64(j.clock().Sub(j.created).Microseconds()) / 1000
+	}
+	if withResult && j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// Result returns the final payload and error body once the job settled.
+func (j *Job) Result() (any, *Error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.errBody
+}

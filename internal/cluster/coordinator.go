@@ -182,14 +182,51 @@ type SweepResult struct {
 	Retries    int
 }
 
+// Progress is one merged-partial snapshot of an in-flight distributed
+// sweep — the worker → coordinator → client streaming unit. Snapshots
+// are cumulative: Candidates is the whole merged frontier (or feasible
+// top-K) so far, not a delta, so any snapshot alone is a valid partial
+// answer. Updates arrive at shard granularity (a shard's partial is the
+// smallest mergeable unit — folding a worker's unfinished shard would
+// double-count when the finished one lands).
+type Progress struct {
+	// Worker is the fleet member whose shard was just merged; Delta is
+	// how many designs that shard contributed.
+	Worker string
+	Delta  int
+	// Evaluated and Feasible are cumulative across merged shards.
+	Evaluated int
+	Feasible  int
+	// Shards counts merged shards so far.
+	Shards int
+	// Workers is the live fleet size at this snapshot — it moves as
+	// members join and lapse mid-sweep.
+	Workers int
+	// Candidates is the merged partial frontier / top-K snapshot.
+	Candidates []explore.Candidate
+}
+
+// Observer receives Progress snapshots. It is called under the merge
+// lock (snapshots are consistent and ordered) and must not call back
+// into the coordinator.
+type Observer func(Progress)
+
 // Pareto distributes a frontier sweep: shard, evaluate per worker, merge
 // the partial frontiers. The merged frontier equals the single-process
 // explore.ParetoFrontier over the same designs, up to ordering.
 func (c *Coordinator) Pareto(ctx context.Context, q Query, designs []space.Config) (*ParetoResult, error) {
+	return c.ParetoObserved(ctx, q, designs, nil)
+}
+
+// ParetoObserved is Pareto with a streaming observer: obs (when non-nil)
+// sees the merged frontier after every shard, so a serving layer can
+// stream partial frontiers to its client while the sweep runs.
+func (c *Coordinator) ParetoObserved(ctx context.Context, q Query, designs []space.Config, obs Observer) (*ParetoResult, error) {
 	merged := explore.NewFrontierCollector()
 	var mu sync.Mutex
 	evaluated := 0
-	shards, retries, err := c.run(ctx, q, designs, Transport.Pareto, func(p *Partial) {
+	mergedShards := 0
+	shards, retries, err := c.run(ctx, q, designs, Transport.Pareto, func(worker string, p *Partial) {
 		// The rebuilt per-shard collector exists to feed Merge; its seen
 		// counter covers only the shipped frontier, so the authoritative
 		// design count is the summed partial.Evaluated, not merged.Seen().
@@ -200,7 +237,20 @@ func (c *Coordinator) Pareto(ctx context.Context, q Query, designs []space.Confi
 		mu.Lock()
 		defer mu.Unlock()
 		evaluated += p.Evaluated
+		mergedShards++
 		merged.Merge(part)
+		if obs != nil {
+			// Feasible stays zero: feasibility is a constrained-sweep
+			// notion with no meaning on a frontier job.
+			obs(Progress{
+				Worker:     worker,
+				Delta:      p.Evaluated,
+				Evaluated:  evaluated,
+				Shards:     mergedShards,
+				Workers:    c.memberCount(),
+				Candidates: merged.Frontier(),
+			})
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -217,13 +267,20 @@ func (c *Coordinator) Pareto(ctx context.Context, q Query, designs []space.Confi
 // feasible top K, and the merged heap keeps the global best K (associative
 // because the global top K is a subset of the union of shard top Ks).
 func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config) (*SweepResult, error) {
+	return c.SweepObserved(ctx, q, designs, nil)
+}
+
+// SweepObserved is Sweep with a streaming observer: obs (when non-nil)
+// sees the merged feasible top-K after every shard.
+func (c *Coordinator) SweepObserved(ctx context.Context, q Query, designs []space.Config, obs Observer) (*SweepResult, error) {
 	if q.TopK <= 0 {
 		q.TopK = 10
 	}
 	merged := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
 	var mu sync.Mutex
 	evaluated, feasible := 0, 0
-	shards, retries, err := c.run(ctx, q, designs, Transport.Sweep, func(p *Partial) {
+	mergedShards := 0
+	shards, retries, err := c.run(ctx, q, designs, Transport.Sweep, func(worker string, p *Partial) {
 		part := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
 		for _, ic := range p.Candidates {
 			part.Collect(ic.Index, ic.Candidate)
@@ -235,7 +292,19 @@ func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config
 		// from the partial sums, not the merged collector.
 		evaluated += p.Evaluated
 		feasible += p.Feasible
+		mergedShards++
 		merged.Merge(part)
+		if obs != nil {
+			obs(Progress{
+				Worker:     worker,
+				Delta:      p.Evaluated,
+				Evaluated:  evaluated,
+				Feasible:   feasible,
+				Shards:     mergedShards,
+				Workers:    c.memberCount(),
+				Candidates: merged.Results(),
+			})
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -259,7 +328,7 @@ func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config
 // serialise their own state.
 func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
-	merge func(*Partial)) (shards, retries int, err error) {
+	merge func(worker string, p *Partial)) (shards, retries int, err error) {
 
 	if len(designs) == 0 {
 		return 0, 0, fmt.Errorf("cluster: no designs to sweep")
@@ -326,6 +395,13 @@ func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
 	return shards, retries, nil
 }
 
+// memberCount reports the live fleet size (the Progress snapshot field).
+func (c *Coordinator) memberCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.members)
+}
+
 // parallelism resolves the dispatcher-pool size at sweep start.
 func (c *Coordinator) parallelism() int {
 	if c.opts.Parallelism > 0 {
@@ -350,7 +426,7 @@ func (c *Coordinator) parallelism() int {
 func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *member,
 	abort context.CancelCauseFunc, localRetries *atomic.Int64,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
-	merge func(*Partial)) error {
+	merge func(worker string, p *Partial)) error {
 
 	tried := make(map[string]bool)
 	m := first
@@ -388,7 +464,7 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 		}
 		if err == nil {
 			c.observe(m, len(s.Designs), time.Since(start))
-			merge(p)
+			merge(m.name, p)
 			return nil
 		}
 		// A deterministic rejection (4xx) is the fleet's verdict on the

@@ -1,112 +1,76 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
+	"time"
 
 	"repro/internal/space"
 	"repro/internal/wire"
+	"repro/pkg/dsedclient"
 )
 
-// HTTP is a Transport speaking the dsed JSON wire format: shards become
-// explicit-design /pareto and /sweep requests, Warm drives /warm, and
-// Healthy probes /healthz. Any running dsed worker is a cluster worker
-// with no daemon-side changes.
+// HTTP is a Transport over the daemon's versioned /v1 API, built on the
+// shared typed client (pkg/dsedclient) so the coordinator speaks to
+// workers exactly like any other consumer. Shards become explicit-design
+// /v1/pareto and /v1/sweeps jobs — the transport submits the job,
+// follows its stream, and hands the coordinator the final partial, so a
+// worker's own progress plumbing is exercised on every shard. Warm
+// drives /v1/warm and Healthy probes /v1/healthz.
 type HTTP struct {
-	base   string
-	client *http.Client
+	c *dsedclient.Client
 }
 
-// maxWorkerResponse bounds one worker response read; a shard's frontier
-// cannot legitimately approach this.
-const maxWorkerResponse = 64 << 20
-
 // NewHTTP builds a transport for the worker at base (e.g. "host:8090" or
-// "http://host:8090"). client nil means http.DefaultClient.
+// "http://host:8090"). client nil means http.DefaultClient. The client
+// retries transient worker verdicts once with a short backoff; the
+// coordinator's own cross-worker retry remains the real failover.
 func NewHTTP(base string, client *http.Client) *HTTP {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	opts := []dsedclient.Option{
+		dsedclient.WithRetries(1),
+		dsedclient.WithBackoff(50 * time.Millisecond),
 	}
-	if client == nil {
-		client = http.DefaultClient
+	if client != nil {
+		opts = append(opts, dsedclient.WithHTTPClient(client))
 	}
-	return &HTTP{base: strings.TrimRight(base, "/"), client: client}
+	return &HTTP{c: dsedclient.New(base, opts...)}
 }
 
 // Name implements Transport; workers are named by their base URL.
-func (h *HTTP) Name() string { return h.base }
+func (h *HTTP) Name() string { return h.c.Base() }
 
 // Healthy implements Transport.
 func (h *HTTP) Healthy(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := h.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("cluster: worker %s: %w", h.base, err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, maxWorkerResponse))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: worker %s: /healthz status %d", h.base, resp.StatusCode)
-	}
-	return nil
-}
-
-// post sends one JSON request and decodes the worker's answer into out,
-// surfacing the worker's error envelope on non-200 statuses.
-func (h *HTTP) post(ctx context.Context, path string, body, out any) error {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := h.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("cluster: worker %s: %s: %w", h.base, path, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxWorkerResponse))
-	if err != nil {
-		return fmt.Errorf("cluster: worker %s: reading %s response: %w", h.base, path, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		msg := fmt.Sprintf("status %d", resp.StatusCode)
-		var we wire.Error
-		if json.Unmarshal(raw, &we) == nil && we.Error != "" {
-			msg = we.Error
-		}
-		// A 4xx is the worker's deterministic verdict on the request, not
-		// a worker fault: surface it as a rejection so the coordinator
-		// forwards it instead of retrying across the fleet.
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return &WorkerRejection{Worker: h.base, Status: resp.StatusCode, Msg: msg}
-		}
-		return fmt.Errorf("cluster: worker %s: %s status %d: %s", h.base, path, resp.StatusCode, msg)
-	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("cluster: worker %s: decoding %s response: %w", h.base, path, err)
+	if err := h.c.Healthy(ctx); err != nil {
+		return fmt.Errorf("cluster: worker %s: %w", h.Name(), err)
 	}
 	return nil
 }
 
 // Warm implements Transport.
 func (h *HTTP) Warm(ctx context.Context, benchmarks []string) (int, error) {
-	var resp wire.WarmResponse
-	if err := h.post(ctx, "/warm", wire.WarmRequest{Benchmarks: benchmarks}, &resp); err != nil {
-		return 0, err
+	resp, err := h.c.Warm(ctx, benchmarks)
+	if err != nil {
+		return 0, h.classify(err)
 	}
 	return resp.Trainings, nil
+}
+
+// classify maps a client error onto the coordinator's fault model: a
+// worker's deterministic 4xx verdict is a WorkerRejection (the request,
+// not the worker, is at fault — forward it instead of retrying across
+// the fleet). Verdicts the worker itself marks retryable — 429 from a
+// full job table, say — are transient load, not a judgement on the
+// request, so they stay transport-style failures and the shard spills
+// to another worker.
+func (h *HTTP) classify(err error) error {
+	var ae *dsedclient.APIError
+	if errors.As(err, &ae) && ae.Status >= 400 && ae.Status < 500 && !ae.Retryable {
+		return &WorkerRejection{Worker: h.Name(), Status: ae.Status, Msg: ae.Message}
+	}
+	return fmt.Errorf("cluster: worker %s: %w", h.Name(), err)
 }
 
 // shardSpecs pins a shard's materialised designs into explicit wire specs.
@@ -125,9 +89,9 @@ func (h *HTTP) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		Objectives: q.Objectives,
 		SpaceSpec:  wire.SpaceSpec{Designs: shardSpecs(s.Designs)},
 	}
-	var resp wire.ParetoResponse
-	if err := h.post(ctx, "/pareto", req, &resp); err != nil {
-		return nil, err
+	resp, err := h.c.ParetoJob(ctx, req, nil)
+	if err != nil {
+		return nil, h.classify(err)
 	}
 	return &Partial{
 		Evaluated:  resp.Evaluated,
@@ -150,9 +114,9 @@ func (h *HTTP) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		Objective:   q.Objective,
 		Constraints: constraints,
 	}
-	var resp wire.SweepResponse
-	if err := h.post(ctx, "/sweep", req, &resp); err != nil {
-		return nil, err
+	resp, err := h.c.SweepJob(ctx, req, nil)
+	if err != nil {
+		return nil, h.classify(err)
 	}
 	return &Partial{
 		Evaluated:  resp.Evaluated,

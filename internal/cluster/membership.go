@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"time"
 )
@@ -30,6 +31,10 @@ type MemberInfo struct {
 	// whose every served metric is already in its registry. The scheduler
 	// routes shards for these benchmarks to the worker first.
 	Benchmarks []string
+	// QueueDepths maps benchmark name to the worker's running job count
+	// for it — reported in /healthz today, the input for smarter spill
+	// decisions tomorrow.
+	QueueDepths map[string]int
 }
 
 // member is one fleet entry: its transport, liveness, advertised
@@ -49,6 +54,9 @@ type member struct {
 	lastSeen time.Time
 	// benchmarks is the heartbeat-advertised trained inventory.
 	benchmarks map[string]bool
+	// queueDepths is the heartbeat-advertised per-benchmark running job
+	// count.
+	queueDepths map[string]int
 	// inflight counts shards currently dispatched to the worker.
 	inflight int
 	// ewmaPerDesignMS tracks the worker's observed per-design latency
@@ -68,8 +76,10 @@ type MemberStatus struct {
 	SinceSeen time.Duration
 	// Benchmarks is the advertised trained inventory, sorted.
 	Benchmarks []string
-	Inflight   int
-	ShardsDone int
+	// QueueDepths is the advertised per-benchmark running job count.
+	QueueDepths map[string]int
+	Inflight    int
+	ShardsDone  int
 	// EWMAPerDesignMS is the scheduler's latency estimate (0 = no
 	// completed shard yet).
 	EWMAPerDesignMS float64
@@ -96,18 +106,20 @@ func (c *Coordinator) Join(t Transport, info MemberInfo) (bool, error) {
 	if m, ok := c.members[name]; ok {
 		m.lastSeen = now
 		m.benchmarks = benchmarkSet(info.Benchmarks)
+		m.queueDepths = info.QueueDepths
 		if info.Capacity > 0 {
 			m.capacity = info.Capacity
 		}
 		return false, nil
 	}
 	c.members[name] = &member{
-		name:       name,
-		transport:  t,
-		capacity:   c.capacityFor(info.Capacity),
-		joined:     now,
-		lastSeen:   now,
-		benchmarks: benchmarkSet(info.Benchmarks),
+		name:        name,
+		transport:   t,
+		capacity:    c.capacityFor(info.Capacity),
+		joined:      now,
+		lastSeen:    now,
+		benchmarks:  benchmarkSet(info.Benchmarks),
+		queueDepths: info.QueueDepths,
 	}
 	c.ring.add(name)
 	return true, nil
@@ -125,6 +137,7 @@ func (c *Coordinator) Heartbeat(name string, info MemberInfo) error {
 	}
 	m.lastSeen = c.now()
 	m.benchmarks = benchmarkSet(info.Benchmarks)
+	m.queueDepths = info.QueueDepths
 	if info.Capacity > 0 {
 		m.capacity = info.Capacity
 	}
@@ -186,6 +199,7 @@ func (c *Coordinator) Members() []MemberStatus {
 			Static:          m.static,
 			Capacity:        m.capacity,
 			Benchmarks:      sortedBenchmarks(m.benchmarks),
+			QueueDepths:     copyDepths(m.queueDepths),
 			Inflight:        m.inflight,
 			ShardsDone:      m.shardsDone,
 			EWMAPerDesignMS: m.ewmaPerDesignMS,
@@ -240,6 +254,13 @@ func benchmarkSet(list []string) map[string]bool {
 		set[b] = true
 	}
 	return set
+}
+
+func copyDepths(depths map[string]int) map[string]int {
+	if len(depths) == 0 {
+		return nil
+	}
+	return maps.Clone(depths)
 }
 
 func sortedBenchmarks(set map[string]bool) []string {

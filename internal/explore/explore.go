@@ -89,6 +89,12 @@ type Result struct {
 type Options struct {
 	// Workers bounds evaluation parallelism. 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when set, receives cumulative completed-design counts as
+	// the sweep proceeds (once per finished chunk). It is called
+	// concurrently from worker goroutines and counts may arrive slightly
+	// out of order; consumers wanting a monotone gauge keep the maximum.
+	// It must be cheap — it sits on the evaluation hot path.
+	Progress func(completed int)
 }
 
 func (o Options) workers() int {
@@ -115,7 +121,7 @@ func SweepContext(ctx context.Context, designs []space.Config, models []core.Dyn
 		return nil, err
 	}
 	res := &Result{Objectives: objectives, Evaluated: make([]Candidate, len(designs))}
-	err := evalChunks(ctx, designs, models, objectives, opts.workers(), func(start int, chunk []Candidate) {
+	err := evalChunks(ctx, designs, models, objectives, opts, func(start int, chunk []Candidate) {
 		copy(res.Evaluated[start:], chunk)
 	})
 	if err != nil {
@@ -146,7 +152,7 @@ func SweepStream(ctx context.Context, designs []space.Config, models []core.Dyna
 		return err
 	}
 	var mu sync.Mutex
-	return evalChunks(ctx, designs, models, objectives, opts.workers(), func(start int, chunk []Candidate) {
+	return evalChunks(ctx, designs, models, objectives, opts, func(start int, chunk []Candidate) {
 		mu.Lock()
 		defer mu.Unlock()
 		for j, cand := range chunk {
@@ -203,11 +209,13 @@ func validateSweep(designs []space.Config, models []core.DynamicsModel, objectiv
 // an atomic cursor (cheaper than a per-design channel at model-query
 // rates of millions per second). emit is called once per finished chunk,
 // possibly concurrently, and must copy the chunk out before returning.
-func evalChunks(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, workers int, emit func(start int, chunk []Candidate)) error {
+func evalChunks(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, opts Options, emit func(start int, chunk []Candidate)) error {
 	n := len(designs)
+	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
+	var completed atomic.Int64
 	chunk := n / (workers * 8)
 	if chunk < 1 {
 		chunk = 1
@@ -240,6 +248,9 @@ func evalChunks(ctx context.Context, designs []space.Config, models []core.Dynam
 					out[i-start] = cand
 				}
 				emit(start, out)
+				if opts.Progress != nil {
+					opts.Progress(int(completed.Add(int64(end - start))))
+				}
 			}
 		}()
 	}

@@ -423,6 +423,12 @@ type RegisterRequest struct {
 	// with every served metric in memory); the scheduler routes those
 	// benchmarks' shards to this worker first.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// QueueDepths maps benchmark name to the worker's currently running
+	// job count for it — the load signal behind smarter spill decisions
+	// (a worker drowning in one benchmark's jobs is a poor affinity
+	// target even though it holds the models). Reported per heartbeat and
+	// surfaced in the coordinator's /healthz.
+	QueueDepths map[string]int `json:"queue_depths,omitempty"`
 }
 
 // Validate rejects malformed registrations before they touch the
@@ -443,6 +449,17 @@ func (r RegisterRequest) Validate() error {
 	for _, b := range r.Benchmarks {
 		if b == "" || len(b) > 128 {
 			return fmt.Errorf("inventory benchmark name %q is empty or oversized", b)
+		}
+	}
+	if len(r.QueueDepths) > MaxInventoryBenchmarks {
+		return fmt.Errorf("queue depths list %d benchmarks, at most %d are usable", len(r.QueueDepths), MaxInventoryBenchmarks)
+	}
+	for b, d := range r.QueueDepths {
+		if b == "" || len(b) > 128 {
+			return fmt.Errorf("queue-depth benchmark name %q is empty or oversized", b)
+		}
+		if d < 0 {
+			return fmt.Errorf("queue depth %d for %q is negative", d, b)
 		}
 	}
 	return nil

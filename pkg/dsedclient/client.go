@@ -1,0 +1,317 @@
+// Package dsedclient is the typed Go client for the dsed daemon's
+// versioned /v1 API — the one way this repository speaks to a daemon.
+// The cluster HTTP transport, the examples, and cmd/dse are all built on
+// it, so a wire-format change breaks one package instead of five
+// hand-rolled JSON call sites.
+//
+// Synchronous endpoints (Predict, Warm, Register, Heartbeat, Healthy)
+// are one call each. Exploration is asynchronous: SubmitSweep and
+// SubmitPareto return a job immediately; Job polls it, Stream follows
+// its NDJSON partial-frontier updates (resuming transparently after a
+// disconnect — every update is a cumulative snapshot, so the resumed
+// stream is current from its first line), and Cancel aborts it.
+// ParetoJob and SweepJob bundle submit → stream → final into one
+// blocking call with an optional per-update callback.
+//
+// Errors from /v1 endpoints decode into *APIError carrying the
+// structured error model (code, message, retryable, request ID); calls
+// marked retryable by the daemon are retried with exponential backoff
+// before they surface.
+package dsedclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/wire"
+)
+
+// maxResponse bounds one response read; a frontier cannot legitimately
+// approach this.
+const maxResponse = 64 << 20
+
+// Client speaks the /v1 API of one daemon (worker or coordinator).
+// It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option tunes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). nil keeps http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetries sets how many times a retryable failure is retried
+// (default 2; 0 disables retries).
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the base retry backoff, doubled per attempt
+// (default 100ms).
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// New builds a client for the daemon at base (e.g. "host:8090" or
+// "http://host:8090").
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the normalised base URL — also the worker name a
+// coordinator files this daemon under.
+func (c *Client) Base() string { return c.base }
+
+// APIError is a daemon's structured /v1 error (legacy envelopes decode
+// into it too, with the code derived from the status).
+type APIError struct {
+	Status    int
+	Code      string
+	Message   string
+	Retryable bool
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	id := ""
+	if e.RequestID != "" {
+		id = " req=" + e.RequestID
+	}
+	return fmt.Sprintf("dsed: %s (status %d%s): %s", e.Code, e.Status, id, e.Message)
+}
+
+// IsRetryable reports whether err is an *APIError the daemon marked
+// retryable.
+func IsRetryable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Retryable
+}
+
+// errorFromBody decodes an error payload: the structured /v1 envelope
+// first, the legacy {"error": "<message>"} string second, the raw status
+// as a last resort.
+func errorFromBody(status int, raw []byte) *APIError {
+	var env api.ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		e := &APIError{
+			Status:    env.Error.Status,
+			Code:      env.Error.Code,
+			Message:   env.Error.Message,
+			Retryable: env.Error.Retryable,
+			RequestID: env.Error.RequestID,
+		}
+		if e.Status == 0 {
+			e.Status = status
+		}
+		return e
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	msg := fmt.Sprintf("status %d", status)
+	if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+		msg = legacy.Error
+	}
+	return &APIError{
+		Status:    status,
+		Code:      api.CodeForStatus(status),
+		Message:   msg,
+		Retryable: api.RetryableStatus(status),
+	}
+}
+
+// do sends one JSON request, retrying retryable failures, and decodes a
+// 2xx answer into out (nil discards the body).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("dsed: encoding %s request: %w", path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.retries || !c.shouldRetry(method, err) {
+			return lastErr
+		}
+		if err := sleep(ctx, c.backoff<<attempt); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// shouldRetry: the daemon's explicit retryable verdicts retry any method;
+// transport-level failures retry only methods that cannot create state
+// (a lost POST /v1/sweeps answer may have created a job).
+func (c *Client) shouldRetry(method string, err error) bool {
+	if IsRetryable(err) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return false // a non-retryable verdict is deterministic
+	}
+	return method == http.MethodGet || method == http.MethodDelete
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", api.ContentJSON)
+	}
+	req.Header.Set("Accept", api.ContentJSON)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dsed: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+	if err != nil {
+		return fmt.Errorf("dsed: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return errorFromBody(resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("dsed: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Healthy probes the daemon's liveness.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// BenchmarksResponse answers GET /v1/benchmarks.
+type BenchmarksResponse struct {
+	Trained           []string `json:"trained"`
+	TrainableOnDemand []string `json:"trainable_on_demand"`
+	Metrics           []string `json:"metrics"`
+}
+
+// Benchmarks lists what the daemon serves: trained models and benchmarks
+// it would train on demand.
+func (c *Client) Benchmarks(ctx context.Context) (*BenchmarksResponse, error) {
+	var out BenchmarksResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Predict answers the single form of POST /v1/predict.
+func (c *Client) Predict(ctx context.Context, req wire.PredictRequest) (*wire.PredictResponse, error) {
+	var out wire.PredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PredictBatch answers the batch form of POST /v1/predict (configs ×
+// metrics in one request).
+func (c *Client) PredictBatch(ctx context.Context, req wire.PredictRequest) (*wire.BatchPredictResponse, error) {
+	var out wire.BatchPredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Warm pre-trains (or warm-starts) the benchmarks ahead of the first
+// sweep that needs them.
+func (c *Client) Warm(ctx context.Context, benchmarks []string) (*wire.WarmResponse, error) {
+	var out wire.WarmResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/warm", wire.WarmRequest{Benchmarks: benchmarks}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Register joins (or renews) this worker's membership in a coordinator's
+// fleet.
+func (c *Client) Register(ctx context.Context, req wire.RegisterRequest) (*wire.RegisterResponse, error) {
+	var out wire.RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/register", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Heartbeat renews a registered worker's lease. A 404 *APIError means
+// the coordinator forgot the worker: Register again.
+func (c *Client) Heartbeat(ctx context.Context, req wire.HeartbeatRequest) (*wire.HeartbeatResponse, error) {
+	var out wire.HeartbeatResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/heartbeat", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

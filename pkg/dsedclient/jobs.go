@@ -1,0 +1,295 @@
+package dsedclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/wire"
+)
+
+// SubmitSweep starts an asynchronous constrained top-K job
+// (POST /v1/sweeps) and returns its initial status immediately.
+func (c *Client) SubmitSweep(ctx context.Context, req wire.SweepRequest) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitPareto starts an asynchronous Pareto-frontier job
+// (POST /v1/pareto) and returns its initial status immediately.
+func (c *Client) SubmitPareto(ctx context.Context, req wire.ParetoRequest) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/pareto", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job's status (GET /v1/jobs/{id}); the final result rides
+// along once the job is done.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cancel aborts a running job (DELETE /v1/jobs/{id}). On a job that has
+// already settled, DELETE releases it from the daemon's table instead —
+// consumers that have read their result use it to free the retained
+// payload (ParetoJob/SweepJob do this automatically).
+func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stream follows one job's NDJSON update stream. Create it with
+// Client.Stream, then call Next until io.EOF (which follows the Final
+// update). Streams are not safe for concurrent use.
+type Stream struct {
+	c   *Client
+	ctx context.Context
+	id  string
+	// finalOnly asks the daemon to suppress intermediate snapshots
+	// (?updates=final) — for consumers that only want the answer.
+	finalOnly bool
+
+	body       io.ReadCloser
+	br         *bufio.Reader
+	lastSeq    int
+	done       bool
+	reconnects int
+}
+
+// Stream opens a streaming iterator over the job's partial results. The
+// connection is opened lazily on the first Next; a mid-stream disconnect
+// reconnects transparently (the daemon replays the latest cumulative
+// snapshot, so nothing is lost) up to the client's retry budget.
+func (c *Client) Stream(ctx context.Context, jobID string) *Stream {
+	return &Stream{c: c, ctx: ctx, id: jobID}
+}
+
+// Next returns the next update. After the Final update it returns
+// io.EOF. Duplicate snapshots replayed across a reconnect are skipped.
+func (s *Stream) Next() (*api.Update, error) {
+	for {
+		if s.done {
+			return nil, io.EOF
+		}
+		if s.br == nil {
+			if err := s.connect(); err != nil {
+				if err := s.resume(err); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		line, err := s.br.ReadBytes('\n')
+		if err != nil {
+			s.closeBody()
+			if err := s.resume(err); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if len(line) <= 1 {
+			continue
+		}
+		var u api.Update
+		if err := json.Unmarshal(line, &u); err != nil {
+			return nil, fmt.Errorf("dsed: decoding job %s update: %w", s.id, err)
+		}
+		s.reconnects = 0
+		if u.Seq <= s.lastSeq && !u.Final {
+			continue // replayed snapshot we already saw
+		}
+		s.lastSeq = u.Seq
+		if u.Final {
+			s.done = true
+			s.closeBody()
+		}
+		return &u, nil
+	}
+}
+
+// resume decides whether a lost connection (read error or failed
+// reconnect attempt) is retried: deterministic daemon verdicts (404 —
+// the job was evicted) surface immediately, everything transient burns
+// one unit of the reconnect budget and backs off. A nil return means
+// try again; non-nil is the error to surface.
+func (s *Stream) resume(cause error) error {
+	var ae *APIError
+	if errors.As(cause, &ae) && !ae.Retryable {
+		return cause
+	}
+	if s.ctx.Err() != nil {
+		return s.ctx.Err()
+	}
+	s.reconnects++
+	if s.reconnects > s.c.retries {
+		return fmt.Errorf("dsed: job %s stream lost: %w", s.id, cause)
+	}
+	return sleep(s.ctx, s.c.backoff<<(s.reconnects-1))
+}
+
+func (s *Stream) connect() error {
+	url := s.c.base + "/v1/jobs/" + s.id + "/stream"
+	if s.finalOnly {
+		url += "?updates=final"
+	}
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", api.ContentNDJSON)
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dsed: opening job %s stream: %w", s.id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+		resp.Body.Close()
+		return errorFromBody(resp.StatusCode, raw)
+	}
+	s.body = resp.Body
+	s.br = bufio.NewReader(resp.Body)
+	return nil
+}
+
+func (s *Stream) closeBody() {
+	if s.body != nil {
+		s.body.Close()
+		s.body = nil
+	}
+	s.br = nil
+}
+
+// Close releases the stream's connection; Next afterwards returns io.EOF.
+func (s *Stream) Close() {
+	s.done = true
+	s.closeBody()
+}
+
+// errorFromUpdate lifts a failed job's terminal update into an *APIError.
+func errorFromUpdate(e *api.Error) *APIError {
+	status := e.Status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	return &APIError{
+		Status:    status,
+		Code:      e.Code,
+		Message:   e.Message,
+		Retryable: e.Retryable,
+		RequestID: e.RequestID,
+	}
+}
+
+// follow runs submit → stream → final for one job, invoking onUpdate for
+// every update (including the final one), and returns the terminal
+// update. Without an onUpdate the daemon is asked to suppress
+// intermediate snapshots entirely (?updates=final) — no partial-frontier
+// serialization for a consumer that would discard it. If ctx dies
+// mid-stream the job is cancelled on the daemon too, so an abandoned
+// caller does not leak server-side work; after the final update the job
+// is DELETEd (best effort), releasing its retained result immediately
+// instead of waiting out the daemon's retention window.
+func (c *Client) follow(ctx context.Context, id string, onUpdate func(api.Update)) (*api.Update, error) {
+	st := c.Stream(ctx, id)
+	st.finalOnly = onUpdate == nil
+	defer st.Close()
+	for {
+		u, err := st.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("dsed: job %s stream ended without a final update", id)
+			}
+			c.cancelDetached(id)
+			return nil, err
+		}
+		if onUpdate != nil {
+			onUpdate(*u)
+		}
+		if u.Final {
+			go c.cancelDetached(id) // DELETE a settled job = release it
+			if u.Error != nil {
+				return nil, errorFromUpdate(u.Error)
+			}
+			return u, nil
+		}
+	}
+}
+
+// cancelDetached best-effort-cancels a job after the caller's own
+// context died, on a fresh short-lived context.
+func (c *Client) cancelDetached(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = c.Cancel(ctx, id)
+}
+
+// ParetoJob is the blocking convenience over the async API: submit a
+// frontier job, stream its partial frontiers through onUpdate (nil to
+// ignore), and return the final merged answer. The response carries the
+// distribution accounting when the daemon is a coordinator (zero values
+// against a single worker).
+func (c *Client) ParetoJob(ctx context.Context, req wire.ParetoRequest, onUpdate func(api.Update)) (*wire.ClusterParetoResponse, error) {
+	st, err := c.SubmitPareto(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.follow(ctx, st.ID, onUpdate)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.ClusterParetoResponse{
+		ParetoResponse: wire.ParetoResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: final.Objectives,
+			Evaluated:  final.Evaluated,
+			ElapsedMS:  final.ElapsedMS,
+			Frontier:   final.Candidates,
+		},
+		Workers: final.Workers,
+		Shards:  final.Shards,
+		Retries: final.Retries,
+	}, nil
+}
+
+// SweepJob is ParetoJob for constrained top-K selection.
+func (c *Client) SweepJob(ctx context.Context, req wire.SweepRequest, onUpdate func(api.Update)) (*wire.ClusterSweepResponse, error) {
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.follow(ctx, st.ID, onUpdate)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.ClusterSweepResponse{
+		SweepResponse: wire.SweepResponse{
+			Benchmark:  req.Benchmark,
+			Objectives: final.Objectives,
+			Evaluated:  final.Evaluated,
+			Feasible:   final.Feasible,
+			ElapsedMS:  final.ElapsedMS,
+			Candidates: final.Candidates,
+		},
+		Workers: final.Workers,
+		Shards:  final.Shards,
+		Retries: final.Retries,
+	}, nil
+}
