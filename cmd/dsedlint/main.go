@@ -1,0 +1,227 @@
+// Command dsedlint is the repo's custom static-analysis suite: five
+// project-specific analyzers that machine-check the concurrency and /v1
+// API invariants the codebase used to enforce by review (see doc.go,
+// "Enforced invariants").
+//
+// It runs two ways:
+//
+//	dsedlint ./...                            # standalone, via go list
+//	go vet -vettool=$(which dsedlint) ./...   # as a vet tool
+//
+// The vet mode speaks cmd/go's unit-checker protocol: -V=full for the
+// build cache's tool ID, -flags for the flag manifest, then one
+// invocation per package with a JSON config file argument. Individual
+// analyzers toggle like vet's own: -ctxflow runs only ctxflow,
+// -ctxflow=false runs everything else. Suppress a single finding with
+//
+//	//dsedlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	suite := lint.All()
+
+	fs := flag.NewFlagSet("dsedlint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go tool-ID handshake; must be 'full')")
+	flagsFlag := fs.Bool("flags", false, "print the flag manifest as JSON and exit (cmd/go handshake)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON (unit-checker protocol)")
+	listFlag := fs.Bool("list", false, "list the analyzers and exit")
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *versionFlag != "":
+		return printVersion(*versionFlag)
+	case *flagsFlag:
+		return printFlagManifest(suite)
+	case *listFlag:
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	suite = selectAnalyzers(fs, suite, enabled)
+
+	// One argument ending in .cfg means cmd/go is driving us over a
+	// single compilation unit; anything else is standalone package
+	// patterns.
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runUnit(fs.Arg(0), suite, *jsonFlag)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := checker.Run(".", suite, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsedlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selectAnalyzers applies vet's flag semantics: naming any analyzer
+// flag as true runs exactly the named set; otherwise false flags
+// subtract from the full suite.
+func selectAnalyzers(fs *flag.FlagSet, suite []*analysis.Analyzer, enabled map[string]*bool) []*analysis.Analyzer {
+	explicitTrue := map[string]bool{}
+	anyTrue := false
+	fs.Visit(func(f *flag.Flag) {
+		v, ok := enabled[f.Name]
+		if !ok {
+			return
+		}
+		if *v {
+			explicitTrue[f.Name] = true
+			anyTrue = true
+		}
+	})
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if anyTrue {
+			if explicitTrue[a.Name] {
+				out = append(out, a)
+			}
+		} else if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func runUnit(cfgFile string, suite []*analysis.Analyzer, asJSON bool) int {
+	diags, err := checker.RunUnit(cfgFile, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsedlint:", err)
+		return 1
+	}
+	if asJSON {
+		return printUnitJSON(cfgFile, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printUnitJSON emits the unit-checker JSON shape cmd/go's -json mode
+// consumes: {package: {analyzer: [{posn, message}]}}.
+func printUnitJSON(cfgFile string, diags []checker.Diagnostic) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	pkgID := strings.TrimSuffix(filepath.Base(cfgFile), ".cfg")
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Position.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "dsedlint:", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers cmd/go's `-V=full` tool-ID probe. The build
+// cache needs a stable fingerprint for this tool binary, so (matching
+// x/tools' unitchecker) we report a content hash of our own executable.
+func printVersion(mode string) int {
+	progname := filepath.Base(os.Args[0])
+	if mode != "full" {
+		fmt.Println(progname, "version", "devel")
+		return 0
+	}
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, ferr := os.Open(exe)
+		if ferr == nil {
+			_, err = io.Copy(h, f)
+			f.Close()
+		} else {
+			err = ferr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsedlint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// printFlagManifest answers cmd/go's `-flags` probe: the JSON manifest
+// of flags go vet may forward to this tool.
+func printFlagManifest(suite []*analysis.Analyzer) int {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	manifest := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	for _, a := range suite {
+		manifest = append(manifest, jsonFlag{
+			Name:  a.Name,
+			Bool:  true,
+			Usage: "enable the " + a.Name + " analyzer",
+		})
+	}
+	data, err := json.MarshalIndent(manifest, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsedlint:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

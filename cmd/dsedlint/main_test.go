@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+)
+
+func selectWith(t *testing.T, args ...string) []string {
+	t.Helper()
+	suite := []*analysis.Analyzer{
+		{Name: "alpha", Doc: "a", Run: func(*analysis.Pass) (any, error) { return nil, nil }},
+		{Name: "beta", Doc: "b", Run: func(*analysis.Pass) (any, error) { return nil, nil }},
+		{Name: "gamma", Doc: "c", Run: func(*analysis.Pass) (any, error) { return nil, nil }},
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	enabled := make(map[string]*bool)
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, "")
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, a := range selectAnalyzers(fs, suite, enabled) {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// TestSelectAnalyzers pins vet's flag semantics: naming an analyzer
+// runs only the named set; disabling one subtracts from the suite.
+func TestSelectAnalyzers(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "alpha beta gamma"},
+		{[]string{"-alpha"}, "alpha"},
+		{[]string{"-alpha", "-gamma"}, "alpha gamma"},
+		{[]string{"-beta=false"}, "alpha gamma"},
+		{[]string{"-alpha=true", "-beta=false"}, "alpha"},
+	}
+	for _, c := range cases {
+		got := strings.Join(selectWith(t, c.args...), " ")
+		if got != c.want {
+			t.Errorf("selectAnalyzers(%v) = %q, want %q", c.args, got, c.want)
+		}
+	}
+}
+
+// TestRunHandshakes exercises the cmd/go protocol entry points: the
+// -V tool-ID probe, the -flags manifest, -list, and flag errors.
+func TestRunHandshakes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-V=full"}, 0},
+		{[]string{"-V=short"}, 0},
+		{[]string{"-flags"}, 0},
+		{[]string{"-list"}, 0},
+		{[]string{"-no-such-flag"}, 2},
+	}
+	for _, c := range cases {
+		if got := run(c.args); got != c.want {
+			t.Errorf("run(%v) = %d, want %d", c.args, got, c.want)
+		}
+	}
+}
+
+// TestRunUnitMode drives run() the way cmd/go does: a single .cfg
+// argument describing one compilation unit (here a clean one-file
+// package with no imports, so no export data is needed).
+func TestRunUnitMode(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "clean.go")
+	if err := os.WriteFile(src, []byte("package clean\n\nfunc F() int { return 1 }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "clean.vetx")
+	cfg := checker.VetConfig{
+		ID:         "clean",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "clean",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "clean.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{cfgFile}); got != 0 {
+		t.Errorf("run(unit cfg) = %d, want 0", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx not written: %v", err)
+	}
+	if got := run([]string{"-json", cfgFile}); got != 0 {
+		t.Errorf("run(-json, unit cfg) = %d, want 0", got)
+	}
+	if got := run([]string{filepath.Join(dir, "missing.cfg")}); got != 1 {
+		t.Errorf("run(missing cfg) = %d, want 1", got)
+	}
+}
+
+// TestRunStandalone runs the standalone driver over this very package —
+// which must be clean, so the exit code is 0.
+func TestRunStandalone(t *testing.T) {
+	if got := run([]string{"."}); got != 0 {
+		t.Errorf("run(.) = %d, want 0", got)
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine("one\ntwo"); got != "one" {
+		t.Errorf("firstLine = %q", got)
+	}
+	if got := firstLine("only"); got != "only" {
+		t.Errorf("firstLine = %q", got)
+	}
+}

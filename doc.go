@@ -208,6 +208,58 @@
 // deterministic 4xx verdicts on bad requests — not the worker's fault),
 // so an operator can tell a dead machine from a bad client.
 //
+// # Enforced invariants
+//
+// The conventions above — context-first dispatch, injected clocks,
+// structured /v1 errors — stop being conventions the moment a reviewer
+// misses one. cmd/dsedlint machine-checks them: a go/analysis-style
+// suite (internal/lint) that CI runs over every package and that any
+// developer can run through the standard vet harness:
+//
+//	go build -o /tmp/dsedlint ./cmd/dsedlint
+//	go vet -vettool=/tmp/dsedlint ./...
+//
+// or standalone (same diagnostics, no build cache required):
+//
+//	go run ./cmd/dsedlint ./...
+//
+// The suite enforces five invariants, each rooted in a past or plausible
+// fleet failure mode:
+//
+//   - ctxflow: no context.Background()/context.TODO() outside package
+//     main and tests — a detached context in library code cannot be
+//     cancelled, so a dead client would keep a sweep burning worker
+//     capacity. Functions that dispatch work (go statements, errgroup
+//     .Go) must accept a context.Context so cancellation has a path in.
+//   - lockhold: no blocking operation (channel send/receive without a
+//     selectable default, WaitGroup.Wait, time.Sleep, network or exec
+//     calls) while a sync.Mutex/RWMutex is held, and every Lock must
+//     pair with an Unlock on all return paths. Holding the coordinator
+//     mutex across a worker RPC is exactly how a slow worker stalls the
+//     whole membership plane.
+//   - httperr: /v1 handlers must report errors through the structured
+//     envelope writer, never http.Error or ad-hoc {"error": ...}
+//     literals — clients parse one shape. Handlers that decode request
+//     bodies must bound them with http.MaxBytesReader first, so a
+//     malformed client cannot balloon coordinator memory.
+//   - jsonenc: json Encode/Marshal error results must not be discarded;
+//     a dropped encode error turns a broken response into a silent
+//     truncation the client misreads as success.
+//   - clockinject: packages that inject a clock seam (a now() method or
+//     clock-typed field) must use it everywhere — a raw time.Now or
+//     time.Sleep beside a seam silently escapes the fake clock in tests
+//     and re-introduces flakes the seam existed to kill.
+//
+// False positives are suppressed inline, never silently: a
+// //dsedlint:ignore <analyzer> <reason> directive on (or immediately
+// above) the offending line disables the named analyzers for that line,
+// and the reason is mandatory — a directive without one is itself a
+// diagnostic. The suite's own fixtures live under internal/lint/testdata
+// and every analyzer is proven by failing cases there; TestRepoIsClean
+// (internal/lint/checker) re-runs the whole suite over the module inside
+// the ordinary test run, so `go test ./...` and CI's vet gate cannot
+// disagree.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.
 // The top-level benchmark harness (bench_test.go) regenerates every table

@@ -236,6 +236,7 @@ func WriteError(w http.ResponseWriter, r *http.Request, status int, format strin
 // {"error": "<message>"} — the deprecation shims' contract. The request
 // ID still travels in the X-Request-ID response header.
 func WriteLegacyError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	//dsedlint:ignore httperr the deprecated unversioned routes' envelope is frozen; this is the one sanctioned writer for it
 	WriteJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 

@@ -171,6 +171,7 @@ func NewManager(opts ManagerOptions) *Manager {
 		opts.Clock = time.Now
 	}
 	if opts.BaseContext == nil {
+		//dsedlint:ignore ctxflow jobs outlive their submitting request by design; BaseContext is the detachment seam and callers override it
 		opts.BaseContext = context.Background()
 	}
 	return &Manager{opts: opts, jobs: make(map[string]*Job)}
@@ -226,6 +227,7 @@ func (m *Manager) StartUnbounded(kind JobKind, benchmark string, designs int, ru
 	return m.start(kind, benchmark, designs, run, false)
 }
 
+//dsedlint:ignore ctxflow the job deliberately detaches from the submitting request; its lifetime is BaseContext + per-job cancel
 func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc, enforceLimit bool) (*Job, error) {
 	m.mu.Lock()
 	m.evictLocked()

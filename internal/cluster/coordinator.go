@@ -146,7 +146,7 @@ func New(workers []Transport, opts Options) (*Coordinator, error) {
 		failures:   make(map[string]int),
 		rejections: make(map[string]int),
 	}
-	now := time.Now()
+	now := c.now()
 	for i, w := range workers {
 		name := w.Name()
 		if name == "" || c.members[name] != nil {
@@ -454,7 +454,7 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 		}
 		attempts++
 		attemptCtx, done := context.WithTimeout(ctx, c.opts.ShardTimeout)
-		start := time.Now()
+		start := c.now()
 		p, err := call(m.transport, attemptCtx, q, s)
 		done()
 		if err == nil && p.Evaluated != len(s.Designs) {
@@ -463,7 +463,7 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", m.name, p.Evaluated, len(s.Designs))
 		}
 		if err == nil {
-			c.observe(m, len(s.Designs), time.Since(start))
+			c.observe(m, len(s.Designs), c.now().Sub(start))
 			merge(m.name, p)
 			return nil
 		}

@@ -57,6 +57,7 @@ type Campaign struct {
 // NewCampaign validates the scale and prepares an empty cache. Sweeps are
 // not cancellable; use NewCampaignContext for that.
 func NewCampaign(sc Scale) (*Campaign, error) {
+	//dsedlint:ignore ctxflow frozen pre-context compatibility wrapper; new callers use NewCampaignContext
 	return NewCampaignContext(context.Background(), sc)
 }
 

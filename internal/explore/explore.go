@@ -109,6 +109,7 @@ func (o Options) workers() int {
 // objectives[i]; the two slices must align. It is SweepContext with a
 // background context and default engine options.
 func Sweep(designs []space.Config, models []core.DynamicsModel, objectives []Objective) (*Result, error) {
+	//dsedlint:ignore ctxflow frozen pre-context compatibility wrapper; new callers use SweepContext
 	return SweepContext(context.Background(), designs, models, objectives, Options{})
 }
 

@@ -1,0 +1,96 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic), just large enough to host dsedlint's project-specific
+// analyzers. The build image pins the Go toolchain but carries no module
+// cache, so the real x/tools module cannot be required; this package
+// keeps the same shape so the analyzers port to the upstream framework
+// by changing one import path when that constraint lifts.
+//
+// The drivers live in internal/lint/checker: a standalone loader built
+// on `go list -export` and the `go vet -vettool` unitchecker protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis function: its name, the invariant
+// it enforces, and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags,
+	// and //dsedlint:ignore directives. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then the rule and its rationale.
+	Doc string
+
+	// Run applies the analyzer to a package, reporting diagnostics
+	// through pass.Report. The returned value is unused today (the
+	// upstream framework threads it to dependent analyzers) but kept so
+	// Run signatures stay upstream-compatible.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Most of
+// dsedlint's invariants are about production code paths — tests fake
+// clocks, detach contexts and block deliberately — so analyzers consult
+// this to scope themselves to non-test files.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return IsTestFilename(p.Fset.Position(pos).Filename)
+}
+
+// IsTestFilename reports whether name is a Go test file.
+func IsTestFilename(name string) bool {
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// A Diagnostic is one finding: a position and a message. Analyzer is
+// stamped by the driver, not the analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Validate rejects analyzer lists that would confuse drivers or
+// directives: empty or duplicate names, or missing Run functions.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name (doc: %.40q)", a.Doc)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has no Run function", a.Name)
+		}
+	}
+	return nil
+}

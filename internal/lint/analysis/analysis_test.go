@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestIsTestFilename(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"foo_test.go", true},
+		{"dir/foo_test.go", true},
+		{"foo.go", false},
+		{"test.go", false},
+		{"_test.go", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsTestFilename(c.name); got != c.want {
+			t.Errorf("IsTestFilename(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPassReportfAndInTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	src, err := parser.ParseFile(fset, "pkg_test.go", "package p\n\nfunc f() {}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Diagnostic
+	p := &Pass{
+		Analyzer: &Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    []*ast.File{src},
+		Report:   func(d Diagnostic) { got = append(got, d) },
+	}
+	p.Reportf(src.Name.Pos(), "found %s", "it")
+	if len(got) != 1 || got[0].Message != "found it" || got[0].Pos != src.Name.Pos() {
+		t.Errorf("Reportf produced %+v", got)
+	}
+	if !p.InTestFile(src.Name.Pos()) {
+		t.Error("InTestFile = false for a position inside pkg_test.go")
+	}
+}
+
+func TestAnalyzerString(t *testing.T) {
+	a := &Analyzer{Name: "ctxflow"}
+	if a.String() != "ctxflow" {
+		t.Errorf("String() = %q", a.String())
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//dsedlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory — a suppression without a recorded justification
+// is itself a diagnostic — and "all" suppresses every analyzer.
+const DirectivePrefix = "//dsedlint:ignore"
+
+// An IgnoreIndex records, per file and line, which analyzers are
+// suppressed there. Drivers build one per package and filter
+// diagnostics through it, so suppression behaves identically under the
+// standalone runner, `go vet -vettool`, and analysistest.
+type IgnoreIndex struct {
+	// byLine maps filename → line → analyzer names ("all" wildcards).
+	byLine map[string]map[int][]string
+	// Malformed collects directives missing their reason or analyzer
+	// list; drivers surface these as diagnostics so a bad suppression
+	// fails loudly instead of silently not suppressing.
+	Malformed []Diagnostic
+}
+
+// NewIgnoreIndex scans the files' comments for suppression directives.
+func NewIgnoreIndex(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	ix := &IgnoreIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ix.addComment(fset, c)
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *IgnoreIndex) addComment(fset *token.FileSet, c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, DirectivePrefix) {
+		return
+	}
+	rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // some other //dsedlint:ignoreXyz token, not ours
+	}
+	pos := fset.Position(c.Pos())
+	names, reason, ok := parseDirective(rest)
+	if !ok {
+		ix.Malformed = append(ix.Malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "dsedlint",
+			Message:  "malformed " + DirectivePrefix + " directive: need analyzer name(s) and a reason",
+		})
+		return
+	}
+	_ = reason // recorded in the source itself; presence is what we enforce
+	lines := ix.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		ix.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], names...)
+}
+
+// parseDirective splits " lockhold,ctxflow some reason" into its
+// analyzer list and reason, requiring both.
+func parseDirective(rest string) (names []string, reason string, ok bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n == "" {
+			return nil, "", false
+		}
+		names = append(names, n)
+	}
+	return names, strings.Join(fields[1:], " "), true
+}
+
+// Suppresses reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive on the same line or the line above.
+func (ix *IgnoreIndex) Suppresses(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	lines := ix.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForDirectives(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreIndexSuppresses(t *testing.T) {
+	fset, files := parseForDirectives(t, `package p
+
+func a() {
+	//dsedlint:ignore lockhold the reason
+	_ = 1
+}
+
+func b() {
+	_ = 2 //dsedlint:ignore ctxflow,jsonenc shared reason
+}
+`)
+	ix := NewIgnoreIndex(fset, files)
+	if len(ix.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", ix.Malformed)
+	}
+	posOn := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{5, "lockhold", true},  // line below the directive
+		{4, "lockhold", true},  // the directive's own line
+		{5, "ctxflow", false},  // different analyzer
+		{6, "lockhold", false}, // two lines below: out of range
+		{9, "ctxflow", true},   // same-line directive, first name
+		{9, "jsonenc", true},   // same-line directive, second name
+		{9, "lockhold", false}, // not in the list
+		{10, "ctxflow", true},  // a directive covers its line and the next
+	}
+	for _, c := range cases {
+		if got := ix.Suppresses(fset, posOn(c.line), c.analyzer); got != c.want {
+			t.Errorf("Suppresses(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestIgnoreIndexWildcard(t *testing.T) {
+	fset, files := parseForDirectives(t, `package p
+
+//dsedlint:ignore all generated shim
+var x = 1
+`)
+	ix := NewIgnoreIndex(fset, files)
+	pos := fset.File(files[0].Pos()).LineStart(4)
+	for _, analyzer := range []string{"ctxflow", "lockhold", "anything"} {
+		if !ix.Suppresses(fset, pos, analyzer) {
+			t.Errorf("all-directive does not suppress %s", analyzer)
+		}
+	}
+}
+
+func TestIgnoreIndexMalformed(t *testing.T) {
+	fset, files := parseForDirectives(t, `package p
+
+//dsedlint:ignore lockhold
+var a = 1
+
+//dsedlint:ignore
+var b = 2
+`)
+	ix := NewIgnoreIndex(fset, files)
+	if len(ix.Malformed) != 2 {
+		t.Fatalf("got %d malformed directives, want 2", len(ix.Malformed))
+	}
+	for _, d := range ix.Malformed {
+		if !strings.Contains(d.Message, "malformed") {
+			t.Errorf("malformed diagnostic message = %q", d.Message)
+		}
+	}
+	// A reasonless directive must not suppress anything.
+	pos := fset.File(files[0].Pos()).LineStart(4)
+	if ix.Suppresses(fset, pos, "lockhold") {
+		t.Error("malformed directive suppressed a diagnostic")
+	}
+}
+
+func TestIgnoreIndexUnrelatedComments(t *testing.T) {
+	fset, files := parseForDirectives(t, `package p
+
+// dsedlint:ignore lockhold spaced-out prefix is not a directive
+//dsedlint:ignorexyz lockhold some other token
+var a = 1
+`)
+	ix := NewIgnoreIndex(fset, files)
+	if len(ix.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", ix.Malformed)
+	}
+	pos := fset.File(files[0].Pos()).LineStart(5)
+	if ix.Suppresses(fset, pos, "lockhold") {
+		t.Error("non-directive comment suppressed a diagnostic")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	run := func(*Pass) (any, error) { return nil, nil }
+	if err := Validate([]*Analyzer{{Name: "a", Run: run}, {Name: "b", Run: run}}); err != nil {
+		t.Errorf("valid list rejected: %v", err)
+	}
+	if err := Validate([]*Analyzer{{Name: "a", Run: run}, {Name: "a", Run: run}}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if err := Validate([]*Analyzer{{Name: "", Run: run}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Validate([]*Analyzer{{Name: "a"}}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}

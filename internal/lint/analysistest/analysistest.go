@@ -1,0 +1,146 @@
+// Package analysistest checks dsedlint analyzers against fixture
+// packages under testdata/src, in the style of
+// golang.org/x/tools/go/analysis/analysistest: every expected
+// diagnostic is declared in the fixture itself with a
+//
+//	// want "regexp"
+//
+// comment on the line it should land on (multiple quoted or backquoted
+// patterns may follow one want). The test fails on any diagnostic
+// without a matching expectation and any expectation without a
+// matching diagnostic — so each fixture proves both that the analyzer
+// fires and that its negative cases stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+)
+
+// Run checks one analyzer against the named fixture packages under
+// testdata/src (relative to the test's working directory).
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join("testdata", "src")
+	for _, pkg := range pkgs {
+		res, err := checker.CheckFixtureDir([]*analysis.Analyzer{a}, srcRoot, pkg)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, pkg, err)
+			continue
+		}
+		wants, errs := collectWants(res)
+		for _, e := range errs {
+			t.Errorf("%s: %v", pkg, e)
+		}
+		matchWants(t, a.Name, res, wants)
+	}
+}
+
+// A want is one expectation: a diagnostic matching re on (file, line).
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts the expectations from the fixture's comments.
+func collectWants(res *checker.FixtureResult) ([]*want, []error) {
+	var wants []*want
+	var errs []error
+	for _, f := range res.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := res.Fset.Position(c.Pos())
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				patterns, err := parsePatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s: bad want comment: %v", pos, err))
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err))
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, errs
+}
+
+// parsePatterns reads a sequence of Go string literals ("..." or
+// `...`).
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected a quoted pattern at %q", s)
+		}
+		p, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		s = s[len(quoted):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// matchWants pairs diagnostics against expectations one-to-one.
+func matchWants(t *testing.T, analyzer string, res *checker.FixtureResult, wants []*want) {
+	t.Helper()
+	for _, d := range res.Diagnostics {
+		if w := claim(wants, d); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", analyzer, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", analyzer, relPath(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks and returns the first unmatched want the diagnostic
+// satisfies.
+func claim(wants []*want, d checker.Diagnostic) *want {
+	for _, w := range wants {
+		if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+func relPath(path string) string {
+	if rel, err := filepath.Rel(".", path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,86 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+)
+
+// nopekg flags every function whose name starts with "Nope" — enough
+// analyzer to drive the want-comment machinery end to end.
+var nopekg = &analysis.Analyzer{
+	Name: "nopekg",
+	Doc:  "flags functions named Nope*",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "Nope") {
+					pass.Reportf(fn.Name.Pos(), "function %s", fn.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// TestRunSelf drives Run against the selftest fixture: the positive
+// case declares two patterns on one line, the negative case none.
+func TestRunSelf(t *testing.T) {
+	Run(t, nopekg, "selftest")
+}
+
+func TestParsePatterns(t *testing.T) {
+	got, err := parsePatterns("\"one\" `two`")
+	if err != nil || len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("parsePatterns = (%v, %v)", got, err)
+	}
+	if _, err := parsePatterns("unquoted"); err == nil {
+		t.Error("parsePatterns accepted an unquoted pattern")
+	}
+	if _, err := parsePatterns(""); err == nil {
+		t.Error("parsePatterns accepted an empty want comment")
+	}
+}
+
+func TestClaim(t *testing.T) {
+	w := &want{file: "f.go", line: 3, re: mustRe(t, "boom")}
+	wants := []*want{w}
+	d := checker.Diagnostic{
+		Position: token.Position{Filename: "f.go", Line: 3},
+		Message:  "boom goes the analyzer",
+	}
+	if claim(wants, d) != w || !w.matched {
+		t.Error("claim did not match a diagnostic on the want's line")
+	}
+	// A matched want cannot be claimed twice.
+	if claim(wants, d) != nil {
+		t.Error("claim reused an already-matched want")
+	}
+	other := checker.Diagnostic{
+		Position: token.Position{Filename: "f.go", Line: 4},
+		Message:  "boom",
+	}
+	if claim(wants, other) != nil {
+		t.Error("claim matched a diagnostic on the wrong line")
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	if got := relPath("/nowhere/else/f.go"); got != "/nowhere/else/f.go" {
+		t.Errorf("relPath on a foreign absolute path = %q", got)
+	}
+}
+
+func mustRe(t *testing.T, s string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}

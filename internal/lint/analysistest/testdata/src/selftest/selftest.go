@@ -1,0 +1,13 @@
+// Package selftest is the fixture for analysistest's own test: the
+// nopekg analyzer flags functions named Nope*, so this file carries
+// positive cases (one quoted, one backquoted pattern) and a negative
+// case.
+package selftest
+
+func NopeOnce() {} // want "function NopeOnce"
+
+func NopeTwice() {} // want `function NopeTwice`
+
+func fine() {}
+
+var _ = fine

@@ -1,0 +1,103 @@
+// Package checker drives dsedlint's analyzers. It provides the two
+// execution modes cmd/dsedlint exposes — a standalone runner built on
+// `go list -export` (Run) and the `go vet -vettool` unit-checker
+// protocol (RunUnit) — plus the shared per-package machinery:
+// typechecking against gc export data, running each analyzer, and
+// filtering diagnostics through //dsedlint:ignore directives.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// A Diagnostic is one resolved finding: its position, the analyzer that
+// produced it, and the message.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// CheckPackage runs the analyzers over one type-checked package and
+// returns the surviving diagnostics: suppressed ones are dropped,
+// malformed suppression directives are themselves reported, and the
+// result is sorted by position.
+func CheckPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	ignore := analysis.NewIgnoreIndex(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if ignore.Suppresses(fset, d.Pos, a.Name) {
+				return
+			}
+			out = append(out, Diagnostic{
+				Position: fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	for _, d := range ignore.Malformed {
+		out = append(out, Diagnostic{
+			Position: fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// newTypesInfo allocates the full set of type-checker result maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+}

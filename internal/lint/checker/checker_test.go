@@ -1,0 +1,189 @@
+package checker_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/checker"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean runs the full dsedlint suite over the whole module:
+// the tree must stay free of invariant violations (the same gate CI
+// applies via `go vet -vettool`). A failure here names the offending
+// line — fix it or add a //dsedlint:ignore directive with a reason.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := checker.Run(moduleRoot(t), lint.All(), "./...")
+	if err != nil {
+		t.Fatalf("running dsedlint over the module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// stdExportFiles asks the toolchain for export data the way cmd/go's
+// vet config would supply it.
+func stdExportFiles(t *testing.T, root string, paths ...string) map[string]string {
+	t.Helper()
+	args := append([]string{"list", "-export", "-deps", "-json"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	raw, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export %v: %v", paths, err)
+	}
+	out := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out
+}
+
+// TestUnitCheckerProtocol drives RunUnit the way cmd/go does: a JSON
+// config naming the unit's files, import map and export data.
+func TestUnitCheckerProtocol(t *testing.T) {
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "probe.go")
+	const probe = `package probe
+
+import "context"
+
+func Detach() context.Context {
+	return context.Background()
+}
+`
+	if err := os.WriteFile(src, []byte(probe), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "probe.vetx")
+	cfg := checker.VetConfig{
+		ID:          "probe",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "probe",
+		GoFiles:     []string{src},
+		ImportMap:   map[string]string{"context": "context"},
+		PackageFile: stdExportFiles(t, root, "context"),
+		VetxOutput:  vetx,
+	}
+	cfgFile := writeVetConfig(t, dir, cfg)
+
+	diags, err := checker.RunUnit(cfgFile, lint.All())
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "ctxflow" || d.Position.Line != 6 {
+		t.Errorf("diagnostic = %v, want ctxflow at line 6", d)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestUnitCheckerVetxOnly checks the facts-only short-circuit: cmd/go
+// runs dependencies with VetxOnly=true purely to produce the facts
+// file, and no diagnostics (or type-checking) should happen.
+func TestUnitCheckerVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "dep.vetx")
+	cfg := checker.VetConfig{
+		ID:         "dep",
+		Compiler:   "gc",
+		ImportPath: "dep",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	}
+	cfgFile := writeVetConfig(t, dir, cfg)
+
+	diags, err := checker.RunUnit(cfgFile, lint.All())
+	if err != nil {
+		t.Fatalf("RunUnit(VetxOnly): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("VetxOnly run produced diagnostics: %v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestUnitCheckerTypecheckFailure checks SucceedOnTypecheckFailure,
+// the escape cmd/go uses for packages it knows do not compile.
+func TestUnitCheckerTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "broken.go")
+	if err := os.WriteFile(src, []byte("package broken\n\nvar x undefinedType\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := checker.VetConfig{
+		ID:                        "broken",
+		Compiler:                  "gc",
+		ImportPath:                "broken",
+		GoFiles:                   []string{src},
+		SucceedOnTypecheckFailure: true,
+	}
+	cfgFile := writeVetConfig(t, dir, cfg)
+	if diags, err := checker.RunUnit(cfgFile, lint.All()); err != nil || len(diags) != 0 {
+		t.Errorf("RunUnit = (%v, %v), want success with no diagnostics", diags, err)
+	}
+
+	cfg.SucceedOnTypecheckFailure = false
+	cfgFile = writeVetConfig(t, dir, cfg)
+	if _, err := checker.RunUnit(cfgFile, lint.All()); err == nil {
+		t.Error("RunUnit succeeded on a broken package without SucceedOnTypecheckFailure")
+	}
+}
+
+func writeVetConfig(t *testing.T, dir string, cfg checker.VetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, cfg.ID+".cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

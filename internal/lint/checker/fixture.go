@@ -1,0 +1,174 @@
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/lint/analysis"
+)
+
+// FixtureResult is one analysistest fixture package after checking:
+// its syntax (for // want expectation scanning) and the diagnostics
+// the analyzers produced.
+type FixtureResult struct {
+	Fset        *token.FileSet
+	Files       []*ast.File
+	Diagnostics []Diagnostic
+}
+
+// CheckFixtureDir type-checks the fixture package at srcRoot/pkgPath
+// and runs the analyzers over it. Imports resolve against sibling
+// fixture directories first (type-checked from source, recursively),
+// then against the host toolchain's export data — so fixtures may use
+// both scratch helper packages and the standard library, with no
+// network and no go.mod of their own.
+func CheckFixtureDir(analyzers []*analysis.Analyzer, srcRoot, pkgPath string) (*FixtureResult, error) {
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*fixturePkg),
+	}
+	l.std = newExportImporter(l.fset, stdExportTable(srcRoot)).forPackage(nil)
+	root, err := l.load(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := CheckPackage(analyzers, l.fset, root.files, root.pkg, root.info)
+	if err != nil {
+		return nil, err
+	}
+	return &FixtureResult{Fset: l.fset, Files: root.files, Diagnostics: diags}, nil
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+	loading []string
+	std     types.Importer
+}
+
+func (l *fixtureLoader) load(pkgPath string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	for _, active := range l.loading {
+		if active == pkgPath {
+			return nil, fmt.Errorf("fixture import cycle through %q", pkgPath)
+		}
+	}
+	l.loading = append(l.loading, pkgPath)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading fixture %s: %w", pkgPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", pkgPath)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", pkgPath, err)
+	}
+	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+// importPkg resolves one fixture import: a sibling directory under
+// srcRoot is a fixture-local package (type-checked from source);
+// everything else comes from the toolchain's export data.
+func (l *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// stdExports caches export-data locations for toolchain packages across
+// every fixture load in the process: `go list -export -deps` is rerun
+// only for import paths not yet seen.
+var stdExports struct {
+	sync.Mutex
+	files map[string]string // import path → export file
+	known map[string]bool   // paths already resolved (even if exportless)
+}
+
+// stdExportTable returns a live exportTable over the process-wide
+// cache: a lookup miss shells out to `go list -export -deps` (rooted at
+// dir — any directory inside the module) and memoizes the whole
+// dependency closure.
+func stdExportTable(dir string) exportTable {
+	return lazyStdExports{dir: dir}
+}
+
+type lazyStdExports struct{ dir string }
+
+func (l lazyStdExports) exportFile(path string) (string, bool) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if stdExports.files == nil {
+		stdExports.files = make(map[string]string)
+		stdExports.known = make(map[string]bool)
+	}
+	if file, ok := stdExports.files[path]; ok {
+		return file, true
+	}
+	if stdExports.known[path] {
+		return "", false
+	}
+	stdExports.known[path] = true
+	pkgs, err := goList(l.dir, []string{path})
+	if err != nil {
+		return "", false
+	}
+	for _, p := range pkgs {
+		stdExports.known[p.ImportPath] = true
+		if p.Export != "" {
+			stdExports.files[p.ImportPath] = p.Export
+		}
+	}
+	file, ok := stdExports.files[path]
+	return file, ok
+}

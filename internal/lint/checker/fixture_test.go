@@ -1,0 +1,106 @@
+package checker_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+)
+
+// flagCalls is a trivial analyzer for driving the fixture loader: it
+// reports every function declaration whose name starts with "Flagged".
+var flagCalls = &analysis.Analyzer{
+	Name: "flagcalls",
+	Doc:  "reports functions named Flagged*",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "Flagged") {
+					pass.Reportf(fn.Name.Pos(), "function %s is flagged", fn.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// writeFixture lays out a srcRoot tree: map of "pkg/file.go" → source.
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestCheckFixtureDir proves the loader resolves both sibling fixture
+// packages (from source) and standard-library imports (from the
+// toolchain's export data) with no go.mod in sight.
+func TestCheckFixtureDir(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"helper/helper.go": "package helper\n\nfunc Help() string { return \"help\" }\n",
+		"rootpkg/root.go": `package rootpkg
+
+import (
+	"strings"
+
+	"helper"
+)
+
+func Flagged() string { return strings.ToUpper(helper.Help()) }
+
+func fine() {}
+`,
+	})
+	res, err := checker.CheckFixtureDir([]*analysis.Analyzer{flagCalls}, root, "rootpkg")
+	if err != nil {
+		t.Fatalf("CheckFixtureDir: %v", err)
+	}
+	if len(res.Files) != 1 {
+		t.Errorf("got %d files, want 1", len(res.Files))
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.Analyzer != "flagcalls" || !strings.Contains(d.Message, "Flagged") {
+		t.Errorf("diagnostic = %v", d)
+	}
+}
+
+func TestCheckFixtureDirErrors(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"empty/README":     "no go files here\n",
+		"broken/broken.go": "package broken\n\nvar x undefinedType\n",
+		"syntax/syntax.go": "package syntax\n\nfunc {\n",
+		"cyclea/a.go":      "package cyclea\n\nimport \"cycleb\"\n\nvar _ = cycleb.B\n",
+		"cycleb/b.go":      "package cycleb\n\nimport \"cyclea\"\n\nvar B = cyclea.A\n",
+	})
+	suite := []*analysis.Analyzer{flagCalls}
+	cases := []struct {
+		pkg, wantErr string
+	}{
+		{"does-not-exist", "reading fixture"},
+		{"empty", "no Go files"},
+		{"broken", "type-checking fixture"},
+		{"syntax", "parsing fixture"},
+		{"cyclea", "import cycle"},
+	}
+	for _, c := range cases {
+		_, err := checker.CheckFixtureDir(suite, root, c.pkg)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("CheckFixtureDir(%s) error = %v, want substring %q", c.pkg, err, c.wantErr)
+		}
+	}
+}

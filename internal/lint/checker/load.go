@@ -1,0 +1,192 @@
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Run loads the packages matching patterns (in dir) with
+// `go list -export -deps -json`, type-checks each non-dependency target
+// from source against its dependencies' gc export data, and runs the
+// analyzers. It needs no network and no module cache beyond what the
+// toolchain's build cache provides.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := newExportImporter(token.NewFileSet(), staticExports(exports))
+
+	var out []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		diags, err := checkListedPackage(analyzers, p, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkListedPackage parses and type-checks one go-list target, then
+// runs the analyzers over it.
+func checkListedPackage(analyzers []*analysis.Analyzer, p *listedPackage, imp *exportImporter) ([]Diagnostic, error) {
+	fset := imp.fset
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{
+		Importer: imp.forPackage(p.ImportMap),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	if p.Module != nil && p.Module.GoVersion != "" {
+		conf.GoVersion = "go" + p.Module.GoVersion
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return CheckPackage(analyzers, fset, files, pkg, info)
+}
+
+// An exportTable locates the gc export data file for a canonical
+// package path.
+type exportTable interface {
+	exportFile(path string) (string, bool)
+}
+
+// staticExports is the fixed path→file table `go list -export` or a vet
+// config produces.
+type staticExports map[string]string
+
+func (m staticExports) exportFile(path string) (string, bool) {
+	file, ok := m[path]
+	return file, ok
+}
+
+// exportImporter resolves imports from gc export data files, the way
+// the compiler itself would: an import path is mapped through the
+// package's ImportMap (vendoring, test variants), then satisfied from
+// the export file recorded for it.
+type exportImporter struct {
+	fset     *token.FileSet
+	exports  exportTable
+	compiled types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports exportTable) *exportImporter {
+	imp := &exportImporter{fset: fset, exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := imp.exports.exportFile(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.compiled = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+// forPackage returns the types.Importer one package's type-check uses:
+// its own ImportMap applied in front of the shared export table.
+func (imp *exportImporter) forPackage(importMap map[string]string) types.Importer {
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := importMap[importPath]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		pkg, err := imp.compiled.ImportFrom(path, "", 0)
+		if err != nil {
+			return nil, fmt.Errorf("importing %q: %w", path, err)
+		}
+		return pkg, nil
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,119 @@
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+
+	"repro/internal/lint/analysis"
+)
+
+// VetConfig is the JSON configuration cmd/go writes for each vet'd
+// compilation unit — the `go vet -vettool` contract. Field names and
+// semantics mirror the x/tools unitchecker protocol: cmd/go invokes the
+// tool once per package as `dsedlint <flags> $WORK/bNNN/vet.cfg` and
+// expects diagnostics on stderr plus a (possibly empty) facts file
+// written to VetxOutput.
+type VetConfig struct {
+	ID                        string // e.g. "repro/internal/api [repro/internal/api.test]"
+	Compiler                  string // gc or gccgo
+	Dir                       string // package directory
+	ImportPath                string
+	GoVersion                 string // minimum required Go version, e.g. "go1.22"
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // canonical package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // canonical package path → vet facts file
+	VetxOnly                  bool              // run only to produce facts for dependents
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool              // obey, don't report, type errors (std)
+}
+
+// RunUnit executes one unit-checker invocation: parse the config cmd/go
+// wrote, honor the facts-only short-circuit, type-check the unit
+// against the export files the config names, and run the analyzers.
+// dsedlint's analyzers exchange no facts, so the vetx output is always
+// an empty placeholder — but it must exist, or cmd/go fails the build.
+func RunUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	imp := newExportImporter(fset, staticExports(cfg.PackageFile))
+	info := newTypesInfo()
+	conf := &types.Config{
+		Importer:  imp.forPackage(cfg.ImportMap),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+	}
+	if sizes := types.SizesFor(cfg.Compiler, build.Default.GOARCH); sizes != nil {
+		conf.Sizes = sizes
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return CheckPackage(analyzers, fset, files, pkg, info)
+}
+
+func readVetConfig(cfgFile string) (*VetConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, fmt.Errorf("reading vet config: %w", err)
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		// A config with no Go files (assembly-only unit) has nothing for
+		// us to do, but cmd/go still expects the facts file.
+		cfg.VetxOnly = true
+	}
+	return cfg, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go caches for dependent
+// units.
+func writeVetx(cfg *VetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		return fmt.Errorf("writing vetx output: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ClockInject keeps clock-injected packages deterministic under test.
+// Membership leases, job retention and EWMA shard sizing all take an
+// injectable clock precisely so their tests never sleep; one stray
+// time.Now() in such a package reintroduces wall-clock flake.
+//
+// The rule is seam-triggered: a package that declares a clock seam —
+// a func() time.Time field or variable whose name contains "clock", or
+// a now() method returning time.Time — must route all time reads
+// through it. In such packages, raw calls to time.Now, time.Sleep,
+// time.Since and time.Until are flagged, except inside the seam
+// function itself (a function named now/Now or whose name mentions
+// clock, where the wall-clock fallback lives). Assigning the time.Now
+// function value as a default (opts.Clock = time.Now) is the wiring
+// idiom and stays legal — only calls are flagged. Packages without a
+// seam are untouched.
+var ClockInject = &analysis.Analyzer{
+	Name: "clockinject",
+	Doc: "packages with an injectable clock seam must not call " +
+		"time.Now/Sleep/Since/Until directly",
+	Run: runClockInject,
+}
+
+var rawClockCalls = map[string]bool{
+	"time.Now":   true,
+	"time.Sleep": true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func runClockInject(pass *analysis.Pass) (any, error) {
+	if !packageHasClockSeam(pass) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isClockSeamFunc(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := calleeFunc(pass.TypesInfo, call); f != nil && rawClockCalls[f.FullName()] {
+					pass.Reportf(call.Pos(), "raw time.%s() in a clock-injected package: use the package's clock seam so tests stay deterministic", f.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isClockSeamFunc reports whether the function is the seam itself —
+// where the wall-clock fallback is allowed to live.
+func isClockSeamFunc(name string) bool {
+	return name == "now" || name == "Now" || nameContainsFold(name, "clock")
+}
+
+// packageHasClockSeam detects an injectable clock in the package's
+// non-test files: a clock-named func() time.Time field or package
+// variable, or a now() time.Time method.
+func packageHasClockSeam(pass *analysis.Pass) bool {
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		seam := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if seam {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Field:
+				if fieldIsClockSeam(pass.TypesInfo, n.Names, n.Type) {
+					seam = true
+				}
+			case *ast.ValueSpec:
+				if fieldIsClockSeam(pass.TypesInfo, n.Names, n.Type) {
+					seam = true
+				}
+			case *ast.FuncDecl:
+				if isNowMethod(pass.TypesInfo, n) {
+					seam = true
+				}
+			}
+			return true
+		})
+		if seam {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldIsClockSeam matches `Clock func() time.Time`-shaped fields and
+// variables.
+func fieldIsClockSeam(info *types.Info, names []*ast.Ident, typeExpr ast.Expr) bool {
+	if typeExpr == nil {
+		return false
+	}
+	clockNamed := false
+	for _, name := range names {
+		if nameContainsFold(name.Name, "clock") {
+			clockNamed = true
+		}
+	}
+	if !clockNamed {
+		return false
+	}
+	return isNiladicTimeFunc(info.TypeOf(typeExpr))
+}
+
+// isNowMethod matches `func (x *T) now() time.Time`-shaped methods.
+func isNowMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || !isClockSeamFunc(fn.Name.Name) {
+		return false
+	}
+	def, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return isNiladicTimeFunc(def.Type())
+}
+
+// isNiladicTimeFunc matches the type func() time.Time.
+func isNiladicTimeFunc(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Results().At(0).Type(), "time", "Time")
+}

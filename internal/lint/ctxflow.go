@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces the fleet's context-propagation discipline.
+//
+// Rule 1: context.Background() and context.TODO() are reserved for
+// package main and _test.go files. Library code must thread the
+// caller's context so cancellation reaches every dispatch hop
+// (coordinator → shard → worker → registry). A legacy wrapper that
+// deliberately detaches carries a //dsedlint:ignore directive naming
+// why.
+//
+// Rule 2: a function that dispatches work — spawns a goroutine or
+// submits a closure to a pool/errgroup-style .Go method — must accept a
+// context.Context (directly or via an enclosing function literal's
+// parameters), so the spawned work is cancellable by construction.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "reserve context.Background/TODO for main and tests; " +
+		"functions that spawn work must take a context.Context",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		if !isMain {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeIs(pass.TypesInfo, call, "context.Background") {
+					pass.Reportf(call.Pos(), "context.Background() outside package main or a test: thread the caller's context instead")
+				}
+				if calleeIs(pass.TypesInfo, call, "context.TODO") {
+					pass.Reportf(call.Pos(), "context.TODO() outside package main or a test: thread the caller's context instead")
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// main() and init() cannot take parameters; whatever they
+			// spawn is the process's own lifetime.
+			if fn.Recv == nil && (fn.Name.Name == "main" || fn.Name.Name == "init") {
+				continue
+			}
+			checkDispatch(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkDispatch walks one top-level function, tracking the stack of
+// enclosing function nodes (the declaration plus nested literals). A
+// spawn point whose enclosing stack carries no context.Context
+// parameter is reported once, at the function declaration.
+func checkDispatch(pass *analysis.Pass, fn *ast.FuncDecl) {
+	stack := []bool{signatureHasContext(funcSignature(pass.TypesInfo, fn))}
+	reported := false
+
+	anyCtx := func() bool {
+		for _, has := range stack {
+			if has {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(kind string) {
+		if reported || anyCtx() {
+			return
+		}
+		reported = true
+		pass.Reportf(fn.Name.Pos(), "%s dispatches work (%s) but takes no context.Context; accept and thread the caller's context", fn.Name.Name, kind)
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			stack = append(stack, signatureHasContext(funcSignature(pass.TypesInfo, n)))
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.GoStmt:
+			report("go statement")
+		case *ast.CallExpr:
+			// Errgroup-shaped submission: a method named Go taking a
+			// single function value is a goroutine spawn by contract.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" && len(n.Args) == 1 {
+				if isFuncValue(pass, n.Args[0]) {
+					report(".Go submission")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// isFuncValue reports whether the expression has function type.
+func isFuncValue(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}

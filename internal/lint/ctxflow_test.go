@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, lint.CtxFlow, "ctxflow", "ctxflow_main")
+}

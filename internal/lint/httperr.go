@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// HTTPErr enforces the /v1 error contract established in PR 5: every
+// error a handler emits goes through the structured error writer
+// (api.WriteError and friends), which stamps code, message, retryable
+// and request ID into one envelope shape the Go client can round-trip.
+//
+// Rule 1: http.Error and http.NotFound are banned outside tests — they
+// emit bare text/plain bodies no client can parse.
+//
+// Rule 2: ad-hoc error envelopes — a map composite literal carrying an
+// "error" key — are banned; the one legacy /api (v0) shim that must
+// keep its historical shape carries a //dsedlint:ignore directive.
+//
+// Rule 3: a handler (any function taking an http.ResponseWriter and a
+// *http.Request) that decodes or reads the request body directly must
+// bound it with http.MaxBytesReader first; handlers that delegate to
+// api.DecodePost inherit its bound and are not flagged.
+var HTTPErr = &analysis.Analyzer{
+	Name: "httperr",
+	Doc: "handlers must use the structured /v1 error writer (no http.Error, " +
+		"no ad-hoc error envelopes) and bound request bodies with http.MaxBytesReader",
+	Run: runHTTPErr,
+}
+
+func runHTTPErr(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if calleeIs(pass.TypesInfo, n, "net/http.Error") {
+					pass.Reportf(n.Pos(), "http.Error writes an unstructured body: use the /v1 error writer (api.WriteError)")
+				}
+				if calleeIs(pass.TypesInfo, n, "net/http.NotFound") {
+					pass.Reportf(n.Pos(), "http.NotFound writes an unstructured body: use the /v1 error writer (api.WriteError)")
+				}
+			case *ast.CompositeLit:
+				if key := errorEnvelopeKey(pass.TypesInfo, n); key != nil {
+					pass.Reportf(key.Pos(), "ad-hoc %q error envelope: use the /v1 error writer (api.WriteError)", "error")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkHandlerBody(pass, funcSignature(pass.TypesInfo, n), n.Body)
+				}
+			case *ast.FuncLit:
+				checkHandlerBody(pass, funcSignature(pass.TypesInfo, n), n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// errorEnvelopeKey returns the "error" key expression of a map literal
+// that hand-rolls an error envelope, or nil.
+func errorEnvelopeKey(info *types.Info, lit *ast.CompositeLit) ast.Expr {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		basic, ok := kv.Key.(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		if s, err := strconv.Unquote(basic.Value); err == nil && s == "error" {
+			return kv.Key
+		}
+	}
+	return nil
+}
+
+// checkHandlerBody applies the body-bound rule to one handler-shaped
+// function: direct r.Body reads require an http.MaxBytesReader call in
+// the same function.
+func checkHandlerBody(pass *analysis.Pass, sig *types.Signature, body *ast.BlockStmt) {
+	reqParam := handlerRequestParam(sig)
+	if reqParam == nil {
+		return
+	}
+	bounded := false
+	var reads []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own handler check if handler-shaped
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeIs(pass.TypesInfo, call, "net/http.MaxBytesReader") {
+			bounded = true
+			return true
+		}
+		for _, arg := range call.Args {
+			if isRequestBody(pass.TypesInfo, arg, reqParam) {
+				reads = append(reads, arg)
+			}
+		}
+		return true
+	})
+	if bounded {
+		return
+	}
+	for _, r := range reads {
+		pass.Reportf(r.Pos(), "request body read without http.MaxBytesReader: bound it (or decode via api.DecodePost)")
+	}
+}
+
+// handlerRequestParam returns the *http.Request parameter object of a
+// handler-shaped signature (one http.ResponseWriter and one
+// *http.Request parameter), or nil.
+func handlerRequestParam(sig *types.Signature) *types.Var {
+	if sig == nil {
+		return nil
+	}
+	var req *types.Var
+	hasWriter := false
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		switch {
+		case isNamedType(p.Type(), "net/http", "ResponseWriter"):
+			hasWriter = true
+		case isPtrToNamed(p.Type(), "net/http", "Request"):
+			req = p
+		}
+	}
+	if !hasWriter {
+		return nil
+	}
+	return req
+}
+
+// isRequestBody matches `req.Body` where req is the handler's request
+// parameter.
+func isRequestBody(info *types.Info, e ast.Expr, reqParam *types.Var) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == reqParam
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamedType(ptr.Elem(), pkgPath, name)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// JSONEnc enforces the PR 3 bug-class fix: a JSON encode that fails
+// mid-response must be noticed (at minimum logged), never silently
+// dropped — a half-written NDJSON stream with a swallowed error is
+// indistinguishable from a healthy one to the client.
+//
+// The rule: the error result of (*json.Encoder).Encode, json.Marshal
+// and json.MarshalIndent must not be discarded — neither by using the
+// call as a statement (or go/defer target) nor by assigning the error
+// to blank.
+var JSONEnc = &analysis.Analyzer{
+	Name: "jsonenc",
+	Doc: "json Encode/Marshal error results must not be discarded " +
+		"(statement position or blank assignment)",
+	Run: runJSONEnc,
+}
+
+// jsonEncodeCallees maps the guarded callees to the index of their
+// error result.
+var jsonEncodeCallees = map[string]int{
+	"(*encoding/json.Encoder).Encode": 0,
+	"encoding/json.Marshal":           1,
+	"encoding/json.MarshalIndent":     1,
+}
+
+func runJSONEnc(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := jsonEncodeCall(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "%s error discarded: handle or log the encode failure", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := jsonEncodeCall(pass, n.Call); ok {
+					pass.Reportf(n.Pos(), "%s error discarded (go statement): handle or log the encode failure", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := jsonEncodeCall(pass, n.Call); ok {
+					pass.Reportf(n.Pos(), "%s error discarded (deferred): handle or log the encode failure", name)
+				}
+			case *ast.AssignStmt:
+				checkJSONAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// jsonEncodeCall reports whether e is a call to one of the guarded
+// encode functions, returning a short display name.
+func jsonEncodeCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if _, guarded := jsonEncodeCallees[fn.FullName()]; !guarded {
+		return "", false
+	}
+	return "json." + fn.Name(), true
+}
+
+// checkJSONAssign flags `_ = enc.Encode(v)` and `b, _ := json.Marshal(v)`:
+// the error result position must not be blank.
+func checkJSONAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	// Only the single-call form can split results across the LHS.
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	errIndex, guarded := jsonEncodeCallees[fn.FullName()]
+	if !guarded || errIndex >= len(assign.Lhs) {
+		return
+	}
+	if id, ok := assign.Lhs[errIndex].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(), "json.%s error assigned to blank: handle or log the encode failure", fn.Name())
+	}
+}

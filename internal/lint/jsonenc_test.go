@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestJSONEnc(t *testing.T) {
+	analysistest.Run(t, lint.JSONEnc, "jsonenc")
+}

@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockHold enforces the fleet's lock discipline, the invariant behind
+// the collector-snapshot and member-table code paths: a sync.Mutex or
+// sync.RWMutex critical section must stay short and non-blocking.
+//
+// Rule 1: while a lock is held, no blocking operation may run — channel
+// send/receive, select without a default, range over a channel,
+// WaitGroup.Wait, Cond.Wait, time.Sleep, or an outbound network call.
+// Sends and receives on channels created inside the same function are
+// exempt (a freshly made buffered channel cannot deadlock against an
+// outside party), as is anything inside a select that has a default
+// clause.
+//
+// Rule 2: every Lock()/RLock() must pair with an Unlock()/RUnlock() on
+// all paths: a function that locks and can return while the lock is
+// still held (no defer, no unlock before the return) is flagged, as is
+// a function that locks and never unlocks at all.
+//
+// The check is a per-function lexical scan — function literals are
+// analyzed as their own functions — so conditionally-acquired locks can
+// confuse it; a //dsedlint:ignore lockhold directive with a reason is
+// the escape hatch.
+var LockHold = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "no blocking operation while a sync.Mutex/RWMutex is held; " +
+		"every Lock must pair with an Unlock on all paths",
+	Run: runLockHold,
+}
+
+// Lock-acquire / lock-release method sets, by types.Func full name.
+var (
+	lockAcquire = []string{
+		"(*sync.Mutex).Lock",
+		"(*sync.RWMutex).Lock",
+		"(*sync.RWMutex).RLock",
+	}
+	lockRelease = []string{
+		"(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RUnlock",
+	}
+	// blockingCalls are callees that can park the goroutine indefinitely
+	// (or for externally-controlled time) and must not run under a lock.
+	blockingCalls = map[string]string{
+		"(*sync.WaitGroup).Wait":        "WaitGroup.Wait",
+		"(*sync.Cond).Wait":             "Cond.Wait",
+		"time.Sleep":                    "time.Sleep",
+		"(*net/http.Client).Do":         "network call",
+		"(*net/http.Client).Get":        "network call",
+		"(*net/http.Client).Post":       "network call",
+		"(*net/http.Client).PostForm":   "network call",
+		"(*net/http.Client).Head":       "network call",
+		"net/http.Get":                  "network call",
+		"net/http.Post":                 "network call",
+		"net/http.PostForm":             "network call",
+		"net/http.Head":                 "network call",
+		"net.Dial":                      "network call",
+		"net.DialTimeout":               "network call",
+		"(*os/exec.Cmd).Run":            "subprocess wait",
+		"(*os/exec.Cmd).Wait":           "subprocess wait",
+		"(*os/exec.Cmd).Output":         "subprocess wait",
+		"(*os/exec.Cmd).CombinedOutput": "subprocess wait",
+	}
+)
+
+func runLockHold(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		// Every function — declarations and literals — is scanned
+		// independently; a literal's body is excluded from its parent's
+		// scan (it runs on its own goroutine's schedule).
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanLockFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				scanLockFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evBlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	key  string // lock expression ("c.mu") for lock events
+	desc string // human description for evBlock
+}
+
+// scanLockFunc runs the lexical lock-state scan over one function body.
+func scanLockFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &lockCollector{
+		pass:       pass,
+		localChans: make(map[types.Object]bool),
+		selectComm: make(map[ast.Node]bool),
+	}
+	c.collect(body)
+	if !c.sawLock {
+		return
+	}
+	sort.SliceStable(c.events, func(i, j int) bool { return c.events[i].pos < c.events[j].pos })
+
+	// Pairing rule: a lock key with an acquire but no release anywhere
+	// in the function (including nested literals — a deferred closure
+	// that unlocks counts) never balances.
+	releases := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && calleeIs(pass.TypesInfo, call, lockRelease...) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				releases[exprKey(sel.X)] = true
+			}
+		}
+		return true
+	})
+
+	held := map[string]bool{}     // key → currently held (inline)
+	deferred := map[string]bool{} // key → a defer will release it
+	flaggedReturn := map[string]bool{}
+	for _, ev := range c.events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = true
+			if !releases[ev.key] {
+				pass.Reportf(ev.pos, "%s.Lock() with no matching Unlock anywhere in this function", ev.key)
+			}
+		case evDeferUnlock:
+			if held[ev.key] {
+				deferred[ev.key] = true
+				delete(held, ev.key)
+			}
+		case evUnlock:
+			delete(held, ev.key)
+		case evReturn:
+			for key := range held {
+				if !flaggedReturn[key] {
+					flaggedReturn[key] = true
+					pass.Reportf(ev.pos, "return while %s is held: unlock before returning or defer the Unlock", key)
+				}
+			}
+		case evBlock:
+			for _, m := range []map[string]bool{held, deferred} {
+				for key := range m {
+					pass.Reportf(ev.pos, "%s while %s is held: release the lock before blocking", ev.desc, key)
+				}
+			}
+		}
+	}
+}
+
+type lockCollector struct {
+	pass       *analysis.Pass
+	events     []lockEvent
+	sawLock    bool
+	localChans map[types.Object]bool
+	selectComm map[ast.Node]bool // comm-clause statements of non-blocking selects
+}
+
+func (c *lockCollector) add(ev lockEvent) {
+	if ev.kind == evLock {
+		c.sawLock = true
+	}
+	c.events = append(c.events, ev)
+}
+
+// localChan reports whether e is (an ident for) a channel made in this
+// function.
+func (c *lockCollector) localChan(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return c.localChans[obj]
+	}
+	return false
+}
+
+func (c *lockCollector) noteMake(lhs []ast.Expr, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, r := range rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+			continue
+		}
+		if !isChanType(c.pass.TypesInfo.TypeOf(call)) {
+			continue
+		}
+		if id, ok := lhs[i].(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.localChans[obj] = true
+			} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				c.localChans[obj] = true
+			}
+		}
+	}
+}
+
+func (c *lockCollector) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned as its own function
+		case *ast.AssignStmt:
+			c.noteMake(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, name := range n.Names {
+				lhs[i] = name
+			}
+			c.noteMake(lhs, n.Values)
+		case *ast.DeferStmt:
+			c.collectDefer(n)
+			return false
+		case *ast.GoStmt:
+			// The spawned call's expression is evaluated now, but the
+			// body runs elsewhere; args may still block (rare) — skip.
+			return false
+		case *ast.SelectStmt:
+			c.collectSelect(n)
+		case *ast.SendStmt:
+			if !c.selectComm[n] && !c.localChan(n.Chan) {
+				c.add(lockEvent{pos: n.Pos(), kind: evBlock, desc: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !c.selectComm[n] && !c.localChan(n.X) {
+				c.add(lockEvent{pos: n.Pos(), kind: evBlock, desc: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if isChanType(c.pass.TypesInfo.TypeOf(n.X)) && !c.localChan(n.X) {
+				c.add(lockEvent{pos: n.Pos(), kind: evBlock, desc: "range over channel"})
+			}
+		case *ast.ReturnStmt:
+			c.add(lockEvent{pos: n.Pos(), kind: evReturn})
+		case *ast.CallExpr:
+			c.collectCall(n)
+		}
+		return true
+	})
+}
+
+// collectSelect registers a select statement: with a default clause it
+// is non-blocking and its comm statements are exempt; without one the
+// whole select is a single blocking event.
+func (c *lockCollector) collectSelect(sel *ast.SelectStmt) {
+	hasDefault := false
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			continue
+		}
+		if hasDefault {
+			c.markCommExempt(cc.Comm)
+		}
+	}
+	if !hasDefault {
+		c.add(lockEvent{pos: sel.Pos(), kind: evBlock, desc: "select without default"})
+		// The comm statements are part of that one event.
+		for _, clause := range sel.Body.List {
+			if cc := clause.(*ast.CommClause); cc.Comm != nil {
+				c.markCommExempt(cc.Comm)
+			}
+		}
+	}
+}
+
+// markCommExempt suppresses the send/recv nodes syntactically embedded
+// in a comm-clause header.
+func (c *lockCollector) markCommExempt(comm ast.Stmt) {
+	c.selectComm[comm] = true
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		c.selectComm[s] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok {
+			c.selectComm[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok {
+				c.selectComm[u] = true
+			}
+		}
+	}
+}
+
+func (c *lockCollector) collectDefer(d *ast.DeferStmt) {
+	call := d.Call
+	if calleeIs(c.pass.TypesInfo, call, lockRelease...) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			c.add(lockEvent{pos: d.Pos(), kind: evDeferUnlock, key: exprKey(sel.X)})
+		}
+		return
+	}
+	// defer func() { ...; mu.Unlock() }() — the closure's unlocks count
+	// as deferred releases for the enclosing function's paths.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || !calleeIs(c.pass.TypesInfo, inner, lockRelease...) {
+				return true
+			}
+			if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok {
+				c.add(lockEvent{pos: d.Pos(), kind: evDeferUnlock, key: exprKey(sel.X)})
+			}
+			return true
+		})
+	}
+}
+
+func (c *lockCollector) collectCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if calleeIs(info, call, lockAcquire...) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if key := exprKey(sel.X); key != "" {
+				c.add(lockEvent{pos: call.Pos(), kind: evLock, key: key})
+			}
+		}
+		return
+	}
+	if calleeIs(info, call, lockRelease...) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if key := exprKey(sel.X); key != "" {
+				c.add(lockEvent{pos: call.Pos(), kind: evUnlock, key: key})
+			}
+		}
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if desc, ok := blockingCalls[fn.FullName()]; ok {
+			c.add(lockEvent{pos: call.Pos(), kind: evBlock, desc: desc})
+		}
+	}
+}

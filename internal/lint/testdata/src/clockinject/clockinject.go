@@ -1,0 +1,55 @@
+// Fixture for the clockinject analyzer: this package declares a clock
+// seam, so raw time calls are banned outside it.
+package clockinject
+
+import "time"
+
+type sched struct {
+	clock func() time.Time
+	last  time.Time
+}
+
+// now is the seam: the one place the wall-clock fallback may live.
+func (s *sched) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
+func (s *sched) deadline() time.Time {
+	return time.Now().Add(time.Minute) // want `raw time\.Now\(\) in a clock-injected package`
+}
+
+func (s *sched) pause() {
+	time.Sleep(time.Second) // want `raw time\.Sleep\(\) in a clock-injected package`
+}
+
+func (s *sched) age() time.Duration {
+	return time.Since(s.last) // want `raw time\.Since\(\) in a clock-injected package`
+}
+
+func (s *sched) remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `raw time\.Until\(\) in a clock-injected package`
+}
+
+// --- negative cases: all of these must stay silent ---
+
+func defaults(s *sched) {
+	if s.clock == nil {
+		s.clock = time.Now // assigning the function value is the wiring idiom
+	}
+}
+
+func (s *sched) viaSeam() time.Time {
+	return s.now()
+}
+
+func (s *sched) durationsOnly(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+func (s *sched) suppressed() time.Time {
+	//dsedlint:ignore clockinject fixture proving the suppression directive works
+	return time.Now()
+}

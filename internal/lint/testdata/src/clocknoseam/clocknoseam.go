@@ -1,0 +1,13 @@
+// Fixture for clockinject's seam gate: this package has no injectable
+// clock, so raw time calls are legal and the analyzer stays silent.
+package clocknoseam
+
+import "time"
+
+func Deadline() time.Time {
+	return time.Now().Add(time.Minute)
+}
+
+func Pause() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,61 @@
+// Fixture for the ctxflow analyzer: context.Background/TODO are
+// reserved for main and tests, and dispatching functions must take a
+// context.
+package ctxflow
+
+import (
+	"context"
+
+	"errgroup"
+)
+
+func work() {}
+
+func detach() context.Context {
+	return context.Background() // want `context\.Background\(\) outside package main or a test`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) outside package main or a test`
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}
+
+func spawnNoCtx() { // want `spawnNoCtx dispatches work \(go statement\) but takes no context\.Context`
+	go work()
+}
+
+func spawnWithCtx(ctx context.Context) {
+	go work()
+	_ = ctx
+}
+
+func spawnViaLit() { // want `spawnViaLit dispatches work \(go statement\)`
+	f := func() {
+		go work()
+	}
+	f()
+}
+
+func litCarriesCtx() {
+	f := func(ctx context.Context) {
+		go work()
+	}
+	f(context.TODO()) // want `context\.TODO\(\) outside package main or a test`
+}
+
+func submitNoCtx(g *errgroup.Group) { // want `submitNoCtx dispatches work \(\.Go submission\)`
+	g.Go(func() error { return nil })
+}
+
+func submitWithCtx(ctx context.Context, g *errgroup.Group) {
+	g.Go(func() error { return nil })
+	_ = ctx
+}
+
+func suppressed() context.Context {
+	//dsedlint:ignore ctxflow fixture proving the suppression directive works
+	return context.Background()
+}

@@ -1,0 +1,23 @@
+// Fixture for ctxflow's package-main exemption: Background/TODO are
+// legal here, and main/init cannot take a context — but ordinary
+// helpers that dispatch work still must.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	go run(ctx)
+}
+
+func init() {
+	go func() {}()
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+}
+
+func helperSpawns() { // want `helperSpawns dispatches work \(go statement\)`
+	go func() {}()
+}

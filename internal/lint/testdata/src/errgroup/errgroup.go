@@ -1,0 +1,13 @@
+// Package errgroup is a fixture-local stand-in for
+// golang.org/x/sync/errgroup: just enough surface for ctxflow's
+// .Go-submission rule.
+package errgroup
+
+// A Group runs submitted closures on their own goroutines.
+type Group struct{}
+
+// Go submits f to run concurrently.
+func (g *Group) Go(f func() error) { go func() { _ = f() }() }
+
+// Wait blocks until every submitted closure returns.
+func (g *Group) Wait() error { return nil }

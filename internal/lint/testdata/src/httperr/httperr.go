@@ -1,0 +1,76 @@
+// Fixture for the httperr analyzer: structured /v1 errors only, and
+// request bodies bounded by http.MaxBytesReader.
+package httperr
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, v any)                            {}
+func writeError(w http.ResponseWriter, r *http.Request, status int)     {}
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) error  { return nil }
+func legacyShim(w http.ResponseWriter, r *http.Request, ew errorWriter) { ew(w, r, 400, "bad") }
+func okHandler(w http.ResponseWriter, r *http.Request)                  { writeError(w, r, 404) }
+
+type errorWriter func(w http.ResponseWriter, r *http.Request, status int, msg string)
+
+func rawError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error writes an unstructured body`
+}
+
+func rawNotFound(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want `http\.NotFound writes an unstructured body`
+}
+
+func adHocEnvelope(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"error": "boom"}) // want `ad-hoc "error" error envelope`
+}
+
+func unboundedDecode(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	dec := json.NewDecoder(r.Body) // want `request body read without http\.MaxBytesReader`
+	if err := dec.Decode(&v); err != nil {
+		writeError(w, r, http.StatusBadRequest)
+	}
+}
+
+func unboundedReadAll(w http.ResponseWriter, r *http.Request) {
+	b, err := io.ReadAll(r.Body) // want `request body read without http\.MaxBytesReader`
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest)
+	}
+	_ = b
+}
+
+// --- negative cases: all of these must stay silent ---
+
+func boundedDecode(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var v map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		writeError(w, r, http.StatusBadRequest)
+	}
+}
+
+func delegatedDecode(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	if err := decodePost(w, r, &v); err != nil {
+		writeError(w, r, http.StatusBadRequest)
+	}
+}
+
+func structuredEnvelope(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"message": "ok"})
+}
+
+func notAHandler(body io.Reader) {
+	var v map[string]any
+	_ = json.NewDecoder(body).Decode(&v)
+}
+
+func suppressedShim(w http.ResponseWriter, r *http.Request) {
+	//dsedlint:ignore httperr fixture proving the suppression directive works
+	writeJSON(w, map[string]string{"error": "legacy"})
+}

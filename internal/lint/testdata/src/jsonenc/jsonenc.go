@@ -1,0 +1,55 @@
+// Fixture for the jsonenc analyzer: json Encode/Marshal errors must
+// not be discarded.
+package jsonenc
+
+import (
+	"encoding/json"
+	"io"
+)
+
+func discardedEncode(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want `json\.Encode error discarded`
+}
+
+func blankEncode(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `json\.Encode error assigned to blank`
+}
+
+func blankMarshal(v any) []byte {
+	b, _ := json.Marshal(v) // want `json\.Marshal error assigned to blank`
+	return b
+}
+
+func blankMarshalIndent(v any) []byte {
+	b, _ := json.MarshalIndent(v, "", "  ") // want `json\.MarshalIndent error assigned to blank`
+	return b
+}
+
+func deferredEncode(w io.Writer, v any) {
+	defer json.NewEncoder(w).Encode(v) // want `json\.Encode error discarded \(deferred\)`
+}
+
+func goEncode(w io.Writer, v any) {
+	go json.NewEncoder(w).Encode(v) // want `json\.Encode error discarded \(go statement\)`
+}
+
+// --- negative cases: all of these must stay silent ---
+
+func checkedEncode(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func handledEncode(w io.Writer, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		_ = err
+	}
+}
+
+func checkedMarshal(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+func suppressedEncode(w io.Writer, v any) {
+	//dsedlint:ignore jsonenc fixture proving the suppression directive works
+	json.NewEncoder(w).Encode(v)
+}

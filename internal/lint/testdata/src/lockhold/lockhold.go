@@ -1,0 +1,150 @@
+// Fixture for the lockhold analyzer: no blocking operation under a
+// held sync.Mutex/RWMutex, and every Lock pairs with an Unlock.
+package lockhold
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type table struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (t *table) sendWhileHeld() {
+	t.mu.Lock()
+	t.ch <- 1 // want `channel send while t\.mu is held`
+	t.mu.Unlock()
+}
+
+func (t *table) recvWhileDeferHeld() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want `channel receive while t\.mu is held`
+}
+
+func (t *table) waitWhileHeld() {
+	t.mu.Lock()
+	t.wg.Wait() // want `WaitGroup\.Wait while t\.mu is held`
+	t.mu.Unlock()
+}
+
+func (t *table) sleepWhileHeld() {
+	t.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while t\.mu is held`
+	t.mu.Unlock()
+}
+
+func (t *table) netWhileReadHeld(c *http.Client, req *http.Request) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	_, _ = c.Do(req) // want `network call while t\.rw is held`
+}
+
+func (t *table) selectNoDefaultWhileHeld() {
+	t.mu.Lock()
+	select { // want `select without default while t\.mu is held`
+	case t.ch <- 1:
+	case v := <-t.ch:
+		_ = v
+	}
+	t.mu.Unlock()
+}
+
+func (t *table) rangeWhileHeld() int {
+	sum := 0
+	t.mu.Lock()
+	for v := range t.ch { // want `range over channel while t\.mu is held`
+		sum += v
+	}
+	t.mu.Unlock()
+	return sum
+}
+
+func (t *table) returnWhileHeld(n int) int {
+	t.mu.Lock()
+	if n > 0 {
+		return n // want `return while t\.mu is held`
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+func (t *table) writeLockReturnWhileHeld(n int) int {
+	t.rw.Lock()
+	if n > 0 {
+		return n // want `return while t\.rw is held`
+	}
+	t.rw.Unlock()
+	return 0
+}
+
+func (t *table) lockNoUnlock() {
+	t.mu.Lock() // want `t\.mu\.Lock\(\) with no matching Unlock anywhere in this function`
+}
+
+// --- negative cases: all of these must stay silent ---
+
+func (t *table) deferUnlock(n int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+
+func (t *table) unlockBeforeBlocking() {
+	t.mu.Lock()
+	v := 1
+	t.mu.Unlock()
+	t.ch <- v
+	t.wg.Wait()
+}
+
+func (t *table) localChanUnderLock() {
+	done := make(chan int, 1)
+	t.mu.Lock()
+	done <- 1
+	t.mu.Unlock()
+	<-done
+}
+
+func (t *table) selectWithDefaultUnderLock() {
+	t.mu.Lock()
+	select {
+	case t.ch <- 1:
+	default:
+	}
+	t.mu.Unlock()
+}
+
+func (t *table) goroutineBodyNotCharged() {
+	t.mu.Lock()
+	go func() {
+		t.ch <- 1 // runs after/independently; its own function's scan
+	}()
+	t.mu.Unlock()
+}
+
+func (t *table) deferredClosureUnlock(n int) int {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+
+func (t *table) suppressedSend() {
+	t.mu.Lock()
+	//dsedlint:ignore lockhold fixture proving the suppression directive works
+	t.ch <- 1
+	t.mu.Unlock()
+}

@@ -172,6 +172,7 @@ func Open(cfg Config) (*Store, error) {
 		}
 	}
 	if cfg.Context == nil {
+		//dsedlint:ignore ctxflow store-lifetime default when the owner wires no context; cmd/dsed passes its signal context
 		cfg.Context = context.Background()
 	}
 	s := &Store{

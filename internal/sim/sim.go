@@ -200,6 +200,7 @@ type Job struct {
 // GOMAXPROCS) and returns traces in job order. The first error aborts the
 // sweep. It is SweepContext with a background context.
 func Sweep(jobs []Job, opts Options, workers int) ([]*Trace, error) {
+	//dsedlint:ignore ctxflow frozen pre-context compatibility wrapper; new callers use SweepContext
 	return SweepContext(context.Background(), jobs, opts, workers)
 }
 

@@ -236,6 +236,7 @@ func (c *Client) follow(ctx context.Context, id string, onUpdate func(api.Update
 // cancelDetached best-effort-cancels a job after the caller's own
 // context died, on a fresh short-lived context.
 func (c *Client) cancelDetached(id string) {
+	//dsedlint:ignore ctxflow runs after the caller's context died; cancelling the server-side job needs a fresh short-lived one
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_, _ = c.Cancel(ctx, id)

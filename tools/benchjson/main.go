@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a JSON benchmark summary (stdout) — the format CI uploads as the
+// BENCH_PR6.json artifact so successive runs build a queryable perf
+// trajectory instead of a pile of logs.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any custom unit the benchmark reported via
+	// b.ReportMetric (e.g. designs/s), keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Summary is the artifact envelope.
+type Summary struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Commit     string      `json:"commit,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	summary, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	summary.Commit = os.Getenv("GITHUB_SHA")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summary); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse walks the interleaved `go test -bench` output: "pkg:" lines set
+// the current package, "Benchmark..." lines carry results as
+// value/unit pairs.
+func parse(r io.Reader) (*Summary, error) {
+	s := &Summary{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Benchmarks == nil {
+		s.Benchmarks = []Benchmark{}
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkParetoFrontier-8  120  9876543 ns/op  4096 B/op  12 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = value
+		case "B/op":
+			b.BytesPerOp = value
+		case "allocs/op":
+			b.AllocsOp = value
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = value
+		}
+	}
+	return b, true
+}

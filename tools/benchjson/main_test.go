@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some cpu
+BenchmarkExploreSweep-8       	       1	 123456789 ns/op	  204800 B/op	    1024 allocs/op
+BenchmarkParetoFrontier-8     	     120	    987654 ns/op	    55.5 designs/s
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/sim
+BenchmarkRun-8                	       2	  55555555 ns/op
+PASS
+ok  	repro/internal/sim	0.456s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "BenchmarkExploreSweep-8" || b.Package != "repro" {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 123456789 || b.BytesPerOp != 204800 || b.AllocsOp != 1024 {
+		t.Errorf("first benchmark metrics = %+v", b)
+	}
+	p := s.Benchmarks[1]
+	if p.Extra["designs/s"] != 55.5 {
+		t.Errorf("custom metric not captured: %+v", p)
+	}
+	r := s.Benchmarks[2]
+	if r.Package != "repro/internal/sim" || r.NsPerOp != 55555555 {
+		t.Errorf("package tracking broken: %+v", r)
+	}
+	if s.GoVersion == "" || s.GOOS == "" || s.GOARCH == "" {
+		t.Errorf("environment fields empty: %+v", s)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := parse(strings.NewReader("PASS\nok \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Benchmarks == nil || len(s.Benchmarks) != 0 {
+		t.Errorf("empty input should yield an empty (non-nil) slice: %+v", s.Benchmarks)
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	if _, ok := parseBenchLine("BenchmarkBroken-8"); ok {
+		t.Error("accepted a line with no iteration count")
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken-8 notanumber ns/op"); ok {
+		t.Error("accepted a line with a bad iteration count")
+	}
+}
