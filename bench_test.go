@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/mathx"
+	"repro/internal/rbf"
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/thermal"
@@ -352,6 +353,59 @@ func BenchmarkExploreSweep(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(designs))*float64(b.N)/b.Elapsed().Seconds(), "designs/s")
 		})
+	}
+}
+
+// BenchmarkPredictBatch measures the zero-allocation batch inference path
+// in isolation: one trained wavelet-RBF model, 1k designs, reused output
+// buffers. This is the per-model cost BenchmarkExploreSweep multiplies by
+// models × designs, and the CI perf gate watches it alongside the sweep.
+func BenchmarkPredictBatch(b *testing.B) {
+	models := benchExploreModels(b)
+	p, ok := models[0].(*core.Predictor)
+	if !ok {
+		b.Fatalf("bench model is %T, want *core.Predictor", models[0])
+	}
+	rng := mathx.NewRNG(5)
+	designs := space.Random(1024, space.TrainLevels(), space.Baseline(), rng)
+	var dst [][]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = p.PredictBatch(designs, dst)
+		if len(dst) != len(designs) {
+			b.Fatal("short batch")
+		}
+	}
+	b.ReportMetric(float64(len(designs))*float64(b.N)/b.Elapsed().Seconds(), "designs/s")
+}
+
+// BenchmarkRBFPredict isolates one RBF network evaluation — the innermost
+// kernel under everything above (each wavelet coefficient is one such
+// network). Gated in CI so a kernel-level regression is caught even when
+// coarser benchmarks absorb it in noise.
+func BenchmarkRBFPredict(b *testing.B) {
+	rng := mathx.NewRNG(9)
+	const dims = 9
+	xs := make([][]float64, 192)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		x := make([]float64, dims)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = math.Sin(3*x[0]) + 0.5*x[1]*x[2] + 0.1*x[8]
+	}
+	net, err := rbf.Train(xs, ys, rbf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := xs[17]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := net.Predict(probe); math.IsNaN(v) {
+			b.Fatal("NaN prediction")
+		}
 	}
 }
 

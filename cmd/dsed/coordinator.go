@@ -107,9 +107,12 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"static": m.Static,
 			// failures are transport faults and timeouts (a sick worker);
 			// rejections are the worker's deterministic 4xx verdicts on
-			// bad requests — never evidence against the worker itself.
+			// bad requests — never evidence against the worker itself;
+			// busy counts its retryable 429 at-capacity verdicts, so an
+			// operator can tell a saturated fleet from a sick one.
 			"failures":    m.Failures,
 			"rejections":  m.Rejections,
+			"busy":        m.Busy,
 			"capacity":    m.Capacity,
 			"inflight":    m.Inflight,
 			"shards_done": m.ShardsDone,

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"net/http"
 	"sync"
@@ -74,7 +73,6 @@ func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", api.ContentNDJSON)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	for {
 		select {
 		case u, ok := <-updates:
@@ -84,7 +82,10 @@ func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			if finalOnly && !u.Final {
 				continue
 			}
-			if err := enc.Encode(u); err != nil {
+			// Pooled buffered encoding: one allocation-free marshal and a
+			// single Write per NDJSON line, so a sweep streaming snapshots
+			// at shard rate does not allocate per update.
+			if err := api.EncodeJSON(w, u); err != nil {
 				return // client went away mid-line; it can resume
 			}
 			if flusher != nil {

@@ -203,10 +203,59 @@
 // Each /v1/healthz worker row reports liveness, static-versus-registered,
 // seconds since the last heartbeat, advertised benchmarks and queue
 // depths, inflight and completed shards, the per-design latency EWMA,
-// and two separate fault columns: "failures" (transport faults and
-// timeouts — a sick worker) versus "rejections" (the worker's
-// deterministic 4xx verdicts on bad requests — not the worker's fault),
-// so an operator can tell a dead machine from a bad client.
+// and three separate fault columns: "failures" (transport faults and
+// timeouts — a sick worker), "rejections" (the worker's deterministic
+// 4xx verdicts on bad requests — not the worker's fault), and "busy"
+// (retryable 429 verdicts — a healthy worker at capacity whose shard
+// spilled elsewhere), so an operator can tell a dead machine from a bad
+// client from a saturated fleet.
+//
+// # Performance
+//
+// The sweep hot path — millions of Predict calls per exploration — is
+// batch-oriented and allocation-free in steady state. Every layer
+// contributes:
+//
+//   - internal/core: wavelet reconstruction is linear, so each Predictor
+//     precomputes one reconstruction basis vector per selected
+//     coefficient (with its nonzero support trimmed); Predict becomes k
+//     scaled vector additions instead of a full inverse transform.
+//     PredictInto(cfg, dst) and PredictBatch(cfgs, dst) reuse
+//     caller-provided output buffers, and the VecPredictor refinement
+//     (PredictVecInto) accepts a pre-encoded feature vector so the sweep
+//     engine encodes each design once and shares the vector across
+//     models (the plain feature encoding is a strict prefix of the DVM
+//     encoding).
+//   - internal/rbf: Network.PredictBatch with reused scratch, per-level
+//     reciprocal-radius tables so the distance loop is multiply-add, a
+//     factored kernel that shares per-(dimension, level) factors across
+//     centers, and a table-driven ExpFast (relative error under 1e-10)
+//     for the Gaussian.
+//   - internal/explore: evalChunks workers hold per-worker scratch (one
+//     trace buffer per model, one flat score matrix per chunk) and emit
+//     scores only — zero heap allocations per design in steady state,
+//     property-tested bit-identical to the naive path. ParetoFrontier
+//     prefilters against a strong pivot and sorts two-objective inputs
+//     by flat value keys.
+//   - cmd/dsed: JSON and NDJSON responses encode through pooled buffers
+//     (api.EncodeJSON) — one marshal, one Write per response or stream
+//     line, no per-update allocation at shard rate.
+//
+// The trajectory is recorded, not remembered. BENCH_PR7.json at the
+// repository root is the committed baseline for the hot-path benchmarks
+// (BenchmarkExploreSweep, BenchmarkPredictBatch, BenchmarkRBFPredict).
+// Record a new point (and commit it when a PR moves the needle) with:
+//
+//	go test -run='^$' -bench='ExploreSweep|PredictBatch|RBFPredict' \
+//	  -benchtime=10x -count=3 . | go run ./tools/benchjson > BENCH_PR7.json
+//
+// CI's perf gate re-runs those benchmarks on every push and compares
+// against the committed baseline via `benchjson -compare -tolerance 25`:
+// ns/op may grow at most 25%, rate metrics (designs/s) may drop at most
+// 25%, judged on the best of the repeated runs so scheduler noise cannot
+// fail the gate, and a gated benchmark that disappears from the run is
+// itself a regression. See tools/benchjson for the format and the
+// comparison rules.
 //
 // # Enforced invariants
 //

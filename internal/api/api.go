@@ -14,15 +14,18 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 )
 
 // Version is the current API version prefix.
@@ -212,6 +215,37 @@ func Negotiable(r *http.Request, offer string) bool {
 	return false
 }
 
+// encBufPool recycles the scratch buffers behind EncodeJSON. Responses
+// and stream updates are minted at model-query rates during a sweep, so
+// the per-write buffer would otherwise be the serving layer's dominant
+// steady-state allocation.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledEncodeBuf caps the capacity a buffer may keep when returned to
+// the pool: one oversized frontier payload must not stay pinned in memory
+// for the daemon's lifetime.
+const maxPooledEncodeBuf = 1 << 20
+
+// EncodeJSON marshals v through a pooled scratch buffer and writes it to
+// w in a single Write as a newline-terminated JSON document (the
+// json.Encoder framing, so it is also one well-formed NDJSON line). An
+// encode error reports a bad value with nothing written; a write error
+// reports the connection.
+func EncodeJSON(w io.Writer, v any) error {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := json.NewEncoder(buf).Encode(v)
+	if err == nil {
+		_, err = w.Write(buf.Bytes())
+	}
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encBufPool.Put(buf)
+	}
+	return err
+}
+
 // WriteJSON writes one response body. Encode failures after the header is
 // committed cannot be turned into an error status, but they must not
 // vanish either — a NaN score or a mid-body disconnect is logged through
@@ -219,7 +253,7 @@ func Negotiable(r *http.Request, offer string) bool {
 func WriteJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", ContentJSON)
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if err := EncodeJSON(w, v); err != nil {
 		if logger := Logger(r.Context()); logger != nil {
 			logger.Printf("req=%s encoding %s response: %v", RequestID(r.Context()), r.URL.Path, err)
 		}

@@ -131,6 +131,7 @@ type Coordinator struct {
 	retries    int
 	failures   map[string]int
 	rejections map[string]int
+	busy       map[string]int
 }
 
 // New builds a coordinator over an initial static fleet (possibly empty:
@@ -145,6 +146,7 @@ func New(workers []Transport, opts Options) (*Coordinator, error) {
 		ring:       newRing(opts.VirtualNodes),
 		failures:   make(map[string]int),
 		rejections: make(map[string]int),
+		busy:       make(map[string]int),
 	}
 	now := c.now()
 	for i, w := range workers {
@@ -488,9 +490,17 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 			return ctx.Err()
 		}
 		next := c.claimRetry(q.Benchmark, tried)
-		// Every failed attempt is the worker's failure, but only a
-		// failure with another worker left to try is a re-dispatch.
-		c.noteFailure(m, next != nil)
+		// A busy verdict spills the shard exactly like a transport
+		// failure, but lands in its own accounting column — saturation is
+		// not sickness and must not trip failure-based alerting.
+		var busyErr *WorkerBusy
+		if errors.As(err, &busyErr) {
+			c.noteBusy(m, next != nil)
+		} else {
+			// Every failed attempt is the worker's failure, but only a
+			// failure with another worker left to try is a re-dispatch.
+			c.noteFailure(m, next != nil)
+		}
 		if next != nil {
 			localRetries.Add(1)
 		}
@@ -558,6 +568,20 @@ func (c *Coordinator) noteRejection(m *member) {
 	defer c.mu.Unlock()
 	m.inflight--
 	c.rejections[m.name]++
+}
+
+// noteBusy books a retryable busy verdict (and optionally a re-dispatch),
+// releasing the slot. Busy verdicts mean the worker is saturated, not
+// sick: they count toward the re-dispatch total but never toward the
+// worker's failure column.
+func (c *Coordinator) noteBusy(m *member, redispatched bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.inflight--
+	c.busy[m.name]++
+	if redispatched {
+		c.retries++
+	}
 }
 
 // WarmResult is the outcome of one fleet warm.
@@ -630,12 +654,14 @@ func (c *Coordinator) replicasLocked() int {
 // accounting over the coordinator's lifetime. Failures are transport
 // faults and timeouts — evidence of a sick worker; Rejections are the
 // worker's own deterministic 4xx verdicts on bad requests, which say
-// nothing about its health.
+// nothing about its health; Busy counts its retryable at-capacity
+// verdicts (429s), which mean load, not sickness.
 type WorkerHealth struct {
 	Name       string
 	Err        error
 	Failures   int
 	Rejections int
+	Busy       int
 }
 
 // Health probes every live member concurrently.
@@ -666,6 +692,7 @@ func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
 	for i := range out {
 		out[i].Failures = c.failures[out[i].Name]
 		out[i].Rejections = c.rejections[out[i].Name]
+		out[i].Busy = c.busy[out[i].Name]
 	}
 	c.mu.Unlock()
 	return out

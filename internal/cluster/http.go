@@ -63,11 +63,15 @@ func (h *HTTP) Warm(ctx context.Context, benchmarks []string) (int, error) {
 // not the worker, is at fault — forward it instead of retrying across
 // the fleet). Verdicts the worker itself marks retryable — 429 from a
 // full job table, say — are transient load, not a judgement on the
-// request, so they stay transport-style failures and the shard spills
-// to another worker.
+// request or on the worker's health: they become WorkerBusy, which
+// spills the shard to another worker but is accounted apart from
+// transport failures.
 func (h *HTTP) classify(err error) error {
 	var ae *dsedclient.APIError
-	if errors.As(err, &ae) && ae.Status >= 400 && ae.Status < 500 && !ae.Retryable {
+	if errors.As(err, &ae) && ae.Status >= 400 && ae.Status < 500 {
+		if ae.Retryable {
+			return &WorkerBusy{Worker: h.Name(), Status: ae.Status, Msg: ae.Message}
+		}
 		return &WorkerRejection{Worker: h.Name(), Status: ae.Status, Msg: ae.Message}
 	}
 	return fmt.Errorf("cluster: worker %s: %w", h.Name(), err)

@@ -85,9 +85,11 @@ type MemberStatus struct {
 	EWMAPerDesignMS float64
 	// Failures counts transport faults and timeouts booked against the
 	// worker; Rejections counts its deterministic 4xx verdicts, which
-	// blame the request, not the worker.
+	// blame the request, not the worker; Busy counts its retryable
+	// at-capacity verdicts (429s) — load, not sickness.
 	Failures   int
 	Rejections int
+	Busy       int
 }
 
 // Join registers a worker (or renews one already present: a re-register
@@ -205,6 +207,7 @@ func (c *Coordinator) Members() []MemberStatus {
 			EWMAPerDesignMS: m.ewmaPerDesignMS,
 			Failures:        c.failures[name],
 			Rejections:      c.rejections[name],
+			Busy:            c.busy[name],
 		}
 		if !m.static {
 			st.SinceSeen = now.Sub(m.lastSeen)

@@ -75,6 +75,21 @@ func (e *WorkerRejection) Error() string {
 	return fmt.Sprintf("cluster: worker %s rejected the request (status %d): %s", e.Worker, e.Status, e.Msg)
 }
 
+// WorkerBusy is a worker's own retryable verdict — a 429 from a full job
+// table, say. The worker is alive and the request is fine; it simply has
+// no capacity right now. The coordinator spills the shard to another
+// worker like a transport failure, but books it in its own column: a
+// fleet that is merely saturated must not read as a fleet that is sick.
+type WorkerBusy struct {
+	Worker string
+	Status int
+	Msg    string
+}
+
+func (e *WorkerBusy) Error() string {
+	return fmt.Sprintf("cluster: worker %s is busy (status %d): %s", e.Worker, e.Status, e.Msg)
+}
+
 // Transport is the coordinator's view of one worker. Implementations must
 // be safe for concurrent use: the coordinator dispatches many shards to
 // the same worker at once.

@@ -21,10 +21,41 @@ type DynamicsModel interface {
 	Predict(cfg space.Config) []float64
 }
 
+// IntoPredictor is the allocation-free refinement of DynamicsModel: a
+// model that can write its forecast into caller-provided scratch.
+// PredictInto must return output bit-identical to Predict. Sweep hot paths
+// type-assert for this interface and reuse one trace buffer per model per
+// worker; every model in this package implements it.
+type IntoPredictor interface {
+	DynamicsModel
+	// PredictInto writes the forecast trace into dst (reusing its backing
+	// array when capacity allows) and returns the filled slice.
+	PredictInto(cfg space.Config, dst []float64) []float64
+}
+
+// VecPredictor is the feature-vector-level refinement of IntoPredictor:
+// the model declares how wide an input encoding it consumes and predicts
+// from an already-encoded vector. Sweep engines evaluating several models
+// against the same design encode the configuration once and share the
+// vector — the plain encoding is a prefix of the DVM encoding, so one
+// VectorDVMInto pass serves models of either flavour via x[:NumFeatures()].
+// PredictVecInto on the model's own encoding of cfg must be bit-identical
+// to PredictInto(cfg, dst); every model in this package implements it.
+type VecPredictor interface {
+	IntoPredictor
+	// NumFeatures is the width of the encoding the model consumes
+	// (space.NumParams, or space.MaxFeatures with DVM features).
+	NumFeatures() int
+	// PredictVecInto writes the forecast for feature vector x (length
+	// NumFeatures()) into dst, reusing its backing array when capacity
+	// allows, and returns the filled slice.
+	PredictVecInto(x []float64, dst []float64) []float64
+}
+
 var (
-	_ DynamicsModel = (*Predictor)(nil)
-	_ DynamicsModel = (*GlobalANN)(nil)
-	_ DynamicsModel = (*LinearWavelet)(nil)
+	_ VecPredictor = (*Predictor)(nil)
+	_ VecPredictor = (*GlobalANN)(nil)
+	_ VecPredictor = (*LinearWavelet)(nil)
 )
 
 // GlobalANN is the monolithic neural-network baseline of prior work
@@ -59,17 +90,33 @@ func TrainGlobalANN(configs []space.Config, traces [][]float64, opts Options) (*
 
 // Predict returns a flat trace at the predicted aggregate value.
 func (g *GlobalANN) Predict(cfg space.Config) []float64 {
-	v := g.net.Predict(g.opts.featureVector(cfg))
-	out := make([]float64, g.traceLen)
-	for i := range out {
-		out[i] = v
+	return g.PredictInto(cfg, make([]float64, g.traceLen))
+}
+
+// PredictInto writes the flat trace into dst; see IntoPredictor.
+func (g *GlobalANN) PredictInto(cfg space.Config, dst []float64) []float64 {
+	var fbuf [space.MaxFeatures]float64
+	return g.PredictVecInto(g.opts.featureVectorInto(&cfg, fbuf[:0]), dst)
+}
+
+// NumFeatures implements VecPredictor.
+func (g *GlobalANN) NumFeatures() int { return g.opts.numFeatures() }
+
+// PredictVecInto writes the flat trace for an already-encoded feature
+// vector into dst; see VecPredictor.
+func (g *GlobalANN) PredictVecInto(x []float64, dst []float64) []float64 {
+	dst = sizeTrace(dst, g.traceLen)
+	v := g.net.Predict(x)
+	for i := range dst {
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // PredictAggregate returns the predicted aggregate metric.
 func (g *GlobalANN) PredictAggregate(cfg space.Config) float64 {
-	return g.net.Predict(g.opts.featureVector(cfg))
+	var fbuf [space.MaxFeatures]float64
+	return g.net.Predict(g.opts.featureVectorInto(&cfg, fbuf[:0]))
 }
 
 // LinearWavelet is the linear-regression baseline applied inside the
@@ -82,6 +129,7 @@ type LinearWavelet struct {
 	traceLen int
 	selected []int
 	weights  [][]float64 // per selected coefficient: [bias, w1..wd]
+	basis    [][]float64 // reconstruction basis per selected position
 }
 
 // TrainLinearWavelet fits the linear per-coefficient baseline.
@@ -135,24 +183,42 @@ func TrainLinearWavelet(configs []space.Config, traces [][]float64, opts Options
 		}
 		lw.weights = append(lw.weights, w)
 	}
+	lw.basis = waveletBasis(opts.Wavelet, n, selected)
 	return lw, nil
 }
 
 // Predict reconstructs the trace from linearly predicted coefficients.
 func (l *LinearWavelet) Predict(cfg space.Config) []float64 {
-	x := l.opts.featureVector(cfg)
-	coeffs := make([]float64, l.traceLen)
-	for i, pos := range l.selected {
+	return l.PredictInto(cfg, make([]float64, l.traceLen))
+}
+
+// PredictInto writes the forecast trace into dst; see IntoPredictor. Like
+// Predictor, reconstruction is k scaled additions of precomputed basis
+// vectors.
+func (l *LinearWavelet) PredictInto(cfg space.Config, dst []float64) []float64 {
+	var fbuf [space.MaxFeatures]float64
+	return l.PredictVecInto(l.opts.featureVectorInto(&cfg, fbuf[:0]), dst)
+}
+
+// NumFeatures implements VecPredictor.
+func (l *LinearWavelet) NumFeatures() int { return l.opts.numFeatures() }
+
+// PredictVecInto reconstructs the trace for an already-encoded feature
+// vector; see VecPredictor.
+func (l *LinearWavelet) PredictVecInto(x []float64, dst []float64) []float64 {
+	dst = sizeTrace(dst, l.traceLen)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range l.selected {
 		w := l.weights[i]
 		v := w[0]
 		for j, xv := range x {
 			v += w[j+1] * xv
 		}
-		coeffs[pos] = v
+		for j, bv := range l.basis[i] {
+			dst[j] += v * bv
+		}
 	}
-	out, err := l.opts.Wavelet.Reconstruct(coeffs)
-	if err != nil {
-		panic(fmt.Sprintf("core: reconstruction failed: %v", err))
-	}
-	return out
+	return dst
 }

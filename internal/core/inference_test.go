@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/wavelet"
+)
+
+// trainVariant fits a small predictor for one (wavelet, DVM-mode) cell of
+// the equivalence matrix.
+func trainVariant(t *testing.T, w wavelet.Transform, dvm bool) (*Predictor, []space.Config) {
+	t.Helper()
+	train, test := sampleConfigs(100, 25, 21)
+	if dvm {
+		for i := range train {
+			train[i].DVM = i%2 == 0
+			train[i].DVMThreshold = 0.1 + 0.05*float64(i%8)
+		}
+		for i := range test {
+			test[i].DVM = i%2 == 1
+			test[i].DVMThreshold = 0.1 + 0.07*float64(i%7)
+		}
+	}
+	p, err := Train(train, tracesFor(train, 64), Options{
+		Wavelet:         w,
+		NumCoefficients: 8,
+		UseDVMFeatures:  dvm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, test
+}
+
+// TestPredictIntoMatchesPredict proves the three inference entry points are
+// bit-identical across wavelet families and both feature encodings — the
+// contract that lets hot paths switch to the scratch-reusing forms without
+// any behavioural drift.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	for _, w := range []wavelet.Transform{
+		wavelet.Haar{}, wavelet.HaarOrthonormal{}, wavelet.Daubechies4{},
+	} {
+		for _, dvm := range []bool{false, true} {
+			name := w.Name() + "/dvm=false"
+			if dvm {
+				name = w.Name() + "/dvm=true"
+			}
+			t.Run(name, func(t *testing.T) {
+				p, test := trainVariant(t, w, dvm)
+				scratch := make([]float64, 0, p.TraceLen())
+				batch := p.PredictBatch(test, nil)
+				for i, cfg := range test {
+					want := p.Predict(cfg)
+					scratch = p.PredictInto(cfg, scratch[:0])
+					for j := range want {
+						if scratch[j] != want[j] {
+							t.Fatalf("cfg %d sample %d: PredictInto %v != Predict %v", i, j, scratch[j], want[j])
+						}
+						if batch[i][j] != want[j] {
+							t.Fatalf("cfg %d sample %d: PredictBatch %v != Predict %v", i, j, batch[i][j], want[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBasisPathMatchesFullReconstruct checks the linearity exploit against
+// the definitionally correct path: evaluate every network, scatter into a
+// coefficient vector, run the full inverse transform. The basis
+// accumulation must agree to floating-point round-off.
+func TestBasisPathMatchesFullReconstruct(t *testing.T) {
+	for _, w := range []wavelet.Transform{
+		wavelet.Haar{}, wavelet.HaarOrthonormal{}, wavelet.Daubechies4{},
+	} {
+		t.Run(w.Name(), func(t *testing.T) {
+			p, test := trainVariant(t, w, false)
+			for _, cfg := range test {
+				x := cfg.Vector()
+				coeffs := make([]float64, p.traceLen)
+				for i, pos := range p.selected {
+					coeffs[pos] = p.nets[i].Predict(x)
+				}
+				want, err := w.Reconstruct(coeffs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := p.Predict(cfg)
+				for j := range want {
+					if math.Abs(got[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("sample %d: basis path %v, full reconstruct %v", j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadedPredictorUsesBasisPath proves a persisted-and-restored
+// predictor forecasts bit-identically through all three entry points.
+func TestLoadedPredictorUsesBasisPath(t *testing.T) {
+	p, test := trainVariant(t, wavelet.Daubechies4{}, true)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]float64, 0, p2.TraceLen())
+	for _, cfg := range test {
+		want := p.Predict(cfg)
+		scratch = p2.PredictInto(cfg, scratch[:0])
+		for j := range want {
+			if scratch[j] != want[j] {
+				t.Fatalf("restored PredictInto %v != original Predict %v", scratch[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPredictIntoZeroAllocs is the regression gate for the zero-allocation
+// contract on every model family's scratch-reusing path.
+func TestPredictIntoZeroAllocs(t *testing.T) {
+	train, test := sampleConfigs(100, 4, 22)
+	traces := tracesFor(train, 64)
+	opts := Options{NumCoefficients: 8}
+
+	p, err := Train(train, traces, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := TrainGlobalANN(train, traces, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := TrainLinearWavelet(train, traces, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := []struct {
+		name string
+		m    IntoPredictor
+	}{
+		{"Predictor", p}, {"GlobalANN", g}, {"LinearWavelet", lw},
+	}
+	for _, tc := range models {
+		dst := make([]float64, 64)
+		cfg := test[0]
+		if allocs := testing.AllocsPerRun(100, func() {
+			dst = tc.m.PredictInto(cfg, dst)
+		}); allocs != 0 {
+			t.Errorf("%s.PredictInto allocates %v per call, want 0", tc.name, allocs)
+		}
+	}
+
+	batch := p.PredictBatch(test, nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		batch = p.PredictBatch(test, batch)
+	}); allocs != 0 {
+		t.Errorf("PredictBatch allocates %v per call after warm-up, want 0", allocs)
+	}
+}

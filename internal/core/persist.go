@@ -89,7 +89,7 @@ func Load(r io.Reader) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Predictor{
+	p := &Predictor{
 		opts: Options{
 			Wavelet:         w,
 			NumCoefficients: len(f.Selected),
@@ -98,5 +98,10 @@ func Load(r io.Reader) (*Predictor, error) {
 		traceLen: f.TraceLen,
 		selected: f.Selected,
 		nets:     f.Nets,
-	}, nil
+		// Rebuild the reconstruction basis cache: a loaded predictor must
+		// run the same zero-allocation inference path as a trained one.
+		basis: waveletBasis(w, f.TraceLen, f.Selected),
+	}
+	p.basisLo, p.basisHi = basisSpans(p.basis)
+	return p, nil
 }

@@ -72,6 +72,15 @@ func (o Options) withDefaults() Options {
 	if o.NumCoefficients <= 0 {
 		o.NumCoefficients = 16
 	}
+	if o.RBF.DimLevels == nil {
+		// Declare the canonical Table 2 feature levels so the RBF networks
+		// adopt the factored kernel and precompute per-level factors:
+		// level-driven sweeps then evaluate every basis function without
+		// computing exponentials. Off-level inputs still work (the factor
+		// is computed on the fly), so this is purely an optimisation
+		// default; callers may override with their own declaration.
+		o.RBF.DimLevels = space.FeatureLevels(o.UseDVMFeatures)
+	}
 	return o
 }
 
@@ -82,6 +91,18 @@ type Predictor struct {
 	traceLen int
 	selected []int
 	nets     []*rbf.Network
+
+	// basis holds one reconstruction basis vector per selected coefficient
+	// position: basis[i] = Reconstruct(e_selected[i]). Wavelet
+	// reconstruction is linear, so a predicted trace is the sum of the
+	// per-coefficient predictions scaled onto these precomputed vectors —
+	// Predict never runs an inverse transform and never allocates a
+	// coefficient buffer. basisLo/basisHi bound each vector's nonzero
+	// support (fine-scale wavelets are localised), so accumulation skips
+	// the zero tails.
+	basis   [][]float64
+	basisLo []int
+	basisHi []int
 }
 
 // featureVector applies the configured input encoding.
@@ -90,6 +111,73 @@ func (o Options) featureVector(cfg space.Config) []float64 {
 		return cfg.VectorDVM()
 	}
 	return cfg.Vector()
+}
+
+// featureVectorInto applies the configured input encoding, appending to dst
+// (usually the [:0] of stack scratch sized space.MaxFeatures) so the hot
+// path encodes features without heap allocation. cfg is by pointer to
+// avoid a per-call Config copy at model-query rates.
+func (o Options) featureVectorInto(cfg *space.Config, dst []float64) []float64 {
+	if o.UseDVMFeatures {
+		return cfg.VectorDVMInto(dst)
+	}
+	return cfg.VectorInto(dst)
+}
+
+// numFeatures is the width of the configured input encoding.
+func (o Options) numFeatures() int {
+	if o.UseDVMFeatures {
+		return space.MaxFeatures
+	}
+	return space.NumParams
+}
+
+// waveletBasis precomputes the reconstruction basis vectors for the
+// selected coefficient positions: column pos of the inverse transform,
+// obtained by reconstructing the unit coefficient vector e_pos.
+func waveletBasis(w wavelet.Transform, traceLen int, selected []int) [][]float64 {
+	unit := make([]float64, traceLen)
+	basis := make([][]float64, len(selected))
+	for i, pos := range selected {
+		unit[pos] = 1
+		b, err := w.Reconstruct(unit)
+		if err != nil {
+			// Reconstruct only fails on bad lengths, validated at
+			// train/load time.
+			panic(fmt.Sprintf("core: basis reconstruction failed: %v", err))
+		}
+		basis[i] = b
+		unit[pos] = 0
+	}
+	return basis
+}
+
+// basisSpans returns, per basis vector, the [lo, hi) bounds of its
+// nonzero support. Skipping the zero tails only ever skips adding exact
+// zeros, so trimmed accumulation matches full accumulation bit-for-bit.
+func basisSpans(basis [][]float64) (lo, hi []int) {
+	lo = make([]int, len(basis))
+	hi = make([]int, len(basis))
+	for i, b := range basis {
+		l, h := 0, len(b)
+		for l < h && b[l] == 0 {
+			l++
+		}
+		for h > l && b[h-1] == 0 {
+			h--
+		}
+		lo[i], hi[i] = l, h
+	}
+	return lo, hi
+}
+
+// sizeTrace returns dst resized to n entries, reusing its backing array
+// when capacity allows. Contents are unspecified; callers overwrite.
+func sizeTrace(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // Train fits a wavelet neural network on the observed traces of the
@@ -151,6 +239,8 @@ func Train(configs []space.Config, traces [][]float64, opts Options) (*Predictor
 		}
 		p.nets = append(p.nets, net)
 	}
+	p.basis = waveletBasis(opts.Wavelet, n, selected)
+	p.basisLo, p.basisHi = basisSpans(p.basis)
 	return p, nil
 }
 
@@ -182,20 +272,87 @@ func selectByMeanMagnitude(coeffs [][]float64, k int) []int {
 }
 
 // Predict reconstructs the forecast dynamics trace for a configuration
-// (stage 3: inverse transform over predicted coefficients, zeros
-// elsewhere).
+// (stage 3). Reconstruction is linear, so the trace is assembled as k
+// scaled additions of the precomputed basis vectors — no inverse transform
+// runs at inference time. Predict allocates only the returned trace; use
+// PredictInto or PredictBatch on hot paths to reuse caller scratch.
 func (p *Predictor) Predict(cfg space.Config) []float64 {
-	x := p.opts.featureVector(cfg)
-	coeffs := make([]float64, p.traceLen)
-	for i, pos := range p.selected {
-		coeffs[pos] = p.nets[i].Predict(x)
+	return p.PredictInto(cfg, make([]float64, p.traceLen))
+}
+
+// PredictInto writes the forecast trace into dst (reusing its backing
+// array when cap(dst) ≥ TraceLen) and returns the filled slice. With
+// adequate capacity it performs zero heap allocations, and its output is
+// bit-identical to Predict — both run the same basis-accumulation path.
+func (p *Predictor) PredictInto(cfg space.Config, dst []float64) []float64 {
+	var fbuf [space.MaxFeatures]float64
+	return p.PredictVecInto(p.opts.featureVectorInto(&cfg, fbuf[:0]), dst)
+}
+
+// NumFeatures implements VecPredictor.
+func (p *Predictor) NumFeatures() int { return p.opts.numFeatures() }
+
+// PredictVecInto writes the forecast for the already-encoded feature
+// vector x into dst; see VecPredictor. PredictInto delegates here, so the
+// two are bit-identical by construction.
+func (p *Predictor) PredictVecInto(x []float64, dst []float64) []float64 {
+	dst = sizeTrace(dst, p.traceLen)
+	if len(p.selected) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
-	out, err := p.opts.Wavelet.Reconstruct(coeffs)
-	if err != nil {
-		// Reconstruct only fails on bad lengths, which Train validated.
-		panic(fmt.Sprintf("core: reconstruction failed: %v", err))
+	// The first network's span is written rather than accumulated, so only
+	// the trace outside that span needs zeroing — usually nothing, since
+	// the approximation coefficient's basis spans the whole trace. Storing
+	// c·bv instead of adding it onto zero is identical up to the sign of
+	// zero, which float comparison cannot observe.
+	lo0, hi0 := p.basisLo[0], p.basisHi[0]
+	for i := range dst[:lo0] {
+		dst[i] = 0
 	}
-	return out
+	for i := hi0; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	for i := range p.selected {
+		c := p.nets[i].Predict(x)
+		// Accumulate only over the basis vector's nonzero support —
+		// fine-scale wavelets touch a handful of samples, so most passes
+		// are short. Skipped entries would only ever add exact zeros.
+		lo := p.basisLo[i]
+		bvs := p.basis[i][lo:p.basisHi[i]]
+		// Equal-length reslice lets the compiler drop the bounds check in
+		// the accumulation loops.
+		d := dst[lo:][:len(bvs)]
+		if i == 0 {
+			for j, bv := range bvs {
+				d[j] = c * bv
+			}
+			continue
+		}
+		for j, bv := range bvs {
+			d[j] += c * bv
+		}
+	}
+	return dst
+}
+
+// PredictBatch forecasts every configuration in cfgs, writing trace i into
+// dst[i] (rows are grown or reused like PredictInto's dst) and returning
+// the filled slice-of-slices. Pass the previous return value back in to
+// sweep the design space with zero steady-state allocations.
+func (p *Predictor) PredictBatch(cfgs []space.Config, dst [][]float64) [][]float64 {
+	if cap(dst) < len(cfgs) {
+		grown := make([][]float64, len(cfgs))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(cfgs)]
+	for i, cfg := range cfgs {
+		dst[i] = p.PredictInto(cfg, dst[i])
+	}
+	return dst
 }
 
 // SelectedCoefficients returns the modelled coefficient positions in

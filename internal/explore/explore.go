@@ -22,7 +22,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -122,15 +123,33 @@ func SweepContext(ctx context.Context, designs []space.Config, models []core.Dyn
 		return nil, err
 	}
 	res := &Result{Objectives: objectives, Evaluated: make([]Candidate, len(designs))}
-	err := evalChunks(ctx, designs, models, objectives, opts, func(start int, chunk []Candidate) {
-		copy(res.Evaluated[start:], chunk)
+	// One flat backing array holds every candidate's scores: two
+	// allocations for the whole sweep instead of one per design, and
+	// workers' reusable score scratch is copied out here. Candidates are
+	// assembled directly from designs, so each Config is copied into the
+	// result exactly once.
+	m := len(models)
+	backing := make([]float64, len(designs)*m)
+	err := evalChunks(ctx, designs, models, objectives, opts, func(start int, sc []float64) {
+		for j := 0; j < len(sc)/m; j++ {
+			i := start + j
+			dst := backing[i*m : (i+1)*m : (i+1)*m]
+			copy(dst, sc[j*m:(j+1)*m])
+			res.Evaluated[i] = Candidate{Config: designs[i], Scores: dst}
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Frontier = ParetoFrontier(res.Evaluated)
-	sort.SliceStable(res.Frontier, func(a, b int) bool {
-		return res.Frontier[a].Scores[0] < res.Frontier[b].Scores[0]
+	slices.SortStableFunc(res.Frontier, func(a, b Candidate) int {
+		if a.Scores[0] < b.Scores[0] {
+			return -1
+		}
+		if b.Scores[0] < a.Scores[0] {
+			return 1
+		}
+		return 0
 	})
 	return res, nil
 }
@@ -139,6 +158,12 @@ func SweepContext(ctx context.Context, designs []space.Config, models []core.Dyn
 // SweepStream serialises Collect calls, so implementations need no
 // internal locking; index identifies the design so collectors can stay
 // deterministic under out-of-order arrival.
+//
+// The candidate's Scores slice is worker scratch, valid only for the
+// duration of the Collect call — implementations must copy the values
+// (not the slice) for anything they retain. TopK and FrontierCollector
+// already do, recycling evicted buffers so steady-state collection stays
+// allocation-free.
 type Collector interface {
 	Collect(index int, c Candidate)
 }
@@ -153,10 +178,15 @@ func SweepStream(ctx context.Context, designs []space.Config, models []core.Dyna
 		return err
 	}
 	var mu sync.Mutex
-	return evalChunks(ctx, designs, models, objectives, opts, func(start int, chunk []Candidate) {
+	nm := len(models)
+	return evalChunks(ctx, designs, models, objectives, opts, func(start int, sc []float64) {
 		mu.Lock()
 		defer mu.Unlock()
-		for j, cand := range chunk {
+		for j := 0; j < len(sc)/nm; j++ {
+			cand := Candidate{
+				Config: designs[start+j],
+				Scores: sc[j*nm : (j+1)*nm : (j+1)*nm],
+			}
 			for _, col := range collectors {
 				col.Collect(start+j, cand)
 			}
@@ -209,8 +239,17 @@ func validateSweep(designs []space.Config, models []core.DynamicsModel, objectiv
 // evalChunks shards designs into contiguous chunks claimed by workers off
 // an atomic cursor (cheaper than a per-design channel at model-query
 // rates of millions per second). emit is called once per finished chunk,
-// possibly concurrently, and must copy the chunk out before returning.
-func evalChunks(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, opts Options, emit func(start int, chunk []Candidate)) error {
+// possibly concurrently, with the chunk's start index and its flat score
+// matrix (len(models) scores per design, in design order) — callers
+// reconstruct Candidates from designs[start+j], keeping the 200-byte
+// Config out of the worker hot loop. The score slice is worker scratch
+// reused for the next chunk, so emit must copy out values it retains.
+//
+// Each worker holds its own scratch — one trace buffer per model (reused
+// through core.IntoPredictor when the model supports it) and one flat
+// backing array for the chunk's scores — so the steady-state sweep
+// performs zero heap allocations per design.
+func evalChunks(ctx context.Context, designs []space.Config, models []core.DynamicsModel, objectives []Objective, opts Options, emit func(start int, scores []float64)) error {
 	n := len(designs)
 	workers := opts.workers()
 	if workers > n {
@@ -224,13 +263,36 @@ func evalChunks(ctx context.Context, designs []space.Config, models []core.Dynam
 	if chunk > 512 {
 		chunk = 512
 	}
+	// Models supporting scratch-reusing inference, resolved once instead of
+	// once per design. intos[m] is nil when models[m] only offers Predict.
+	// Vector-level models (vecs[m]) additionally share one feature encoding
+	// per design: the plain encoding is a prefix of the DVM encoding, so a
+	// single VectorDVMInto pass feeds models of either flavour.
+	intos := make([]core.IntoPredictor, len(models))
+	vecs := make([]core.VecPredictor, len(models))
+	nfeat := make([]int, len(models))
+	needVec, needDVM := false, false
+	for i, model := range models {
+		if ip, ok := model.(core.IntoPredictor); ok {
+			intos[i] = ip
+		}
+		if vp, ok := model.(core.VecPredictor); ok {
+			vecs[i] = vp
+			nfeat[i] = vp.NumFeatures()
+			needVec = true
+			needDVM = needDVM || nfeat[i] > space.NumParams
+		}
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			buf := make([]Candidate, chunk)
+			nm := len(models)
+			scores := make([]float64, chunk*nm)
+			traces := make([][]float64, nm)
+			var fbuf [space.MaxFeatures]float64
 			for {
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= n || ctx.Err() != nil {
@@ -240,15 +302,33 @@ func evalChunks(ctx context.Context, designs []space.Config, models []core.Dynam
 				if end > n {
 					end = n
 				}
-				out := buf[:end-start]
 				for i := start; i < end; i++ {
-					cand := Candidate{Config: designs[i], Scores: make([]float64, len(models))}
-					for m, model := range models {
-						cand.Scores[m] = objectives[m].Score(model.Predict(designs[i]))
+					j := i - start
+					s := scores[j*nm : (j+1)*nm : (j+1)*nm]
+					var x []float64
+					if needVec {
+						if needDVM {
+							x = designs[i].VectorDVMInto(fbuf[:0])
+						} else {
+							x = designs[i].VectorInto(fbuf[:0])
+						}
 					}
-					out[i-start] = cand
+					for m := range models {
+						var trace []float64
+						switch {
+						case vecs[m] != nil:
+							traces[m] = vecs[m].PredictVecInto(x[:nfeat[m]], traces[m])
+							trace = traces[m]
+						case intos[m] != nil:
+							traces[m] = intos[m].PredictInto(designs[i], traces[m])
+							trace = traces[m]
+						default:
+							trace = models[m].Predict(designs[i])
+						}
+						s[m] = objectives[m].Score(trace)
+					}
 				}
-				emit(start, out)
+				emit(start, scores[:(end-start)*nm])
 				if opts.Progress != nil {
 					opts.Progress(int(completed.Add(int64(end - start))))
 				}
@@ -286,13 +366,16 @@ func (r *Result) Best(objective int, constraints []Constraint) (Candidate, bool)
 
 // Report renders the frontier.
 func (r *Result) Report() string {
-	s := fmt.Sprintf("explored %d designs; Pareto frontier has %d points\n", len(r.Evaluated), len(r.Frontier))
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d designs; Pareto frontier has %d points\n", len(r.Evaluated), len(r.Frontier))
 	for _, c := range r.Frontier {
-		s += "  "
+		b.WriteString("  ")
 		for i, obj := range r.Objectives {
-			s += fmt.Sprintf("%s=%.4f ", obj.Name, c.Scores[i])
+			fmt.Fprintf(&b, "%s=%.4f ", obj.Name, c.Scores[i])
 		}
-		s += "| " + c.Config.String() + "\n"
+		b.WriteString("| ")
+		b.WriteString(c.Config.String())
+		b.WriteByte('\n')
 	}
-	return s
+	return b.String()
 }

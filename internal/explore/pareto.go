@@ -2,7 +2,7 @@ package explore
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // dominates reports whether a is at least as good as b everywhere and
@@ -24,16 +24,27 @@ func dominatesScores(a, b []float64) bool {
 	return strictly
 }
 
-// lexLess orders score vectors lexicographically — the preprocessing sort
-// shared by every frontier algorithm below. After this sort no candidate
-// can dominate one that precedes it.
-func lexLess(a, b []float64) bool {
+// lexCmp orders score vectors lexicographically — the preprocessing order
+// shared by every frontier algorithm below. After sorting by it no
+// candidate can dominate one that precedes it.
+func lexCmp(a, b []float64) int {
 	for i := range a {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return false
+	return 0
+}
+
+func lexLess(a, b []float64) bool { return lexCmp(a, b) < 0 }
+
+// lexKey2 is the flat sort key for two-objective frontiers.
+type lexKey2 struct {
+	a, b float64
+	i    int32
 }
 
 // ParetoFrontier extracts the non-dominated candidates, preserving input
@@ -47,13 +58,67 @@ func ParetoFrontier(cands []Candidate) []Candidate {
 	if n == 0 {
 		return nil
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	// Dominance prefilter: one linear pass against a single aggressive
+	// pivot — the candidate with the smallest score sum — discards the
+	// bulk of a random sweep before the O(n log n) sort pays off. A point
+	// the pivot dominates cannot be on the frontier, and removing
+	// dominated points never changes dominance among survivors, so the
+	// kept set is identical. (NaN scores neither win the pivot race nor
+	// dominate anything, so they pass through unharmed.)
+	pivot := 0
+	bestSum := math.Inf(1)
+	for i := range cands {
+		s := 0.0
+		for _, v := range cands[i].Scores {
+			s += v
+		}
+		if s < bestSum {
+			bestSum, pivot = s, i
+		}
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return lexLess(cands[idx[a]].Scores, cands[idx[b]].Scores)
-	})
+	pv := cands[pivot].Scores
+	idx := make([]int, 0, n)
+	for i := range cands {
+		if !dominatesScores(pv, cands[i].Scores) {
+			idx = append(idx, i)
+		}
+	}
+	// Unstable sort is safe here: the sort is internal (results are
+	// re-emitted in input order via the kept mask below), and frontier
+	// membership depends only on score values — candidates with equal
+	// score vectors are interchangeable to every algorithm underneath and
+	// never dominate each other, so any lexCmp-consistent order yields the
+	// same kept set. Pattern-defeating quicksort beats a stable merge by a
+	// wide margin at sweep sizes. For the ubiquitous two-objective sweep
+	// the comparator runs on flat value keys instead of chasing
+	// cands[i].Scores through two indirections per comparison.
+	if len(cands[0].Scores) == 2 {
+		keys := make([]lexKey2, len(idx))
+		for k, i := range idx {
+			s := cands[i].Scores
+			keys[k] = lexKey2{a: s[0], b: s[1], i: int32(i)}
+		}
+		slices.SortFunc(keys, func(p, q lexKey2) int {
+			switch {
+			case p.a < q.a:
+				return -1
+			case p.a > q.a:
+				return 1
+			case p.b < q.b:
+				return -1
+			case p.b > q.b:
+				return 1
+			}
+			return 0
+		})
+		for k := range keys {
+			idx[k] = int(keys[k].i)
+		}
+	} else {
+		slices.SortFunc(idx, func(a, b int) int {
+			return lexCmp(cands[a].Scores, cands[b].Scores)
+		})
+	}
 	var keep []int
 	switch len(cands[0].Scores) {
 	case 0:

@@ -52,14 +52,20 @@ func (t *TopK) Collect(index int, c Candidate) {
 	t.insert(topkEntry{c: c, index: index})
 }
 
-// insert offers one already-feasible entry to the bounded heap.
+// insert offers one already-feasible entry to the bounded heap. The
+// entry's Scores may be caller scratch (see Collector), so retained
+// entries get their own copy; once the heap is full, each accepted entry
+// reuses the evicted root's buffer, keeping steady-state collection
+// allocation-free.
 func (t *TopK) insert(e topkEntry) {
 	if len(t.heap) < t.k {
+		e.c.Scores = append([]float64(nil), e.c.Scores...)
 		t.heap = append(t.heap, e)
 		t.siftUp(len(t.heap) - 1)
 		return
 	}
 	if t.worse(t.heap[0], e) {
+		e.c.Scores = append(t.heap[0].c.Scores[:0], e.c.Scores...)
 		t.heap[0] = e
 		t.siftDown(0)
 	}
@@ -120,13 +126,15 @@ func (t *TopK) siftDown(i int) {
 	}
 }
 
-// Results returns the retained candidates, best first.
+// Results returns the retained candidates, best first. Scores are deep
+// copies: the collector recycles its internal buffers as collection
+// continues, so snapshots taken mid-sweep must not alias them.
 func (t *TopK) Results() []Candidate {
 	entries := append([]topkEntry(nil), t.heap...)
 	sort.Slice(entries, func(a, b int) bool { return t.worse(entries[b], entries[a]) })
 	out := make([]Candidate, len(entries))
 	for i, e := range entries {
-		out[i] = e.c
+		out[i] = Candidate{Config: e.c.Config, Scores: append([]float64(nil), e.c.Scores...)}
 	}
 	return out
 }
@@ -146,6 +154,11 @@ func (t *TopK) Feasible() int { return t.feasible }
 type FrontierCollector struct {
 	seen     int
 	frontier []Candidate
+	// free holds the Scores buffers of evicted frontier members for reuse,
+	// so a stabilised frontier churns without allocating (arriving
+	// candidates carry caller scratch — see Collector — and retained ones
+	// need their own copy).
+	free [][]float64
 }
 
 // NewFrontierCollector builds an empty streaming frontier.
@@ -166,10 +179,17 @@ func (f *FrontierCollector) add(c Candidate) {
 		if dominates(old, c) {
 			return // arriving candidate loses; survivors were already mutually non-dominated
 		}
-		if !dominates(c, old) {
+		if dominates(c, old) {
+			f.free = append(f.free, old.Scores[:0])
+		} else {
 			kept = append(kept, old)
 		}
 	}
+	var buf []float64
+	if n := len(f.free); n > 0 {
+		buf, f.free = f.free[n-1], f.free[:n-1]
+	}
+	c.Scores = append(buf, c.Scores...)
 	f.frontier = append(kept, c)
 }
 
@@ -190,9 +210,14 @@ func (f *FrontierCollector) Merge(o *FrontierCollector) {
 func (f *FrontierCollector) Seen() int { return f.seen }
 
 // Frontier returns the current non-dominated set sorted by the first
-// objective (ascending, ties by the second and so on).
+// objective (ascending, ties by the second and so on). Scores are deep
+// copies: the collector recycles evicted members' buffers as collection
+// continues, so snapshots taken mid-sweep must not alias them.
 func (f *FrontierCollector) Frontier() []Candidate {
-	out := append([]Candidate(nil), f.frontier...)
+	out := make([]Candidate, len(f.frontier))
+	for i, c := range f.frontier {
+		out[i] = Candidate{Config: c.Config, Scores: append([]float64(nil), c.Scores...)}
+	}
 	sort.SliceStable(out, func(a, b int) bool { return lexLess(out[a].Scores, out[b].Scores) })
 	return out
 }

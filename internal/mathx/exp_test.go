@@ -1,0 +1,112 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpFastExactPoints(t *testing.T) {
+	if got := ExpFast(0); got != 1 {
+		t.Errorf("ExpFast(0) = %v, want exactly 1", got)
+	}
+	if got := ExpFast(-800); got != 0 {
+		t.Errorf("ExpFast(-800) = %v, want 0", got)
+	}
+	if got := ExpFast(math.Inf(-1)); got != 0 {
+		t.Errorf("ExpFast(-Inf) = %v, want 0", got)
+	}
+	if got := ExpFast(1.5); got != math.Exp(1.5) {
+		t.Errorf("ExpFast(1.5) = %v, want math.Exp fallback %v", got, math.Exp(1.5))
+	}
+	if !math.IsNaN(ExpFast(math.NaN())) {
+		t.Error("ExpFast(NaN) must be NaN")
+	}
+}
+
+func TestExpFastAccuracy(t *testing.T) {
+	rng := NewRNG(17)
+	var worst float64
+	check := func(x float64) {
+		got, want := ExpFast(x), math.Exp(x)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("ExpFast(%v) = %v, want 0", x, got)
+			}
+			return
+		}
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	// Dense sweep of the Gaussian-kernel working range plus the full
+	// normal-exponent range.
+	for x := 0.0; x > -50; x -= 0.001 {
+		check(x)
+	}
+	for i := 0; i < 100000; i++ {
+		check(-708 * rng.Float64())
+	}
+	if worst > 1e-10 {
+		t.Errorf("worst relative error %v vs math.Exp, want < 1e-10", worst)
+	}
+}
+
+func TestExpFastMonotone(t *testing.T) {
+	prev := ExpFast(0.0)
+	for x := -0.0005; x > -30; x -= 0.0005 {
+		cur := ExpFast(x)
+		if cur > prev {
+			t.Fatalf("ExpFast not monotone at %v: %v > %v", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkExpFast(b *testing.B) {
+	x := -1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += ExpFast(x)
+		x *= 0.9999999
+	}
+	_ = s
+}
+
+// BenchmarkExpFastBlock measures the pipelined regime the RBF hot path
+// runs in: independent exponentials issued back to back.
+func BenchmarkExpFastBlock(b *testing.B) {
+	var in, out [16]float64
+	for i := range in {
+		in[i] = -0.3 * float64(i+1)
+	}
+	for i := 0; i < b.N; i++ {
+		for j := range in {
+			out[j] = ExpFast(in[j])
+		}
+	}
+	_ = out
+}
+
+func BenchmarkMathExpBlock(b *testing.B) {
+	var in, out [16]float64
+	for i := range in {
+		in[i] = -0.3 * float64(i+1)
+	}
+	for i := 0; i < b.N; i++ {
+		for j := range in {
+			out[j] = math.Exp(in[j])
+		}
+	}
+	_ = out
+}
+
+func BenchmarkMathExp(b *testing.B) {
+	x := -1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Exp(x)
+		x *= 0.9999999
+	}
+	_ = s
+}

@@ -10,11 +10,25 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, x := range xs {
-		sum += x
+	// Four independent accumulators let the additions pipeline instead of
+	// serialising on one dependency chain — objective scoring calls this
+	// once per (design, model) on sweep hot paths. The combine order is
+	// fixed, so results stay deterministic across platforms.
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+		s2 += xs[i+2]
+		s3 += xs[i+3]
 	}
-	return sum / float64(len(xs))
+	for ; i < len(xs); i++ {
+		s0 += xs[i]
+	}
+	s0 = s0 + s1
+	s2 = s2 + s3
+	s0 = s0 + s2
+	return s0 / float64(len(xs))
 }
 
 // Variance returns the population variance of xs, or 0 for fewer than two
@@ -54,13 +68,25 @@ func Max(xs []float64) float64 {
 	if len(xs) == 0 {
 		panic("mathx: Max of empty slice")
 	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
+	// Two comparison lanes hide branch/latency stalls on long traces; max
+	// is order-independent, so the result is unchanged.
+	m0, m1 := xs[0], xs[0]
+	i := 1
+	for ; i+2 <= len(xs); i += 2 {
+		if xs[i] > m0 {
+			m0 = xs[i]
+		}
+		if xs[i+1] > m1 {
+			m1 = xs[i+1]
 		}
 	}
-	return m
+	if i < len(xs) && xs[i] > m0 {
+		m0 = xs[i]
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	return m0
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear

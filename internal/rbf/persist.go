@@ -16,6 +16,10 @@ type networkFile struct {
 	Lambda      float64     `json:"lambda"`
 	GCV         float64     `json:"gcv"`
 	RadiusScale float64     `json:"radius_scale"`
+	// DimLevels persists the factored-kernel declaration (Options.DimLevels)
+	// so a loaded network evaluates through the same kernel — and the same
+	// precomputed factors — its weights were fit against.
+	DimLevels [][]float64 `json:"dim_levels,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -28,6 +32,7 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 		Lambda:      n.lambda,
 		GCV:         n.gcv,
 		RadiusScale: n.radiusScale,
+		DimLevels:   n.dimLevels,
 	})
 }
 
@@ -51,6 +56,11 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 		if len(f.Centers[i]) != len(f.Radii[i]) {
 			return fmt.Errorf("rbf: basis %d center/radius dimension mismatch", i)
 		}
+		// All centres must share one input dimension: the flattened
+		// inference tables are row-major with a fixed stride.
+		if len(f.Centers[i]) != len(f.Centers[0]) {
+			return fmt.Errorf("rbf: basis %d has dimension %d, want %d", i, len(f.Centers[i]), len(f.Centers[0]))
+		}
 		for _, r := range f.Radii[i] {
 			if r <= 0 {
 				return fmt.Errorf("rbf: basis %d has non-positive radius", i)
@@ -65,5 +75,10 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	n.gcv = f.GCV
 	n.radiusScale = f.RadiusScale
 	n.tree = nil
+	// Rebuild the flattened inference tables (centres, 1/radius
+	// reciprocals, factored-kernel factor tables): a loaded network must
+	// predict exactly like the one that was saved.
+	n.finalize()
+	n.bindDimLevels(f.DimLevels)
 	return nil
 }

@@ -147,16 +147,122 @@ func TestDeterministicTraining(t *testing.T) {
 }
 
 func TestGaussianShape(t *testing.T) {
-	center := []float64{0.5, 0.5}
-	radius := []float64{0.2, 0.2}
-	peak := gaussian(center, center, radius)
+	net := &Network{
+		centers: [][]float64{{0.5, 0.5}},
+		radii:   [][]float64{{0.2, 0.2}},
+	}
+	net.finalize()
+	basis := make([]float64, 1)
+	at := func(x []float64) float64 {
+		net.evalBasisInto(x, basis)
+		return basis[0]
+	}
+	peak := at([]float64{0.5, 0.5})
 	if peak != 1 {
 		t.Errorf("gaussian at center = %v, want 1", peak)
 	}
-	near := gaussian([]float64{0.55, 0.5}, center, radius)
-	far := gaussian([]float64{0.9, 0.5}, center, radius)
+	near := at([]float64{0.55, 0.5})
+	far := at([]float64{0.9, 0.5})
 	if !(peak > near && near > far && far > 0) {
 		t.Errorf("gaussian must decay monotonically: %v > %v > %v > 0", peak, near, far)
+	}
+}
+
+// TestSharedDimFactorization checks the factored evaluation against the
+// unfactored definition: with one dimension identical across centres and
+// one varying, activations must equal the kernel evaluated over all
+// dimensions, and finalize must classify the dimensions correctly.
+func TestSharedDimFactorization(t *testing.T) {
+	net := &Network{
+		centers: [][]float64{{0.5, 0.2}, {0.5, 0.8}, {0.5, 0.4}},
+		radii:   [][]float64{{0.3, 0.1}, {0.3, 0.25}, {0.3, 0.15}},
+	}
+	net.finalize()
+	if len(net.sharedIdx) != 1 || net.sharedIdx[0] != 0 {
+		t.Fatalf("sharedIdx = %v, want [0]", net.sharedIdx)
+	}
+	if len(net.varyIdx) != 1 || net.varyIdx[0] != 1 {
+		t.Fatalf("varyIdx = %v, want [1]", net.varyIdx)
+	}
+	x := []float64{0.31, 0.62}
+	basis := make([]float64, 3)
+	net.evalBasisInto(x, basis)
+	for c := range net.centers {
+		var sum float64
+		for j := range x {
+			d := (x[j] - net.centers[c][j]) / net.radii[c][j]
+			sum += d * d
+		}
+		want := math.Exp(-sum)
+		if rel := math.Abs(basis[c]-want) / want; rel > 1e-9 {
+			t.Errorf("center %d: activation %v, want %v (rel err %v)", c, basis[c], want, rel)
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	xs, ys := makeSmooth(rng, 150)
+	net, err := Train(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := makeSmooth(rng, 40)
+	dst := net.PredictBatch(probes, make([]float64, 0, len(probes)))
+	if len(dst) != len(probes) {
+		t.Fatalf("PredictBatch returned %d results for %d inputs", len(dst), len(probes))
+	}
+	for i, x := range probes {
+		if got, want := dst[i], net.Predict(x); got != want {
+			t.Errorf("probe %d: PredictBatch = %v, Predict = %v (must be bit-identical)", i, got, want)
+		}
+	}
+}
+
+func TestPredictZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	xs, ys := makeSmooth(rng, 150)
+	net, err := Train(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7}
+	var sink float64
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink = net.Predict(probe)
+	}); allocs != 0 {
+		t.Errorf("Predict allocates %v per call, want 0", allocs)
+	}
+	probes, _ := makeSmooth(rng, 16)
+	dst := make([]float64, 0, len(probes))
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = net.PredictBatch(probes, dst[:0])
+	}); allocs != 0 {
+		t.Errorf("PredictBatch allocates %v per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestPersistRoundTripBitIdentical(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	xs, ys := makeSmooth(rng, 150)
+	net, err := Train(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := net.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Network
+	if err := restored.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := makeSmooth(rng, 30)
+	for i, x := range probes {
+		if got, want := restored.Predict(x), net.Predict(x); got != want {
+			t.Errorf("probe %d: restored Predict = %v, original = %v (must be bit-identical)", i, got, want)
+		}
 	}
 }
 

@@ -162,8 +162,30 @@ var paramBounds = [NumParams]struct {
 	{1, 4, false},     // dl1_lat
 }
 
-// normalizeParam maps a raw parameter value to [0,1].
+// normalizeParam maps a raw parameter value to [0,1]. Values on the
+// canonical Table 2 levels — every value a sweep over Levels can produce —
+// resolve through a tiny memo table instead of recomputing logarithms;
+// anything else falls back to the defining formula. The memo is built by
+// calling that same formula, so the cache is bit-transparent.
 func normalizeParam(p int, v float64) float64 {
+	// Branch-free scan: the hit position varies call to call, so a
+	// conditional move beats an early-exit branch the predictor keeps
+	// missing.
+	m := &normMemo[p]
+	hit := -1
+	for i, val := range m.vals {
+		if val == v {
+			hit = i
+		}
+	}
+	if hit >= 0 {
+		return m.norm[hit]
+	}
+	return computeNormalizeParam(p, v)
+}
+
+// computeNormalizeParam is the defining normalisation formula.
+func computeNormalizeParam(p int, v float64) float64 {
 	b := paramBounds[p]
 	lo, hi, x := b.lo, b.hi, v
 	if b.log {
@@ -172,28 +194,96 @@ func normalizeParam(p int, v float64) float64 {
 	return (x - lo) / (hi - lo)
 }
 
+// normMemo caches computeNormalizeParam over TrainLevels ∪ TestLevels.
+// The per-parameter level sets hold at most a handful of values, so a
+// linear scan beats both hashing and the logarithm it avoids.
+var normMemo = func() (m [NumParams]struct {
+	vals []float64
+	norm []float64
+}) {
+	train, test := TrainLevels(), TestLevels()
+	for p := 0; p < NumParams; p++ {
+		for _, set := range [2][]int{train[p], test[p]} {
+			for _, v := range set {
+				known := false
+				for _, have := range m[p].vals {
+					if have == float64(v) {
+						known = true
+						break
+					}
+				}
+				if !known {
+					m[p].vals = append(m[p].vals, float64(v))
+					m[p].norm = append(m[p].norm, computeNormalizeParam(p, float64(v)))
+				}
+			}
+		}
+	}
+	return m
+}()
+
+// MaxFeatures is the widest feature encoding any model consumes (the
+// 11-feature DVM vector) — the size hot paths use for stack-allocated
+// feature scratch.
+const MaxFeatures = NumParams + 2
+
+// FeatureLevels returns, per dimension of the Vector (dvm=false) or
+// VectorDVM (dvm=true) encoding, the candidate feature values arising
+// from the canonical Table 2 levels: the normalised TrainLevels ∪
+// TestLevels values for the nine swept parameters, {0, 1} for the DVM
+// enable flag. The DVM threshold dimension is continuous, so its list is
+// empty. Models use these to precompute kernel factors for the inputs a
+// level-driven sweep can actually produce.
+func FeatureLevels(dvm bool) [][]float64 {
+	n := NumParams
+	if dvm {
+		n = MaxFeatures
+	}
+	out := make([][]float64, n)
+	for p := 0; p < NumParams; p++ {
+		out[p] = append([]float64(nil), normMemo[p].norm...)
+	}
+	if dvm {
+		out[NumParams] = []float64{0, 1}
+	}
+	return out
+}
+
 // Vector encodes the nine swept parameters as a normalised feature vector
 // in [0,1]⁹ — the input representation consumed by every predictive model.
 func (c Config) Vector() []float64 {
+	return c.VectorInto(make([]float64, 0, NumParams))
+}
+
+// VectorInto appends the Vector encoding to dst (usually dst[:0] of a
+// reused buffer) and returns the extended slice. With cap(dst) ≥
+// NumParams it performs no allocation — the sweep hot path's form. The
+// pointer receiver keeps the 200-byte Config from being copied per call
+// at model-query rates.
+func (c *Config) VectorInto(dst []float64) []float64 {
 	vals := c.SweptValues()
-	out := make([]float64, NumParams)
 	for p := 0; p < NumParams; p++ {
-		out[p] = normalizeParam(p, float64(vals[p]))
+		dst = append(dst, normalizeParam(p, float64(vals[p])))
 	}
-	return out
+	return dst
 }
 
 // VectorDVM encodes the nine swept parameters plus the DVM state (enable
 // flag and trigger threshold) as an 11-feature vector — the Section 5
 // extension where DVM becomes a design parameter.
 func (c Config) VectorDVM() []float64 {
-	out := c.Vector()
+	return c.VectorDVMInto(make([]float64, 0, MaxFeatures))
+}
+
+// VectorDVMInto appends the VectorDVM encoding to dst and returns the
+// extended slice; with cap(dst) ≥ MaxFeatures it performs no allocation.
+func (c *Config) VectorDVMInto(dst []float64) []float64 {
+	dst = c.VectorInto(dst)
 	enable := 0.0
 	if c.DVM {
 		enable = 1.0
 	}
-	out = append(out, enable, c.DVMThreshold)
-	return out
+	return append(dst, enable, c.DVMThreshold)
 }
 
 // String renders the swept parameters compactly.

@@ -279,3 +279,26 @@ func TestSampleDesignBeatsRandomOnAverage(t *testing.T) {
 		t.Errorf("mean best-of-10 LHS discrepancy %v should beat random %v", lhsSum/trials, rndSum/trials)
 	}
 }
+
+// TestNormalizeMemoBitTransparent proves the level-value memo is a pure
+// cache: for every canonical level — and for off-level fallback values —
+// normalizeParam returns exactly what the defining formula computes.
+func TestNormalizeMemoBitTransparent(t *testing.T) {
+	train, test := TrainLevels(), TestLevels()
+	for p := 0; p < NumParams; p++ {
+		for _, set := range [][]int{train[p], test[p]} {
+			for _, v := range set {
+				got := normalizeParam(p, float64(v))
+				want := computeNormalizeParam(p, float64(v))
+				if got != want {
+					t.Errorf("param %d value %d: memo %v != formula %v", p, v, got, want)
+				}
+			}
+		}
+		for _, v := range []float64{3.7, 100, 5000} {
+			if got, want := normalizeParam(p, v), computeNormalizeParam(p, v); got != want {
+				t.Errorf("param %d off-level %v: %v != %v", p, v, got, want)
+			}
+		}
+	}
+}

@@ -1,17 +1,30 @@
 // Command benchjson converts `go test -bench` text output (stdin) into
 // a JSON benchmark summary (stdout) — the format CI uploads as the
-// BENCH_PR6.json artifact so successive runs build a queryable perf
+// BENCH_PR7.json artifact so successive runs build a queryable perf
 // trajectory instead of a pile of logs.
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+//
+// With -compare it becomes CI's perf regression gate, diffing two
+// summaries and failing (exit 1) when a benchmark got slower than the
+// tolerance allows:
+//
+//	benchjson -compare -tolerance 25 -bench 'ExploreSweep|PredictBatch' old.json new.json
+//
+// ns/op regresses when new > old·(1+tol/100); rate units (anything
+// ending in "/s", e.g. designs/s — higher is better) regress when
+// new < old·(1−tol/100). A gated benchmark missing from the new summary
+// is a regression too: the gate must not pass by deletion.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -40,6 +53,30 @@ type Summary struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two summaries (old.json new.json) instead of parsing stdin")
+	tolerance := flag.Float64("tolerance", 25, "allowed regression in percent before -compare fails")
+	bench := flag.String("bench", "", "regexp restricting which benchmarks -compare gates (default all)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two summaries: old.json new.json")
+			os.Exit(2)
+		}
+		re, err := compileBenchFilter(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressed, err := compareFiles(flag.Arg(0), flag.Arg(1), *tolerance, re, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	summary, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -51,6 +88,153 @@ func main() {
 	if err := enc.Encode(summary); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+func compileBenchFilter(expr string) (*regexp.Regexp, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -bench filter: %w", err)
+	}
+	return re, nil
+}
+
+func compareFiles(oldPath, newPath string, tolerance float64, filter *regexp.Regexp, w io.Writer) (bool, error) {
+	oldSum, err := readSummary(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newSum, err := readSummary(newPath)
+	if err != nil {
+		return false, err
+	}
+	return compareSummaries(oldSum, newSum, tolerance, filter, w)
+}
+
+func readSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// stripProcs drops the trailing "-N" GOMAXPROCS suffix from a benchmark
+// name, so a baseline recorded on an 8-way box still keys against a run
+// on a 4-way CI runner.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// best folds a summary into per-benchmark best observations keyed by
+// package/name (GOMAXPROCS suffix stripped): minimal ns/op and maximal
+// rates. CI benchmarks run few iterations, so the most favourable of
+// repeated lines damps scheduler noise without hiding a real regression
+// (a true slowdown moves every repetition).
+func best(s *Summary, filter *regexp.Regexp) map[string]Benchmark {
+	out := make(map[string]Benchmark)
+	for _, b := range s.Benchmarks {
+		if filter != nil && !filter.MatchString(b.Name) {
+			continue
+		}
+		key := b.Package + "/" + stripProcs(b.Name)
+		have, ok := out[key]
+		if !ok {
+			cp := b
+			cp.Extra = make(map[string]float64, len(b.Extra))
+			for unit, v := range b.Extra {
+				cp.Extra[unit] = v
+			}
+			out[key] = cp
+			continue
+		}
+		if b.NsPerOp > 0 && (have.NsPerOp == 0 || b.NsPerOp < have.NsPerOp) {
+			have.NsPerOp = b.NsPerOp
+		}
+		for unit, v := range b.Extra {
+			if strings.HasSuffix(unit, "/s") && v > have.Extra[unit] {
+				have.Extra[unit] = v
+			}
+		}
+		out[key] = have
+	}
+	return out
+}
+
+// compareSummaries is the gate: it reports every gated metric, flags the
+// ones outside tolerance, and returns whether anything regressed.
+func compareSummaries(oldSum, newSum *Summary, tolerance float64, filter *regexp.Regexp, w io.Writer) (bool, error) {
+	oldBest, newBest := best(oldSum, filter), best(newSum, filter)
+	if len(oldBest) == 0 {
+		return false, fmt.Errorf("no benchmarks to gate in the old summary (filter too narrow?)")
+	}
+	keys := make([]string, 0, len(oldBest))
+	for k := range oldBest {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	regressed := false
+	fail := func(format string, args ...any) {
+		regressed = true
+		fmt.Fprintf(w, "REGRESSION: "+format+"\n", args...)
+	}
+	for _, key := range keys {
+		ob := oldBest[key]
+		nb, ok := newBest[key]
+		if !ok {
+			fail("%s: present in old summary, missing from new", key)
+			continue
+		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			limit := ob.NsPerOp * (1 + tolerance/100)
+			if nb.NsPerOp > limit {
+				fail("%s: %.0f ns/op, was %.0f (limit %.0f at %+.0f%%)", key, nb.NsPerOp, ob.NsPerOp, limit, tolerance)
+			} else {
+				fmt.Fprintf(w, "ok: %s: %.0f ns/op, was %.0f\n", key, nb.NsPerOp, ob.NsPerOp)
+			}
+		}
+		for unit, ov := range ob.Extra {
+			if !strings.HasSuffix(unit, "/s") || ov <= 0 {
+				continue
+			}
+			nv := nb.Extra[unit]
+			limit := ov * (1 - tolerance/100)
+			if nv < limit {
+				fail("%s: %.0f %s, was %.0f (limit %.0f at -%.0f%%)", key, nv, unit, ov, limit, tolerance)
+			} else {
+				fmt.Fprintf(w, "ok: %s: %.0f %s, was %.0f\n", key, nv, unit, ov)
+			}
+		}
+	}
+	return regressed, nil
+}
+
+// sortStrings is an insertion sort: the gate handles a handful of
+// benchmarks and the tool avoids importing sort for one call site.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
 	}
 }
 

@@ -65,3 +65,146 @@ func TestParseBenchLineRejects(t *testing.T) {
 		t.Error("accepted a line with a bad iteration count")
 	}
 }
+
+func mkSummary(benches ...Benchmark) *Summary {
+	return &Summary{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", Benchmarks: benches}
+}
+
+func runCompare(t *testing.T, oldSum, newSum *Summary, tol float64, filter string) (bool, string, error) {
+	t.Helper()
+	re, err := compileBenchFilter(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	regressed, err := compareSummaries(oldSum, newSum, tol, re, &out)
+	return regressed, out.String(), err
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1000, Extra: map[string]float64{"designs/s": 500000}})
+	newSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1200, Extra: map[string]float64{"designs/s": 420000}})
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("a 20%% slowdown inside a 25%% tolerance must pass:\n%s", out)
+	}
+	if !strings.Contains(out, "ok:") {
+		t.Errorf("report should list the metrics it checked:\n%s", out)
+	}
+}
+
+func TestCompareNsPerOpRegression(t *testing.T) {
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkRBFPredict-8", Package: "repro", NsPerOp: 1000})
+	newSum := mkSummary(Benchmark{Name: "BenchmarkRBFPredict-8", Package: "repro", NsPerOp: 1300})
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("30%% more ns/op exceeds a 25%% tolerance:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("report should flag the regression:\n%s", out)
+	}
+}
+
+func TestCompareRateRegression(t *testing.T) {
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1000, Extra: map[string]float64{"designs/s": 500000}})
+	newSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1000, Extra: map[string]float64{"designs/s": 300000}})
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("designs/s dropping 40%% exceeds a 25%% tolerance:\n%s", out)
+	}
+	if !strings.Contains(out, "designs/s") {
+		t.Errorf("the regressed unit should be named:\n%s", out)
+	}
+}
+
+func TestCompareMissingBenchmarkIsRegression(t *testing.T) {
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkPredictBatch-8", Package: "repro", NsPerOp: 1000})
+	newSum := mkSummary(Benchmark{Name: "BenchmarkSomethingElse-8", Package: "repro", NsPerOp: 1})
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("deleting a gated benchmark must not pass the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "missing") {
+		t.Errorf("report should say the benchmark vanished:\n%s", out)
+	}
+}
+
+func TestCompareFilterSelectsBenchmarks(t *testing.T) {
+	oldSum := mkSummary(
+		Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkUnrelated-8", Package: "repro", NsPerOp: 1000},
+	)
+	newSum := mkSummary(
+		Benchmark{Name: "BenchmarkExploreSweep/workers=1-8", Package: "repro", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkUnrelated-8", Package: "repro", NsPerOp: 9000},
+	)
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "ExploreSweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("an unfiltered benchmark's regression must not trip a filtered gate:\n%s", out)
+	}
+	if strings.Contains(out, "Unrelated") {
+		t.Errorf("filtered-out benchmarks should not appear in the report:\n%s", out)
+	}
+}
+
+func TestCompareEmptyOldIsError(t *testing.T) {
+	oldSum := mkSummary()
+	newSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep-8", Package: "repro", NsPerOp: 1})
+	if _, _, err := runCompare(t, oldSum, newSum, 25, ""); err == nil {
+		t.Error("an empty gate set should be an error, not a silent pass")
+	}
+}
+
+func TestCompareStripsProcsSuffix(t *testing.T) {
+	// A baseline from an 8-way box must key against a 4-way runner's run.
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkRBFPredict-8", Package: "repro", NsPerOp: 1000})
+	newSum := mkSummary(Benchmark{Name: "BenchmarkRBFPredict-4", Package: "repro", NsPerOp: 1000})
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("GOMAXPROCS suffix must not break keying:\n%s", out)
+	}
+	if got := stripProcs("BenchmarkExploreSweep/workers=1-8"); got != "BenchmarkExploreSweep/workers=1" {
+		t.Errorf("stripProcs sub-benchmark = %q", got)
+	}
+	if got := stripProcs("BenchmarkExploreSweep/workers=1"); got != "BenchmarkExploreSweep/workers=1" {
+		t.Errorf("stripProcs should leave unsuffixed names alone, got %q", got)
+	}
+	if got := stripProcs("BenchmarkFoo-"); got != "BenchmarkFoo-" {
+		t.Errorf("stripProcs trailing dash = %q", got)
+	}
+}
+
+func TestCompareBestOfRepeats(t *testing.T) {
+	// -count=3 emits the same benchmark three times; the gate judges the
+	// best repetition so one noisy run cannot fail CI.
+	oldSum := mkSummary(Benchmark{Name: "BenchmarkExploreSweep-8", Package: "repro", NsPerOp: 1000, Extra: map[string]float64{"designs/s": 500000}})
+	newSum := mkSummary(
+		Benchmark{Name: "BenchmarkExploreSweep-8", Package: "repro", NsPerOp: 2000, Extra: map[string]float64{"designs/s": 250000}},
+		Benchmark{Name: "BenchmarkExploreSweep-8", Package: "repro", NsPerOp: 1100, Extra: map[string]float64{"designs/s": 460000}},
+	)
+	regressed, out, err := runCompare(t, oldSum, newSum, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("best-of-repeats should absorb one noisy repetition:\n%s", out)
+	}
+}
