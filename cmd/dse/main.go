@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/thermal"
 	"repro/internal/wire"
 	"repro/pkg/dsedclient"
@@ -350,6 +351,7 @@ func runRemote(ctx context.Context, addr, exp, benchmarks string, sample int, se
 		for i, cand := range resp.Candidates {
 			fmt.Printf("  #%d %v | scores %v\n", i+1, cand.Config.ToConfig(), cand.Scores)
 		}
+		printTrace(ctx, c, resp.JobID)
 	default: // pareto — including the experiment-driver default exp name
 		resp, err := c.ParetoJob(ctx, wire.ParetoRequest{
 			Benchmark: benchmark, Objectives: objectives, SpaceSpec: spaceSpec,
@@ -362,8 +364,37 @@ func runRemote(ctx context.Context, addr, exp, benchmarks string, sample int, se
 		for _, cand := range resp.Frontier {
 			fmt.Printf("  %v | scores %v\n", cand.Config.ToConfig(), cand.Scores)
 		}
+		printTrace(ctx, c, resp.JobID)
 	}
 	return nil
+}
+
+// printTrace fetches the finished job's assembled span tree and prints
+// a one-line-per-span summary. Tracing is additive: a daemon without
+// the trace route (or a job already evicted from the ring buffer) just
+// skips the section. Lines are prefixed "trace:" — with depth rendered
+// as dots, never leading whitespace — so scripted consumers of the
+// partial/final stream (and the CI smoke's frontier-line count) are
+// untouched.
+func printTrace(ctx context.Context, c *dsedclient.Client, jobID string) {
+	if jobID == "" {
+		return
+	}
+	trace, err := c.Trace(ctx, jobID)
+	if err != nil || len(trace.Tree) == 0 {
+		return
+	}
+	fmt.Printf("trace: job %s trace %s, %d spans\n", trace.JobID, trace.TraceID, trace.Spans)
+	var walk func(n *obs.TraceNode, depth int)
+	walk = func(n *obs.TraceNode, depth int) {
+		fmt.Printf("trace: %s%s on %s %.1fms\n", strings.Repeat(". ", depth), n.Name, n.Node, n.DurationMS)
+		for _, child := range n.Children {
+			walk(child, depth+1)
+		}
+	}
+	for _, root := range trace.Tree {
+		walk(root, 0)
+	}
 }
 
 func fatal(err error) {

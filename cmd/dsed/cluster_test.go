@@ -21,7 +21,7 @@ import (
 func TestWarmEndpoint(t *testing.T) {
 	ct := &countTrainer{Trainer: tinyTrainer()}
 	store := openTestStore(t, "", ct)
-	ts := httptest.NewServer(NewServer(context.Background(), store, 0, nil).Handler())
+	ts := httptest.NewServer(NewServer(context.Background(), store, 0, nil, nil).Handler())
 	defer ts.Close()
 
 	var resp wire.WarmResponse
@@ -112,7 +112,7 @@ func clusterFixture(t *testing.T, shardSize int, worker2Budget int64) (coordTS, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS = httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
+	coordTS = httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil, nil).Handler())
 	t.Cleanup(coordTS.Close)
 	return coordTS, worker1TS
 }
@@ -335,7 +335,7 @@ func TestElasticFleetSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	register := func(workerURL string) {
@@ -414,7 +414,7 @@ func TestMembershipEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	// Heartbeat before registering: 404, the re-register signal.

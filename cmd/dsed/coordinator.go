@@ -32,20 +32,33 @@ type coordServer struct {
 	started time.Time
 	stats   *httpStats
 	reqLog  *log.Logger
+	tel     *telemetry
 	jobAPI
 }
 
-func newCoordServer(ctx context.Context, coord *cluster.Coordinator, ttl time.Duration, reqLog *log.Logger) *coordServer {
+// newCoordServer wires the coordinator's serving layer. tel is the
+// daemon's observability plane (nil builds a private one, for tests) —
+// pass the same telemetry whose tracer went into cluster.Options, or
+// the dispatch spans and job roots land in different stores.
+func newCoordServer(ctx context.Context, coord *cluster.Coordinator, ttl time.Duration, reqLog *log.Logger, tel *telemetry) *coordServer {
+	if tel == nil {
+		tel = newTelemetry("coordinator")
+	}
 	return &coordServer{
 		coord:   coord,
 		ttl:     ttl,
 		started: time.Now(),
-		stats:   newHTTPStats(),
+		stats:   newHTTPStats(tel.reg),
 		reqLog:  reqLog,
-		jobAPI: jobAPI{jobs: api.NewManager(api.ManagerOptions{
-			ErrorStatus: clusterStatus,
-			BaseContext: ctx,
-		})},
+		tel:     tel,
+		jobAPI: jobAPI{
+			jobs: api.NewManager(api.ManagerOptions{
+				ErrorStatus: clusterStatus,
+				BaseContext: ctx,
+				Obs:         tel.reg,
+			}),
+			tel: tel,
+		},
 	}
 }
 
@@ -61,13 +74,16 @@ func (s *coordServer) Handler() http.Handler {
 	}
 	reg("/v1/healthz", negotiated(s.handleHealthz))
 	reg("/v1/metrics", negotiated(s.handleMetrics))
+	reg("/v1/metricsz", s.tel.handleMetricsz)
 	reg("/v1/warm", negotiated(s.handleWarm))
 	reg("/v1/register", negotiated(s.handleRegister))
 	reg("/v1/heartbeat", negotiated(s.handleHeartbeat))
 	reg("/v1/sweeps", negotiated(s.handleSweepSubmit))
 	reg("/v1/pareto", negotiated(s.handleParetoSubmit))
+	reg("/v1/jobs", negotiated(s.handleJobs))
 	reg("/v1/jobs/{id}", negotiated(s.handleJob))
 	reg("/v1/jobs/{id}/stream", s.handleJobStream)
+	reg("/v1/jobs/{id}/trace", negotiated(s.tel.handleJobTrace))
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, r, http.StatusNotFound, "no such /v1 route %q", r.URL.Path)
 	})
@@ -319,6 +335,8 @@ func (s *coordServer) handleSweep(w http.ResponseWriter, r *http.Request) {
 // (a shard's partial is the smallest mergeable unit).
 func (s *coordServer) runSweep(req wire.SweepRequest, early []space.Config) api.RunFunc {
 	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		ctx, jobSpan := startJobSpan(s.tel, ctx, "job:sweep", pub, req.Benchmark)
+		defer jobSpan.End()
 		q := queryFromSweep(req)
 		designs := req.ResolveLate(early)
 		names := objectiveNames(req.Objectives)
@@ -368,6 +386,8 @@ func (s *coordServer) runSweep(req wire.SweepRequest, early []space.Config) api.
 			Candidates: resp.Candidates,
 			ElapsedMS:  resp.ElapsedMS,
 		}
+		jobSpan.End()
+		final.Spans = s.tel.traces.Spans(jobSpan.Context().TraceID)
 		return resp, final, nil
 	}
 }
@@ -407,6 +427,8 @@ func (s *coordServer) handlePareto(w http.ResponseWriter, r *http.Request) {
 // publishes the cumulative partial frontier.
 func (s *coordServer) runPareto(req wire.ParetoRequest, early []space.Config) api.RunFunc {
 	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		ctx, jobSpan := startJobSpan(s.tel, ctx, "job:pareto", pub, req.Benchmark)
+		defer jobSpan.End()
 		q := cluster.Query{Benchmark: req.Benchmark, Objectives: req.Objectives}
 		designs := req.ResolveLate(early)
 		names := objectiveNames(req.Objectives)
@@ -451,6 +473,8 @@ func (s *coordServer) runPareto(req wire.ParetoRequest, early []space.Config) ap
 			Candidates: resp.Frontier,
 			ElapsedMS:  resp.ElapsedMS,
 		}
+		jobSpan.End()
+		final.Spans = s.tel.traces.Spans(jobSpan.Context().TraceID)
 		return resp, final, nil
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/wire"
@@ -362,13 +364,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // ticker while the engine runs.
 func (s *Server) runSweep(req wire.SweepRequest, early []space.Config) api.RunFunc {
 	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
-		models, objectives, err := s.buildObjectives(ctx, req.Benchmark, req.Objectives)
+		ctx, jobSpan := startJobSpan(s.tel, ctx, "job:sweep", pub, req.Benchmark)
+		defer jobSpan.End()
+		models, objectives, err := s.phaseTrain(ctx, req.Benchmark, req.Objectives)
 		if err != nil {
 			return nil, api.Update{}, err
 		}
 		// Named spaces (possibly the full factorial) materialise only for
 		// requests that resolved models.
-		designs := req.ResolveLate(early)
+		designs := s.phaseEncode(ctx, func() []space.Config { return req.ResolveLate(early) })
 		topK := req.TopK
 		if topK <= 0 {
 			topK = 10
@@ -399,12 +403,15 @@ func (s *Server) runSweep(req wire.SweepRequest, early []space.Config) api.RunFu
 			return u
 		})
 		start := time.Now()
+		_, predictSpan := s.tel.tracer.Start(ctx, "phase:predict")
 		err = explore.SweepStream(ctx, designs, models, objectives,
-			explore.Options{Workers: s.workers, Progress: evaluated.observe}, top)
+			explore.Options{Workers: s.workers, Progress: evaluated.observe, ChunkDone: s.chunkDone}, top)
+		predictSpan.End()
 		stopTicks()
 		if err != nil {
 			return nil, api.Update{}, err
 		}
+		_, mergeSpan := s.tel.tracer.Start(ctx, "phase:merge")
 		seen, feasible, results := top.snapshot()
 		resp := wire.SweepResponse{
 			Benchmark:  req.Benchmark,
@@ -422,6 +429,9 @@ func (s *Server) runSweep(req wire.SweepRequest, early []space.Config) api.RunFu
 			Candidates: resp.Candidates,
 			ElapsedMS:  resp.ElapsedMS,
 		}
+		mergeSpan.End()
+		jobSpan.End()
+		final.Spans = s.tel.traces.Spans(jobSpan.Context().TraceID)
 		return resp, final, nil
 	}
 }
@@ -467,11 +477,13 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 // streaming-collector shape /sweep has always run.
 func (s *Server) runPareto(req wire.ParetoRequest, early []space.Config) api.RunFunc {
 	return func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
-		models, objectives, err := s.buildObjectives(ctx, req.Benchmark, req.Objectives)
+		ctx, jobSpan := startJobSpan(s.tel, ctx, "job:pareto", pub, req.Benchmark)
+		defer jobSpan.End()
+		models, objectives, err := s.phaseTrain(ctx, req.Benchmark, req.Objectives)
 		if err != nil {
 			return nil, api.Update{}, err
 		}
-		designs := req.ResolveLate(early)
+		designs := s.phaseEncode(ctx, func() []space.Config { return req.ResolveLate(early) })
 		fc := &lockedFrontier{inner: explore.NewFrontierCollector()}
 		names := wire.ObjectiveNames(objectives)
 		pub.Publish(api.Update{Designs: len(designs), Objectives: names})
@@ -489,12 +501,15 @@ func (s *Server) runPareto(req wire.ParetoRequest, early []space.Config) api.Run
 			return u
 		})
 		start := time.Now()
+		_, predictSpan := s.tel.tracer.Start(ctx, "phase:predict")
 		err = explore.SweepStream(ctx, designs, models, objectives,
-			explore.Options{Workers: s.workers, Progress: evaluated.observe}, fc)
+			explore.Options{Workers: s.workers, Progress: evaluated.observe, ChunkDone: s.chunkDone}, fc)
+		predictSpan.End()
 		stopTicks()
 		if err != nil {
 			return nil, api.Update{}, err
 		}
+		_, mergeSpan := s.tel.tracer.Start(ctx, "phase:merge")
 		seen, frontier := fc.snapshot()
 		resp := wire.ParetoResponse{
 			Benchmark:  req.Benchmark,
@@ -510,8 +525,57 @@ func (s *Server) runPareto(req wire.ParetoRequest, early []space.Config) api.Run
 			Candidates: resp.Frontier,
 			ElapsedMS:  resp.ElapsedMS,
 		}
+		mergeSpan.End()
+		jobSpan.End()
+		final.Spans = s.tel.traces.Spans(jobSpan.Context().TraceID)
 		return resp, final, nil
 	}
+}
+
+// startJobSpan opens a job's root-on-this-node span and binds the job
+// ID to its trace in the store, so GET /v1/jobs/{id}/trace can find it.
+// When the submitting request carried a traceparent (a coordinator's
+// shard dispatch), the job span lands under it and the whole sweep
+// assembles into one fleet-wide tree. Shared by worker and coordinator
+// job bodies.
+func startJobSpan(tel *telemetry, ctx context.Context, name string, pub api.Publisher, benchmark string) (context.Context, *obs.ActiveSpan) {
+	ctx, span := tel.tracer.Start(ctx, name)
+	span.SetAttr("job_id", pub.JobID())
+	span.SetAttr("benchmark", benchmark)
+	if id := api.RequestID(ctx); id != "" {
+		span.SetAttr("request_id", id)
+	}
+	tel.traces.Bind(pub.JobID(), span.Context().TraceID)
+	return ctx, span
+}
+
+// phaseTrain resolves the job's models under a "phase:train" span —
+// on-demand training is the phase that dominates a cold job's latency.
+func (s *Server) phaseTrain(ctx context.Context, benchmark string, specs []wire.ObjectiveSpec) ([]core.DynamicsModel, []explore.Objective, error) {
+	spanCtx, span := s.tel.tracer.Start(ctx, "phase:train")
+	models, objectives, err := s.buildObjectives(spanCtx, benchmark, specs)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return models, objectives, err
+}
+
+// phaseEncode materialises the design list under a "phase:encode" span
+// (a named space can expand to the full factorial here).
+func (s *Server) phaseEncode(ctx context.Context, resolve func() []space.Config) []space.Config {
+	_, span := s.tel.tracer.Start(ctx, "phase:encode")
+	designs := resolve()
+	span.SetAttr("designs", strconv.Itoa(len(designs)))
+	span.End()
+	return designs
+}
+
+// chunkDone is the explore engine's per-chunk observer: pre-registered
+// histograms, no allocation, safe at evaluation-chunk rate.
+func (s *Server) chunkDone(designs int, elapsed time.Duration) {
+	s.chunkN.Observe(float64(designs))
+	s.chunkMS.Observe(float64(elapsed.Microseconds()) / 1000)
 }
 
 // startSnapshotTicker publishes snapshots on the stream cadence until

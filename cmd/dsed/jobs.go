@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/explore"
+	"repro/internal/obs"
 )
 
 // This file is the serving side of the async job API shared by worker
@@ -20,6 +23,47 @@ import (
 // jobAPI embeds the job table into a serving layer.
 type jobAPI struct {
 	jobs *api.Manager
+	tel  *telemetry
+}
+
+// handleJobs serves GET /v1/jobs: the job table, newest first, filtered
+// by ?state=, ?benchmark= and ?kind=, page-bounded by ?limit=. Results
+// stay behind GET /v1/jobs/{id}.
+func (a *jobAPI) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	f := api.ListFilter{
+		State:     api.JobState(q.Get("state")),
+		Benchmark: q.Get("benchmark"),
+		Kind:      api.JobKind(q.Get("kind")),
+	}
+	switch f.State {
+	case "", api.StateRunning, api.StateDone, api.StateFailed, api.StateCanceled:
+	default:
+		httpError(w, r, http.StatusBadRequest, "unknown state %q (running, done, failed, canceled)", f.State)
+		return
+	}
+	switch f.Kind {
+	case "", api.JobSweep, api.JobPareto:
+	default:
+		httpError(w, r, http.StatusBadRequest, "unknown kind %q (sweep, pareto)", f.Kind)
+		return
+	}
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			httpError(w, r, http.StatusBadRequest, "limit must be a positive integer, got %q", s)
+			return
+		}
+		f.Limit = n
+	}
+	jobs := a.jobs.List(f)
+	writeJSON(w, r, http.StatusOK, map[string]any{
+		"jobs":  jobs,
+		"count": len(jobs),
+	})
 }
 
 // handleJob serves GET (status + result) and DELETE (cancel) on
@@ -136,6 +180,24 @@ func (a *jobAPI) await(w http.ResponseWriter, r *http.Request, job *api.Job) {
 // shims must not invent a 429 failure mode (isV1 tells the two apart —
 // the same helper serves both route families).
 func (a *jobAPI) startJob(w http.ResponseWriter, r *http.Request, kind api.JobKind, benchmark string, designs int, run api.RunFunc) *api.Job {
+	// The job detaches from the request context on purpose (one
+	// impatient client must not abort shared work), but its identity
+	// must not detach with it: re-inject the request ID and the caller's
+	// span context, so a worker's job spans parent under the
+	// coordinator's dispatch span and one request ID threads the whole
+	// fan-out.
+	reqID := api.RequestID(r.Context())
+	parent, hasParent := obs.SpanFromContext(r.Context())
+	inner := run
+	run = func(ctx context.Context, pub api.Publisher) (any, api.Update, error) {
+		if reqID != "" {
+			ctx = api.WithRequestID(ctx, reqID)
+		}
+		if hasParent {
+			ctx = obs.ContextWithSpan(ctx, parent)
+		}
+		return inner(ctx, pub)
+	}
 	var job *api.Job
 	var err error
 	if isV1(r) {

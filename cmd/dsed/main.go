@@ -124,6 +124,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "membership heartbeat: send interval in worker mode (-seed), eviction basis in coordinator mode (workers lapse after 3 missed beats)")
 		seedList   = flag.String("seed", "", "comma-separated coordinator addresses to register with and heartbeat (worker mode; joins their fleets dynamically)")
 		advertise  = flag.String("advertise", "", "worker address advertised on /register (default -addr; set it when -addr binds a wildcard the coordinator cannot dial)")
+		debugAddr  = flag.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -136,6 +137,10 @@ func main() {
 		reqLog = nil
 	}
 
+	if *debugAddr != "" {
+		startDebugServer(ctx, *debugAddr, logger)
+	}
+
 	if *workerList != "" || *coordMode {
 		runCoordinator(ctx, *addr, splitList(*workerList), coordOptions{
 			shardSize:     *shardSize,
@@ -144,6 +149,15 @@ func main() {
 		}, logger, reqLog)
 		return
 	}
+
+	// The telemetry node name is how this daemon's spans read in an
+	// assembled cross-node trace — the advertised address when one
+	// exists, the listen address otherwise.
+	node := *advertise
+	if node == "" {
+		node = *addr
+	}
+	tel := newTelemetry(node)
 
 	// Parse and dedupe the metric list: the store keys models by unique
 	// (benchmark, metric), so duplicates here would skew every
@@ -192,6 +206,7 @@ func main() {
 		Spec:      spec,
 		Context:   ctx,
 		Log:       logger,
+		Obs:       tel.reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -212,7 +227,7 @@ func main() {
 	logger.Printf("registry ready: %d models (%d trained this boot) in %v",
 		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
 
-	srv := NewServer(ctx, store, *parallel, reqLog)
+	srv := NewServer(ctx, store, *parallel, reqLog, tel)
 
 	// With seeds configured, join their fleets: register now, heartbeat
 	// forever, advertising the live trained-model inventory (for
@@ -260,10 +275,13 @@ func runCoordinator(ctx context.Context, addr string, workers []string, opts coo
 		opts.heartbeat = 5 * time.Second
 	}
 	ttl := missedHeartbeats * opts.heartbeat
+	tel := newTelemetry("coordinator")
 	coord, err := cluster.New(transports, cluster.Options{
 		ShardSize:       opts.shardSize,
 		TargetShardTime: time.Duration(opts.targetShardMS) * time.Millisecond,
 		HeartbeatTTL:    ttl,
+		Obs:             tel.reg,
+		Tracer:          tel.tracer,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -287,7 +305,7 @@ func runCoordinator(ctx context.Context, addr string, workers []string, opts coo
 	} else {
 		logger.Printf("coordinating an empty fleet: waiting for POST /register (TTL %v)", ttl)
 	}
-	serve(ctx, addr, newCoordServer(ctx, coord, ttl, reqLog).Handler(), logger)
+	serve(ctx, addr, newCoordServer(ctx, coord, ttl, reqLog, tel).Handler(), logger)
 }
 
 // serve runs one HTTP listener until the signal context drains it.

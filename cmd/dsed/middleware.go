@@ -10,42 +10,59 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
-// httpStats accumulates per-endpoint request counters. Endpoints are the
-// daemon's known routes; anything else is folded into "other" so a
-// path-scanning client cannot grow the map without bound.
+// httpStats accumulates per-endpoint request counters, backed entirely
+// by the obs registry: the same atomics feed the JSON /v1/metrics
+// snapshot and the Prometheus /v1/metricsz exposition, so the two can
+// never disagree. Endpoints are the daemon's known routes; anything
+// else is folded into "other" so a path-scanning client cannot grow the
+// series set without bound.
 type httpStats struct {
+	reg       *obs.Registry
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 }
 
+// endpointStats holds one endpoint's pre-registered handles. The
+// latency histogram's count doubles as the request total.
 type endpointStats struct {
-	requests int64
-	byStatus map[int]int64
-	totalMS  float64
-	maxMS    float64
+	byStatus map[int]*obs.Counter
+	latency  *obs.Histogram
+	maxMS    *obs.Gauge
 }
 
-func newHTTPStats() *httpStats {
-	return &httpStats{endpoints: make(map[string]*endpointStats)}
+func newHTTPStats(reg *obs.Registry) *httpStats {
+	return &httpStats{reg: reg, endpoints: make(map[string]*endpointStats)}
 }
 
 func (h *httpStats) record(endpoint string, status int, elapsed time.Duration) {
 	ms := float64(elapsed.Microseconds()) / 1000
+	l := obs.Label{Key: "endpoint", Value: endpoint}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	es := h.endpoints[endpoint]
 	if es == nil {
-		es = &endpointStats{byStatus: make(map[int]int64)}
+		es = &endpointStats{
+			byStatus: make(map[int]*obs.Counter),
+			latency: h.reg.Histogram("dsed_http_request_ms",
+				"Request latency by endpoint.", obs.LatencyMSBuckets, l),
+			maxMS: h.reg.Gauge("dsed_http_request_max_ms",
+				"Slowest request seen per endpoint.", l),
+		}
 		h.endpoints[endpoint] = es
 	}
-	es.requests++
-	es.byStatus[status]++
-	es.totalMS += ms
-	if ms > es.maxMS {
-		es.maxMS = ms
+	c := es.byStatus[status]
+	if c == nil {
+		c = h.reg.Counter("dsed_http_requests_total",
+			"Requests by endpoint and status code.",
+			l, obs.Label{Key: "code", Value: strconv.Itoa(status)})
+		es.byStatus[status] = c
 	}
+	h.mu.Unlock()
+	c.Inc()
+	es.latency.Observe(ms)
+	es.maxMS.SetMax(ms)
 }
 
 // endpointMetrics is the wire form of one endpoint's counters.
@@ -65,16 +82,16 @@ func (h *httpStats) snapshot() []endpointMetrics {
 	for ep, es := range h.endpoints {
 		m := endpointMetrics{
 			Endpoint: ep,
-			Requests: es.requests,
+			Requests: es.latency.Count(),
 			ByStatus: make(map[string]int64, len(es.byStatus)),
-			MaxMS:    es.maxMS,
-			TotalMS:  es.totalMS,
+			MaxMS:    es.maxMS.Value(),
+			TotalMS:  es.latency.Sum(),
 		}
-		if es.requests > 0 {
-			m.MeanMS = es.totalMS / float64(es.requests)
+		if m.Requests > 0 {
+			m.MeanMS = m.TotalMS / float64(m.Requests)
 		}
-		for status, n := range es.byStatus {
-			m.ByStatus[strconv.Itoa(status)] = n
+		for status, c := range es.byStatus {
+			m.ByStatus[strconv.Itoa(status)] = c.Value()
 		}
 		out = append(out, m)
 	}
@@ -129,6 +146,11 @@ func instrument(next http.Handler, stats *httpStats, known map[string]bool, logg
 		}
 		w.Header().Set(api.RequestIDHeader, id)
 		ctx := api.WithRequestID(r.Context(), id)
+		// An incoming traceparent (a coordinator dispatching a shard, or
+		// any traced client) parents every span this request opens.
+		if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.ContextWithSpan(ctx, sc)
+		}
 		if logger != nil {
 			// Hand the logger to response writers via the context, so
 			// encode failures deep in a handler reach the request log.
@@ -162,8 +184,11 @@ func endpointLabel(path string, known map[string]bool) string {
 	}
 	if strings.HasPrefix(path, "/v1/jobs/") {
 		pattern := "/v1/jobs/{id}"
-		if strings.HasSuffix(path, "/stream") {
+		switch {
+		case strings.HasSuffix(path, "/stream"):
 			pattern = "/v1/jobs/{id}/stream"
+		case strings.HasSuffix(path, "/trace"):
+			pattern = "/v1/jobs/{id}/trace"
 		}
 		if known[pattern] {
 			return pattern

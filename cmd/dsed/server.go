@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -27,23 +28,42 @@ type Server struct {
 	stats   *httpStats
 	// reqLog receives one structured line per request; nil silences it.
 	reqLog *log.Logger
+	tel    *telemetry
+	// chunk instruments feed the explore engine's allocation-free
+	// ChunkDone hook on every job sweep.
+	chunkMS *obs.Histogram
+	chunkN  *obs.Histogram
 	jobAPI
 }
 
 // NewServer wraps a registry store in the HTTP serving layer. ctx is
 // the daemon's lifetime: when it dies (shutdown signal), every running
-// job is cancelled and settles with a final "canceled" update.
-func NewServer(ctx context.Context, store *registry.Store, workers int, reqLog *log.Logger) *Server {
+// job is cancelled and settles with a final "canceled" update. tel is
+// the daemon's observability plane (nil builds a private one, for
+// tests).
+func NewServer(ctx context.Context, store *registry.Store, workers int, reqLog *log.Logger, tel *telemetry) *Server {
+	if tel == nil {
+		tel = newTelemetry("worker")
+	}
 	return &Server{
 		store:   store,
 		workers: workers,
 		started: time.Now(),
-		stats:   newHTTPStats(),
+		stats:   newHTTPStats(tel.reg),
 		reqLog:  reqLog,
-		jobAPI: jobAPI{jobs: api.NewManager(api.ManagerOptions{
-			ErrorStatus: registryStatus,
-			BaseContext: ctx,
-		})},
+		tel:     tel,
+		chunkMS: tel.reg.Histogram("dsed_explore_chunk_ms",
+			"Evaluation chunk duration on the sweep hot path.", obs.LatencyMSBuckets),
+		chunkN: tel.reg.Histogram("dsed_explore_chunk_designs",
+			"Designs per evaluation chunk.", obs.SizeBuckets),
+		jobAPI: jobAPI{
+			jobs: api.NewManager(api.ManagerOptions{
+				ErrorStatus: registryStatus,
+				BaseContext: ctx,
+				Obs:         tel.reg,
+			}),
+			tel: tel,
+		},
 	}
 }
 
@@ -69,12 +89,15 @@ func (s *Server) Handler() http.Handler {
 	reg("/v1/healthz", negotiated(s.handleHealthz))
 	reg("/v1/benchmarks", negotiated(s.handleBenchmarks))
 	reg("/v1/metrics", negotiated(s.handleMetrics))
+	reg("/v1/metricsz", s.tel.handleMetricsz)
 	reg("/v1/predict", negotiated(s.handlePredict))
 	reg("/v1/warm", negotiated(s.handleWarm))
 	reg("/v1/sweeps", negotiated(s.handleSweepSubmit))
 	reg("/v1/pareto", negotiated(s.handleParetoSubmit))
+	reg("/v1/jobs", negotiated(s.handleJobs))
 	reg("/v1/jobs/{id}", negotiated(s.handleJob))
 	reg("/v1/jobs/{id}/stream", s.handleJobStream)
+	reg("/v1/jobs/{id}/trace", negotiated(s.tel.handleJobTrace))
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, r, http.StatusNotFound, "no such /v1 route %q", r.URL.Path)
 	})

@@ -76,7 +76,7 @@ func testServer(t *testing.T) *Server {
 		if err == nil {
 			_, err = store.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI)
 		}
-		testSrv, testSrvErr = NewServer(context.Background(), store, 0, nil), err
+		testSrv, testSrvErr = NewServer(context.Background(), store, 0, nil, nil), err
 	})
 	if testSrvErr != nil {
 		t.Fatal(testSrvErr)
@@ -523,7 +523,7 @@ func TestWarmStartServesWithoutRetraining(t *testing.T) {
 	if ct.calls.Load() != 1 {
 		t.Fatalf("first boot trained %d times, want 1", ct.calls.Load())
 	}
-	ts1 := httptest.NewServer(NewServer(context.Background(), store1, 0, nil).Handler())
+	ts1 := httptest.NewServer(NewServer(context.Background(), store1, 0, nil, nil).Handler())
 	var first wire.PredictResponse
 	if status := postJSON(t, ts1, "/predict", wire.PredictRequest{
 		Benchmark: "gcc", Metric: "CPI", Config: wire.ConfigSpec{FetchWidth: intp(4)},
@@ -542,7 +542,7 @@ func TestWarmStartServesWithoutRetraining(t *testing.T) {
 	if _, err := store2.LoadOrTrain(context.Background(), "gcc", sim.MetricCPI); err != nil {
 		t.Fatal(err)
 	}
-	ts2 := httptest.NewServer(NewServer(context.Background(), store2, 0, nil).Handler())
+	ts2 := httptest.NewServer(NewServer(context.Background(), store2, 0, nil, nil).Handler())
 	defer ts2.Close()
 	var second wire.PredictResponse
 	if status := postJSON(t, ts2, "/predict", wire.PredictRequest{
@@ -575,7 +575,7 @@ func TestBenchmarksPartialWarmNotTrained(t *testing.T) {
 		t.Fatal(err)
 	}
 	store2 := openTestStore(t, dir, tinyTrainer())
-	ts := httptest.NewServer(NewServer(context.Background(), store2, 0, nil).Handler())
+	ts := httptest.NewServer(NewServer(context.Background(), store2, 0, nil, nil).Handler())
 	defer ts.Close()
 	var body struct {
 		Trained  []string `json:"trained"`
@@ -608,7 +608,7 @@ func TestBenchmarksPartialWarmNotTrained(t *testing.T) {
 func TestOnDemandTrainingExactlyOnce(t *testing.T) {
 	ct := &countTrainer{Trainer: tinyTrainer()}
 	store := openTestStore(t, "", ct)
-	ts := httptest.NewServer(NewServer(context.Background(), store, 0, nil).Handler())
+	ts := httptest.NewServer(NewServer(context.Background(), store, 0, nil, nil).Handler())
 	defer ts.Close()
 
 	// Malformed requests for an untrained benchmark must be rejected

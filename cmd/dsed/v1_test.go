@@ -182,7 +182,7 @@ func TestV1JobCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	c := testClient(coordTS.URL)
@@ -360,7 +360,7 @@ func TestQueueDepthHeartbeat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil).Handler())
+	coordTS := httptest.NewServer(newCoordServer(context.Background(), coord, 15*time.Second, nil, nil).Handler())
 	t.Cleanup(coordTS.Close)
 
 	c := testClient(coordTS.URL)

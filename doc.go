@@ -210,6 +210,64 @@
 // spilled elsewhere), so an operator can tell a dead machine from a bad
 // client from a saturated fleet.
 //
+// # Observability
+//
+// internal/obs is the fleet's stdlib-only observability layer: a metrics
+// registry (atomic counters, gauges, fixed-bucket histograms) whose
+// record path is allocation-free — handles are pre-registered once,
+// Inc/Set/Observe touch only atomics, so instrumenting the sweep hot
+// path keeps its zero-allocations-per-design invariant — plus trace
+// spans threaded over the existing request-ID plumbing.
+//
+// Metric names follow Prometheus conventions under one dsed_ prefix:
+// dsed_<subsystem>_<what>[_total] with snake_case label keys (worker,
+// benchmark, endpoint, code, state, event, result). Durations are
+// histograms in milliseconds (suffix _ms) over obs.LatencyMSBuckets,
+// sixteen buckets from 0.1ms to 10s; size distributions (merge
+// candidates, chunk designs) use the power-of-two obs.SizeBuckets. The
+// series cover every seam of the fleet: per-worker shard dispatch
+// latency and the three-column fault taxonomy
+// (dsed_cluster_worker_failures_total / _rejections_total /
+// _busy_total — the same numbers /v1/healthz reports, from the same
+// counters), shard retries and membership churn
+// (dsed_cluster_membership_events_total{event=join|rejoin|leave|evict}),
+// registry training/load/warm timings and cache hit ratios
+// (dsed_registry_train_ms{benchmark}, dsed_registry_cache_total{result}),
+// job lifecycle and stream health (dsed_jobs_running,
+// dsed_jobs_finished_total{state}, dsed_jobs_stream_dropped_total),
+// sweep chunk timings (dsed_explore_chunk_ms), and per-endpoint HTTP
+// accounting (dsed_http_requests_total{endpoint,code}) — backed by the
+// same registry as the JSON /v1/metrics snapshot, so the two surfaces
+// cannot disagree. Scrape either tier in Prometheus text format:
+//
+//	curl -s localhost:8090/v1/metricsz
+//
+// Traces answer "where did this job spend its time" across machines.
+// A coordinator job opens a root span; each shard attempt opens a
+// dispatch child whose context rides the HTTP hop as a W3C-shaped
+// traceparent header (plus the request ID); the worker parents its own
+// job span under it, brackets the train/encode/predict/merge phases
+// with child spans, and ships its spans back inside the final job
+// update. The coordinator splices them into its ring-buffered trace
+// store (the most recent 256 traces), so one GET returns the assembled
+// cross-node tree once the job is done:
+//
+//	curl -s localhost:8090/v1/jobs/$job/trace
+//
+// The response is {job_id, trace_id, spans, tree}: nested spans with
+// name, node (which daemon recorded it), start, duration and
+// annotations (benchmark, job_id, request_id, worker, verdict).
+// `dse -daemon` prints the same tree after its final answer as
+// "trace:"-prefixed lines. GET /v1/jobs lists the job table (filter
+// with ?state=, ?benchmark=, ?kind=, page with ?limit=).
+//
+// For deeper digging both daemon modes take -debug-addr, a second
+// listener (never exposed by default) serving net/http/pprof:
+//
+//	go run ./cmd/dsed -addr :8090 -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	curl -s 'localhost:6060/debug/pprof/goroutine?debug=1'
+//
 // # Performance
 //
 // The sweep hot path — millions of Predict calls per exploration — is

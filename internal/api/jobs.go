@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -71,6 +72,10 @@ type Update struct {
 	Final     bool    `json:"final,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 	Error     *Error  `json:"error,omitempty"`
+	// Spans carries the job's finished trace spans on the Final update of
+	// a worker job, so a coordinator that dispatched the job as a shard
+	// can splice them into its own trace tree.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // JobStatus answers GET /v1/jobs/{id}.
@@ -106,6 +111,9 @@ type Publisher interface {
 	// Streaming reports whether any stream subscriber is attached right
 	// now (it can flip either way mid-job).
 	Streaming() bool
+	// JobID names the job being published to — runners use it to tag
+	// trace spans and bind them in the trace store.
+	JobID() string
 }
 
 // RunFunc computes one job: it publishes cumulative snapshots through pub
@@ -134,6 +142,10 @@ type ManagerOptions struct {
 	ErrorStatus func(error) int
 	// Clock overrides time.Now in tests.
 	Clock func() time.Time
+	// Obs, when set, receives job subsystem metrics: running jobs,
+	// finished jobs by state, and stream subscriber lag (coalesced
+	// updates dropped on slow subscribers).
+	Obs *obs.Registry
 }
 
 // ErrTooManyJobs rejects submissions while MaxRunning jobs are in flight.
@@ -145,6 +157,12 @@ var ErrUnknownJob = errors.New("api: unknown job")
 // Manager owns the job table: submission, lookup, cancellation, retention.
 type Manager struct {
 	opts ManagerOptions
+
+	// Metric handles are nil (and discard) when ManagerOptions.Obs is.
+	mRunning     *obs.Gauge
+	mFinished    map[JobState]*obs.Counter
+	mDropped     *obs.Counter
+	mSubscribers *obs.Gauge
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -174,7 +192,17 @@ func NewManager(opts ManagerOptions) *Manager {
 		//dsedlint:ignore ctxflow jobs outlive their submitting request by design; BaseContext is the detachment seam and callers override it
 		opts.BaseContext = context.Background()
 	}
-	return &Manager{opts: opts, jobs: make(map[string]*Job)}
+	m := &Manager{opts: opts, jobs: make(map[string]*Job)}
+	m.mRunning = opts.Obs.Gauge("dsed_jobs_running", "Jobs currently in the running state.")
+	m.mDropped = opts.Obs.Counter("dsed_jobs_stream_dropped_total",
+		"Intermediate updates coalesced away because a stream subscriber lagged.")
+	m.mSubscribers = opts.Obs.Gauge("dsed_jobs_stream_subscribers", "Attached job stream subscribers.")
+	m.mFinished = make(map[JobState]*obs.Counter, 3)
+	for _, st := range []JobState{StateDone, StateFailed, StateCanceled} {
+		m.mFinished[st] = opts.Obs.Counter("dsed_jobs_finished_total",
+			"Jobs settled, by terminal state.", obs.Label{Key: "state", Value: string(st)})
+	}
+	return m
 }
 
 // Job is one asynchronous exploration: its identity, live progress, the
@@ -184,10 +212,12 @@ type Job struct {
 	Kind      JobKind
 	Benchmark string
 
-	created time.Time
-	clock   func() time.Time
-	cancel  context.CancelFunc
-	done    chan struct{}
+	created   time.Time
+	clock     func() time.Time
+	cancel    context.CancelFunc
+	done      chan struct{}
+	dropped   *obs.Counter
+	subsGauge *obs.Gauge
 	// counted jobs occupy a MaxRunning admission slot; unbounded (legacy
 	// shim) jobs do not, so shim traffic cannot starve /v1 submissions.
 	counted bool
@@ -244,6 +274,8 @@ func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc
 		created:   now,
 		clock:     m.opts.Clock,
 		done:      make(chan struct{}),
+		dropped:   m.mDropped,
+		subsGauge: m.mSubscribers,
 		state:     StateRunning,
 		designs:   designs,
 		subs:      make(map[int]chan Update),
@@ -257,6 +289,7 @@ func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc
 		m.running++
 	}
 	m.mu.Unlock()
+	m.mRunning.Add(1)
 
 	go func() {
 		defer cancel()
@@ -309,10 +342,13 @@ func (m *Manager) finish(job *Job, result any, final Update, err error) {
 	for id, ch := range job.subs {
 		close(ch)
 		delete(job.subs, id)
+		job.subsGauge.Add(-1)
 	}
 	close(job.done)
 	job.mu.Unlock()
 
+	m.mRunning.Add(-1)
+	m.mFinished[state].Inc()
 	if job.counted {
 		m.mu.Lock()
 		m.running--
@@ -395,6 +431,66 @@ func (m *Manager) RunningByBenchmark() map[string]int {
 		job.mu.Unlock()
 	}
 	return depths
+}
+
+// ListFilter narrows GET /v1/jobs. Zero fields match everything.
+type ListFilter struct {
+	// State keeps only jobs in this lifecycle phase.
+	State JobState
+	// Benchmark keeps only jobs over this benchmark.
+	Benchmark string
+	// Kind keeps only sweep or pareto jobs.
+	Kind JobKind
+	// Limit bounds the page (default 50, hard cap 500).
+	Limit int
+}
+
+// listLimits bound the GET /v1/jobs page size.
+const (
+	DefaultListLimit = 50
+	MaxListLimit     = 500
+)
+
+// List snapshots jobs matching the filter, newest first, without
+// results (results stay behind GET /v1/jobs/{id}).
+func (m *Manager) List(f ListFilter) []JobStatus {
+	limit := f.Limit
+	if limit <= 0 {
+		limit = DefaultListLimit
+	}
+	if limit > MaxListLimit {
+		limit = MaxListLimit
+	}
+	m.mu.Lock()
+	m.evictLocked()
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	jobs := make([]*Job, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- { // newest first
+		if job, ok := m.jobs[ids[i]]; ok {
+			jobs = append(jobs, job)
+		}
+	}
+	m.mu.Unlock()
+
+	out := make([]JobStatus, 0, min(limit, len(jobs)))
+	for _, job := range jobs {
+		if len(out) >= limit {
+			break
+		}
+		if f.Kind != "" && job.Kind != f.Kind {
+			continue
+		}
+		if f.Benchmark != "" && job.Benchmark != f.Benchmark {
+			continue
+		}
+		st := job.Status(false)
+		if f.State != "" && st.State != f.State {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // evictLocked drops finished jobs past retention, and — beyond the stored
@@ -490,6 +586,7 @@ func (j *Job) publishLocked(u Update) {
 			// Slow subscriber: drop its oldest pending update and offer
 			// the newest again — snapshots are cumulative, so skipping
 			// intermediates loses nothing.
+			j.dropped.Inc()
 			select {
 			case <-ch:
 			default:
@@ -520,15 +617,20 @@ func (j *Job) Subscribe() (<-chan Update, func()) {
 	id := j.nextSub
 	j.nextSub++
 	j.subs[id] = ch
+	j.subsGauge.Add(1)
 	return ch, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[id]; ok {
 			delete(j.subs, id)
 			close(ch)
+			j.subsGauge.Add(-1)
 		}
 	}
 }
+
+// JobID implements Publisher.
+func (j *Job) JobID() string { return j.ID }
 
 // Done closes when the job settles.
 func (j *Job) Done() <-chan struct{} { return j.done }

@@ -34,11 +34,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/space"
 )
 
@@ -84,6 +86,15 @@ type Options struct {
 	// before affinity scheduling spills to the ring; a worker's
 	// advertised capacity overrides it (default 4).
 	WorkerCapacity int
+	// Obs, when set, receives coordinator metrics: per-worker shard
+	// latency histograms and the three-column fault taxonomy, merge
+	// sizes, membership churn. Nil disables metric recording.
+	Obs *obs.Registry
+	// Tracer, when set, opens a dispatch span per shard attempt,
+	// propagates its context to the worker over the transport, and
+	// splices the worker's returned spans into the trace. Nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // maxShardSize caps shard sizes, configured or adaptive: a pinned design
@@ -120,7 +131,9 @@ func (o Options) withDefaults() Options {
 
 // Coordinator partitions sweeps across a live worker fleet.
 type Coordinator struct {
-	opts Options
+	opts    Options
+	metrics *clusterMetrics
+	tracer  *obs.Tracer
 	// clock overrides time.Now in tests (nil in production).
 	clock func() time.Time
 
@@ -142,6 +155,8 @@ func New(workers []Transport, opts Options) (*Coordinator, error) {
 	opts = opts.withDefaults()
 	c := &Coordinator{
 		opts:       opts,
+		metrics:    newClusterMetrics(opts.Obs),
+		tracer:     opts.Tracer,
 		members:    make(map[string]*member),
 		ring:       newRing(opts.VirtualNodes),
 		failures:   make(map[string]int),
@@ -161,9 +176,11 @@ func New(workers []Transport, opts Options) (*Coordinator, error) {
 			capacity:  opts.WorkerCapacity,
 			joined:    now,
 			lastSeen:  now,
+			inst:      c.metrics.worker(name),
 		}
 		c.ring.add(name)
 	}
+	c.metrics.membersGauge.Set(float64(len(c.members)))
 	return c, nil
 }
 
@@ -236,6 +253,7 @@ func (c *Coordinator) ParetoObserved(ctx context.Context, q Query, designs []spa
 		for _, ic := range p.Candidates {
 			part.Collect(ic.Index, ic.Candidate)
 		}
+		c.metrics.mergeSize.Observe(float64(len(p.Candidates)))
 		mu.Lock()
 		defer mu.Unlock()
 		evaluated += p.Evaluated
@@ -287,6 +305,7 @@ func (c *Coordinator) SweepObserved(ctx context.Context, q Query, designs []spac
 		for _, ic := range p.Candidates {
 			part.Collect(ic.Index, ic.Candidate)
 		}
+		c.metrics.mergeSize.Observe(float64(len(p.Candidates)))
 		mu.Lock()
 		defer mu.Unlock()
 		// The partial's counters cover the whole shard; the rebuilt
@@ -456,8 +475,14 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 		}
 		attempts++
 		attemptCtx, done := context.WithTimeout(ctx, c.opts.ShardTimeout)
+		// The dispatch span's context rides the transport as a traceparent
+		// header, so the worker's own job spans land under this one.
+		spanCtx, span := c.tracer.Start(attemptCtx, "dispatch")
+		span.SetAttr("worker", m.name)
+		span.SetAttr("shard_start", strconv.Itoa(s.Start))
+		span.SetAttr("designs", strconv.Itoa(len(s.Designs)))
 		start := c.now()
-		p, err := call(m.transport, attemptCtx, q, s)
+		p, err := call(m.transport, spanCtx, q, s)
 		done()
 		if err == nil && p.Evaluated != len(s.Designs) {
 			// A short count means the worker silently dropped designs;
@@ -465,10 +490,16 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", m.name, p.Evaluated, len(s.Designs))
 		}
 		if err == nil {
+			span.SetAttr("status", "ok")
+			span.End()
+			c.tracer.Import(p.Spans)
 			c.observe(m, len(s.Designs), c.now().Sub(start))
 			merge(m.name, p)
 			return nil
 		}
+		span.SetAttr("status", verdict(err))
+		span.SetAttr("error", err.Error())
+		span.End()
 		// A deterministic rejection (4xx) is the fleet's verdict on the
 		// request itself: retrying it on other workers — or running the
 		// remaining shards of the same request — would book phantom
@@ -508,6 +539,20 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 	}
 }
 
+// verdict names the fault-taxonomy column an attempt error falls in —
+// the dispatch span's status annotation.
+func verdict(err error) string {
+	var rejected *WorkerRejection
+	if errors.As(err, &rejected) {
+		return "rejected"
+	}
+	var busy *WorkerBusy
+	if errors.As(err, &busy) {
+		return "busy"
+	}
+	return "failed"
+}
+
 // isLive reports whether this exact member record is still in the fleet
 // (same name and same registration — a rejoined worker is a new record).
 func (c *Coordinator) isLive(m *member) bool {
@@ -520,6 +565,8 @@ func (c *Coordinator) isLive(m *member) bool {
 // the attempt latency into its per-design EWMA (the adaptive shard
 // sizer's input).
 func (c *Coordinator) observe(m *member, designs int, elapsed time.Duration) {
+	m.inst.shards.Inc()
+	m.inst.latency.Observe(float64(elapsed.Microseconds()) / 1000)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m.inflight--
@@ -551,6 +598,10 @@ func (c *Coordinator) release(m *member) {
 // noteFailure books a transport failure (and optionally a re-dispatch)
 // against a worker for the lifetime health report, releasing its slot.
 func (c *Coordinator) noteFailure(m *member, redispatched bool) {
+	m.inst.failures.Inc()
+	if redispatched {
+		c.metrics.retries.Inc()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m.inflight--
@@ -564,6 +615,7 @@ func (c *Coordinator) noteFailure(m *member, redispatched bool) {
 // Rejections blame the request, not the worker: they are reported in
 // their own column and never count toward fleet-health failures.
 func (c *Coordinator) noteRejection(m *member) {
+	m.inst.rejections.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m.inflight--
@@ -575,6 +627,10 @@ func (c *Coordinator) noteRejection(m *member) {
 // sick: they count toward the re-dispatch total but never toward the
 // worker's failure column.
 func (c *Coordinator) noteBusy(m *member, redispatched bool) {
+	m.inst.busy.Inc()
+	if redispatched {
+		c.metrics.retries.Inc()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m.inflight--

@@ -101,6 +101,7 @@ func (h *HTTP) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		Evaluated:  resp.Evaluated,
 		Feasible:   resp.Evaluated,
 		Candidates: fromWire(resp.Frontier, s.Start),
+		Spans:      resp.Spans,
 	}, nil
 }
 
@@ -126,6 +127,7 @@ func (h *HTTP) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		Evaluated:  resp.Evaluated,
 		Feasible:   resp.Feasible,
 		Candidates: fromWire(resp.Candidates, s.Start),
+		Spans:      resp.Spans,
 	}, nil
 }
 

@@ -64,6 +64,9 @@ type member struct {
 	// worker's next shard size from it.
 	ewmaPerDesignMS float64
 	shardsDone      int
+	// inst holds the worker's pre-registered metric handles (latency
+	// histogram, fault taxonomy), created on fleet entry.
+	inst workerInstruments
 }
 
 // MemberStatus is one member's row in membership reports (/healthz).
@@ -112,6 +115,7 @@ func (c *Coordinator) Join(t Transport, info MemberInfo) (bool, error) {
 		if info.Capacity > 0 {
 			m.capacity = info.Capacity
 		}
+		c.metrics.event("rejoin")
 		return false, nil
 	}
 	c.members[name] = &member{
@@ -122,8 +126,11 @@ func (c *Coordinator) Join(t Transport, info MemberInfo) (bool, error) {
 		lastSeen:    now,
 		benchmarks:  benchmarkSet(info.Benchmarks),
 		queueDepths: info.QueueDepths,
+		inst:        c.metrics.worker(name),
 	}
 	c.ring.add(name)
+	c.metrics.event("join")
+	c.metrics.membersGauge.Set(float64(len(c.members)))
 	return true, nil
 }
 
@@ -159,6 +166,8 @@ func (c *Coordinator) Leave(name string) bool {
 	}
 	delete(c.members, name)
 	c.ring.remove(name)
+	c.metrics.event("leave")
+	c.metrics.membersGauge.Set(float64(len(c.members)))
 	return true
 }
 
@@ -176,8 +185,10 @@ func (c *Coordinator) evictExpiredLocked(now time.Time) {
 		if now.Sub(m.lastSeen) > c.opts.HeartbeatTTL {
 			delete(c.members, name)
 			c.ring.remove(name)
+			c.metrics.event("evict")
 		}
 	}
+	c.metrics.membersGauge.Set(float64(len(c.members)))
 }
 
 // EvictExpired sweeps expired leases now (the serving layer's periodic

@@ -1,0 +1,63 @@
+package cluster
+
+import "repro/internal/obs"
+
+// clusterMetrics holds the coordinator's pre-registered obs handles.
+// Built over a nil registry every handle is nil and discards, so the
+// record sites need no conditionals.
+type clusterMetrics struct {
+	reg          *obs.Registry
+	membersGauge *obs.Gauge
+	retries      *obs.Counter
+	mergeSize    *obs.Histogram
+	churn        map[string]*obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{reg: reg}
+	m.membersGauge = reg.Gauge("dsed_cluster_members", "Live fleet members.")
+	m.retries = reg.Counter("dsed_cluster_shard_retries_total",
+		"Shard attempts that failed or spilled and were re-dispatched to another worker.")
+	m.mergeSize = reg.Histogram("dsed_cluster_merge_candidates",
+		"Candidates carried by each merged shard partial.", obs.SizeBuckets)
+	m.churn = make(map[string]*obs.Counter, 4)
+	for _, ev := range []string{"join", "rejoin", "leave", "evict"} {
+		m.churn[ev] = reg.Counter("dsed_cluster_membership_events_total",
+			"Membership churn events, by kind.", obs.Label{Key: "event", Value: ev})
+	}
+	return m
+}
+
+func (m *clusterMetrics) event(kind string) {
+	m.churn[kind].Inc()
+}
+
+// workerInstruments are one worker's per-name series — the scrapeable
+// form of the /healthz fault taxonomy plus the shard latency signal
+// straggler hedging will feed on. They are created when the worker
+// enters the fleet, so every series exists (at zero) before its first
+// shard or fault, and they outlive eviction: the taxonomy counts the
+// coordinator's lifetime, exactly like the /healthz columns.
+type workerInstruments struct {
+	latency    *obs.Histogram
+	shards     *obs.Counter
+	failures   *obs.Counter
+	rejections *obs.Counter
+	busy       *obs.Counter
+}
+
+func (m *clusterMetrics) worker(name string) workerInstruments {
+	l := obs.Label{Key: "worker", Value: name}
+	return workerInstruments{
+		latency: m.reg.Histogram("dsed_cluster_shard_latency_ms",
+			"Completed shard round-trip latency, per worker.", obs.LatencyMSBuckets, l),
+		shards: m.reg.Counter("dsed_cluster_shards_total",
+			"Shards completed, per worker.", l),
+		failures: m.reg.Counter("dsed_cluster_worker_failures_total",
+			"Transport faults and timeouts booked against the worker.", l),
+		rejections: m.reg.Counter("dsed_cluster_worker_rejections_total",
+			"The worker's deterministic 4xx verdicts (blame the request, not the worker).", l),
+		busy: m.reg.Counter("dsed_cluster_worker_busy_total",
+			"The worker's retryable at-capacity verdicts (load, not sickness).", l),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/space"
 	"repro/internal/wire"
 )
@@ -42,6 +43,10 @@ type Partial struct {
 	// Candidates is the shard's frontier (Pareto) or its best-first
 	// top K (Sweep).
 	Candidates []IndexedCandidate
+	// Spans carries the worker's trace spans for the shard (nil from
+	// transports that do not trace); the coordinator imports them into
+	// its own trace store so a job's tree spans the whole fleet.
+	Spans []obs.Span
 }
 
 // IndexedCandidate tags a candidate with a global, transport-independent

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -96,6 +97,12 @@ type Options struct {
 	// out of order; consumers wanting a monotone gauge keep the maximum.
 	// It must be cheap — it sits on the evaluation hot path.
 	Progress func(completed int)
+	// ChunkDone, when set, receives each finished chunk's design count
+	// and wall time — the per-chunk latency signal observability layers
+	// feed into histograms. Like Progress it is called concurrently from
+	// worker goroutines and must be cheap and allocation-free; when nil
+	// the engine does not even read the clock.
+	ChunkDone func(designs int, elapsed time.Duration)
 }
 
 func (o Options) workers() int {
@@ -302,6 +309,10 @@ func evalChunks(ctx context.Context, designs []space.Config, models []core.Dynam
 				if end > n {
 					end = n
 				}
+				var t0 time.Time
+				if opts.ChunkDone != nil {
+					t0 = time.Now()
+				}
 				for i := start; i < end; i++ {
 					j := i - start
 					s := scores[j*nm : (j+1)*nm : (j+1)*nm]
@@ -329,6 +340,9 @@ func evalChunks(ctx context.Context, designs []space.Config, models []core.Dynam
 					}
 				}
 				emit(start, scores[:(end-start)*nm])
+				if opts.ChunkDone != nil {
+					opts.ChunkDone(end-start, time.Since(t0))
+				}
 				if opts.Progress != nil {
 					opts.Progress(int(completed.Add(int64(end - start))))
 				}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/space"
 )
 
@@ -113,6 +115,49 @@ func TestSweepSteadyStateAllocs(t *testing.T) {
 	})
 	if perDesign := allocs / n; perDesign > 0.01 {
 		t.Errorf("streaming sweep allocates %.4f/design (%.0f total), want ≤0.01", perDesign, allocs)
+	}
+}
+
+// TestInstrumentedSweepSteadyStateAllocs re-proves the zero-alloc
+// contract with the observability hooks attached the way cmd/dsed
+// attaches them: a Progress gauge and a ChunkDone observer feeding
+// pre-registered obs histograms. Instrumentation must not buy its
+// latency signal with per-design garbage.
+func TestInstrumentedSweepSteadyStateAllocs(t *testing.T) {
+	models := trainedModels(t)
+	objectives := []Objective{MeanObjective("cpi"), WorstCaseObjective("cpi_peak")}
+	rng := mathx.NewRNG(43)
+	const n = 8192
+	designs := space.Random(n, space.TestLevels(), space.Baseline(), rng)
+	ctx := context.Background()
+
+	reg := obs.NewRegistry(nil)
+	chunkMS := reg.Histogram("dsed_explore_chunk_ms", "", obs.LatencyMSBuckets)
+	chunkN := reg.Histogram("dsed_explore_chunk_designs", "", obs.SizeBuckets)
+	progress := reg.Gauge("dsed_explore_evaluated", "")
+	opts := Options{
+		Workers:  1,
+		Progress: func(completed int) { progress.SetMax(float64(completed)) },
+		ChunkDone: func(designs int, elapsed time.Duration) {
+			chunkN.Observe(float64(designs))
+			chunkMS.Observe(float64(elapsed.Microseconds()) / 1000)
+		},
+	}
+
+	allocs := testing.AllocsPerRun(3, func() {
+		top := NewTopK(8, 0, nil)
+		if err := SweepStream(ctx, designs, models, objectives, opts, top); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perDesign := allocs / n; perDesign > 0.01 {
+		t.Errorf("instrumented sweep allocates %.4f/design (%.0f total), want ≤0.01", perDesign, allocs)
+	}
+	if chunkMS.Count() == 0 || chunkN.Count() == 0 {
+		t.Errorf("chunk observer never fired")
+	}
+	if got := progress.Value(); got != n {
+		t.Errorf("progress gauge = %v, want %d", got, n)
 	}
 }
 

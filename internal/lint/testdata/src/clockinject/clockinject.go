@@ -53,3 +53,27 @@ func (s *sched) suppressed() time.Time {
 	//dsedlint:ignore clockinject fixture proving the suppression directive works
 	return time.Now()
 }
+
+// --- the tracer wiring idiom (internal/obs): a constructor defaults a
+// nil clock parameter to time.Now by value assignment, stores it, and
+// every timestamp flows through the stored field. No raw calls, so the
+// whole block must stay silent.
+
+type tracer struct {
+	clock func() time.Time
+}
+
+func newTracer(clock func() time.Time) *tracer {
+	if clock == nil {
+		clock = time.Now // value assignment, not a call: the legal default
+	}
+	return &tracer{clock: clock}
+}
+
+func (t *tracer) stamp() int64 {
+	return t.clock().UnixNano()
+}
+
+func (t *tracer) elapsedMS(start time.Time) float64 {
+	return float64(t.clock().Sub(start).Microseconds()) / 1000
+}

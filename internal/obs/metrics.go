@@ -1,0 +1,349 @@
+// Package obs is the fleet's stdlib-only observability layer: a metrics
+// registry (atomic counters, gauges, fixed-bucket histograms) with
+// Prometheus text exposition, and trace spans that ride the existing
+// request-ID plumbing across coordinator → worker HTTP hops.
+//
+// The record path — Counter.Add, Gauge.Set, Histogram.Observe — is
+// allocation-free and lock-free so instruments can sit next to the
+// zero-alloc sweep hot path. Registration (Registry.Counter and
+// friends) takes a mutex and may allocate; callers on hot paths
+// register once and keep the handle.
+//
+// Every metric method is nil-receiver safe, and a nil *Registry hands
+// out nil handles, so instrumentation threads through constructors as
+// an optional dependency without nil checks at every record site.
+//
+// Time is injected: the registry and tracer take a clock so packages
+// using obs stay deterministic under test (and clockinject-clean).
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension. Values should be low-cardinality
+// (worker names, endpoint labels, states) — every distinct label set
+// is a live series in memory and in the exposition.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// LatencyMSBuckets is the standard latency histogram layout, in
+// milliseconds: sub-millisecond model-serving latencies through
+// multi-second shard round trips.
+var LatencyMSBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// SizeBuckets is the standard size histogram layout (counts: designs
+// per chunk, candidates per merge, spans per trace).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// Counter is a monotonically increasing series. The zero value is
+// ready; a nil Counter discards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that goes up and down. The zero value reads 0; a
+// nil Gauge discards.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — a monotone
+// high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is lock- and allocation-free. A nil Histogram discards.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count is the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum is the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Snapshot returns per-bucket counts (aligned with Bounds, plus a
+// final +Inf bucket) and the running sum.
+func (h *Histogram) Snapshot() (counts []int64, sum float64) {
+	if h == nil {
+		return nil, 0
+	}
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.Sum()
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+type series struct {
+	labels string // rendered `k="v",k2="v2"`, or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type metricFamily struct {
+	name   string
+	help   string
+	kind   string
+	series []*series
+	index  map[string]int // rendered labels -> series
+}
+
+// Registry holds metric families and hands out record handles.
+// A nil *Registry hands out nil handles, which discard.
+type Registry struct {
+	clock func() time.Time
+
+	mu       sync.Mutex
+	families map[string]*metricFamily
+	names    []string // sorted family names
+}
+
+// NewRegistry builds a registry. clock overrides time.Now (nil means
+// wall clock) — it is exposed via Now for callers timing work against
+// the same clock their metrics are scraped under.
+func NewRegistry(clock func() time.Time) *Registry {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{clock: clock, families: make(map[string]*metricFamily)}
+}
+
+// Now reads the registry's injected clock.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.clock()
+}
+
+// Counter returns the counter series name{labels}, registering it on
+// first use. Help is retained from the first registration.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, kindCounter, labels, nil)
+	return s.c
+}
+
+// Gauge returns the gauge series name{labels}, registering it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, kindGauge, labels, nil)
+	return s.g
+}
+
+// Histogram returns the histogram series name{labels}, registering it
+// on first use with the given bucket bounds (ignored for an existing
+// series — a family's layout is fixed by its first registration).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(name, help, kindHistogram, labels, bounds)
+	return s.h
+}
+
+func (r *Registry) seriesFor(name, help, kind string, labels []Label, bounds []float64) *series {
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &metricFamily{name: name, help: help, kind: kind, index: make(map[string]int)}
+		r.families[name] = fam
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	if fam.kind != kind {
+		panic("obs: metric " + name + " registered as " + fam.kind + ", requested as " + kind)
+	}
+	if i, ok := fam.index[rendered]; ok {
+		return fam.series[i]
+	}
+	s := &series{labels: rendered}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		if len(bounds) == 0 {
+			bounds = LatencyMSBuckets
+		}
+		s.h = newHistogram(bounds)
+	}
+	fam.index[rendered] = len(fam.series)
+	fam.series = append(fam.series, s)
+	return s
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("dsed_test_total", "a counter", Label{"k", "v"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("dsed_test_total", "", Label{"k", "v"}); again != c {
+		t.Fatalf("re-registration returned a different handle")
+	}
+	other := r.Counter("dsed_test_total", "", Label{"k", "w"})
+	if other == c {
+		t.Fatalf("distinct label sets share a handle")
+	}
+
+	g := r.Gauge("dsed_test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetMax(1.0)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %v, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("dsed_test_ms", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	counts, sum := h.Snapshot()
+	want := []int64{2, 1, 1, 1} // le=1: {0.5, 1}; le=10: {5}; le=100: {50}; +Inf: {500}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if sum != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", sum)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil metrics retained values")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry exposition: %v", err)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	base := time.Unix(1000, 0)
+	r := NewRegistry(func() time.Time { return base })
+	r.Counter("dsed_b_total", "b counter", Label{"worker", `w"1`}).Add(7)
+	r.Gauge("dsed_a_gauge", "a gauge").Set(2.5)
+	h := r.Histogram("dsed_c_ms", "c latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP dsed_a_gauge a gauge\n# TYPE dsed_a_gauge gauge\ndsed_a_gauge 2.5\n",
+		"# TYPE dsed_b_total counter\ndsed_b_total{worker=\"w\\\"1\"} 7\n",
+		"dsed_c_ms_bucket{le=\"1\"} 1\n",
+		"dsed_c_ms_bucket{le=\"10\"} 1\n",
+		"dsed_c_ms_bucket{le=\"+Inf\"} 2\n",
+		"dsed_c_ms_sum 99.5\n",
+		"dsed_c_ms_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(out, "dsed_a_gauge") > strings.Index(out, "dsed_b_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	// Every sample line must be "name[{labels}] value" — two fields.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	if !r.Now().Equal(base) {
+		t.Fatalf("registry clock not injected")
+	}
+}
+
+// The record path must be allocation-free: these handles sit on the
+// sweep hot path next to the PR 7 zero-alloc invariant.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("dsed_hot_total", "")
+	g := r.Gauge("dsed_hot_gauge", "")
+	h := r.Histogram("dsed_hot_ms", "", LatencyMSBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		g.SetMax(4)
+		h.Observe(17.3)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("dsed_conc_total", "")
+			h := r.Histogram("dsed_conc_ms", "", []float64{1, 2})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("dsed_conc_total", "").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("dsed_conc_ms", "", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition written by
+// WritePrometheus — the Prometheus text format, version 0.0.4.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, families in name order, series in registration
+// order. Histograms expose cumulative _bucket series with le labels
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	fams := make([]*metricFamily, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		// Series sets only grow, and the slice header is replaced on
+		// append, so reading it outside r.mu needs a fresh copy length.
+		r.mu.Lock()
+		ss := fam.series[:len(fam.series):len(fam.series)]
+		r.mu.Unlock()
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, strings.ReplaceAll(fam.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, s := range ss {
+			switch fam.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, wrapLabels(s.labels), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, wrapLabels(s.labels), formatValue(s.g.Value()))
+			case kindHistogram:
+				counts, sum := s.h.Snapshot()
+				cum := int64(0)
+				for i, n := range counts {
+					cum += n
+					le := "+Inf"
+					if i < len(s.h.bounds) {
+						le = formatValue(s.h.bounds[i])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, wrapLabels(joinLabels(s.labels, `le="`+le+`"`)), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, wrapLabels(s.labels), formatValue(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, wrapLabels(s.labels), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func wrapLabels(rendered string) string {
+	if rendered == "" {
+		return ""
+	}
+	return "{" + rendered + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -84,9 +84,11 @@ func (s *Store) warmStart() {
 		s.clearStale(&mf)
 		return
 	}
-	start := time.Now()
+	start := s.now()
 	for _, e := range mf.Models {
+		t0 := s.now()
 		err := s.warmLoad(e)
+		s.mLoadMS.Observe(float64(s.now().Sub(t0).Microseconds()) / 1000)
 		switch {
 		case err == nil:
 		case errors.Is(err, errKeep):
@@ -105,7 +107,7 @@ func (s *Store) warmStart() {
 	}
 	if n := len(s.models); n > 0 {
 		s.logf("registry: warm-started %d of %d models from %s in %v",
-			n, len(mf.Models), s.cfg.Dir, time.Since(start).Round(time.Millisecond))
+			n, len(mf.Models), s.cfg.Dir, s.now().Sub(start).Round(time.Millisecond))
 	}
 }
 

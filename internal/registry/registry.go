@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -99,6 +100,12 @@ type Config struct {
 	Context context.Context
 	// Log receives progress and warm-start diagnostics; nil silences them.
 	Log *log.Logger
+	// Clock overrides the store's time source (nil = wall clock). Manifest
+	// provenance stamps and every recorded timing flow through it.
+	Clock func() time.Time
+	// Obs receives the store's metrics — training and warm-start timings,
+	// cache hit ratio, training failures. Nil disables recording.
+	Obs *obs.Registry
 }
 
 // Sentinel errors a serving layer can map to "not found".
@@ -152,6 +159,14 @@ type Store struct {
 	// could not even be read: rewriting it blind would orphan whatever
 	// models it references. Set only during Open, before sharing.
 	noPersist bool
+
+	// Pre-registered obs handles; all nil (and discarding) when no
+	// Config.Obs is wired.
+	mCacheHit  *obs.Counter
+	mCacheMiss *obs.Counter
+	mTrainFail *obs.Counter
+	mLoadMS    *obs.Histogram
+	mWarmMS    *obs.Histogram
 }
 
 // Open validates the configuration, prepares the model directory when one
@@ -183,6 +198,16 @@ func Open(cfg Config) (*Store, error) {
 		inflight:  make(map[string]*training),
 		persisted: make(map[string]manifestEntry),
 	}
+	s.mCacheHit = cfg.Obs.Counter("dsed_registry_cache_total",
+		"Model cache lookups, by result.", obs.Label{Key: "result", Value: "hit"})
+	s.mCacheMiss = cfg.Obs.Counter("dsed_registry_cache_total",
+		"Model cache lookups, by result.", obs.Label{Key: "result", Value: "miss"})
+	s.mTrainFail = cfg.Obs.Counter("dsed_registry_train_failures_total",
+		"Benchmark training runs that ended in error.")
+	s.mLoadMS = cfg.Obs.Histogram("dsed_registry_load_ms",
+		"Per-model warm-start load latency from disk.", obs.LatencyMSBuckets)
+	s.mWarmMS = cfg.Obs.Histogram("dsed_registry_warm_ms",
+		"Warm call duration (whole benchmark list).", obs.LatencyMSBuckets)
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("registry: %w", err)
@@ -202,8 +227,13 @@ func (s *Store) logf(format string, args ...any) {
 // memory. It never trains.
 func (s *Store) Get(benchmark string, m sim.Metric) (*core.Predictor, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.models[Key{benchmark, m}]
+	s.mu.Unlock()
+	if ok {
+		s.mCacheHit.Inc()
+	} else {
+		s.mCacheMiss.Inc()
+	}
 	return p, ok
 }
 
@@ -283,7 +313,7 @@ func (s *Store) LoadOrTrain(ctx context.Context, benchmark string, m sim.Metric)
 // trainer, persists the result, installs the models, and releases every
 // waiter. It runs in its own goroutine under the store's context.
 func (s *Store) train(benchmark string, t *training) {
-	start := time.Now()
+	start := s.now()
 	models, err := s.cfg.Trainer.TrainBenchmark(s.ctx, benchmark, append([]sim.Metric(nil), s.cfg.Metrics...))
 	if err == nil {
 		// Keep exactly the configured metric set: an injected trainer
@@ -299,7 +329,7 @@ func (s *Store) train(benchmark string, t *training) {
 		}
 		models = filtered
 	}
-	now := time.Now()
+	now := s.now()
 	if err == nil && s.cfg.Dir != "" && !s.noPersist {
 		if perr := s.persist(benchmark, models, now); perr != nil {
 			// Persistence is an optimisation, not a correctness
@@ -324,10 +354,16 @@ func (s *Store) train(benchmark string, t *training) {
 	delete(s.inflight, benchmark)
 	s.mu.Unlock()
 	close(t.done)
+	elapsed := s.now().Sub(start)
 	if err != nil {
-		s.logf("registry: training %s failed after %v: %v", benchmark, time.Since(start).Round(time.Millisecond), err)
+		s.mTrainFail.Inc()
+		s.logf("registry: training %s failed after %v: %v", benchmark, elapsed.Round(time.Millisecond), err)
 	} else {
-		s.logf("registry: trained %s (%d metrics) in %v", benchmark, len(models), time.Since(start).Round(time.Millisecond))
+		s.cfg.Obs.Histogram("dsed_registry_train_ms",
+			"Benchmark training duration (simulate + fit all metrics).",
+			obs.LatencyMSBuckets, obs.Label{Key: "benchmark", Value: benchmark},
+		).Observe(float64(elapsed.Microseconds()) / 1000)
+		s.logf("registry: trained %s (%d metrics) in %v", benchmark, len(models), elapsed.Round(time.Millisecond))
 	}
 }
 
@@ -344,6 +380,7 @@ const maxConcurrentWarm = 4
 // run. Per-benchmark failures are joined, never short-circuiting the
 // rest of the list.
 func (s *Store) Warm(ctx context.Context, benchmarks []string) error {
+	start := s.now()
 	errs := make([]error, len(benchmarks))
 	sem := make(chan struct{}, maxConcurrentWarm)
 	var wg sync.WaitGroup
@@ -362,6 +399,7 @@ func (s *Store) Warm(ctx context.Context, benchmarks []string) error {
 		}(i, b)
 	}
 	wg.Wait()
+	s.mWarmMS.Observe(float64(s.now().Sub(start).Microseconds()) / 1000)
 	return errors.Join(errs...)
 }
 
@@ -440,6 +478,14 @@ func (s *Store) Benchmarks() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// now is the store's clock seam (injectable for deterministic tests).
+func (s *Store) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
 }
 
 func metricNames(ms []sim.Metric) []string {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/space"
 )
@@ -501,14 +502,22 @@ type ClusterSweepResponse struct {
 	Shards  int `json:"shards"`
 	// Retries counts shard attempts that failed and were re-dispatched.
 	Retries int `json:"retries"`
+	// JobID identifies the async job that computed this response, so
+	// callers can fetch GET /v1/jobs/{id}/trace afterwards.
+	JobID string `json:"job_id,omitempty"`
+	// Spans carries the responding daemon's trace spans for the job —
+	// the coordinator splices a worker's spans under its dispatch span.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // ClusterParetoResponse answers POST /cluster/pareto.
 type ClusterParetoResponse struct {
 	ParetoResponse
-	Workers int `json:"workers"`
-	Shards  int `json:"shards"`
-	Retries int `json:"retries"`
+	Workers int        `json:"workers"`
+	Shards  int        `json:"shards"`
+	Retries int        `json:"retries"`
+	JobID   string     `json:"job_id,omitempty"`
+	Spans   []obs.Span `json:"spans,omitempty"`
 }
 
 // ObjectiveNames labels resolved objectives for a response.

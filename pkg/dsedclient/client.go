@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -224,6 +225,7 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		req.Header.Set("Content-Type", api.ContentJSON)
 	}
 	req.Header.Set("Accept", api.ContentJSON)
+	setTraceHeaders(req, ctx)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dsed: %s %s: %w", method, path, err)
@@ -243,6 +245,30 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return fmt.Errorf("dsed: decoding %s response: %w", path, err)
 	}
 	return nil
+}
+
+// setTraceHeaders propagates the caller's trace span and request ID, if
+// the context carries them, so a coordinator's dispatch span parents the
+// worker's job spans and one request ID threads the whole fan-out.
+func setTraceHeaders(req *http.Request, ctx context.Context) {
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
+	if id := api.RequestID(ctx); id != "" {
+		req.Header.Set(api.RequestIDHeader, id)
+	}
+}
+
+// Trace fetches a finished (or running) job's assembled span tree
+// (GET /v1/jobs/{id}/trace). On a coordinator the tree spans the whole
+// fleet: the coordinator's root and dispatch spans with every worker's
+// imported job and phase spans beneath them.
+func (c *Client) Trace(ctx context.Context, jobID string) (*obs.JobTrace, error) {
+	var out obs.JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Healthy probes the daemon's liveness.

@@ -155,6 +155,7 @@ func (s *Stream) connect() error {
 		return err
 	}
 	req.Header.Set("Accept", api.ContentNDJSON)
+	setTraceHeaders(req, s.ctx)
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dsed: opening job %s stream: %w", s.id, err)
@@ -267,6 +268,8 @@ func (c *Client) ParetoJob(ctx context.Context, req wire.ParetoRequest, onUpdate
 		Workers: final.Workers,
 		Shards:  final.Shards,
 		Retries: final.Retries,
+		JobID:   st.ID,
+		Spans:   final.Spans,
 	}, nil
 }
 
@@ -292,5 +295,7 @@ func (c *Client) SweepJob(ctx context.Context, req wire.SweepRequest, onUpdate f
 		Workers: final.Workers,
 		Shards:  final.Shards,
 		Retries: final.Retries,
+		JobID:   st.ID,
+		Spans:   final.Spans,
 	}, nil
 }
