@@ -154,14 +154,25 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		workers[i] = entry
 	}
+	issued, won, wasted := s.coord.HedgeStats()
 	writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":         status,
 		"mode":           "coordinator",
 		"uptime_seconds": time.Since(s.started).Seconds(),
-		"retries":        s.coord.Retries(),
-		"ttl_seconds":    s.ttl.Seconds(),
-		"members":        len(members),
-		"workers":        workers,
+		// The placement policy this coordinator schedules with (-policy)
+		// and its lifetime hedged-dispatch totals: issued speculative
+		// attempts, hedges whose answer merged first, hedges that bought
+		// nothing.
+		"policy": s.coord.PolicyName(),
+		"hedges": map[string]int{
+			"issued": issued,
+			"won":    won,
+			"wasted": wasted,
+		},
+		"retries":     s.coord.Retries(),
+		"ttl_seconds": s.ttl.Seconds(),
+		"members":     len(members),
+		"workers":     workers,
 	})
 }
 

@@ -306,8 +306,25 @@ func (s *Server) buildObjectives(ctx context.Context, benchmark string, specs []
 			return nil, nil, err
 		}
 		models[i], objectives[i] = p, obj
+		if s.straggle > 0 {
+			models[i] = straggleModel{inner: p, delay: s.straggle}
+		}
 	}
 	return models, objectives, nil
+}
+
+// straggleModel is -straggle-per-design fault injection: it hides the
+// predictor's fast-path interfaces (IntoPredictor, VecPredictor) and
+// sleeps per prediction, turning this worker into a deterministic
+// straggler so hedged dispatch can be exercised against a real fleet.
+type straggleModel struct {
+	inner core.DynamicsModel
+	delay time.Duration
+}
+
+func (m straggleModel) Predict(cfg space.Config) []float64 {
+	time.Sleep(m.delay)
+	return m.inner.Predict(cfg)
 }
 
 // mustMetric parses a metric name that already passed Validate; drift

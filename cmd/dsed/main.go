@@ -125,6 +125,9 @@ func main() {
 		seedList   = flag.String("seed", "", "comma-separated coordinator addresses to register with and heartbeat (worker mode; joins their fleets dynamically)")
 		advertise  = flag.String("advertise", "", "worker address advertised on /register (default -addr; set it when -addr binds a wildcard the coordinator cannot dial)")
 		debugAddr  = flag.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. localhost:6060); empty disables profiling")
+		policy     = flag.String("policy", "affinity", "shard placement policy (coordinator mode): affinity, least-loaded, best-fit, or oversub")
+		hedgeF     = flag.Float64("hedge-factor", 3, "straggler hedging (coordinator mode): re-dispatch a shard when its elapsed time exceeds this multiple of its expected duration; 0 disables hedging")
+		straggle   = flag.Duration("straggle-per-design", 0, "fault injection (worker mode): sleep this long per evaluated design on sweep jobs, making this worker a deliberate straggler for hedging tests; 0 disables")
 	)
 	flag.Parse()
 
@@ -146,6 +149,8 @@ func main() {
 			shardSize:     *shardSize,
 			targetShardMS: *targetMS,
 			heartbeat:     *heartbeat,
+			policy:        *policy,
+			hedgeFactor:   *hedgeF,
 		}, logger, reqLog)
 		return
 	}
@@ -228,6 +233,10 @@ func main() {
 		len(store.Entries()), store.Trainings(), time.Since(start).Round(time.Millisecond))
 
 	srv := NewServer(ctx, store, *parallel, reqLog, tel)
+	if *straggle > 0 {
+		srv.straggle = *straggle
+		logger.Printf("fault injection: straggling %v per design on sweep jobs", *straggle)
+	}
 
 	// With seeds configured, join their fleets: register now, heartbeat
 	// forever, advertising the live trained-model inventory (for
@@ -249,6 +258,8 @@ type coordOptions struct {
 	shardSize     int
 	targetShardMS int
 	heartbeat     time.Duration
+	policy        string
+	hedgeFactor   float64
 }
 
 // missedHeartbeats is how many intervals a dynamic worker may skip before
@@ -276,10 +287,16 @@ func runCoordinator(ctx context.Context, addr string, workers []string, opts coo
 	}
 	ttl := missedHeartbeats * opts.heartbeat
 	tel := newTelemetry("coordinator")
+	placement, err := cluster.PolicyByName(opts.policy)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	coord, err := cluster.New(transports, cluster.Options{
 		ShardSize:       opts.shardSize,
 		TargetShardTime: time.Duration(opts.targetShardMS) * time.Millisecond,
 		HeartbeatTTL:    ttl,
+		Policy:          placement,
+		HedgeFactor:     opts.hedgeFactor,
 		Obs:             tel.reg,
 		Tracer:          tel.tracer,
 	})

@@ -33,6 +33,10 @@ type Server struct {
 	// ChunkDone hook on every job sweep.
 	chunkMS *obs.Histogram
 	chunkN  *obs.Histogram
+	// straggle, when positive, injects a per-design sleep into every
+	// sweep-job model (-straggle-per-design): a deliberate straggler for
+	// exercising the coordinator's hedged dispatch end-to-end.
+	straggle time.Duration
 	jobAPI
 }
 

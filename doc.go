@@ -210,6 +210,63 @@
 // spilled elsewhere), so an operator can tell a dead machine from a bad
 // client from a saturated fleet.
 //
+// # Scheduling
+//
+// Shard placement is a pluggable policy (cluster.Policy), selected per
+// coordinator with -policy. Every policy ranks the same snapshot of the
+// live fleet — per-worker inflight shards, advertised capacity, the
+// heartbeat's trained-model inventory and per-benchmark queue depths,
+// and the coordinator's per-design latency EWMA — and differs only in
+// what it optimises:
+//
+//   - affinity (default): model-inventory first, then the benchmark's
+//     consistent-hash home replicas, then the rest of the ring, always
+//     under capacity, dealt round-robin. Maximises model-cache hits — a
+//     warmed benchmark never trains on demand mid-sweep. Failure mode:
+//     it is queue-blind, so a slow worker that holds the models keeps
+//     receiving shards until its capacity slots fill.
+//   - least-loaded: ascending (inflight + advertised queue depth across
+//     all benchmarks), under-capacity workers first. The only policy
+//     that reacts to load the coordinator didn't create (jobs submitted
+//     to workers directly, other coordinators). Failure mode:
+//     cache-blindness — an idle cold worker wins the shard and pays an
+//     on-demand training inside it.
+//   - best-fit: tightest fit first (fewest free capacity slots), so work
+//     packs onto few workers and the rest of the fleet stays drained —
+//     the shape for scale-in or shared tenancy. Failure mode:
+//     head-of-line risk concentrates too; pair it with hedging.
+//   - oversub: ignores the capacity cutoff and ranks by occupancy ratio
+//     (inflight+queued)/capacity past 1.0, trusting the worker's own 429
+//     admission control to spill what it cannot take. Highest
+//     utilisation on fleets with conservative capacities. Failure mode:
+//     spill churn — each refusal burns a round trip into the busy
+//     column.
+//
+// Against stragglers the coordinator speculates (hedged dispatch): when
+// a shard's elapsed time exceeds -hedge-factor times its expected
+// duration — the worker's per-design EWMA, or the fleet median before
+// the worker has one, times the shard size — the shard is dispatched a
+// second time to the scheduler's next-ranked worker and the first answer
+// wins. -hedge-factor 0 is the disable switch; the trigger is floored at
+// 25ms, and a cold fleet with no latency observations never hedges (its
+// first shards may be training models on demand). Outcomes are counted
+// in dsed_cluster_shard_hedges_total{result=issued|won|wasted} and the
+// /healthz hedges row, and every speculative attempt carries a
+// hedge=true dispatch span in the job's trace tree.
+//
+// Hedging is safe because exactly one partial merges per shard. The
+// collectors are associative but deliberately not duplicate-idempotent
+// (two copies of one frontier point both survive a strict dominance
+// check), so the coordinator deduplicates at the source: the losing
+// attempt's answer feeds the worker's latency EWMA and the trace tree
+// but never the merge — and since a shard's answer is a deterministic
+// function of the shard, whichever attempt wins merges the identical
+// result. tools/schedsim races every policy, hedged and unhedged, over
+// a simulated heterogeneous churny fleet and prints per-policy makespan;
+// on a 2-worker fleet with one deliberate straggler, least-loaded with
+// hedging beats unhedged affinity by an order of magnitude while both
+// merge the byte-identical frontier.
+//
 // # Observability
 //
 // internal/obs is the fleet's stdlib-only observability layer: a metrics

@@ -19,14 +19,17 @@
 // campaign keeps running while machines come and go, re-dispatching only
 // the shards orphaned by a departure.
 //
-// Scheduling is benchmark-affinity first: a shard routes to a live worker
-// whose heartbeat advertises the benchmark's trained models, spilling to
-// consistent-hash ring order only when every affine worker is at
-// capacity (or none advertises the benchmark). Shard sizes adapt per
-// worker: the coordinator tracks an EWMA of each worker's per-design
-// latency and carves subsequent shards toward a target shard duration,
-// so fast workers take big bites and slow ones small, without a fixed
-// -shard-size guess.
+// Placement is pluggable (policy.go): every shard is routed by a Policy
+// ranking a snapshot of the live fleet — benchmark-affinity ring routing
+// by default, with least-loaded (queue-depth driven), best-fit packing,
+// and oversubscription as alternatives. Shard sizes adapt per worker:
+// the coordinator tracks an EWMA of each worker's per-design latency and
+// carves subsequent shards toward a target shard duration, so fast
+// workers take big bites and slow ones small, without a fixed
+// -shard-size guess. The same EWMA prices straggler hedging
+// (Options.HedgeFactor): a shard that outlives a multiple of its
+// expected duration is speculatively re-dispatched and the first answer
+// wins, with exactly one partial merged per shard.
 package cluster
 
 import (
@@ -86,6 +89,24 @@ type Options struct {
 	// before affinity scheduling spills to the ring; a worker's
 	// advertised capacity overrides it (default 4).
 	WorkerCapacity int
+	// Policy is the placement strategy ranking workers for each shard
+	// (see policy.go). Nil means the affinity policy — the fleet's
+	// historical behavior.
+	Policy Policy
+	// HedgeFactor enables straggler speculation: when a shard's elapsed
+	// time exceeds HedgeFactor × its expected duration (the worker's
+	// per-design EWMA — or, before it has one, the fleet median — times
+	// the shard size), the shard is hedged onto a second worker and the
+	// first answer wins. Exactly one answer merges, so the duplicate
+	// never double-counts. Zero (the default) disables hedging.
+	HedgeFactor float64
+	// HedgeMinDelay floors the speculation trigger (default 25ms): a
+	// shard is never hedged sooner, however fast the fleet, so the
+	// cheapest shards don't double every dispatch. It is also the poll
+	// interval while no latency estimate exists anywhere in the fleet —
+	// a cold fleet, possibly training models on demand, must not
+	// hedge-storm its first shards.
+	HedgeMinDelay time.Duration
 	// Obs, when set, receives coordinator metrics: per-worker shard
 	// latency histograms and the three-column fault taxonomy, merge
 	// sizes, membership churn. Nil disables metric recording.
@@ -126,12 +147,19 @@ func (o Options) withDefaults() Options {
 	if o.WorkerCapacity <= 0 {
 		o.WorkerCapacity = 4
 	}
+	if o.Policy == nil {
+		o.Policy = affinityPolicy{}
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 25 * time.Millisecond
+	}
 	return o
 }
 
 // Coordinator partitions sweeps across a live worker fleet.
 type Coordinator struct {
 	opts    Options
+	policy  Policy
 	metrics *clusterMetrics
 	tracer  *obs.Tracer
 	// clock overrides time.Now in tests (nil in production).
@@ -145,6 +173,7 @@ type Coordinator struct {
 	failures   map[string]int
 	rejections map[string]int
 	busy       map[string]int
+	hedges     map[string]int
 }
 
 // New builds a coordinator over an initial static fleet (possibly empty:
@@ -155,13 +184,15 @@ func New(workers []Transport, opts Options) (*Coordinator, error) {
 	opts = opts.withDefaults()
 	c := &Coordinator{
 		opts:       opts,
-		metrics:    newClusterMetrics(opts.Obs),
+		policy:     opts.Policy,
+		metrics:    newClusterMetrics(opts.Obs, opts.Policy.Name()),
 		tracer:     opts.Tracer,
 		members:    make(map[string]*member),
 		ring:       newRing(opts.VirtualNodes),
 		failures:   make(map[string]int),
 		rejections: make(map[string]int),
 		busy:       make(map[string]int),
+		hedges:     make(map[string]int),
 	}
 	now := c.now()
 	for i, w := range workers {
@@ -437,6 +468,24 @@ func (c *Coordinator) parallelism() int {
 	return 2 * live
 }
 
+// attemptResult carries one dispatch attempt's outcome back to the
+// shard driver.
+type attemptResult struct {
+	m       *member
+	p       *Partial
+	err     error
+	elapsed time.Duration
+	hedge   bool
+}
+
+// Hedge outcome names — the `result` label of
+// dsed_cluster_shard_hedges_total and the keys of Coordinator.hedges.
+const (
+	hedgeIssued = "issued"
+	hedgeWon    = "won"
+	hedgeWasted = "wasted"
+)
+
 // runShard drives one shard to completion: the assigned worker first,
 // then — on transport failure — whichever untried live worker the
 // scheduler prefers next, until one answers or no live worker is left to
@@ -444,99 +493,324 @@ func (c *Coordinator) parallelism() int {
 // as failed instead of hanging the sweep. Claims travel as *member
 // pointers: a worker that is evicted and re-registers mid-attempt gets a
 // fresh record, and this shard's accounting settles on the detached one.
+//
+// With HedgeFactor set the driver also speculates against stragglers:
+// when the in-flight attempt outlives HedgeFactor × its expected
+// duration (hedgeDelay), the shard is dispatched a second time to the
+// scheduler's next pick and the first answer wins. Exactly one partial
+// merges per shard — the collectors are associative but not duplicate-
+// idempotent (two copies of the same frontier point both survive a
+// dominance check), so deduplication lives here, not in the merge. A
+// losing attempt that completes anyway still feeds its worker's EWMA and
+// the trace tree; a cancelled one is released without an observation, so
+// a chronically hedged-away worker keeps its cold estimate and keeps
+// being hedged rather than laundering its slowness into the average.
 func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *member,
 	abort context.CancelCauseFunc, localRetries *atomic.Int64,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
 	merge func(worker string, p *Partial)) error {
 
 	tried := make(map[string]bool)
+	// Buffered to the attempt fan-out ceiling (one primary + one hedge),
+	// so a finishing attempt never blocks even after the driver returns.
+	results := make(chan attemptResult, 2)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	running := 0
+	hedged := false       // at most one hedge per shard
+	hedgeSettled := false // won/wasted booked exactly once per issued hedge
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	var primary *member // the current non-speculative attempt's worker
+	var primaryStart time.Time
+
+	stopHedge := func() {
+		if hedgeTimer != nil && !hedgeTimer.Stop() {
+			select {
+			case <-hedgeTimer.C:
+			default:
+			}
+		}
+		hedgeC = nil
+	}
+	defer stopHedge()
+	armHedge := func(d time.Duration) {
+		stopHedge()
+		if hedgeTimer == nil {
+			hedgeTimer = time.NewTimer(d)
+		} else {
+			hedgeTimer.Reset(d)
+		}
+		hedgeC = hedgeTimer.C
+	}
+
+	launch := func(m *member, hedge bool) {
+		tried[m.name] = true
+		attemptCtx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
+		cancels = append(cancels, cancel)
+		running++
+		if !hedge {
+			primary = m
+			primaryStart = c.now()
+		}
+		go func() {
+			// The dispatch span's context rides the transport as a
+			// traceparent header, so the worker's own job spans land under
+			// this one.
+			spanCtx, span := c.tracer.Start(attemptCtx, "dispatch")
+			span.SetAttr("worker", m.name)
+			span.SetAttr("shard_start", strconv.Itoa(s.Start))
+			span.SetAttr("designs", strconv.Itoa(len(s.Designs)))
+			if hedge {
+				span.SetAttr("hedge", "true")
+			}
+			start := c.now()
+			p, err := call(m.transport, spanCtx, q, s)
+			elapsed := c.now().Sub(start)
+			if err == nil && p.Evaluated != len(s.Designs) {
+				// A short count means the worker silently dropped designs;
+				// trust the fleet over the answer.
+				err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", m.name, p.Evaluated, len(s.Designs))
+			}
+			if err == nil {
+				span.SetAttr("status", "ok")
+			} else {
+				span.SetAttr("status", verdict(err))
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
+			results <- attemptResult{m: m, p: p, err: err, elapsed: elapsed, hedge: hedge}
+		}()
+	}
+
+	// settle cancels whatever is still in flight and consumes its
+	// outcome, so every claimed slot releases exactly once. A loser that
+	// finished real work still records its latency and spans — only the
+	// merge is deduplicated.
+	settle := func() {
+		stopHedge()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		for running > 0 {
+			o := <-results
+			running--
+			if o.err == nil {
+				c.tracer.Import(o.p.Spans)
+				c.observe(o.m, len(s.Designs), o.elapsed)
+			} else {
+				c.release(o.m)
+			}
+		}
+		if hedged && !hedgeSettled {
+			hedgeSettled = true
+			c.noteHedge(hedgeWasted)
+		}
+	}
+
 	m := first
 	var lastErr error
 	attempts := 0
 	for {
-		if m == nil {
+		for running == 0 && m != nil {
+			if err := ctx.Err(); err != nil {
+				c.release(m)
+				return err
+			}
+			if !c.isLive(m) {
+				// Evicted (or drained) between assignment and dispatch; not
+				// a worker fault — hand the shard to the scheduler's next
+				// pick.
+				c.release(m)
+				m = c.claimRetry(q.Benchmark, tried)
+				continue
+			}
+			attempts++
+			launch(m, false)
+			m = nil
+			if c.opts.HedgeFactor > 0 && !hedged {
+				if d := c.hedgeDelay(primary, len(s.Designs)); d > 0 {
+					armHedge(d)
+				} else {
+					// No latency estimate anywhere yet: poll until one
+					// exists instead of hedging blind.
+					armHedge(c.opts.HedgeMinDelay)
+				}
+			}
+		}
+		if running == 0 {
 			if attempts == 0 {
 				return fmt.Errorf("cluster: shard [%d,%d): no live workers", s.Start, s.Start+len(s.Designs))
 			}
 			return fmt.Errorf("cluster: shard [%d,%d) failed on all %d workers: %w",
 				s.Start, s.Start+len(s.Designs), attempts, lastErr)
 		}
-		if err := ctx.Err(); err != nil {
-			c.release(m)
-			return err
-		}
-		tried[m.name] = true
-		if !c.isLive(m) {
-			// Evicted (or drained) between assignment and dispatch; not a
-			// worker fault — hand the shard to the scheduler's next pick.
-			c.release(m)
-			m = c.claimRetry(q.Benchmark, tried)
-			continue
-		}
-		attempts++
-		attemptCtx, done := context.WithTimeout(ctx, c.opts.ShardTimeout)
-		// The dispatch span's context rides the transport as a traceparent
-		// header, so the worker's own job spans land under this one.
-		spanCtx, span := c.tracer.Start(attemptCtx, "dispatch")
-		span.SetAttr("worker", m.name)
-		span.SetAttr("shard_start", strconv.Itoa(s.Start))
-		span.SetAttr("designs", strconv.Itoa(len(s.Designs)))
-		start := c.now()
-		p, err := call(m.transport, spanCtx, q, s)
-		done()
-		if err == nil && p.Evaluated != len(s.Designs) {
-			// A short count means the worker silently dropped designs;
-			// trust the fleet over the answer.
-			err = fmt.Errorf("cluster: worker %s evaluated %d of %d shard designs", m.name, p.Evaluated, len(s.Designs))
-		}
-		if err == nil {
-			span.SetAttr("status", "ok")
-			span.End()
-			c.tracer.Import(p.Spans)
-			c.observe(m, len(s.Designs), c.now().Sub(start))
-			merge(m.name, p)
-			return nil
-		}
-		span.SetAttr("status", verdict(err))
-		span.SetAttr("error", err.Error())
-		span.End()
-		// A deterministic rejection (4xx) is the fleet's verdict on the
-		// request itself: retrying it on other workers — or running the
-		// remaining shards of the same request — would book phantom
-		// failures against healthy machines and burn a round trip per
-		// shard for one bad request. It is accounted apart from transport
-		// failures so fleet health never confuses a bad request with a
-		// dead worker.
-		var rejected *WorkerRejection
-		if errors.As(err, &rejected) {
-			c.noteRejection(m)
-			abort(err)
-			return err
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			// The failure is (or is about to be reported as) the caller
-			// cancelling; don't blame the worker.
-			c.release(m)
+
+		select {
+		case o := <-results:
+			running--
+			if o.err == nil {
+				if hedged && !hedgeSettled {
+					hedgeSettled = true
+					if o.hedge {
+						c.noteHedge(hedgeWon)
+					} else {
+						c.noteHedge(hedgeWasted)
+					}
+				}
+				c.tracer.Import(o.p.Spans)
+				c.observe(o.m, len(s.Designs), o.elapsed)
+				merge(o.m.name, o.p)
+				settle()
+				return nil
+			}
+			// A deterministic rejection (4xx) is the fleet's verdict on
+			// the request itself: retrying it on other workers — or
+			// running the remaining shards of the same request — would
+			// book phantom failures against healthy machines and burn a
+			// round trip per shard for one bad request. It is accounted
+			// apart from transport failures so fleet health never confuses
+			// a bad request with a dead worker.
+			var rejected *WorkerRejection
+			if errors.As(o.err, &rejected) {
+				c.noteRejection(o.m)
+				settle()
+				abort(o.err)
+				return o.err
+			}
+			lastErr = o.err
+			if ctx.Err() != nil {
+				// The failure is (or is about to be reported as) the
+				// caller cancelling; don't blame the worker.
+				c.release(o.m)
+				settle()
+				return ctx.Err()
+			}
+			// A busy verdict spills the shard exactly like a transport
+			// failure, but lands in its own accounting column — saturation
+			// is not sickness and must not trip failure-based alerting.
+			var busyErr *WorkerBusy
+			if running > 0 {
+				// The other attempt (primary or hedge) is still working
+				// the shard; it is the de-facto re-dispatch, already
+				// counted in the hedge series.
+				if errors.As(o.err, &busyErr) {
+					c.noteBusy(o.m, false)
+				} else {
+					c.noteFailure(o.m, false)
+				}
+				continue
+			}
+			next := c.claimRetry(q.Benchmark, tried)
+			if errors.As(o.err, &busyErr) {
+				c.noteBusy(o.m, next != nil)
+			} else {
+				// Every failed attempt is the worker's failure, but only a
+				// failure with another worker left to try is a re-dispatch.
+				c.noteFailure(o.m, next != nil)
+			}
+			if next != nil {
+				localRetries.Add(1)
+			}
+			m = next
+
+		case <-hedgeC:
+			hedgeC = nil
+			if hedged || primary == nil {
+				break
+			}
+			d := c.hedgeDelay(primary, len(s.Designs))
+			if d <= 0 {
+				// Still unpriceable (cold fleet): keep polling.
+				armHedge(c.opts.HedgeMinDelay)
+				break
+			}
+			if wait := d - c.now().Sub(primaryStart); wait > 0 {
+				// The estimate moved since arming; re-check on schedule.
+				armHedge(wait)
+				break
+			}
+			h := c.claimRetry(q.Benchmark, tried)
+			if h == nil {
+				// Nobody to hedge onto right now; a joiner may yet appear.
+				armHedge(c.opts.HedgeMinDelay)
+				break
+			}
+			hedged = true
+			c.noteHedge(hedgeIssued)
+			launch(h, true)
+
+		case <-ctx.Done():
+			settle()
 			return ctx.Err()
 		}
-		next := c.claimRetry(q.Benchmark, tried)
-		// A busy verdict spills the shard exactly like a transport
-		// failure, but lands in its own accounting column — saturation is
-		// not sickness and must not trip failure-based alerting.
-		var busyErr *WorkerBusy
-		if errors.As(err, &busyErr) {
-			c.noteBusy(m, next != nil)
-		} else {
-			// Every failed attempt is the worker's failure, but only a
-			// failure with another worker left to try is a re-dispatch.
-			c.noteFailure(m, next != nil)
-		}
-		if next != nil {
-			localRetries.Add(1)
-		}
-		m = next
 	}
+}
+
+// hedgeDelay prices the speculation trigger for one attempt: HedgeFactor
+// times the shard's expected duration — the worker's own per-design EWMA
+// or, before it has one, the fleet's median — floored at HedgeMinDelay.
+// Zero means "cannot price it yet": no latency observation exists
+// anywhere, so speculation waits rather than doubling a cold fleet's
+// first (possibly training-on-demand) shards.
+func (c *Coordinator) hedgeDelay(m *member, designs int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per := m.ewmaPerDesignMS
+	if per <= 0 {
+		per = c.fleetEWMALocked()
+	}
+	if per <= 0 {
+		return 0
+	}
+	d := time.Duration(c.opts.HedgeFactor * per * float64(designs) * float64(time.Millisecond))
+	if d < c.opts.HedgeMinDelay {
+		d = c.opts.HedgeMinDelay
+	}
+	return d
+}
+
+// fleetEWMALocked is the median positive per-design EWMA across the live
+// fleet — the expected speed of a worker that has not completed a shard
+// yet.
+func (c *Coordinator) fleetEWMALocked() float64 {
+	var samples []float64
+	for _, m := range c.members {
+		if m.ewmaPerDesignMS > 0 {
+			samples = append(samples, m.ewmaPerDesignMS)
+		}
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2]
+}
+
+// noteHedge books one hedge outcome in both surfaces (the obs series and
+// the /healthz totals).
+func (c *Coordinator) noteHedge(result string) {
+	c.metrics.hedges[result].Inc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hedges[result]++
+}
+
+// PolicyName reports the placement policy this coordinator schedules
+// with (the /healthz policy row).
+func (c *Coordinator) PolicyName() string { return c.policy.Name() }
+
+// HedgeStats reports lifetime hedge totals: speculative attempts issued,
+// hedges whose answer merged first, and hedges that bought nothing.
+func (c *Coordinator) HedgeStats() (issued, won, wasted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hedges[hedgeIssued], c.hedges[hedgeWon], c.hedges[hedgeWasted]
 }
 
 // verdict names the fault-taxonomy column an attempt error falls in —

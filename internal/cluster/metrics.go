@@ -10,16 +10,28 @@ type clusterMetrics struct {
 	membersGauge *obs.Gauge
 	retries      *obs.Counter
 	mergeSize    *obs.Histogram
+	placements   *obs.Counter
+	hedges       map[string]*obs.Counter
 	churn        map[string]*obs.Counter
 }
 
-func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+func newClusterMetrics(reg *obs.Registry, policy string) *clusterMetrics {
 	m := &clusterMetrics{reg: reg}
 	m.membersGauge = reg.Gauge("dsed_cluster_members", "Live fleet members.")
 	m.retries = reg.Counter("dsed_cluster_shard_retries_total",
 		"Shard attempts that failed or spilled and were re-dispatched to another worker.")
 	m.mergeSize = reg.Histogram("dsed_cluster_merge_candidates",
 		"Candidates carried by each merged shard partial.", obs.SizeBuckets)
+	m.placements = reg.Counter("dsed_cluster_placements_total",
+		"Shard placement decisions, labelled by the scheduling policy that made them.",
+		obs.Label{Key: "policy", Value: policy})
+	m.hedges = make(map[string]*obs.Counter, 3)
+	for _, result := range []string{hedgeIssued, hedgeWon, hedgeWasted} {
+		m.hedges[result] = reg.Counter("dsed_cluster_shard_hedges_total",
+			"Speculative shard attempts, by outcome: issued when a shard outlived its "+
+				"expected duration, won when the hedge's answer merged first, wasted otherwise.",
+			obs.Label{Key: "result", Value: result})
+	}
 	m.churn = make(map[string]*obs.Counter, 4)
 	for _, ev := range []string{"join", "rejoin", "leave", "evict"} {
 		m.churn[ev] = reg.Counter("dsed_cluster_membership_events_total",

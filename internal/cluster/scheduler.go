@@ -1,17 +1,15 @@
 package cluster
 
 import (
-	"sort"
-
 	"repro/internal/space"
 )
 
 // This file is the coordinator's shard scheduler: shards are carved off
 // the design list on demand (not pre-partitioned), each sized for the
-// worker about to take it, and each routed benchmark-affinity first —
-// to a live worker whose heartbeat advertises the benchmark's trained
-// models — spilling to consistent-hash ring order only when no affine
-// worker has capacity to spare.
+// worker about to take it, and each placed by the configured Policy
+// (policy.go) over a snapshot of the live fleet — benchmark-affinity
+// ring routing by default, queue-depth, packing, or oversubscription
+// strategies by choice.
 
 // carver hands out contiguous shards of a sweep's design list on demand.
 // Shard boundaries do not affect the merged answer (the reductions are
@@ -76,70 +74,68 @@ func (c *Coordinator) claimRetry(benchmark string, tried map[string]bool) *membe
 	return m
 }
 
-// pickWorkerLocked is the routing rule for one shard, in preference
-// order:
-//
-//  1. Benchmark affinity: workers advertising the benchmark's trained
-//     models in their heartbeat, while any has a free capacity slot —
-//     dealt round-robin so affine workers share the load.
-//  2. Ring order: the benchmark's Replicas home workers (where Warm
-//     pre-places models), round-robin over those with free slots.
-//  3. The rest of the ring, clockwise, with free slots.
-//  4. Everyone is at capacity: the least-loaded untried worker — the
-//     sweep must make progress even when the fleet is saturated.
-//
-// tried excludes workers that already failed this shard.
+// pickWorkerLocked routes one shard: it snapshots the live, untried
+// fleet into a PlacementView and takes the configured Policy's top
+// ranked worker. Liveness and tried-exclusion are enforced here, outside
+// the policy — a policy cannot place on an evicted or exhausted worker
+// even if it misranks.
 func (c *Coordinator) pickWorkerLocked(benchmark string, tried map[string]bool) string {
-	if len(c.members) == 0 {
+	v, ok := c.placementViewLocked(benchmark, tried)
+	if !ok {
 		return ""
 	}
-	// 1. Affinity, under capacity.
-	var affine []string
-	for name, m := range c.members {
-		if tried[name] || !m.benchmarks[benchmark] {
-			continue
-		}
-		if m.inflight < m.capacity {
-			affine = append(affine, name)
+	for _, name := range c.policy.Rank(v) {
+		if m := c.members[name]; m != nil && !tried[name] {
+			c.metrics.placements.Inc()
+			return name
 		}
 	}
-	if len(affine) > 0 {
-		sort.Strings(affine)
-		return affine[c.nextDeal()%len(affine)]
+	return ""
+}
+
+// placementViewLocked builds the fleet snapshot a Policy ranks: live,
+// untried workers in consistent-hash ring order for the benchmark, each
+// annotated with dispatch state (inflight, EWMA) and heartbeat adverts
+// (capacity, model inventory, queue depths). The leading Replicas ring
+// positions are marked Home — the set Warm pre-places models on.
+func (c *Coordinator) placementViewLocked(benchmark string, tried map[string]bool) (PlacementView, bool) {
+	if len(c.members) == 0 {
+		return PlacementView{}, false
 	}
-	// 2. Ring replicas, under capacity.
 	order := c.ring.order(benchmark)
 	replicas := c.replicasLocked()
 	if replicas > len(order) {
 		replicas = len(order)
 	}
-	var free []string
-	for _, name := range order[:replicas] {
-		if !tried[name] && c.members[name].inflight < c.members[name].capacity {
-			free = append(free, name)
-		}
-	}
-	if len(free) > 0 {
-		return free[c.nextDeal()%len(free)]
-	}
-	// 3. The rest of the ring, under capacity.
-	for _, name := range order[replicas:] {
-		if !tried[name] && c.members[name].inflight < c.members[name].capacity {
-			return name
-		}
-	}
-	// 4. Saturated fleet: least-loaded untried, name-tie-broken.
-	best := ""
-	for _, name := range order {
+	v := PlacementView{Benchmark: benchmark, Workers: make([]WorkerView, 0, len(order)), Deal: c.nextDeal()}
+	for i, name := range order {
 		if tried[name] {
 			continue
 		}
-		if best == "" || c.members[name].inflight < c.members[best].inflight ||
-			(c.members[name].inflight == c.members[best].inflight && name < best) {
-			best = name
+		m := c.members[name]
+		if m == nil {
+			continue
 		}
+		w := WorkerView{
+			Name:            name,
+			Home:            i < replicas,
+			HasModels:       m.benchmarks[benchmark],
+			Inflight:        m.inflight,
+			Capacity:        m.capacity,
+			EWMAPerDesignMS: m.ewmaPerDesignMS,
+		}
+		for b, n := range m.queueDepths {
+			w.QueueTotal += n
+			if b == benchmark {
+				w.QueueDepth = n
+			}
+		}
+		v.Workers = append(v.Workers, w)
 	}
-	return best
+	if len(v.Workers) == 0 {
+		return PlacementView{}, false
+	}
+	return v, true
 }
 
 // nextDeal advances the round-robin dealing counter (held under c.mu).

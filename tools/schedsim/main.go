@@ -1,0 +1,277 @@
+// Command schedsim races the coordinator's placement policies against
+// each other on a simulated churny, heterogeneous fleet — the
+// scheduler-vs-scheduler experiment from the ROADMAP, runnable on a
+// laptop in seconds.
+//
+// The fleet is in-process: every worker is a cluster.Local transport
+// wrapping the same deterministic model, slowed by a per-design delay so
+// the fleet is genuinely heterogeneous (a configurable number of fast
+// workers plus deliberate stragglers). Optionally one fast worker leaves
+// mid-sweep and a fresh one joins (-churn), exercising re-dispatch and
+// mid-sweep elasticity under every policy. Each policy runs the same
+// sweep twice — hedging off, then on — and the table reports per-run
+// makespan, retries, hedge outcomes, and whether the merged frontier
+// matched the single-process reference (it always must; a "DIVERGED"
+// row is a bug in the cluster plane, not a tuning problem).
+//
+//	go run ./tools/schedsim -designs 4000 -fast 3 -slow 1 -churn
+//
+// Because every worker computes the same deterministic answer, the only
+// thing the policies can differ on is time: makespan is the whole
+// comparison.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/mathx"
+	"repro/internal/space"
+	"repro/internal/wire"
+)
+
+type config struct {
+	designs   int
+	shardSize int
+	fast      int
+	slow      int
+	fastDelay time.Duration // per design
+	slowDelay time.Duration // per design
+	hedge     float64
+	churn     bool
+	churnAt   time.Duration
+}
+
+type result struct {
+	policy   string
+	hedged   bool
+	makespan time.Duration
+	retries  int
+	issued   int
+	won      int
+	wasted   int
+	exact    bool
+}
+
+func main() {
+	cfg := config{}
+	flag.IntVar(&cfg.designs, "designs", 4000, "designs per sweep")
+	flag.IntVar(&cfg.shardSize, "shard-size", 256, "designs per shard")
+	flag.IntVar(&cfg.fast, "fast", 3, "fast workers in the fleet")
+	flag.IntVar(&cfg.slow, "slow", 1, "straggler workers in the fleet")
+	flag.DurationVar(&cfg.fastDelay, "fast-delay", 50*time.Microsecond, "fast worker per-design latency")
+	flag.DurationVar(&cfg.slowDelay, "slow-delay", 2*time.Millisecond, "straggler per-design latency")
+	flag.Float64Var(&cfg.hedge, "hedge-factor", 3, "hedge factor for the hedged leg of each policy")
+	flag.BoolVar(&cfg.churn, "churn", false, "one fast worker leaves mid-sweep and a fresh one joins")
+	flag.DurationVar(&cfg.churnAt, "churn-at", 150*time.Millisecond, "when the churn event fires after sweep start")
+	flag.Parse()
+
+	results, err := run(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "POLICY\tHEDGE\tMAKESPAN\tRETRIES\tHEDGES (issued/won/wasted)\tFRONTIER")
+	for _, r := range results {
+		hedge := "off"
+		if r.hedged {
+			hedge = "on"
+		}
+		frontier := "exact"
+		if !r.exact {
+			frontier = "DIVERGED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%d\t%d/%d/%d\t%s\n",
+			r.policy, hedge, r.makespan.Round(time.Millisecond), r.retries, r.issued, r.won, r.wasted, frontier)
+	}
+	tw.Flush()
+	for _, r := range results {
+		if !r.exact {
+			log.Fatal("schedsim: a merged frontier diverged from the single-process answer")
+		}
+	}
+}
+
+// run races every policy, hedging off and on, over the same designs and
+// the same fleet shape, returning one row per (policy, hedge) leg.
+func run(ctx context.Context, cfg config) ([]result, error) {
+	designs := space.SampleDesign(cfg.designs, space.TrainLevels(), space.Baseline(), 2, mathx.NewRNG(11))
+	want, err := reference(designs)
+	if err != nil {
+		return nil, err
+	}
+	var out []result
+	for _, p := range cluster.Policies() {
+		for _, hedged := range []bool{false, true} {
+			r, err := runLeg(ctx, cfg, p, hedged, designs, want)
+			if err != nil {
+				return nil, fmt.Errorf("schedsim: policy %s (hedge=%v): %w", p.Name(), hedged, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func runLeg(ctx context.Context, cfg config, p cluster.Policy, hedged bool, designs []space.Config, want []string) (result, error) {
+	fleet := make([]cluster.Transport, 0, cfg.fast+cfg.slow)
+	for i := 0; i < cfg.fast; i++ {
+		fleet = append(fleet, slowed(fmt.Sprintf("fast-%d", i), cfg.fastDelay))
+	}
+	for i := 0; i < cfg.slow; i++ {
+		fleet = append(fleet, slowed(fmt.Sprintf("slow-%d", i), cfg.slowDelay))
+	}
+	opts := cluster.Options{
+		ShardSize: cfg.shardSize,
+		Policy:    p,
+	}
+	if hedged {
+		opts.HedgeFactor = cfg.hedge
+	}
+	coord, err := cluster.New(fleet, opts)
+	if err != nil {
+		return result{}, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if cfg.churn && cfg.fast > 1 {
+		// Mid-sweep churn: the last fast worker drains, and moments later
+		// a fresh one registers and starts taking shards.
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(cfg.churnAt):
+				coord.Leave(fmt.Sprintf("fast-%d", cfg.fast-1))
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(cfg.churnAt / 2):
+				_, _ = coord.Join(slowed("joiner-0", cfg.fastDelay), cluster.MemberInfo{Benchmarks: []string{"gcc"}})
+			}
+		}()
+	}
+	start := time.Now()
+	res, err := coord.Pareto(ctx, query(), designs)
+	if err != nil {
+		return result{}, err
+	}
+	issued, won, wasted := coord.HedgeStats()
+	return result{
+		policy:   p.Name(),
+		hedged:   hedged,
+		makespan: time.Since(start),
+		retries:  res.Retries,
+		issued:   issued,
+		won:      won,
+		wasted:   wasted,
+		exact:    reflect.DeepEqual(keys(res.Frontier), want) && res.Evaluated == len(designs),
+	}, nil
+}
+
+// slowed builds one fleet member: a Local transport over the shared
+// deterministic model, stalled per design to set the worker's speed
+// class. The stall watches ctx so cancelled hedge losers release
+// promptly.
+func slowed(name string, perDesign time.Duration) cluster.Transport {
+	local := cluster.NewLocal(name, resolve)
+	return delayed{Transport: local, perDesign: perDesign}
+}
+
+type delayed struct {
+	cluster.Transport
+	perDesign time.Duration
+}
+
+func (d delayed) stall(ctx context.Context, n int) error {
+	select {
+	case <-time.After(d.perDesign * time.Duration(n)):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (d delayed) Pareto(ctx context.Context, q cluster.Query, s cluster.Shard) (*cluster.Partial, error) {
+	if err := d.stall(ctx, len(s.Designs)); err != nil {
+		return nil, err
+	}
+	return d.Transport.Pareto(ctx, q, s)
+}
+
+func (d delayed) Sweep(ctx context.Context, q cluster.Query, s cluster.Shard) (*cluster.Partial, error) {
+	if err := d.stall(ctx, len(s.Designs)); err != nil {
+		return nil, err
+	}
+	return d.Transport.Sweep(ctx, q, s)
+}
+
+// simModel is the deterministic stand-in predictor: a pure function of
+// the config vector, so every worker agrees and frontier comparison is
+// byte-exact.
+type simModel struct{ phase float64 }
+
+func (m simModel) Predict(cfg space.Config) []float64 {
+	v := cfg.Vector()
+	out := make([]float64, 8)
+	for i := range out {
+		s := m.phase
+		for j, x := range v {
+			s += x * math.Sin(float64(i+j)+m.phase)
+		}
+		out[i] = 1 + math.Abs(s)
+	}
+	return out
+}
+
+func resolve(_ context.Context, benchmark, metric string) (core.DynamicsModel, error) {
+	if benchmark != "gcc" {
+		return nil, fmt.Errorf("unknown benchmark %q", benchmark)
+	}
+	switch metric {
+	case "CPI":
+		return simModel{phase: 0.3}, nil
+	case "Power":
+		return simModel{phase: 1.7}, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", metric)
+}
+
+func query() cluster.Query {
+	return cluster.Query{
+		Benchmark:  "gcc",
+		Objectives: []wire.ObjectiveSpec{{Metric: "CPI"}, {Metric: "Power", Kind: "worst"}},
+	}
+}
+
+func reference(designs []space.Config) ([]string, error) {
+	cpi, _ := resolve(context.Background(), "gcc", "CPI")
+	pow, _ := resolve(context.Background(), "gcc", "Power")
+	obj0, _ := (wire.ObjectiveSpec{Metric: "CPI"}).Build()
+	obj1, _ := (wire.ObjectiveSpec{Metric: "Power", Kind: "worst"}).Build()
+	res, err := explore.Sweep(designs, []core.DynamicsModel{cpi, pow}, []explore.Objective{obj0, obj1})
+	if err != nil {
+		return nil, err
+	}
+	return keys(res.Frontier), nil
+}
+
+func keys(cands []explore.Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = fmt.Sprintf("%v|%v", c.Config.SweptValues(), c.Scores)
+	}
+	sort.Strings(out)
+	return out
+}
