@@ -118,6 +118,14 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.warmLocal(w, r, req)
+}
+
+// warmLocal trains this daemon's own registry for a decoded, validated
+// warm request — shared by the worker route and a peer's local-scope
+// warm dispatch (a peer decodes once to read the scope, then either
+// trains here or fans out across the fleet).
+func (s *Server) warmLocal(w http.ResponseWriter, r *http.Request, req wire.WarmRequest) {
 	start := time.Now()
 	before := s.store.Trainings()
 	err := s.store.Warm(r.Context(), req.Benchmarks)

@@ -91,9 +91,11 @@ func (a *jobAPI) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobStream serves GET /v1/jobs/{id}/stream: NDJSON, one
-// cumulative snapshot per line, ending with the final update. A client
-// that reconnects is primed with the latest snapshot, so disconnects
-// lose nothing.
+// cumulative snapshot per line, ending with the final update. A
+// reconnecting client passes ?from_seq= (the last Seq it saw) and gets
+// the retained updates after that point replayed as a delta; past the
+// retention horizon — or without the parameter — it is primed with the
+// latest cumulative snapshot, so disconnects lose nothing either way.
 func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
@@ -112,30 +114,54 @@ func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	// clients) keep the one-stream mechanism without paying
 	// serialization for partials they would discard.
 	finalOnly := r.URL.Query().Get("updates") == "final"
-	updates, unsubscribe := job.Subscribe()
+	from := -1
+	if s := r.URL.Query().Get("from_seq"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, r, http.StatusBadRequest, "from_seq must be a non-negative integer, got %q", s)
+			return
+		}
+		from = n
+	}
+	var replay []api.Update
+	var updates <-chan api.Update
+	var unsubscribe func()
+	if from >= 0 {
+		replay, updates, unsubscribe = job.SubscribeFrom(from)
+	} else {
+		updates, unsubscribe = job.Subscribe()
+	}
 	defer unsubscribe()
 	w.Header().Set("Content-Type", api.ContentNDJSON)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	emit := func(u api.Update) (done bool) {
+		if finalOnly && !u.Final {
+			return false
+		}
+		// Pooled buffered encoding: one allocation-free marshal and a
+		// single Write per NDJSON line, so a sweep streaming snapshots
+		// at shard rate does not allocate per update.
+		if err := api.EncodeJSON(w, u); err != nil {
+			return true // client went away mid-line; it can resume
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return u.Final
+	}
+	for _, u := range replay {
+		if emit(u) {
+			return
+		}
+	}
 	for {
 		select {
 		case u, ok := <-updates:
 			if !ok {
 				return
 			}
-			if finalOnly && !u.Final {
-				continue
-			}
-			// Pooled buffered encoding: one allocation-free marshal and a
-			// single Write per NDJSON line, so a sweep streaming snapshots
-			// at shard rate does not allocate per update.
-			if err := api.EncodeJSON(w, u); err != nil {
-				return // client went away mid-line; it can resume
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			if u.Final {
+			if emit(u) {
 				return
 			}
 		case <-r.Context().Done():

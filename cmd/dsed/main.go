@@ -62,6 +62,22 @@
 // if the coordinator forgets it). The training-design sampling seed
 // moved to -train-seed.
 //
+// With -peers, the same binary runs the leaderless control plane
+// instead: every node is simultaneously a worker and a coordinator.
+// Membership converges by anti-entropy gossip (POST /v1/gossip) rather
+// than registration; any peer accepts POST /v1/sweeps or /v1/pareto and
+// coordinates that job across the alive fleet; and each running job's
+// recoverable state — spec, latest merged cumulative snapshot, shard
+// ledger — is replicated to -replicate peers (POST /v1/jobs/replicate)
+// after every merged shard, so when the owning node dies the first
+// alive replica adopts the job under its original ID and finishes it
+// with an identical answer. Job routes on any peer follow the job:
+// 307-redirecting to the owner (or its adopter) when it lives
+// elsewhere. pkg/dsedclient accepts a comma-separated endpoint list and
+// fails over between peers transparently, streams included.
+//
+//	dsed -addr 127.0.0.1:9401 -peers 127.0.0.1:9402,127.0.0.1:9403 -replicate 2 ...
+//
 // Example (see doc.go for the full submit → poll → stream → cancel tour):
 //
 //	dsed -addr :8090 -benchmarks gcc,mcf -metrics CPI,Power -train 40 -model-dir ./models
@@ -125,6 +141,8 @@ func main() {
 		seedList   = flag.String("seed", "", "comma-separated coordinator addresses to register with and heartbeat (worker mode; joins their fleets dynamically)")
 		advertise  = flag.String("advertise", "", "worker address advertised on /register (default -addr; set it when -addr binds a wildcard the coordinator cannot dial)")
 		debugAddr  = flag.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. localhost:6060); empty disables profiling")
+		peerList   = flag.String("peers", "", "comma-separated peer addresses (host:port); run as a symmetric peer: a full worker that also coordinates fleet-scope jobs, with membership by gossip and job survival by replication")
+		replicate  = flag.Int("replicate", 1, "peer mode: push each running job's recoverable state to this many peers, any of which can adopt the job if this node dies")
 		policy     = flag.String("policy", "affinity", "shard placement policy (coordinator mode): affinity, least-loaded, best-fit, or oversub")
 		hedgeF     = flag.Float64("hedge-factor", 3, "straggler hedging (coordinator mode): re-dispatch a shard when its elapsed time exceeds this multiple of its expected duration; 0 disables hedging")
 		straggle   = flag.Duration("straggle-per-design", 0, "fault injection (worker mode): sleep this long per evaluated design on sweep jobs, making this worker a deliberate straggler for hedging tests; 0 disables")
@@ -236,6 +254,36 @@ func main() {
 	if *straggle > 0 {
 		srv.straggle = *straggle
 		logger.Printf("fault injection: straggling %v per design on sweep jobs", *straggle)
+	}
+
+	// With peers configured, run the leaderless control plane: this node
+	// is simultaneously a worker (local-scope shards evaluate here) and a
+	// coordinator (fleet-scope jobs shard across whoever gossip says is
+	// alive), with running jobs replicated so a peer adopts them if this
+	// node dies.
+	if peers := splitList(*peerList); len(peers) > 0 {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		ps, err := newPeerServer(srv, self, peers, peerOptions{
+			coordOptions: coordOptions{
+				shardSize:     *shardSize,
+				targetShardMS: *targetMS,
+				heartbeat:     *heartbeat,
+				policy:        *policy,
+				hedgeFactor:   *hedgeF,
+			},
+			replicate: *replicate,
+		}, logger)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go ps.loop(ctx)
+		logger.Printf("peer mode: gossiping with %s every %v (replication factor %d)",
+			strings.Join(peers, ", "), *heartbeat, *replicate)
+		serve(ctx, *addr, ps.Handler(), logger)
+		return
 	}
 
 	// With seeds configured, join their fleets: register now, heartbeat

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -62,7 +63,7 @@ func NewServer(ctx context.Context, store *registry.Store, workers int, reqLog *
 			"Designs per evaluation chunk.", obs.SizeBuckets),
 		jobAPI: jobAPI{
 			jobs: api.NewManager(api.ManagerOptions{
-				ErrorStatus: registryStatus,
+				ErrorStatus: serverStatus,
 				BaseContext: ctx,
 				Obs:         tel.reg,
 			}),
@@ -131,6 +132,18 @@ func (s *Server) model(ctx context.Context, benchmark, metric string) (*core.Pre
 		return nil, 0, registryStatus(err), err
 	}
 	return p, m, http.StatusOK, nil
+}
+
+// serverStatus maps job errors onto HTTP statuses for every job this
+// server's table can hold: registry faults for local sweeps, plus a
+// worker's forwarded deterministic verdict for the fleet-scope jobs a
+// symmetric peer coordinates from the same table.
+func serverStatus(err error) int {
+	var rejected *cluster.WorkerRejection
+	if errors.As(err, &rejected) {
+		return rejected.Status
+	}
+	return registryStatus(err)
 }
 
 // registryStatus maps registry errors onto HTTP statuses.

@@ -25,7 +25,8 @@
 //     internal/wire (the daemon's shared JSON wire format),
 //     internal/api (the versioned /v1 route map, structured errors, and
 //     the async job subsystem), internal/cluster (the distributed sweep
-//     plane below), and internal/experiments (the paper's tables and
+//     plane below), internal/gossip (the leaderless membership table
+//     behind peer mode), and internal/experiments (the paper's tables and
 //     figures), driven by cmd/dse, cmd/dsed, cmd/simtrace, cmd/wavedemo,
 //     and examples/ — all speaking to the daemon through one typed
 //     client, pkg/dsedclient.
@@ -210,6 +211,69 @@
 // spilled elsewhere), so an operator can tell a dead machine from a bad
 // client from a saturated fleet.
 //
+// # Control plane
+//
+// The coordinator/worker split above has one seam left: the coordinator
+// is a distinguished process, and a job lives exactly as long as the
+// node that accepted it. Peer mode (-peers) removes both. Every peer is
+// a full worker that can also coordinate, membership is leaderless, and
+// a running job survives the death of the node coordinating it:
+//
+//	dsed -addr 127.0.0.1:9401 -peers 127.0.0.1:9402,127.0.0.1:9403 -replicate 2 ... &
+//	dsed -addr 127.0.0.1:9402 -peers 127.0.0.1:9401,127.0.0.1:9403 -replicate 2 ... &
+//	dsed -addr 127.0.0.1:9403 -peers 127.0.0.1:9401,127.0.0.1:9402 -replicate 2 ... &
+//
+// Membership is anti-entropy gossip (internal/gossip): each peer keeps a
+// versioned member table — per-member incarnation number, beat counter,
+// alive/suspect/dead state, and the capacity/model-inventory/queue-depth
+// payload the scheduler consumes — and each -heartbeat interval
+// exchanges full-table digests with one random peer over POST
+// /v1/gossip. Merge order is (incarnation, state badness, beat), so a
+// false suspicion loses to the accused peer's next self-refutation
+// (which bumps its own incarnation), and a death verdict sticks. A peer
+// unseen for two intervals turns suspect, for three turns dead; the
+// table projects onto each peer's local scheduling view through one
+// seam, so the scheduler and the gossip layer cannot disagree about who
+// is dispatchable. There is no leader, no quorum, no election — any
+// subset of live peers keeps accepting and finishing work.
+//
+// Any peer accepts POST /v1/sweeps (and /v1/pareto, /v1/warm) and
+// coordinates that job over the fleet; shard dispatches are stamped
+// scope=local so a shard is evaluated where it lands instead of
+// re-distributed forever. While a fleet-scope job runs, its owner
+// replicates a compact recovery state to -replicate peers after each
+// merged shard: the job spec, the latest merged cumulative snapshot
+// (with original design indices, so top-K tie-breaking survives the
+// handoff), and the shard ledger — exactly which design ranges have
+// merged. Because collectors are associative and snapshots cumulative,
+// that state is the whole job.
+//
+// When gossip declares an owner dead, the first live replica in the
+// job's (rendezvous-hashed) replica list adopts: it restarts the job
+// under the same job ID with the update sequence continued past the
+// owner's last replicated seq, re-dispatches only the ledger's
+// complement, and merges on top of the snapshot — every design still
+// evaluates exactly once across the handoff, and the final answer is
+// byte-identical to the uninterrupted run (property-tested at every
+// shard boundary in internal/cluster). Non-owners answer /v1/jobs/{id}
+// for replicated jobs with a 307 to the owner (or the adopter, once the
+// owner is dead), so a client can ask any peer about any job. The
+// adopter splices the owner's replicated spans into its own trace tree
+// under an "adopt" span, so GET /v1/jobs/{id}/trace still returns one
+// connected tree spanning both owners' lifetimes.
+//
+// pkg/dsedclient closes the loop: New accepts a comma-separated
+// endpoint list, rotates to the next endpoint on dial failure, replays
+// Stream reconnects with ?from_seq= (the server answers with the delta
+// the reader missed, or the latest cumulative snapshot if that fell off
+// the 64-update history ring), and tolerates the brief 404/503 window
+// between an owner's death and the adoption. A streaming client
+// watching a sweep when its coordinator dies sees at most a pause.
+// Observability: dsed_gossip_rounds_total{result},
+// dsed_gossip_members{state}, dsed_gossip_members_divergence (how far
+// this peer's view lags the freshest beat it has seen),
+// dsed_gossip_refutations_total, and dsed_jobs_adopted_total{reason}.
+//
 // # Scheduling
 //
 // Shard placement is a pluggable policy (cluster.Policy), selected per
@@ -387,7 +451,7 @@
 //
 //	go run ./cmd/dsedlint ./...
 //
-// The suite enforces five invariants, each rooted in a past or plausible
+// The suite enforces six invariants, each rooted in a past or plausible
 // fleet failure mode:
 //
 //   - ctxflow: no context.Background()/context.TODO() outside package
@@ -413,6 +477,14 @@
 //     clock-typed field) must use it everywhere — a raw time.Now or
 //     time.Sleep beside a seam silently escapes the fake clock in tests
 //     and re-introduces flakes the seam existed to kill.
+//   - memberseam: cluster.Coordinator.Join/Heartbeat/Leave may be called
+//     only from membership seams (functions named like *register*,
+//     *heartbeat*, *gossip*, *membership*). Under the leaderless control
+//     plane the scheduling member table is a projection of the gossip
+//     view; a stray Join in a request handler or a Leave in an error
+//     path is a resurrected single-coordinator assumption that forks the
+//     two views — the scheduler dispatches to peers gossip has declared
+//     dead, or never learns about ones it resurrected.
 //
 // False positives are suppressed inline, never silently: a
 // //dsedlint:ignore <analyzer> <reason> directive on (or immediately

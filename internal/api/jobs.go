@@ -114,6 +114,11 @@ type Publisher interface {
 	// JobID names the job being published to — runners use it to tag
 	// trace spans and bind them in the trace store.
 	JobID() string
+	// Seq is the stream's current sequence number. A replicating runner
+	// stamps it into each replication payload so an adopter can continue
+	// the same sequence — a client that failed over mid-stream then keeps
+	// its dedup-by-seq logic without knowing the owner changed.
+	Seq() int
 }
 
 // RunFunc computes one job: it publishes cumulative snapshots through pub
@@ -233,6 +238,7 @@ type Job struct {
 	retries     int
 	attribution map[string]int
 	last        *Update
+	history     []Update // bounded recent-update ring for ?from_seq= replay
 	result      any
 	errBody     *Error
 	finished    time.Time
@@ -246,7 +252,7 @@ type Job struct {
 // API) and cancelled only by DELETE /v1/jobs/{id} or BaseContext dying
 // (daemon shutdown). Submissions beyond MaxRunning answer ErrTooManyJobs.
 func (m *Manager) Start(kind JobKind, benchmark string, designs int, run RunFunc) (*Job, error) {
-	return m.start(kind, benchmark, designs, run, true)
+	return m.start("", kind, benchmark, designs, 0, run, true)
 }
 
 // StartUnbounded is Start without the MaxRunning admission gate — the
@@ -254,11 +260,24 @@ func (m *Manager) Start(kind JobKind, benchmark string, designs int, run RunFunc
 // routes were bounded only by HTTP concurrency and the shims must not
 // invent a new 429 failure mode (nor occupy /v1 submission slots).
 func (m *Manager) StartUnbounded(kind JobKind, benchmark string, designs int, run RunFunc) (*Job, error) {
-	return m.start(kind, benchmark, designs, run, false)
+	return m.start("", kind, benchmark, designs, 0, run, false)
+}
+
+// StartAdopted submits a job under a caller-supplied identity: the ID of
+// the orphaned job being adopted, with the update sequence pre-advanced
+// past the owner's last replicated Seq. Streaming clients that fail over
+// keep their job ID and their skip-duplicates-by-seq logic; they never
+// learn the owner changed. Adoption bypasses the MaxRunning gate — a
+// node must not refuse to rescue an orphan because it is busy.
+func (m *Manager) StartAdopted(id string, kind JobKind, benchmark string, designs, startSeq int, run RunFunc) (*Job, error) {
+	if id == "" {
+		return nil, errors.New("api: adoption needs the orphaned job's id")
+	}
+	return m.start(id, kind, benchmark, designs, startSeq, run, false)
 }
 
 //dsedlint:ignore ctxflow the job deliberately detaches from the submitting request; its lifetime is BaseContext + per-job cancel
-func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc, enforceLimit bool) (*Job, error) {
+func (m *Manager) start(id string, kind JobKind, benchmark string, designs, startSeq int, run RunFunc, enforceLimit bool) (*Job, error) {
 	m.mu.Lock()
 	m.evictLocked()
 	if enforceLimit && m.running >= m.opts.MaxRunning {
@@ -266,9 +285,15 @@ func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc
 		return nil, fmt.Errorf("%w (%d in flight)", ErrTooManyJobs, m.opts.MaxRunning)
 	}
 	m.seq++
+	if id == "" {
+		id = fmt.Sprintf("%s-%d-%s", kind, m.seq, NewRequestID()[:8])
+	} else if m.jobs[id] != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("api: job %q already exists", id)
+	}
 	now := m.opts.Clock()
 	job := &Job{
-		ID:        fmt.Sprintf("%s-%d-%s", kind, m.seq, NewRequestID()[:8]),
+		ID:        id,
 		Kind:      kind,
 		Benchmark: benchmark,
 		created:   now,
@@ -277,6 +302,7 @@ func (m *Manager) start(kind JobKind, benchmark string, designs int, run RunFunc
 		dropped:   m.mDropped,
 		subsGauge: m.mSubscribers,
 		state:     StateRunning,
+		seq:       startSeq,
 		designs:   designs,
 		subs:      make(map[int]chan Update),
 		counted:   enforceLimit,
@@ -579,6 +605,10 @@ func (j *Job) publishLocked(u Update) {
 		j.attribution[u.Worker] += u.Delta
 	}
 	j.last = &u
+	j.history = append(j.history, u)
+	if len(j.history) > historyCap {
+		j.history = j.history[len(j.history)-historyCap:]
+	}
 	for _, ch := range j.subs {
 		select {
 		case ch <- u:
@@ -629,8 +659,64 @@ func (j *Job) Subscribe() (<-chan Update, func()) {
 	}
 }
 
+// historyCap bounds per-job retained updates for SubscribeFrom replay.
+// Updates are cumulative snapshots, so a reconnecting reader past the
+// horizon loses nothing by falling back to the latest one; the ring only
+// exists to spare well-behaved reconnects the full-snapshot re-send.
+const historyCap = 64
+
+// SubscribeFrom is Subscribe for a reader resuming after a dropped
+// connection: replay holds the retained updates with Seq > from, oldest
+// first, and ch then delivers everything after those. If from predates
+// the retained history (or is negative), replay degrades to the latest
+// cumulative snapshot alone — still correct, just not a delta. The
+// subscriber is registered under the same lock that builds replay, so no
+// update can fall between the two.
+func (j *Job) SubscribeFrom(from int) ([]Update, <-chan Update, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var replay []Update
+	switch {
+	case j.last == nil:
+		// nothing published yet
+	case from >= 0 && len(j.history) > 0 && j.history[0].Seq <= from+1:
+		for _, u := range j.history {
+			if u.Seq > from {
+				replay = append(replay, u)
+			}
+		}
+	default:
+		replay = []Update{*j.last}
+	}
+	ch := make(chan Update, 8)
+	if j.state.Terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.subsGauge.Add(1)
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+			j.subsGauge.Add(-1)
+		}
+	}
+}
+
 // JobID implements Publisher.
 func (j *Job) JobID() string { return j.ID }
+
+// Seq implements Publisher: the stream's current sequence number.
+func (j *Job) Seq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
 
 // Done closes when the job settles.
 func (j *Job) Done() <-chan struct{} { return j.done }

@@ -254,6 +254,18 @@ type Progress struct {
 	Workers int
 	// Candidates is the merged partial frontier / top-K snapshot.
 	Candidates []explore.Candidate
+	// ShardStart and ShardLen identify the merged shard's design range
+	// [ShardStart, ShardStart+ShardLen) — the unit a replication ledger
+	// records, so a peer adopting the job re-dispatches exactly the
+	// complement.
+	ShardStart int
+	ShardLen   int
+	// Indexed is the snapshot with original design indices preserved
+	// (top-K sweeps only; nil on frontier jobs, which are
+	// index-independent). Top-K selection tie-breaks on indices, so a
+	// snapshot that later re-seeds a collector must carry them for the
+	// resumed answer to stay bit-identical.
+	Indexed []IndexedCandidate
 }
 
 // Observer receives Progress snapshots. It is called under the merge
@@ -272,46 +284,10 @@ func (c *Coordinator) Pareto(ctx context.Context, q Query, designs []space.Confi
 // sees the merged frontier after every shard, so a serving layer can
 // stream partial frontiers to its client while the sweep runs.
 func (c *Coordinator) ParetoObserved(ctx context.Context, q Query, designs []space.Config, obs Observer) (*ParetoResult, error) {
-	merged := explore.NewFrontierCollector()
-	var mu sync.Mutex
-	evaluated := 0
-	mergedShards := 0
-	shards, retries, err := c.run(ctx, q, designs, Transport.Pareto, func(worker string, p *Partial) {
-		// The rebuilt per-shard collector exists to feed Merge; its seen
-		// counter covers only the shipped frontier, so the authoritative
-		// design count is the summed partial.Evaluated, not merged.Seen().
-		part := explore.NewFrontierCollector()
-		for _, ic := range p.Candidates {
-			part.Collect(ic.Index, ic.Candidate)
-		}
-		c.metrics.mergeSize.Observe(float64(len(p.Candidates)))
-		mu.Lock()
-		defer mu.Unlock()
-		evaluated += p.Evaluated
-		mergedShards++
-		merged.Merge(part)
-		if obs != nil {
-			// Feasible stays zero: feasibility is a constrained-sweep
-			// notion with no meaning on a frontier job.
-			obs(Progress{
-				Worker:     worker,
-				Delta:      p.Evaluated,
-				Evaluated:  evaluated,
-				Shards:     mergedShards,
-				Workers:    c.memberCount(),
-				Candidates: merged.Frontier(),
-			})
-		}
-	})
-	if err != nil {
-		return nil, err
+	if len(designs) == 0 {
+		return nil, fmt.Errorf("cluster: no designs to sweep")
 	}
-	return &ParetoResult{
-		Evaluated: evaluated,
-		Frontier:  merged.Frontier(),
-		Shards:    shards,
-		Retries:   retries,
-	}, nil
+	return c.ParetoResumeObserved(ctx, q, []Segment{{Designs: designs}}, Seed{}, obs)
 }
 
 // Sweep distributes a constrained top-K sweep: each shard answers its own
@@ -324,50 +300,10 @@ func (c *Coordinator) Sweep(ctx context.Context, q Query, designs []space.Config
 // SweepObserved is Sweep with a streaming observer: obs (when non-nil)
 // sees the merged feasible top-K after every shard.
 func (c *Coordinator) SweepObserved(ctx context.Context, q Query, designs []space.Config, obs Observer) (*SweepResult, error) {
-	if q.TopK <= 0 {
-		q.TopK = 10
+	if len(designs) == 0 {
+		return nil, fmt.Errorf("cluster: no designs to sweep")
 	}
-	merged := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
-	var mu sync.Mutex
-	evaluated, feasible := 0, 0
-	mergedShards := 0
-	shards, retries, err := c.run(ctx, q, designs, Transport.Sweep, func(worker string, p *Partial) {
-		part := explore.NewTopK(q.TopK, q.Objective, q.Constraints)
-		for _, ic := range p.Candidates {
-			part.Collect(ic.Index, ic.Candidate)
-		}
-		c.metrics.mergeSize.Observe(float64(len(p.Candidates)))
-		mu.Lock()
-		defer mu.Unlock()
-		// The partial's counters cover the whole shard; the rebuilt
-		// collector saw only its k survivors, so the response counts come
-		// from the partial sums, not the merged collector.
-		evaluated += p.Evaluated
-		feasible += p.Feasible
-		mergedShards++
-		merged.Merge(part)
-		if obs != nil {
-			obs(Progress{
-				Worker:     worker,
-				Delta:      p.Evaluated,
-				Evaluated:  evaluated,
-				Feasible:   feasible,
-				Shards:     mergedShards,
-				Workers:    c.memberCount(),
-				Candidates: merged.Results(),
-			})
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &SweepResult{
-		Evaluated:  evaluated,
-		Feasible:   feasible,
-		Candidates: merged.Results(),
-		Shards:     shards,
-		Retries:    retries,
-	}, nil
+	return c.SweepResumeObserved(ctx, q, []Segment{{Designs: designs}}, Seed{}, obs)
 }
 
 // run is the shared distribution engine: a bounded pool of dispatchers
@@ -378,14 +314,11 @@ func (c *Coordinator) SweepObserved(ctx context.Context, q Query, designs []spac
 // a worker joining mid-run starts taking shards, one dying forfeits only
 // its in-flight shards. merge may be called concurrently; callers
 // serialise their own state.
-func (c *Coordinator) run(ctx context.Context, q Query, designs []space.Config,
+func (c *Coordinator) run(ctx context.Context, q Query, segments []Segment,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
-	merge func(worker string, p *Partial)) (shards, retries int, err error) {
+	merge func(worker string, s Shard, p *Partial)) (shards, retries int, err error) {
 
-	if len(designs) == 0 {
-		return 0, 0, fmt.Errorf("cluster: no designs to sweep")
-	}
-	cv := &carver{designs: designs}
+	cv := &carver{segments: segments}
 	var (
 		errMu        sync.Mutex
 		errs         []error
@@ -508,7 +441,7 @@ const (
 func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *member,
 	abort context.CancelCauseFunc, localRetries *atomic.Int64,
 	call func(t Transport, ctx context.Context, q Query, s Shard) (*Partial, error),
-	merge func(worker string, p *Partial)) error {
+	merge func(worker string, s Shard, p *Partial)) error {
 
 	tried := make(map[string]bool)
 	// Buffered to the attempt fan-out ceiling (one primary + one hedge),
@@ -665,7 +598,7 @@ func (c *Coordinator) runShard(ctx context.Context, q Query, s Shard, first *mem
 				}
 				c.tracer.Import(o.p.Spans)
 				c.observe(o.m, len(s.Designs), o.elapsed)
-				merge(o.m.name, o.p)
+				merge(o.m.name, s, o.p)
 				settle()
 				return nil
 			}

@@ -51,7 +51,7 @@ func (h *HTTP) Healthy(ctx context.Context) error {
 
 // Warm implements Transport.
 func (h *HTTP) Warm(ctx context.Context, benchmarks []string) (int, error) {
-	resp, err := h.c.Warm(ctx, benchmarks)
+	resp, err := h.c.WarmScoped(ctx, benchmarks, wire.ScopeLocal)
 	if err != nil {
 		return 0, h.classify(err)
 	}
@@ -92,6 +92,10 @@ func (h *HTTP) Pareto(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		Benchmark:  q.Benchmark,
 		Objectives: q.Objectives,
 		SpaceSpec:  wire.SpaceSpec{Designs: shardSpecs(s.Designs)},
+		// Shards must evaluate where they land: without the local scope a
+		// symmetric peer would re-distribute its shard to the fleet,
+		// recursing forever.
+		Scope: wire.ScopeLocal,
 	}
 	resp, err := h.c.ParetoJob(ctx, req, nil)
 	if err != nil {
@@ -118,6 +122,7 @@ func (h *HTTP) Sweep(ctx context.Context, q Query, s Shard) (*Partial, error) {
 		TopK:        q.TopK,
 		Objective:   q.Objective,
 		Constraints: constraints,
+		Scope:       wire.ScopeLocal, // see Pareto: peers must not re-distribute shards
 	}
 	resp, err := h.c.SweepJob(ctx, req, nil)
 	if err != nil {

@@ -1,9 +1,5 @@
 package cluster
 
-import (
-	"repro/internal/space"
-)
-
 // This file is the coordinator's shard scheduler: shards are carved off
 // the design list on demand (not pre-partitioned), each sized for the
 // worker about to take it, and each placed by the configured Policy
@@ -11,32 +7,42 @@ import (
 // ring routing by default, queue-depth, packing, or oversubscription
 // strategies by choice.
 
-// carver hands out contiguous shards of a sweep's design list on demand.
-// Shard boundaries do not affect the merged answer (the reductions are
-// associative and property-tested shard-size-independent), so the carver
-// is free to size every bite for whichever worker takes it. Callers
-// serialise access (the coordinator carves under its own lock).
+// carver hands out contiguous shards of a sweep's remaining design
+// segments on demand. A fresh sweep is one segment covering the whole
+// list; an adopted sweep's segments are the complement of the replicated
+// shard ledger, with Start offsets preserved so every candidate keeps
+// the index it would have had in the uninterrupted run. Shard boundaries
+// do not affect the merged answer (the reductions are associative and
+// property-tested shard-size-independent), so the carver is free to size
+// every bite for whichever worker takes it. Callers serialise access
+// (the coordinator carves under its own lock).
 type carver struct {
-	designs []space.Config
-	next    int
+	segments []Segment
+	seg      int // current segment
+	off      int // offset within it
 }
 
-// take carves the next shard of up to n designs; ok is false when the
-// list is exhausted.
+// take carves the next shard of up to n designs; ok is false when every
+// segment is exhausted. A shard never spans segments: the ranges between
+// them are already merged, and re-evaluating them would double-count.
 func (cv *carver) take(n int) (Shard, bool) {
-	if cv.next >= len(cv.designs) {
+	for cv.seg < len(cv.segments) && cv.off >= len(cv.segments[cv.seg].Designs) {
+		cv.seg++
+		cv.off = 0
+	}
+	if cv.seg >= len(cv.segments) {
 		return Shard{}, false
 	}
 	if n < 1 {
 		n = 1
 	}
-	end := cv.next + n
-	if end > len(cv.designs) {
-		end = len(cv.designs)
+	s := cv.segments[cv.seg]
+	if rest := len(s.Designs) - cv.off; n > rest {
+		n = rest
 	}
-	s := Shard{Start: cv.next, Designs: cv.designs[cv.next:end]}
-	cv.next = end
-	return s, true
+	shard := Shard{Start: s.Start + cv.off, Designs: s.Designs[cv.off : cv.off+n]}
+	cv.off += n
+	return shard, true
 }
 
 // nextAssignment carves the next shard and claims a worker slot for it.

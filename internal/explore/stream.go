@@ -139,6 +139,32 @@ func (t *TopK) Results() []Candidate {
 	return out
 }
 
+// IndexedEntry is one retained candidate together with its position in
+// the original design list — the replication form of a TopK snapshot.
+// Results drops indices, but selection tie-breaks on them, so a
+// snapshot that will later re-enter a collector via Collect (job
+// adoption) must carry them to stay bit-identical with an uninterrupted
+// run.
+type IndexedEntry struct {
+	Index     int
+	Candidate Candidate
+}
+
+// Entries returns the retained candidates with their original design
+// indices, best first. Scores are deep copies, like Results.
+func (t *TopK) Entries() []IndexedEntry {
+	entries := append([]topkEntry(nil), t.heap...)
+	sort.Slice(entries, func(a, b int) bool { return t.worse(entries[b], entries[a]) })
+	out := make([]IndexedEntry, len(entries))
+	for i, e := range entries {
+		out[i] = IndexedEntry{
+			Index:     e.index,
+			Candidate: Candidate{Config: e.c.Config, Scores: append([]float64(nil), e.c.Scores...)},
+		}
+	}
+	return out
+}
+
 // Seen returns how many candidates were offered.
 func (t *TopK) Seen() int { return t.seen }
 

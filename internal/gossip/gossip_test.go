@@ -1,0 +1,152 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeClock is a settable clock; gossip transitions are pure functions
+// of it, so none of these tests sleep.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTable(self string, clock *fakeClock) *Table {
+	return New(Options{
+		Self:         self,
+		SuspectAfter: 10 * time.Second,
+		DeadAfter:    30 * time.Second,
+		Clock:        clock.now,
+	})
+}
+
+func TestSuspectDeadTransitions(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTable("a:1", clock)
+	tb.Merge([]wire.GossipEntry{{Addr: "b:1", State: wire.GossipAlive, Beat: 1}})
+
+	if got := tb.State("b:1"); got != wire.GossipAlive {
+		t.Fatalf("fresh member state = %q, want alive", got)
+	}
+	clock.advance(9 * time.Second)
+	if n := tb.Sweep(); n != 0 {
+		t.Fatalf("premature transitions: %d", n)
+	}
+	clock.advance(2 * time.Second) // 11s unseen > SuspectAfter
+	if n := tb.Sweep(); n != 1 || tb.State("b:1") != wire.GossipSuspect {
+		t.Fatalf("after 11s: %d transitions, state %q; want 1, suspect", n, tb.State("b:1"))
+	}
+	clock.advance(20 * time.Second) // 31s unseen > DeadAfter
+	if n := tb.Sweep(); n != 1 || tb.State("b:1") != wire.GossipDead {
+		t.Fatalf("after 31s: %d transitions, state %q; want 1, dead", n, tb.State("b:1"))
+	}
+	// Dead is sticky at this incarnation: a stale alive claim loses.
+	tb.Merge([]wire.GossipEntry{{Addr: "b:1", State: wire.GossipAlive, Beat: 50}})
+	if got := tb.State("b:1"); got != wire.GossipDead {
+		t.Fatalf("stale alive overturned death: state %q", got)
+	}
+	// A higher incarnation resurrects it.
+	tb.Merge([]wire.GossipEntry{{Addr: "b:1", Incarnation: 1, State: wire.GossipAlive}})
+	if got := tb.State("b:1"); got != wire.GossipAlive {
+		t.Fatalf("incarnation bump did not resurrect: state %q", got)
+	}
+}
+
+func TestWitnessPostponesSuspicion(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTable("a:1", clock)
+	tb.Merge([]wire.GossipEntry{{Addr: "b:1", State: wire.GossipAlive}})
+	clock.advance(9 * time.Second)
+	tb.Witness("b:1") // direct contact resets the aging clock
+	clock.advance(9 * time.Second)
+	if n := tb.Sweep(); n != 0 || tb.State("b:1") != wire.GossipAlive {
+		t.Fatalf("witnessed member aged anyway: %d transitions, state %q", n, tb.State("b:1"))
+	}
+}
+
+func TestIncarnationRefutation(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTable("a:1", clock)
+	// The fleet thinks we are suspect at our current incarnation.
+	tb.Merge([]wire.GossipEntry{{Addr: "a:1", Incarnation: 0, State: wire.GossipSuspect}})
+	self := tb.Digest()[0]
+	if self.Incarnation != 1 || self.State != wire.GossipAlive {
+		t.Fatalf("self after suspicion = inc %d state %q, want inc 1 alive", self.Incarnation, self.State)
+	}
+	// A death claim at the bumped incarnation forces another bump.
+	tb.Merge([]wire.GossipEntry{{Addr: "a:1", Incarnation: 1, State: wire.GossipDead}})
+	self = tb.Digest()[0]
+	if self.Incarnation != 2 || self.State != wire.GossipAlive {
+		t.Fatalf("self after death claim = inc %d state %q, want inc 2 alive", self.Incarnation, self.State)
+	}
+	// An alive claim about us at a lower incarnation changes nothing.
+	tb.Merge([]wire.GossipEntry{{Addr: "a:1", Incarnation: 0, State: wire.GossipAlive}})
+	if self = tb.Digest()[0]; self.Incarnation != 2 {
+		t.Fatalf("stale self claim moved incarnation to %d", self.Incarnation)
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTable("a:1", clock)
+	tb.Merge([]wire.GossipEntry{{Addr: "b:1", Incarnation: 1, Beat: 5, State: wire.GossipAlive}})
+
+	cases := []struct {
+		name  string
+		in    wire.GossipEntry
+		state string
+		beat  uint64
+	}{
+		{"stale incarnation loses", wire.GossipEntry{Addr: "b:1", Incarnation: 0, Beat: 99, State: wire.GossipDead}, wire.GossipAlive, 5},
+		{"same incarnation higher beat wins", wire.GossipEntry{Addr: "b:1", Incarnation: 1, Beat: 7, State: wire.GossipAlive}, wire.GossipAlive, 7},
+		{"same incarnation lower beat loses", wire.GossipEntry{Addr: "b:1", Incarnation: 1, Beat: 6, State: wire.GossipAlive}, wire.GossipAlive, 7},
+		{"suspect beats alive at same incarnation", wire.GossipEntry{Addr: "b:1", Incarnation: 1, Beat: 0, State: wire.GossipSuspect}, wire.GossipSuspect, 0},
+		{"dead beats suspect at same incarnation", wire.GossipEntry{Addr: "b:1", Incarnation: 1, Beat: 0, State: wire.GossipDead}, wire.GossipDead, 0},
+		{"higher incarnation beats dead", wire.GossipEntry{Addr: "b:1", Incarnation: 2, Beat: 0, State: wire.GossipAlive}, wire.GossipAlive, 0},
+	}
+	for _, tc := range cases {
+		tb.Merge([]wire.GossipEntry{tc.in})
+		got := entryFor(t, tb, "b:1")
+		if got.State != tc.state || got.Beat != tc.beat {
+			t.Fatalf("%s: state %q beat %d, want %q %d", tc.name, got.State, got.Beat, tc.state, tc.beat)
+		}
+	}
+}
+
+func TestDigestConvergence(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	a, b := newTable("a:1", clock), newTable("b:1", clock)
+	a.SetLocalInfo(4, []string{"gcc"}, nil)
+	b.SetLocalInfo(2, []string{"mcf"}, nil)
+	// One push-pull exchange: a pushes to b, b answers with its digest.
+	if changed := b.Merge(a.Digest()); changed == 0 {
+		t.Fatal("b learned nothing from a's digest")
+	}
+	if changed := a.Merge(b.Digest()); changed == 0 {
+		t.Fatal("a learned nothing from b's digest")
+	}
+	// Second exchange changes nothing: the views converged.
+	if changed := b.Merge(a.Digest()); changed != 0 {
+		t.Fatalf("views did not converge: %d entries still changing", changed)
+	}
+	if got := len(a.Alive()); got != 2 {
+		t.Fatalf("a sees %d alive members, want 2", got)
+	}
+	if e := entryFor(t, a, "b:1"); e.Capacity != 2 || len(e.Benchmarks) != 1 || e.Benchmarks[0] != "mcf" {
+		t.Fatalf("inventory did not replicate: %+v", e)
+	}
+}
+
+func entryFor(t *testing.T, tb *Table, addr string) wire.GossipEntry {
+	t.Helper()
+	for _, e := range tb.Snapshot() {
+		if e.Addr == addr {
+			return e
+		}
+	}
+	t.Fatalf("no entry for %s", addr)
+	return wire.GossipEntry{}
+}

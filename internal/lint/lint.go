@@ -20,6 +20,7 @@ func All() []*analysis.Analyzer {
 		HTTPErr,
 		JSONEnc,
 		ClockInject,
+		MemberSeam,
 	}
 }
 

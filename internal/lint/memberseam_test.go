@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMemberSeam(t *testing.T) {
+	analysistest.Run(t, lint.MemberSeam, "memberseam")
+}

@@ -1,0 +1,22 @@
+// Scratch stand-in for the real cluster package: just enough shape for
+// the memberseam fixture to type-check (the analyzer matches the
+// Coordinator receiver by name and package, not by import path).
+package cluster
+
+// MemberInfo mirrors the real membership advert.
+type MemberInfo struct {
+	Capacity   int
+	Benchmarks []string
+}
+
+// Coordinator mirrors the real member-table owner.
+type Coordinator struct{}
+
+func (c *Coordinator) Join(t any, info MemberInfo) (bool, error) { return true, nil }
+func (c *Coordinator) Heartbeat(name string, info MemberInfo) error {
+	return nil
+}
+func (c *Coordinator) Leave(name string) bool { return false }
+
+// Workers is a read, not a mutation; reads are always allowed.
+func (c *Coordinator) Workers() []string { return nil }

@@ -291,6 +291,10 @@ type SweepRequest struct {
 	// Objective indexes Objectives as the minimisation target (default 0).
 	Objective   int          `json:"objective,omitempty"`
 	Constraints []Constraint `json:"constraints,omitempty"`
+	// Scope is empty for an ordinary submission, or ScopeLocal on a
+	// shard dispatched by a coordinating node — a symmetric peer then
+	// evaluates it locally instead of distributing it again.
+	Scope string `json:"scope,omitempty"`
 }
 
 // Validate rejects malformed sweep requests — empty or unknown
@@ -308,6 +312,19 @@ func (r SweepRequest) Validate() error {
 		if con.Objective < 0 || con.Objective >= len(r.Objectives) {
 			return fmt.Errorf("constraint objective index %d out of range", con.Objective)
 		}
+	}
+	return validateScope(r.Scope)
+}
+
+// ScopeLocal marks a request as a shard of a distributed job: the
+// receiving node must evaluate it on its own registry, never fan it out
+// again. Without the marker two symmetric peers would bounce a sweep
+// between their coordinators forever.
+const ScopeLocal = "local"
+
+func validateScope(scope string) error {
+	if scope != "" && scope != ScopeLocal {
+		return fmt.Errorf("unknown scope %q (want empty or %q)", scope, ScopeLocal)
 	}
 	return nil
 }
@@ -350,12 +367,17 @@ type ParetoRequest struct {
 	Benchmark  string          `json:"benchmark"`
 	Objectives []ObjectiveSpec `json:"objectives"`
 	SpaceSpec
+	// Scope: see SweepRequest.Scope.
+	Scope string `json:"scope,omitempty"`
 }
 
 // Validate rejects malformed frontier requests; shared by a worker's
 // /pareto and a coordinator's /cluster/pareto.
 func (r ParetoRequest) Validate() error {
-	return validateObjectives(r.Objectives)
+	if err := validateObjectives(r.Objectives); err != nil {
+		return err
+	}
+	return validateScope(r.Scope)
 }
 
 // ParetoResponse answers POST /pareto.
@@ -372,6 +394,8 @@ type ParetoResponse struct {
 // them — the admin hook a coordinator uses to place models on workers.
 type WarmRequest struct {
 	Benchmarks []string `json:"benchmarks"`
+	// Scope: see SweepRequest.Scope.
+	Scope string `json:"scope,omitempty"`
 }
 
 // MaxWarmBenchmarks bounds one warm request; warming is training, so the
@@ -387,7 +411,7 @@ func (r WarmRequest) Validate() error {
 	if len(r.Benchmarks) > MaxWarmBenchmarks {
 		return fmt.Errorf("warm accepts at most %d benchmarks (got %d)", MaxWarmBenchmarks, len(r.Benchmarks))
 	}
-	return nil
+	return validateScope(r.Scope)
 }
 
 // WarmResponse answers POST /warm.

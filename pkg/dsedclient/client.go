@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -39,13 +41,18 @@ import (
 // approach this.
 const maxResponse = 64 << 20
 
-// Client speaks the /v1 API of one daemon (worker or coordinator).
+// Client speaks the /v1 API of a daemon — or, in a leaderless fleet, of
+// any of several equivalent peers: New accepts a comma-separated
+// endpoint list, and the client fails over to the next endpoint when
+// the current one stops answering (a dial error proves the request
+// never reached a daemon, so failover is safe even for POSTs).
 // It is safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	endpoints []string
+	cur       atomic.Int32
+	hc        *http.Client
+	retries   int
+	backoff   time.Duration
 }
 
 // Option tunes a Client.
@@ -82,16 +89,27 @@ func WithBackoff(d time.Duration) Option {
 }
 
 // New builds a client for the daemon at base (e.g. "host:8090" or
-// "http://host:8090").
+// "http://host:8090"), or for a symmetric peer fleet when base is a
+// comma-separated list ("host1:8090,host2:8090") — requests go to one
+// endpoint at a time and fail over on connection errors.
 func New(base string, opts ...Option) *Client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
 	c := &Client{
-		base:    strings.TrimRight(base, "/"),
 		hc:      http.DefaultClient,
 		retries: 2,
 		backoff: 100 * time.Millisecond,
+	}
+	for _, e := range strings.Split(base, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !strings.Contains(e, "://") {
+			e = "http://" + e
+		}
+		c.endpoints = append(c.endpoints, strings.TrimRight(e, "/"))
+	}
+	if len(c.endpoints) == 0 {
+		c.endpoints = []string{"http://" + base}
 	}
 	for _, o := range opts {
 		o(c)
@@ -99,9 +117,36 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// Base returns the normalised base URL — also the worker name a
-// coordinator files this daemon under.
-func (c *Client) Base() string { return c.base }
+// Base returns the first normalised base URL — also the worker name a
+// coordinator files this daemon under. It is deliberately stable under
+// failover: the name must not change because a request was served by a
+// different peer.
+func (c *Client) Base() string { return c.endpoints[0] }
+
+// endpoint is the base URL requests currently go to.
+func (c *Client) endpoint() string {
+	return c.endpoints[int(c.cur.Load())%len(c.endpoints)]
+}
+
+// rotate advances to the next endpoint, but only if the current one is
+// still the endpoint that just failed — concurrent failures move the
+// cursor once, not once per caller.
+func (c *Client) rotate(from string) {
+	if len(c.endpoints) < 2 {
+		return
+	}
+	cur := c.cur.Load()
+	if c.endpoints[int(cur)%len(c.endpoints)] == from {
+		c.cur.CompareAndSwap(cur, cur+1)
+	}
+}
+
+// isDialError reports whether err failed before the request was sent —
+// the one transport failure where retrying a POST cannot double-apply.
+func isDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
 
 // APIError is a daemon's structured /v1 error (legacy envelopes decode
 // into it too, with the code derived from the status).
@@ -162,7 +207,12 @@ func errorFromBody(status int, raw []byte) *APIError {
 }
 
 // do sends one JSON request, retrying retryable failures, and decodes a
-// 2xx answer into out (nil discards the body).
+// 2xx answer into out (nil discards the body). Against a multi-endpoint
+// fleet, a retryable verdict or a GET's 404 also rotates to the next
+// peer before the retry: any peer can serve the request, and during the
+// window after an owner dies a peer legitimately answers 404 or 503 for
+// a job that lives (or is about to live) on its successor — the same
+// tolerance Stream.resume extends mid-stream.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -173,13 +223,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, payload, out)
+		base := c.endpoint()
+		err := c.once(ctx, base, method, path, payload, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
-		if attempt >= c.retries || !c.shouldRetry(method, err) {
+		if attempt >= c.retries || !(c.shouldRetry(method, err) || c.notFoundElsewhere(method, err)) {
 			return lastErr
+		}
+		if IsRetryable(err) || c.notFoundElsewhere(method, err) {
+			c.rotate(base)
 		}
 		if err := sleep(ctx, c.backoff<<attempt); err != nil {
 			return lastErr
@@ -187,9 +241,23 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
+// notFoundElsewhere reports whether a 404 should burn a retry against
+// the next peer instead of standing as a verdict: only for GETs, and
+// only against a multi-endpoint fleet, where "not here" does not mean
+// "nowhere" while a job moves to its adopter.
+func (c *Client) notFoundElsewhere(method string, err error) bool {
+	if len(c.endpoints) < 2 || method != http.MethodGet {
+		return false
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
 // shouldRetry: the daemon's explicit retryable verdicts retry any method;
 // transport-level failures retry only methods that cannot create state
-// (a lost POST /v1/sweeps answer may have created a job).
+// (a lost POST /v1/sweeps answer may have created a job) — except dial
+// failures, where the request never left this process, so any method
+// retries safely against the next endpoint.
 func (c *Client) shouldRetry(method string, err error) bool {
 	if IsRetryable(err) {
 		return true
@@ -197,6 +265,9 @@ func (c *Client) shouldRetry(method string, err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		return false // a non-retryable verdict is deterministic
+	}
+	if isDialError(err) {
+		return true
 	}
 	return method == http.MethodGet || method == http.MethodDelete
 }
@@ -212,12 +283,12 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+func (c *Client) once(ctx context.Context, base, method, path string, payload []byte, out any) error {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return err
 	}
@@ -228,6 +299,7 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	setTraceHeaders(req, ctx)
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.rotate(base) // the endpoint stopped answering; try the next peer
 		return fmt.Errorf("dsed: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
@@ -315,8 +387,40 @@ func (c *Client) PredictBatch(ctx context.Context, req wire.PredictRequest) (*wi
 // Warm pre-trains (or warm-starts) the benchmarks ahead of the first
 // sweep that needs them.
 func (c *Client) Warm(ctx context.Context, benchmarks []string) (*wire.WarmResponse, error) {
+	return c.WarmScoped(ctx, benchmarks, "")
+}
+
+// WarmScoped is Warm with an explicit dispatch scope: wire.ScopeLocal
+// pins training to the receiving daemon. The cluster transport uses it
+// so a symmetric peer trains the models itself instead of re-placing
+// them across the fleet.
+func (c *Client) WarmScoped(ctx context.Context, benchmarks []string, scope string) (*wire.WarmResponse, error) {
 	var out wire.WarmResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/warm", wire.WarmRequest{Benchmarks: benchmarks}, &out); err != nil {
+	req := wire.WarmRequest{Benchmarks: benchmarks, Scope: scope}
+	if err := c.do(ctx, http.MethodPost, "/v1/warm", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Gossip exchanges membership digests with a peer (POST /v1/gossip):
+// ours rides in the request, the peer's comes back in the response, and
+// both sides merge. The peer-mode anti-entropy loop calls this once per
+// round against one random peer.
+func (c *Client) Gossip(ctx context.Context, req wire.GossipRequest) (*wire.GossipResponse, error) {
+	var out wire.GossipResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/gossip", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Replicate pushes one coordinated job's survival state to a replica
+// peer (POST /v1/jobs/replicate) so the peer can adopt and finish the
+// job if this daemon dies.
+func (c *Client) Replicate(ctx context.Context, req wire.ReplicateRequest) (*wire.ReplicateResponse, error) {
+	var out wire.ReplicateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/replicate", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -131,6 +131,56 @@ func TestRetryOnRetryable(t *testing.T) {
 	}
 }
 
+// TestGetRotatesOnNotFoundAcrossPeers: against a multi-endpoint fleet a
+// GET's 404 burns a retry on the next peer — during the adoption window
+// after an owner dies, "not here" does not mean "nowhere". A POST's 404
+// and any single-endpoint 404 stay immediate verdicts.
+func TestGetRotatesOnNotFoundAcrossPeers(t *testing.T) {
+	notFound := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Error{
+			Code: api.CodeNotFound, Message: "api: unknown job", Status: 404,
+		}})
+	}
+	var aCalls, bCalls atomic.Int64
+	peerA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aCalls.Add(1)
+		notFound(w, r)
+	}))
+	defer peerA.Close()
+	peerB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "job-1", State: api.StateDone})
+	}))
+	defer peerB.Close()
+
+	st, err := fastClient(peerA.URL+","+peerB.URL).Job(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("GET did not fail over past the 404 peer: %v", err)
+	}
+	if st.ID != "job-1" || aCalls.Load() != 1 || bCalls.Load() != 1 {
+		t.Errorf("status %+v after A=%d B=%d calls; want one 404 on A, answer from B",
+			st, aCalls.Load(), bCalls.Load())
+	}
+
+	aCalls.Store(0)
+	if _, err := fastClient(peerA.URL).Job(context.Background(), "job-1"); err == nil {
+		t.Fatal("single-endpoint 404 must surface")
+	}
+	if aCalls.Load() != 1 {
+		t.Errorf("single-endpoint 404 was retried (%d calls)", aCalls.Load())
+	}
+
+	aCalls.Store(0)
+	bCalls.Store(0)
+	if _, err := fastClient(peerA.URL+","+peerB.URL).Warm(context.Background(), []string{"gcc"}); err == nil {
+		t.Fatal("a POST's 404 must surface, not rotate")
+	}
+	if aCalls.Load() != 1 || bCalls.Load() != 0 {
+		t.Errorf("POST 404: A=%d B=%d calls, want a single verdict from A", aCalls.Load(), bCalls.Load())
+	}
+}
+
 // streamScript serves GET /v1/jobs/test/stream from a script of
 // per-connection update batches; a batch ending with abort kills the
 // connection mid-stream.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/api"
@@ -69,6 +70,7 @@ type Stream struct {
 
 	body       io.ReadCloser
 	br         *bufio.Reader
+	endpoint   string // base URL this stream is (or was last) connected to
 	lastSeq    int
 	done       bool
 	reconnects int
@@ -125,30 +127,55 @@ func (s *Stream) Next() (*api.Update, error) {
 	}
 }
 
+// maxStreamBackoff caps the reconnect backoff: a stream riding out a
+// coordinator death must probe at adoption pace, not exponential pace.
+const maxStreamBackoff = 2 * time.Second
+
 // resume decides whether a lost connection (read error or failed
-// reconnect attempt) is retried: deterministic daemon verdicts (404 —
-// the job was evicted) surface immediately, everything transient burns
-// one unit of the reconnect budget and backs off. A nil return means
-// try again; non-nil is the error to surface.
+// reconnect attempt) is retried: deterministic daemon verdicts surface
+// immediately against a single daemon, everything transient burns one
+// unit of the reconnect budget and backs off. Against a multi-endpoint
+// fleet the budget covers one full rotation per retry, transport errors
+// rotate to the next peer, and even a 404 is retried — during the
+// adoption window after an owner dies, a peer legitimately answers 404
+// until the adopter has re-registered the job. A nil return means try
+// again; non-nil is the error to surface.
 func (s *Stream) resume(cause error) error {
+	multi := len(s.c.endpoints) > 1
 	var ae *APIError
 	if errors.As(cause, &ae) && !ae.Retryable {
-		return cause
+		if !multi || ae.Status != http.StatusNotFound {
+			return cause
+		}
+		s.c.rotate(s.endpoint) // this peer may not know the job yet; ask the next
 	}
 	if s.ctx.Err() != nil {
 		return s.ctx.Err()
 	}
 	s.reconnects++
-	if s.reconnects > s.c.retries {
+	if s.reconnects > (s.c.retries+1)*len(s.c.endpoints) {
 		return fmt.Errorf("dsed: job %s stream lost: %w", s.id, cause)
 	}
-	return sleep(s.ctx, s.c.backoff<<(s.reconnects-1))
+	backoff := s.c.backoff << (s.reconnects - 1)
+	if backoff > maxStreamBackoff || backoff <= 0 {
+		backoff = maxStreamBackoff
+	}
+	return sleep(s.ctx, backoff)
 }
 
 func (s *Stream) connect() error {
-	url := s.c.base + "/v1/jobs/" + s.id + "/stream"
+	s.endpoint = s.c.endpoint()
+	url := s.endpoint + "/v1/jobs/" + s.id + "/stream"
+	sep := "?"
 	if s.finalOnly {
-		url += "?updates=final"
+		url += sep + "updates=final"
+		sep = "&"
+	}
+	if s.lastSeq > 0 {
+		// Delta resume: replay only what this stream has not seen. The
+		// daemon degrades to the latest cumulative snapshot past its
+		// retention horizon, and Next skips duplicates by Seq either way.
+		url += sep + "from_seq=" + strconv.Itoa(s.lastSeq)
 	}
 	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -158,6 +185,7 @@ func (s *Stream) connect() error {
 	setTraceHeaders(req, s.ctx)
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
+		s.c.rotate(s.endpoint)
 		return fmt.Errorf("dsed: opening job %s stream: %w", s.id, err)
 	}
 	if resp.StatusCode != http.StatusOK {

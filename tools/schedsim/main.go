@@ -153,11 +153,13 @@ func runLeg(ctx context.Context, cfg config, p cluster.Policy, hedged bool, desi
 			case <-ctx.Done():
 				return
 			case <-time.After(cfg.churnAt):
+				//dsedlint:ignore memberseam simulated churn is this harness's purpose
 				coord.Leave(fmt.Sprintf("fast-%d", cfg.fast-1))
 			}
 			select {
 			case <-ctx.Done():
 			case <-time.After(cfg.churnAt / 2):
+				//dsedlint:ignore memberseam simulated churn is this harness's purpose
 				_, _ = coord.Join(slowed("joiner-0", cfg.fastDelay), cluster.MemberInfo{Benchmarks: []string{"gcc"}})
 			}
 		}()
